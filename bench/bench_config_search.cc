@@ -1,0 +1,48 @@
+// Configuration search (Definition 5): evaluates every (metric,
+// perturbation) pairing by how many statistically surprising discoveries
+// it makes on a target corpus with injected errors.
+//
+// Expected shape (Section 2.2.3's discussion): the aligned pairings —
+// (max-MAD, drop-most-outlying), (MPD, drop-closest-pair),
+// (UR, drop-duplicates) — dominate; mismatched pairings (e.g. UR with
+// drop-closest-pair) barely move their metric and discover almost
+// nothing, which is exactly the signal that identifies good
+// configurations without labels.
+
+#include <cstdio>
+
+#include "eval/injection.h"
+#include "search/config_search.h"
+#include "util/logging.h"
+
+using namespace unidetect;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("== Definition 5: configuration search over (M, P) ==\n");
+
+  const AnnotatedCorpus background = GenerateCorpus(WebCorpusSpec(8000, 1));
+  AnnotatedCorpus targets = GenerateCorpus(WebCorpusSpec(2000, 555));
+  InjectionSpec injection;
+  const GroundTruth truth = InjectErrors(&targets, injection);
+  std::printf("background: %zu tables; targets: %zu tables with %zu "
+              "injected errors\n\n",
+              background.corpus.tables.size(), targets.corpus.tables.size(),
+              truth.errors.size());
+
+  ConfigSearchOptions options;
+  const std::vector<ConfigResult> results =
+      SearchConfigurations(background.corpus, targets.corpus, options);
+
+  std::printf("%-42s %12s %12s\n", "configuration (m + P)", "discoveries",
+              "candidates");
+  for (const auto& result : results) {
+    std::printf("%-42s %12zu %12zu\n", result.config.ToString().c_str(),
+                result.discoveries, result.candidates);
+  }
+  std::printf(
+      "\nexpected shape: aligned pairings (max-MAD + drop-most-outlying, "
+      "MPD + drop-closest-pair, UR + drop-duplicates) rank top; "
+      "mismatched pairings discover ~nothing.\n");
+  return 0;
+}

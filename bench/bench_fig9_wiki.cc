@@ -1,0 +1,27 @@
+// Reproduces Figure 9: quality of predicted errors on WIKI^T (panels as
+// in Figure 8). The model is trained on WEB and executed unchanged on the
+// Wikipedia-style corpus, as in Section 4.1.
+
+#include <cstdio>
+
+#include "eval/harness.h"
+#include "util/logging.h"
+
+using namespace unidetect;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("== Figure 9: error detection quality on WIKI^T ==\n");
+
+  ExperimentConfig config;
+  config.injection.seed = 101;
+  CorpusSpec test_spec = WikiCorpusSpec(/*num_tables=*/2500, /*seed=*/888);
+  test_spec.name = "WIKI^T";
+  const Experiment experiment = BuildExperiment(test_spec, config);
+
+  std::printf("test corpus: %zu tables, %zu injected errors\n",
+              experiment.test.corpus.tables.size(),
+              experiment.truth.errors.size());
+  RunFigurePanels("WIKI^T", experiment);
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark) for the "interactive speed" claim
+// of Section 2.2.3: online detection is a metric computation plus a
+// model lookup. Covers the hot paths: edit distance, metric profiles,
+// LR lookups, per-table detection, and offline training throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "corpus/data_pools.h"
+#include "corpus/generator.h"
+#include "detect/unidetect.h"
+#include "learn/candidates.h"
+#include "learn/trainer.h"
+#include "metrics/edit_distance.h"
+#include "metrics/metric_functions.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace unidetect {
+namespace {
+
+const Model& SharedModel() {
+  static const Model* model = [] {
+    SetLogLevel(LogLevel::kWarning);
+    Trainer trainer;
+    return new Model(
+        trainer.Train(GenerateCorpus(WebCorpusSpec(5000, 31)).corpus));
+  }();
+  return *model;
+}
+
+void BM_EditDistance(benchmark::State& state) {
+  const std::string a = "Keane, Mr. Andrew Jackson";
+  const std::string b = "Keane, Mr. Andrew Jakcson";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistance);
+
+void BM_BoundedEditDistance(benchmark::State& state) {
+  const std::string a = "Keane, Mr. Andrew Jackson";
+  const std::string b = "Katavelos, Mr. Vassilios G.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BoundedEditDistance(a, b, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_BoundedEditDistance)->Arg(2)->Arg(20);
+
+void BM_MpdProfile(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<std::string> cells;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    cells.push_back(rng.Pick(FirstNames()) + " " + rng.Pick(LastNames()));
+  }
+  const Column column("names", cells);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeMpdProfile(column));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MpdProfile)->Arg(20)->Arg(50)->Arg(200)->Complexity();
+
+void BM_UrProfile(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<std::string> cells;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    cells.push_back(rng.AlphaString(8));
+  }
+  const Column column("ids", cells);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeUrProfile(column));
+  }
+}
+BENCHMARK(BM_UrProfile)->Arg(50)->Arg(500);
+
+void BM_FrProfile(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<std::string> lhs_cells;
+  std::vector<std::string> rhs_cells;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    const CityEntry& entry = rng.Pick(Cities());
+    lhs_cells.push_back(entry.city);
+    rhs_cells.push_back(entry.country);
+  }
+  const Column lhs("city", lhs_cells);
+  const Column rhs("country", rhs_cells);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeFrProfile(lhs, rhs));
+  }
+}
+BENCHMARK(BM_FrProfile)->Arg(50)->Arg(500);
+
+void BM_LikelihoodRatioLookup(benchmark::State& state) {
+  const Model& model = SharedModel();
+  const Column probe("Hometown",
+                     {"London", "Paris", "Paris", "Berlin", "Madrid", "Rome",
+                      "Tokyo", "Delhi", "Oslo", "Cairo", "Lima", "Quito"});
+  const UniquenessCandidate cand = ExtractUniquenessCandidate(
+      probe, 0, model.token_index(), model.options());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.LikelihoodRatio(
+        ErrorClass::kUniqueness, cand.key, cand.theta1, cand.theta2));
+  }
+}
+BENCHMARK(BM_LikelihoodRatioLookup);
+
+void BM_DetectTable(benchmark::State& state) {
+  const Model& model = SharedModel();
+  Rng rng(13);
+  AnnotatedTable t = GenerateTable(Archetype::kPartsInventory,
+                                   static_cast<size_t>(state.range(0)), rng);
+  UniDetectOptions options;
+  options.alpha = 1.0;
+  UniDetect detector(&model, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.DetectTable(t.table));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DetectTable)->Arg(20)->Arg(100)->Arg(500);
+
+void BM_TrainThroughput(benchmark::State& state) {
+  const AnnotatedCorpus corpus =
+      GenerateCorpus(WebCorpusSpec(static_cast<size_t>(state.range(0)), 17));
+  for (auto _ : state) {
+    Trainer trainer;
+    benchmark::DoNotOptimize(trainer.Train(corpus.corpus));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrainThroughput)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateCorpus(WebCorpusSpec(static_cast<size_t>(state.range(0)), 19)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CorpusGeneration)->Arg(500)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace unidetect
+
+BENCHMARK_MAIN();

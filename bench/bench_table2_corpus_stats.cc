@@ -1,0 +1,40 @@
+// Reproduces Table 2: summary statistics of the three table corpora
+// (total #tables, avg #columns per table, avg #rows per table).
+//
+// Absolute counts are scaled down from the paper's proprietary crawls
+// (135M / 3.6M / 489K tables); the *shape* — WEB largest, WIKI a smaller
+// web-style subset, Enterprise far fewer but much taller tables — is
+// preserved by the corpus presets.
+
+#include <cstdio>
+
+#include "corpus/generator.h"
+#include "util/logging.h"
+
+using namespace unidetect;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("== Table 2: summary statistics of table corpora ==\n");
+  std::printf("%-12s %12s %18s %16s\n", "corpus", "total#tables",
+              "avg-#cols/table", "avg-#rows/table");
+
+  const struct {
+    CorpusSpec spec;
+  } presets[] = {
+      {WebCorpusSpec(20000, 1)},
+      {WikiCorpusSpec(5000, 2)},
+      {EnterpriseCorpusSpec(1200, 3)},
+  };
+  for (const auto& preset : presets) {
+    const AnnotatedCorpus generated = GenerateCorpus(preset.spec);
+    const CorpusStats stats = generated.corpus.Stats();
+    std::printf("%-12s %12zu %18.1f %16.1f\n", generated.corpus.name.c_str(),
+                stats.num_tables, stats.avg_columns_per_table,
+                stats.avg_rows_per_table);
+  }
+  std::printf(
+      "\npaper reference: WEB 135M tables / 4.6 cols / 20.7 rows; "
+      "WIKI 3.6M / 5.7 / 18; Enterprise 489K / 4.7 / 2932\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local verification: release build + tests, sanitizer build + tests,
+# and every benchmark binary. Mirrors what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== release build =="
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "== address+UB sanitizer build =="
+cmake -B build-asan -G Ninja \
+  -DUNIDETECT_SANITIZE="address;undefined" \
+  -DUNIDETECT_BUILD_BENCHMARKS=OFF -DUNIDETECT_BUILD_EXAMPLES=OFF
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure
+
+echo "== benchmarks =="
+for bench in build/bench/bench_*; do
+  echo "--- ${bench} ---"
+  "${bench}"
+done

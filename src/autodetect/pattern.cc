@@ -1,0 +1,62 @@
+#include "autodetect/pattern.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace unidetect {
+
+std::string GeneralizePattern(std::string_view value) {
+  std::string out;
+  size_t i = 0;
+  const std::string_view s = Trim(value);
+  while (i < s.size()) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (std::isdigit(c)) {
+      while (i < s.size() &&
+             std::isdigit(static_cast<unsigned char>(s[i]))) {
+        ++i;
+      }
+      out += "\\d+";
+    } else if (std::isalpha(c)) {
+      while (i < s.size() &&
+             std::isalpha(static_cast<unsigned char>(s[i]))) {
+        ++i;
+      }
+      out += "\\l+";
+    } else if (std::isspace(c)) {
+      while (i < s.size() &&
+             std::isspace(static_cast<unsigned char>(s[i]))) {
+        ++i;
+      }
+      out += ' ';
+    } else {
+      out += s[i];
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> DistinctPatterns(
+    const std::vector<std::string>& cells, size_t max_patterns) {
+  std::vector<std::string> out;
+  for (const auto& cell : cells) {
+    if (Trim(cell).empty()) continue;
+    std::string pattern = GeneralizePattern(cell);
+    bool seen = false;
+    for (const auto& existing : out) {
+      if (existing == pattern) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      out.push_back(std::move(pattern));
+      if (out.size() >= max_patterns) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace unidetect

@@ -1,0 +1,25 @@
+// Pattern generalization for Auto-Detect-style compatibility errors
+// (Section 3.5, Appendix C): cell values are abstracted into character-
+// class patterns ("2001-Jan-01" -> "\d+-\l+-\d+") whose corpus
+// co-occurrence statistics reveal incompatible mixtures in one column.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unidetect {
+
+/// \brief Generalizes a value: runs of digits -> "\d+", runs of letters
+/// -> "\l+", whitespace runs -> one space; other characters kept
+/// verbatim. Deliberately run-length-collapsed so "2001" and "85" share
+/// a pattern.
+std::string GeneralizePattern(std::string_view value);
+
+/// \brief Distinct patterns of a list of cells, in first-seen order,
+/// capped at `max_patterns`.
+std::vector<std::string> DistinctPatterns(
+    const std::vector<std::string>& cells, size_t max_patterns = 16);
+
+}  // namespace unidetect

@@ -1,0 +1,186 @@
+#include "autodetect/pmi_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "autodetect/pattern.h"
+#include "util/string_util.h"
+
+namespace unidetect {
+
+std::string PatternIndex::PairKey(const std::string& a,
+                                  const std::string& b) {
+  return a <= b ? a + "\x1f" + b : b + "\x1f" + a;
+}
+
+void PatternIndex::AddTable(const Table& table) {
+  for (const auto& column : table.columns()) {
+    const std::vector<std::string> patterns =
+        DistinctPatterns(column.cells());
+    if (patterns.empty()) continue;
+    ++num_columns_;
+    for (const auto& pattern : patterns) pattern_counts_[pattern]++;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      for (size_t j = i + 1; j < patterns.size(); ++j) {
+        pair_counts_[PairKey(patterns[i], patterns[j])]++;
+      }
+    }
+  }
+}
+
+void PatternIndex::AddCorpus(const Corpus& corpus) {
+  for (const auto& table : corpus.tables) AddTable(table);
+}
+
+void PatternIndex::Merge(const PatternIndex& other) {
+  num_columns_ += other.num_columns_;
+  for (const auto& [pattern, count] : other.pattern_counts_) {
+    pattern_counts_[pattern] += count;
+  }
+  for (const auto& [pair, count] : other.pair_counts_) {
+    pair_counts_[pair] += count;
+  }
+}
+
+namespace {
+// Patterns never contain '\t' or '\n' (GeneralizePattern collapses
+// whitespace to single spaces), so a line-oriented format is safe.
+void AppendCountMap(const std::unordered_map<std::string, uint64_t>& map,
+                    std::string* out) {
+  *out += std::to_string(map.size());
+  *out += '\n';
+  for (const auto& [key, count] : map) {
+    *out += std::to_string(count);
+    *out += '\t';
+    *out += key;
+    *out += '\n';
+  }
+}
+
+bool ParseCountMap(std::string_view text, size_t* pos,
+                   std::unordered_map<std::string, uint64_t>* map) {
+  const size_t line_end = text.find('\n', *pos);
+  if (line_end == std::string_view::npos) return false;
+  const size_t entries = std::strtoull(
+      std::string(text.substr(*pos, line_end - *pos)).c_str(), nullptr, 10);
+  *pos = line_end + 1;
+  for (size_t i = 0; i < entries; ++i) {
+    const size_t end = text.find('\n', *pos);
+    if (end == std::string_view::npos) return false;
+    std::string_view line = text.substr(*pos, end - *pos);
+    *pos = end + 1;
+    const size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) return false;
+    const uint64_t count =
+        std::strtoull(std::string(line.substr(0, tab)).c_str(), nullptr, 10);
+    map->emplace(std::string(line.substr(tab + 1)), count);
+  }
+  return true;
+}
+}  // namespace
+
+std::string PatternIndex::Serialize() const {
+  std::string out = "PatternIndex v1 " + std::to_string(num_columns_) + "\n";
+  AppendCountMap(pattern_counts_, &out);
+  AppendCountMap(pair_counts_, &out);
+  return out;
+}
+
+Result<PatternIndex> PatternIndex::Deserialize(std::string_view text) {
+  PatternIndex out;
+  const size_t header_end = text.find('\n');
+  if (header_end == std::string_view::npos ||
+      text.substr(0, 16) != "PatternIndex v1 ") {
+    return Status::Corruption("PatternIndex: bad header");
+  }
+  out.num_columns_ = std::strtoull(
+      std::string(text.substr(16, header_end - 16)).c_str(), nullptr, 10);
+  size_t pos = header_end + 1;
+  if (!ParseCountMap(text, &pos, &out.pattern_counts_) ||
+      !ParseCountMap(text, &pos, &out.pair_counts_)) {
+    return Status::Corruption("PatternIndex: truncated maps");
+  }
+  return out;
+}
+
+uint64_t PatternIndex::PatternCount(const std::string& pattern) const {
+  auto it = pattern_counts_.find(pattern);
+  return it == pattern_counts_.end() ? 0 : it->second;
+}
+
+uint64_t PatternIndex::CoOccurrenceCount(const std::string& a,
+                                         const std::string& b) const {
+  auto it = pair_counts_.find(PairKey(a, b));
+  return it == pair_counts_.end() ? 0 : it->second;
+}
+
+double PatternIndex::Pmi(const std::string& a, const std::string& b) const {
+  if (num_columns_ == 0) return 0.0;
+  const double n_a = static_cast<double>(PatternCount(a));
+  const double n_b = static_cast<double>(PatternCount(b));
+  if (n_a <= 0.0 || n_b <= 0.0) return 0.0;  // unseen: no evidence
+  const double n_ab = static_cast<double>(CoOccurrenceCount(a, b)) + 0.5;
+  const double n = static_cast<double>(num_columns_);
+  return std::log(n_ab * n / (n_a * n_b));
+}
+
+void PmiDetector::Detect(const Table& table, std::vector<Finding>* out) const {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    if (column.size() < 8) continue;
+
+    // Pattern histogram with row lists.
+    std::unordered_map<std::string, std::vector<size_t>> rows_by_pattern;
+    for (size_t row = 0; row < column.size(); ++row) {
+      if (Trim(column.cell(row)).empty()) continue;
+      rows_by_pattern[GeneralizePattern(column.cell(row))].push_back(row);
+    }
+    if (rows_by_pattern.size() < 2 || rows_by_pattern.size() > 16) continue;
+
+    // The dominant pattern vs. each minority pattern.
+    const std::string* dominant = nullptr;
+    size_t dominant_rows = 0;
+    for (const auto& [pattern, rows] : rows_by_pattern) {
+      if (rows.size() > dominant_rows) {
+        dominant_rows = rows.size();
+        dominant = &pattern;
+      }
+    }
+    for (const auto& [pattern, rows] : rows_by_pattern) {
+      if (&pattern == dominant) continue;
+      // Only clear minorities are error candidates.
+      if (rows.size() * 5 > dominant_rows) continue;
+      double pmi = 0.0;
+      if (index_->PatternCount(pattern) == 0) {
+        // A pattern the corpus has never seen, inside a column whose
+        // dominant pattern is well established, is maximally alien; the
+        // more established the dominant, the more surprising.
+        pmi = -std::log(
+            1.0 + static_cast<double>(index_->PatternCount(*dominant)));
+      } else {
+        pmi = index_->Pmi(*dominant, pattern);
+        if (pmi == 0.0) continue;  // dominant itself unseen: no evidence
+      }
+      if (pmi >= pmi_threshold_) continue;
+
+      Finding finding;
+      finding.error_class = ErrorClass::kPattern;
+      finding.table_name = table.name();
+      finding.column = c;
+      finding.rows = rows;
+      finding.value = column.cell(rows.front());
+      // exp(PMI) maps incompatibility onto (0, 1) so pattern findings
+      // rank alongside the LR scores of the other classes (Appendix C:
+      // the PMI statistic is the LR test in disguise).
+      finding.score = std::exp(pmi);
+      std::ostringstream os;
+      os << "pattern '" << pattern << "' incompatible with dominant '"
+         << *dominant << "' (PMI " << pmi << ")";
+      finding.explanation = os.str();
+      out->push_back(std::move(finding));
+    }
+  }
+}
+
+}  // namespace unidetect

@@ -1,0 +1,76 @@
+// PMI-based pattern-compatibility detection (Auto-Detect [50]), the
+// orthogonal error class whose mechanism Appendix C derives from the same
+// likelihood-ratio test:
+//
+//   LR ∝ P(D|H0,T) / P(D|H1,T) = (n1/N)(n2/N) / (n12/N) = exp(-PMI)
+//
+// so ranking by ascending PMI is ranking by ascending surprise.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "corpus/corpus.h"
+#include "detect/detector.h"
+#include "util/result.h"
+
+namespace unidetect {
+
+/// \brief Corpus statistics over column pattern (co-)occurrence.
+class PatternIndex {
+ public:
+  PatternIndex() = default;
+
+  /// \brief Ingests a corpus: each column counts each of its distinct
+  /// patterns once, and each unordered pattern pair once.
+  void AddCorpus(const Corpus& corpus);
+
+  /// \brief Ingests a single table (used by the Trainer's corpus pass).
+  void AddTable(const Table& table);
+
+  /// \brief Merges another index (sharded builds).
+  void Merge(const PatternIndex& other);
+
+  /// \brief Text serialization (embedded in the Model file).
+  std::string Serialize() const;
+  static Result<PatternIndex> Deserialize(std::string_view text);
+
+  uint64_t num_columns() const { return num_columns_; }
+  uint64_t PatternCount(const std::string& pattern) const;
+  uint64_t CoOccurrenceCount(const std::string& a,
+                             const std::string& b) const;
+
+  /// \brief PMI(a, b) = log(n_ab * N / (n_a * n_b)) with +0.5 smoothing
+  /// on the co-occurrence count; strongly negative = incompatible.
+  double Pmi(const std::string& a, const std::string& b) const;
+
+ private:
+  static std::string PairKey(const std::string& a, const std::string& b);
+
+  std::unordered_map<std::string, uint64_t> pattern_counts_;
+  std::unordered_map<std::string, uint64_t> pair_counts_;
+  uint64_t num_columns_ = 0;
+};
+
+/// \brief Flags columns mixing pattern pairs with strongly negative PMI
+/// ("2001-Jan-01" among "2001-01-01"s). The minority pattern's rows are
+/// the suspected cells.
+class PmiDetector : public Detector {
+ public:
+  /// `index` must outlive the detector; pairs with PMI above
+  /// `pmi_threshold` are considered compatible.
+  explicit PmiDetector(const PatternIndex* index, double pmi_threshold = -2.0)
+      : index_(index), pmi_threshold_(pmi_threshold) {}
+
+  ErrorClass error_class() const override { return ErrorClass::kPattern; }
+
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+
+ private:
+  const PatternIndex* index_;
+  double pmi_threshold_;
+};
+
+}  // namespace unidetect

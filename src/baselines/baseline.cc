@@ -1,0 +1,19 @@
+#include "baselines/baseline.h"
+
+namespace unidetect {
+
+std::vector<Finding> Baseline::DetectCorpus(const Corpus& corpus) const {
+  std::vector<Finding> all;
+  for (size_t i = 0; i < corpus.tables.size(); ++i) {
+    std::vector<Finding> findings;
+    Detect(corpus.tables[i], &findings);
+    for (auto& finding : findings) {
+      finding.table_index = i;
+      all.push_back(std::move(finding));
+    }
+  }
+  SortFindings(&all);
+  return all;
+}
+
+}  // namespace unidetect

@@ -1,0 +1,35 @@
+// Baseline: interface for the 15 existing methods Uni-Detect is compared
+// against (Section 4.2). Baselines emit the same Finding structure so one
+// Precision@K harness evaluates everything; their `score` is a rank key
+// (smaller = more confident), typically the negated method-native score.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "detect/finding.h"
+#include "table/table.h"
+
+namespace unidetect {
+
+/// \brief A comparison method producing ranked findings.
+class Baseline {
+ public:
+  virtual ~Baseline() = default;
+
+  /// \brief Display name used in benchmark output ("Fuzzy-Cluster", ...).
+  virtual std::string name() const = 0;
+
+  /// \brief The error class this baseline targets.
+  virtual ErrorClass error_class() const = 0;
+
+  /// \brief Appends findings for one table.
+  virtual void Detect(const Table& table, std::vector<Finding>* out) const = 0;
+
+  /// \brief Runs over a corpus and returns the ranked prediction list.
+  std::vector<Finding> DetectCorpus(const Corpus& corpus) const;
+};
+
+}  // namespace unidetect

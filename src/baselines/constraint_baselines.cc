@@ -1,0 +1,185 @@
+#include "baselines/constraint_baselines.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "metrics/metric_functions.h"
+#include "util/string_util.h"
+
+namespace unidetect {
+
+// ---------------------------------------------------------------------------
+// Uniqueness baselines.
+
+namespace {
+void EmitUniquenessFinding(const Table& table, size_t column_index,
+                           const UrProfile& profile, double rank_ratio,
+                           const char* ratio_name,
+                           std::vector<Finding>* out) {
+  Finding finding;
+  finding.error_class = ErrorClass::kUniqueness;
+  finding.table_name = table.name();
+  finding.column = column_index;
+  finding.rows = profile.duplicate_rows;
+  finding.value = table.column(column_index).cell(profile.duplicate_rows.front());
+  finding.score = -rank_ratio;
+  std::ostringstream os;
+  os << ratio_name << " " << rank_ratio << " with "
+     << profile.duplicate_rows.size() << " duplicate(s)";
+  finding.explanation = os.str();
+  out->push_back(std::move(finding));
+}
+}  // namespace
+
+void UniqueRowRatioBaseline::Detect(const Table& table,
+                                    std::vector<Finding>* out) const {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    if (column.size() < 8) continue;
+    const UrProfile profile = ComputeUrProfile(column);
+    if (!profile.valid || profile.duplicate_rows.empty()) continue;
+    if (profile.ur < min_ratio_) continue;
+    EmitUniquenessFinding(table, c, profile, profile.ur, "unique-row-ratio",
+                          out);
+  }
+}
+
+void UniqueValueRatioBaseline::Detect(const Table& table,
+                                      std::vector<Finding>* out) const {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    if (column.size() < 8) continue;
+    const UrProfile profile = ComputeUrProfile(column);
+    if (!profile.valid || profile.duplicate_rows.empty()) continue;
+
+    // Unique-value-ratio: values occurring exactly once / distinct values.
+    std::unordered_map<std::string_view, size_t> counts;
+    for (size_t row = 0; row < column.size(); ++row) {
+      std::string_view cell = Trim(column.cell(row));
+      if (!cell.empty()) counts[cell]++;
+    }
+    if (counts.empty()) continue;
+    size_t singletons = 0;
+    for (const auto& [value, count] : counts) {
+      if (count == 1) ++singletons;
+    }
+    const double uvr =
+        static_cast<double>(singletons) / static_cast<double>(counts.size());
+    if (uvr < min_ratio_) continue;
+    EmitUniquenessFinding(table, c, profile, uvr, "unique-value-ratio", out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Approximate-FD baselines.
+
+void ApproximateFdBaseline::Detect(const Table& table,
+                                   std::vector<Finding>* out) const {
+  size_t pairs = 0;
+  for (size_t l = 0; l < table.num_columns(); ++l) {
+    for (size_t r = 0; r < table.num_columns(); ++r) {
+      if (l == r) continue;
+      if (pairs >= max_pairs_per_table_) return;
+      ++pairs;
+      const Column& lhs = table.column(l);
+      const Column& rhs = table.column(r);
+      if (lhs.size() < 8) continue;
+      const FrProfile profile = ComputeFrProfile(lhs, rhs);
+      if (!profile.valid || profile.violating_rows.empty()) continue;
+      const double score = PairScore(lhs, rhs);
+      if (score < min_ratio_ || score >= 1.0) continue;
+
+      Finding finding;
+      finding.error_class = ErrorClass::kFd;
+      finding.table_name = table.name();
+      finding.column = l;
+      finding.column2 = r;
+      finding.rows = profile.violating_rows;
+      finding.value = lhs.cell(profile.violating_rows.front()) + " -> " +
+                      rhs.cell(profile.violating_rows.front());
+      finding.score = -score;
+      std::ostringstream os;
+      os << name() << " " << score << " for (" << lhs.name() << " -> "
+         << rhs.name() << ")";
+      finding.explanation = os.str();
+      out->push_back(std::move(finding));
+    }
+  }
+}
+
+double UniqueProjectionRatioBaseline::PairScore(const Column& lhs,
+                                                const Column& rhs) const {
+  std::unordered_set<std::string> x;
+  std::unordered_set<std::string> xy;
+  const size_t n = std::min(lhs.size(), rhs.size());
+  for (size_t row = 0; row < n; ++row) {
+    std::string l(Trim(lhs.cell(row)));
+    std::string r(Trim(rhs.cell(row)));
+    if (l.empty() || r.empty()) continue;
+    xy.insert(l + "\x1f" + r);
+    x.insert(std::move(l));
+  }
+  if (xy.empty()) return 0.0;
+  return static_cast<double>(x.size()) / static_cast<double>(xy.size());
+}
+
+double ConformingRowRatioBaseline::PairScore(const Column& lhs,
+                                             const Column& rhs) const {
+  // Group rows by lhs; a row conforms iff its lhs group has one rhs value.
+  std::unordered_map<std::string_view, std::unordered_set<std::string_view>>
+      groups;
+  std::unordered_map<std::string_view, size_t> group_rows;
+  const size_t n = std::min(lhs.size(), rhs.size());
+  size_t used = 0;
+  for (size_t row = 0; row < n; ++row) {
+    std::string_view l = Trim(lhs.cell(row));
+    std::string_view r = Trim(rhs.cell(row));
+    if (l.empty() || r.empty()) continue;
+    ++used;
+    groups[l].insert(r);
+    group_rows[l]++;
+  }
+  if (used == 0) return 0.0;
+  size_t conforming = 0;
+  for (const auto& [l, rhs_values] : groups) {
+    if (rhs_values.size() == 1) conforming += group_rows[l];
+  }
+  return static_cast<double>(conforming) / static_cast<double>(used);
+}
+
+double ConformingPairRatioBaseline::PairScore(const Column& lhs,
+                                              const Column& rhs) const {
+  // Conflicting ordered pairs: for each lhs group, rows whose rhs values
+  // differ. Computed from group histograms (no O(n^2) scan).
+  std::unordered_map<std::string_view,
+                     std::unordered_map<std::string_view, size_t>>
+      groups;
+  const size_t n = std::min(lhs.size(), rhs.size());
+  size_t used = 0;
+  for (size_t row = 0; row < n; ++row) {
+    std::string_view l = Trim(lhs.cell(row));
+    std::string_view r = Trim(rhs.cell(row));
+    if (l.empty() || r.empty()) continue;
+    ++used;
+    groups[l][r]++;
+  }
+  if (used == 0) return 0.0;
+  double conflicting = 0.0;
+  for (const auto& [l, hist] : groups) {
+    size_t group_total = 0;
+    double same = 0.0;
+    for (const auto& [r, count] : hist) {
+      group_total += count;
+      same += static_cast<double>(count) * static_cast<double>(count);
+    }
+    conflicting += static_cast<double>(group_total) *
+                       static_cast<double>(group_total) -
+                   same;
+  }
+  const double total_pairs =
+      static_cast<double>(used) * static_cast<double>(used);
+  return 1.0 - conflicting / total_pairs;
+}
+
+}  // namespace unidetect

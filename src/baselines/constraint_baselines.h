@@ -1,0 +1,103 @@
+// Uniqueness- and FD-violation baselines of Section 4.2:
+//
+//   Unique-row-ratio [37]        -- distinct values / rows, rank near 1
+//   Unique-value-ratio [48]      -- frequency-1 values / distinct values
+//   Unique-projection-ratio [53] -- |pi_X(T)| / |pi_XY(T)| for FDs
+//   Conforming-row-ratio [56]    -- FD-conforming rows / rows
+//   Conforming-pair-ratio [56]   -- FD-conforming row pairs / row pairs
+//
+// All five implement the literature's shared heuristic that constraints
+// that *almost* hold (ratio just under 1) are likely violated — the
+// heuristic whose false positives (Figure 2) motivate Uni-Detect.
+
+#pragma once
+
+#include "baselines/baseline.h"
+
+namespace unidetect {
+
+/// \brief Unique-row-ratio: flags duplicate values in almost-unique
+/// columns, ranked by how close distinct/total is to 1.
+class UniqueRowRatioBaseline : public Baseline {
+ public:
+  /// Columns below this ratio are not flagged at all.
+  explicit UniqueRowRatioBaseline(double min_ratio = 0.9)
+      : min_ratio_(min_ratio) {}
+
+  std::string name() const override { return "Unique-row-ratio"; }
+  ErrorClass error_class() const override { return ErrorClass::kUniqueness; }
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+
+ private:
+  double min_ratio_;
+};
+
+/// \brief Unique-value-ratio: same flagging, ranked by the fraction of
+/// distinct values that occur exactly once (robust to frequency
+/// outliers, per [48]).
+class UniqueValueRatioBaseline : public Baseline {
+ public:
+  explicit UniqueValueRatioBaseline(double min_ratio = 0.9)
+      : min_ratio_(min_ratio) {}
+
+  std::string name() const override { return "Unique-value-ratio"; }
+  ErrorClass error_class() const override { return ErrorClass::kUniqueness; }
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+
+ private:
+  double min_ratio_;
+};
+
+/// \brief Shared scaffolding for the three approximate-FD baselines:
+/// enumerate ordered column pairs, compute a pair score in [0, 1], flag
+/// near-1 pairs with their violating rows.
+class ApproximateFdBaseline : public Baseline {
+ public:
+  explicit ApproximateFdBaseline(double min_ratio = 0.9,
+                                 size_t max_pairs_per_table = 30)
+      : min_ratio_(min_ratio), max_pairs_per_table_(max_pairs_per_table) {}
+
+  ErrorClass error_class() const override { return ErrorClass::kFd; }
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+
+ protected:
+  /// \brief Method-specific ratio in [0, 1]; 1 = FD holds exactly.
+  virtual double PairScore(const Column& lhs, const Column& rhs) const = 0;
+
+ private:
+  double min_ratio_;
+  size_t max_pairs_per_table_;
+};
+
+/// \brief |pi_X(T)| / |pi_XY(T)| (CORDS-style soft FDs).
+class UniqueProjectionRatioBaseline : public ApproximateFdBaseline {
+ public:
+  using ApproximateFdBaseline::ApproximateFdBaseline;
+  std::string name() const override { return "Unique-projection-ratio"; }
+
+ protected:
+  double PairScore(const Column& lhs, const Column& rhs) const override;
+};
+
+/// \brief Fraction of rows u with no conflicting v (u[X]=v[X],
+/// u[Y]!=v[Y]).
+class ConformingRowRatioBaseline : public ApproximateFdBaseline {
+ public:
+  using ApproximateFdBaseline::ApproximateFdBaseline;
+  std::string name() const override { return "Conforming-row-ratio"; }
+
+ protected:
+  double PairScore(const Column& lhs, const Column& rhs) const override;
+};
+
+/// \brief 1 - (conflicting ordered row pairs) / |T|^2.
+class ConformingPairRatioBaseline : public ApproximateFdBaseline {
+ public:
+  using ApproximateFdBaseline::ApproximateFdBaseline;
+  std::string name() const override { return "Conforming-pair-ratio"; }
+
+ protected:
+  double PairScore(const Column& lhs, const Column& rhs) const override;
+};
+
+}  // namespace unidetect

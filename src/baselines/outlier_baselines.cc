@@ -1,0 +1,197 @@
+#include "baselines/outlier_baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "metrics/dispersion.h"
+
+namespace unidetect {
+
+namespace {
+
+// Shared eligibility check and finding assembly for the per-column
+// score-the-maximum methods.
+bool EligibleNumericColumn(const Column& column) {
+  const ColumnType type = column.type();
+  if (type != ColumnType::kInteger && type != ColumnType::kFloat) return false;
+  return column.NumericValues().size() >= 8 &&
+         column.NumericFraction() >= 0.8;
+}
+
+void EmitMaxScoreFinding(const Table& table, size_t column_index,
+                         const MaxScore& max_score, const char* metric_name,
+                         std::vector<Finding>* out) {
+  if (!max_score.valid || max_score.score <= 0.0) return;
+  const Column& column = table.column(column_index);
+  const size_t row = column.NumericRows()[max_score.index];
+  Finding finding;
+  finding.error_class = ErrorClass::kOutlier;
+  finding.table_name = table.name();
+  finding.column = column_index;
+  finding.rows = {row};
+  finding.value = column.cell(row);
+  finding.score = -max_score.score;
+  std::ostringstream os;
+  os << metric_name << " score " << max_score.score << " for '"
+     << finding.value << "'";
+  finding.explanation = os.str();
+  out->push_back(std::move(finding));
+}
+
+}  // namespace
+
+void MaxMadBaseline::Detect(const Table& table,
+                            std::vector<Finding>* out) const {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (!EligibleNumericColumn(table.column(c))) continue;
+    EmitMaxScoreFinding(table, c, MaxMadScore(table.column(c).NumericValues()),
+                        "MAD", out);
+  }
+}
+
+void MaxSdBaseline::Detect(const Table& table,
+                           std::vector<Finding>* out) const {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (!EligibleNumericColumn(table.column(c))) continue;
+    EmitMaxScoreFinding(table, c, MaxSdScore(table.column(c).NumericValues()),
+                        "SD", out);
+  }
+}
+
+void DbodBaseline::Detect(const Table& table,
+                          std::vector<Finding>* out) const {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    if (!EligibleNumericColumn(column)) continue;
+    const auto& values = column.NumericValues();
+
+    // Sort value indices; score both extremes, keep the stronger.
+    std::vector<size_t> order(values.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return values[a] < values[b]; });
+    const double lo = values[order.front()];
+    const double hi = values[order.back()];
+    const double range = hi - lo;
+    if (range <= 0.0) continue;
+    const double low_score = (values[order[1]] - lo) / range;
+    const double high_score = (hi - values[order[order.size() - 2]]) / range;
+    const bool low_wins = low_score >= high_score;
+    const size_t value_index = low_wins ? order.front() : order.back();
+    const double score = low_wins ? low_score : high_score;
+    if (score <= 0.0) continue;
+
+    const size_t row = column.NumericRows()[value_index];
+    Finding finding;
+    finding.error_class = ErrorClass::kOutlier;
+    finding.table_name = table.name();
+    finding.column = c;
+    finding.rows = {row};
+    finding.value = column.cell(row);
+    finding.score = -score;
+    std::ostringstream os;
+    os << "DBOD score " << score << " for '" << finding.value << "'";
+    finding.explanation = os.str();
+    out->push_back(std::move(finding));
+  }
+}
+
+std::vector<double> LofBaseline::ComputeLof(const std::vector<double>& values,
+                                            size_t k) {
+  const size_t n = values.size();
+  std::vector<double> lof(n, 0.0);
+  if (n < k + 2) return lof;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> sorted(n);
+  for (size_t i = 0; i < n; ++i) sorted[i] = values[order[i]];
+
+  // In 1-D the k nearest neighbors of sorted[i] form a contiguous window;
+  // grow it greedily from both sides.
+  auto neighbors = [&](size_t i) {
+    std::vector<size_t> nb;
+    size_t left = i;
+    size_t right = i;
+    while (nb.size() < k) {
+      const bool can_left = left > 0;
+      const bool can_right = right + 1 < n;
+      if (!can_left && !can_right) break;
+      const double dl =
+          can_left ? sorted[i] - sorted[left - 1] : 1e300;
+      const double dr =
+          can_right ? sorted[right + 1] - sorted[i] : 1e300;
+      if (dl <= dr) {
+        nb.push_back(--left);
+      } else {
+        nb.push_back(++right);
+      }
+    }
+    return nb;
+  };
+
+  std::vector<double> k_distance(n, 0.0);
+  std::vector<std::vector<size_t>> all_neighbors(n);
+  for (size_t i = 0; i < n; ++i) {
+    all_neighbors[i] = neighbors(i);
+    double kd = 0.0;
+    for (size_t j : all_neighbors[i]) {
+      kd = std::max(kd, std::fabs(sorted[i] - sorted[j]));
+    }
+    k_distance[i] = kd;
+  }
+
+  // Local reachability density: 1 / mean reachability distance, where
+  // reach-dist(i, j) = max(k-distance(j), d(i, j)).
+  std::vector<double> lrd(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (size_t j : all_neighbors[i]) {
+      sum += std::max(k_distance[j], std::fabs(sorted[i] - sorted[j]));
+    }
+    lrd[i] = sum > 0.0 ? static_cast<double>(all_neighbors[i].size()) / sum
+                       : 1e12;  // coincident points: effectively infinite
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (size_t j : all_neighbors[i]) sum += lrd[j];
+    const double denom =
+        lrd[i] * static_cast<double>(all_neighbors[i].size());
+    const double score = denom > 0.0 ? sum / denom : 0.0;
+    lof[order[i]] = score;
+  }
+  return lof;
+}
+
+void LofBaseline::Detect(const Table& table, std::vector<Finding>* out) const {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    if (!EligibleNumericColumn(column)) continue;
+    const auto& values = column.NumericValues();
+    const std::vector<double> lof = ComputeLof(values, k_);
+    size_t best = 0;
+    for (size_t i = 1; i < lof.size(); ++i) {
+      if (lof[i] > lof[best]) best = i;
+    }
+    if (lof.empty() || lof[best] <= 1.0) continue;  // <=1: inlier density
+
+    const size_t row = column.NumericRows()[best];
+    Finding finding;
+    finding.error_class = ErrorClass::kOutlier;
+    finding.table_name = table.name();
+    finding.column = c;
+    finding.rows = {row};
+    finding.value = column.cell(row);
+    finding.score = -lof[best];
+    std::ostringstream os;
+    os << "LOF " << lof[best] << " for '" << finding.value << "'";
+    finding.explanation = os.str();
+    out->push_back(std::move(finding));
+  }
+}
+
+}  // namespace unidetect

@@ -1,0 +1,56 @@
+// Numeric-outlier baselines of Section 4.2:
+//
+//   Max-MAD [48] -- most outlying value by MAD score (robust statistics)
+//   Max-SD [20]  -- most outlying value by standard-deviation score
+//   DBOD [57]    -- distance-based outlier score on the sorted extremes
+//   LOF [24]     -- local outlier factor (k-NN local density)
+
+#pragma once
+
+#include "baselines/baseline.h"
+
+namespace unidetect {
+
+/// \brief Ranks columns' most outlying values by MAD score.
+class MaxMadBaseline : public Baseline {
+ public:
+  std::string name() const override { return "Max-MAD"; }
+  ErrorClass error_class() const override { return ErrorClass::kOutlier; }
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+};
+
+/// \brief Ranks columns' most outlying values by SD score.
+class MaxSdBaseline : public Baseline {
+ public:
+  std::string name() const override { return "Max-SD"; }
+  ErrorClass error_class() const override { return ErrorClass::kOutlier; }
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+};
+
+/// \brief Distance-based outlier detection: scores the extremes v_1, v_n
+/// of a sorted column by their gap to the nearest neighbor, normalized by
+/// the column's range (the formulation given in Section 4.2).
+class DbodBaseline : public Baseline {
+ public:
+  std::string name() const override { return "DBOD"; }
+  ErrorClass error_class() const override { return ErrorClass::kOutlier; }
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+};
+
+/// \brief Local outlier factor over 1-D numeric columns.
+class LofBaseline : public Baseline {
+ public:
+  explicit LofBaseline(size_t k = 5) : k_(k) {}
+  std::string name() const override { return "LOF"; }
+  ErrorClass error_class() const override { return ErrorClass::kOutlier; }
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+
+  /// \brief Exposed for unit tests: LOF scores aligned with `values`.
+  static std::vector<double> ComputeLof(const std::vector<double>& values,
+                                        size_t k);
+
+ private:
+  size_t k_;
+};
+
+}  // namespace unidetect

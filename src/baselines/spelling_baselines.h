@@ -1,0 +1,117 @@
+// Spelling-error baselines of Section 4.2:
+//
+//   Fuzzy-Cluster [8,9]     -- close value pairs ranked by edit distance
+//                              then differing-token length
+//   Speller [1,6]           -- noisy-channel spell checker over a corpus
+//                              token-frequency dictionary (our substitute
+//                              for the commercial search-engine speller)
+//   Speller (address-only)  -- Speller restricted to address-ish columns
+//   Word2Vec / GloVe OOV    -- out-of-vocabulary tokens predicted as
+//                              misspelled (vocabulary = frequent corpus
+//                              tokens, substituting pretrained embeddings)
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "baselines/baseline.h"
+#include "corpus/token_index.h"
+
+namespace unidetect {
+
+/// \brief Fuzzy-clustering feature of OpenRefine/Paxata: flags value
+/// pairs within a small edit distance, longer differing tokens first.
+class FuzzyClusterBaseline : public Baseline {
+ public:
+  /// Pairs with edit distance <= max_distance are flagged.
+  explicit FuzzyClusterBaseline(size_t max_distance = 2,
+                                size_t max_pairs_per_column = 5)
+      : max_distance_(max_distance),
+        max_pairs_per_column_(max_pairs_per_column) {}
+
+  std::string name() const override { return "Fuzzy-Cluster"; }
+  ErrorClass error_class() const override { return ErrorClass::kSpelling; }
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+
+ private:
+  size_t max_distance_;
+  size_t max_pairs_per_column_;
+};
+
+/// \brief Word frequency dictionary shared by the Speller and OOV
+/// baselines, built from the background corpus token index.
+class WordFrequency {
+ public:
+  explicit WordFrequency(const TokenIndex& index);
+
+  /// \brief Corpus table count of a (case-folded) alphabetic word.
+  uint64_t Count(std::string_view word) const;
+
+  /// \brief Most frequent in-dictionary word within edit distance 1 of
+  /// `word` (excluding `word` itself) with count >= min_count; empty if
+  /// none.
+  std::string BestCorrection(std::string_view word,
+                             uint64_t min_count) const;
+
+ private:
+  std::unordered_map<std::string, uint64_t> counts_;
+};
+
+/// \brief Noisy-channel speller: a rare token with a frequent
+/// edit-distance-1 neighbor is "corrected" to it — reproducing both the
+/// true positives and the idiosyncratic-token false positives (Figure 3)
+/// of commercial spellers applied to tables.
+struct SpellerOptions {
+  /// A token is a correction candidate only if at most this frequent.
+  uint64_t max_token_count = 3;
+  /// A correction must be at least this frequent.
+  uint64_t min_correction_count = 15;
+  /// Restrict to address-ish columns (the Speller(address) variant).
+  bool address_only = false;
+};
+
+class SpellerBaseline : public Baseline {
+ public:
+  /// `frequency` must outlive the baseline.
+  explicit SpellerBaseline(const WordFrequency* frequency,
+                           SpellerOptions options = {})
+      : frequency_(frequency), options_(options) {}
+
+  std::string name() const override {
+    return options_.address_only ? "Speller (address-only)" : "Speller";
+  }
+  ErrorClass error_class() const override { return ErrorClass::kSpelling; }
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+
+ private:
+  const WordFrequency* frequency_;
+  SpellerOptions options_;
+};
+
+/// \brief OOV predictor standing in for Word2Vec/GloVe: any alphabetic
+/// token absent from the vocabulary (tokens with corpus count >=
+/// vocabulary_min_count) marks its cell as misspelled.
+class OovBaseline : public Baseline {
+ public:
+  /// `display_name` distinguishes "Word2Vec" (smaller vocabulary, higher
+  /// min count) from "GloVe" (larger vocabulary).
+  OovBaseline(const TokenIndex* index, std::string display_name,
+              uint64_t vocabulary_min_count)
+      : index_(index),
+        display_name_(std::move(display_name)),
+        vocabulary_min_count_(vocabulary_min_count) {}
+
+  std::string name() const override { return display_name_; }
+  ErrorClass error_class() const override { return ErrorClass::kSpelling; }
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+
+ private:
+  const TokenIndex* index_;
+  std::string display_name_;
+  uint64_t vocabulary_min_count_;
+};
+
+}  // namespace unidetect

@@ -1,0 +1,20 @@
+#include "corpus/corpus.h"
+
+namespace unidetect {
+
+CorpusStats Corpus::Stats() const {
+  CorpusStats out;
+  out.num_tables = tables.size();
+  if (tables.empty()) return out;
+  double cols = 0.0;
+  double rows = 0.0;
+  for (const auto& table : tables) {
+    cols += static_cast<double>(table.num_columns());
+    rows += static_cast<double>(table.num_rows());
+  }
+  out.avg_columns_per_table = cols / static_cast<double>(tables.size());
+  out.avg_rows_per_table = rows / static_cast<double>(tables.size());
+  return out;
+}
+
+}  // namespace unidetect

@@ -1,0 +1,29 @@
+// Corpus: an in-memory collection of tables, standing in for the paper's
+// web-scale table store T and for the test corpora (WIKI^T, WEB^T,
+// Enterprise^T).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace unidetect {
+
+/// \brief Summary statistics matching the columns of the paper's Table 2.
+struct CorpusStats {
+  size_t num_tables = 0;
+  double avg_columns_per_table = 0.0;
+  double avg_rows_per_table = 0.0;
+};
+
+/// \brief A named collection of tables.
+struct Corpus {
+  std::string name;
+  std::vector<Table> tables;
+
+  CorpusStats Stats() const;
+};
+
+}  // namespace unidetect

@@ -1,0 +1,83 @@
+#include "corpus/corpus_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/logging.h"
+
+namespace unidetect {
+
+namespace fs = std::filesystem;
+
+namespace {
+std::string SanitizeFileName(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+        c == '_') {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty()) out = "table";
+  return out;
+}
+}  // namespace
+
+Status SaveCorpusToDirectory(const Corpus& corpus, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  for (size_t i = 0; i < corpus.tables.size(); ++i) {
+    const Table& table = corpus.tables[i];
+    // Zero-padded index keeps lexicographic load order == save order.
+    char index[16];
+    std::snprintf(index, sizeof(index), "%08zu", i);
+    const std::string path = dir + "/" + index + "_" +
+                             SanitizeFileName(table.name()) + ".csv";
+    UNIDETECT_RETURN_NOT_OK(WriteCsvFile(path, table.ToCsv()));
+  }
+  return Status::OK();
+}
+
+Result<Corpus> LoadCorpusFromDirectory(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound(dir + " is not a directory");
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status::IOError("cannot list " + dir + ": " + ec.message());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  Corpus corpus;
+  corpus.name = dir;
+  for (const std::string& path : paths) {
+    auto csv = ReadCsvFile(path);
+    if (!csv.ok()) {
+      UNIDETECT_LOG(Warning) << "skipping " << path << ": " << csv.status();
+      continue;
+    }
+    auto table = Table::FromCsv(*csv, fs::path(path).stem().string());
+    if (!table.ok()) {
+      UNIDETECT_LOG(Warning) << "skipping " << path << ": " << table.status();
+      continue;
+    }
+    corpus.tables.push_back(std::move(table).ValueOrDie());
+  }
+  return corpus;
+}
+
+}  // namespace unidetect

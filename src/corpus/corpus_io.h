@@ -1,0 +1,26 @@
+// Corpus persistence: save/load a corpus as a directory of CSV files.
+//
+// This is how a downstream user trains Uni-Detect on their *own* table
+// collection instead of the synthetic background corpus: drop CSVs in a
+// directory, LoadCorpusFromDirectory, Trainer::Train.
+
+#pragma once
+
+#include <string>
+
+#include "corpus/corpus.h"
+#include "util/result.h"
+
+namespace unidetect {
+
+/// \brief Writes every table as `<dir>/<index>_<table-name>.csv`.
+/// Creates the directory if needed; fails if any file cannot be written.
+Status SaveCorpusToDirectory(const Corpus& corpus, const std::string& dir);
+
+/// \brief Loads every `*.csv` file under `dir` (non-recursive) as one
+/// table each, in lexicographic filename order (deterministic). Files
+/// that fail to parse are skipped with a warning rather than failing the
+/// whole load — a corpus crawl always contains some junk.
+Result<Corpus> LoadCorpusFromDirectory(const std::string& dir);
+
+}  // namespace unidetect

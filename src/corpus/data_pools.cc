@@ -1,0 +1,307 @@
+#include "corpus/data_pools.h"
+
+#include "util/random.h"
+
+namespace unidetect {
+
+CityEntry RareTownName(Rng& rng) {
+  const CityEntry& base = rng.Pick(ExtendedCities());
+  std::string name = base.city;
+  // Mutate one lowercase character (never the capitalized initial).
+  if (name.size() < 4) return base;
+  const size_t pos = 1 + rng.NextBounded(name.size() - 1);
+  switch (rng.NextBounded(3)) {
+    case 0:  // double a letter
+      name.insert(pos, 1, name[pos > 1 ? pos - 1 : pos]);
+      break;
+    case 1:  // drop a letter
+      name.erase(pos, 1);
+      break;
+    default:  // vowel swap
+      name[pos] = name[pos] == 'e' ? 'a' : 'e';
+      break;
+  }
+  if (name == base.city) name += "e";
+  return {name, base.country};
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> kPool = {
+      "James",   "Mary",     "John",    "Patricia", "Robert",  "Jennifer",
+      "Michael", "Linda",    "William", "Elizabeth", "David",  "Barbara",
+      "Richard", "Susan",    "Joseph",  "Jessica",  "Thomas",  "Sarah",
+      "Charles", "Karen",    "Kevin",   "Nancy",    "Brian",   "Lisa",
+      "George",  "Margaret", "Edward",  "Betty",    "Ronald",  "Sandra",
+      "Timothy", "Ashley",   "Jason",   "Dorothy",  "Jeffrey", "Kimberly",
+      "Ryan",    "Emily",    "Jacob",   "Donna",    "Gary",    "Michelle",
+      "Nicholas", "Carol",   "Eric",    "Amanda",   "Jonathan", "Melissa",
+      "Stephen", "Deborah",  "Larry",   "Stephanie", "Justin", "Rebecca",
+      "Scott",   "Sharon",   "Brandon", "Laura",    "Benjamin", "Cynthia",
+      "Samuel",  "Kathleen", "Gregory", "Amy",      "Frank",   "Angela",
+      "Patrick", "Anna",     "Raymond", "Ruth",     "Jack",    "Brenda",
+      "Dennis",  "Pamela",   "Jerry",   "Nicole",   "Tyler",   "Katherine",
+      "Aaron",   "Virginia", "Jose",    "Catherine", "Adam",   "Christine",
+      "Nathan",  "Samantha", "Henry",   "Debra",    "Douglas", "Janet",
+      "Zachary", "Rachel",   "Peter",   "Carolyn",  "Kyle",    "Emma",
+      "Walter",  "Maria",    "Ethan",   "Heather",  "Jeremy",  "Diane",
+      "Harold",  "Julie",    "Keith",   "Joyce",    "Christian", "Victoria",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string> kPool = {
+      "Smith",    "Johnson",  "Williams", "Brown",    "Jones",   "Garcia",
+      "Miller",   "Davis",    "Rodriguez", "Martinez", "Hernandez", "Lopez",
+      "Gonzalez", "Wilson",   "Anderson", "Thomas",   "Taylor",  "Moore",
+      "Jackson",  "Martin",   "Lee",      "Perez",    "Thompson", "White",
+      "Harris",   "Sanchez",  "Clark",    "Ramirez",  "Lewis",   "Robinson",
+      "Walker",   "Young",    "Allen",    "King",     "Wright",  "Scott",
+      "Torres",   "Nguyen",   "Hill",     "Flores",   "Green",   "Adams",
+      "Nelson",   "Baker",    "Hall",     "Rivera",   "Campbell", "Mitchell",
+      "Carter",   "Roberts",  "Gomez",    "Phillips", "Evans",   "Turner",
+      "Diaz",     "Parker",   "Cruz",     "Edwards",  "Collins", "Reyes",
+      "Stewart",  "Morris",   "Morales",  "Murphy",   "Cook",    "Rogers",
+      "Gutierrez", "Ortiz",   "Morgan",   "Cooper",   "Peterson", "Bailey",
+      "Reed",     "Kelly",    "Howard",   "Ramos",    "Kim",     "Cox",
+      "Ward",     "Richardson", "Watson", "Brooks",   "Chavez",  "Wood",
+      "James",    "Bennett",  "Gray",     "Mendoza",  "Ruiz",    "Hughes",
+      "Price",    "Alvarez",  "Castillo", "Sanders",  "Patel",   "Myers",
+      "Long",     "Ross",     "Foster",   "Jimenez",  "Dowling", "Myerson",
+      "Morrow",   "Keane",    "Katavelos", "Rabello",  "Jakobek", "Nunziata",
+  };
+  return kPool;
+}
+
+const std::vector<CityEntry>& Cities() {
+  static const std::vector<CityEntry> kPool = {
+      {"London", "United Kingdom"},   {"Manchester", "United Kingdom"},
+      {"Birmingham", "United Kingdom"}, {"Paris", "France"},
+      {"Lyon", "France"},             {"Marseille", "France"},
+      {"Berlin", "Germany"},          {"Munich", "Germany"},
+      {"Hamburg", "Germany"},         {"Madrid", "Spain"},
+      {"Barcelona", "Spain"},         {"Valencia", "Spain"},
+      {"Rome", "Italy"},              {"Milan", "Italy"},
+      {"Naples", "Italy"},            {"Tokyo", "Japan"},
+      {"Osaka", "Japan"},             {"Kyoto", "Japan"},
+      {"Beijing", "China"},           {"Shanghai", "China"},
+      {"Shenzhen", "China"},          {"Delhi", "India"},
+      {"Mumbai", "India"},            {"Chennai", "India"},
+      {"Sydney", "Australia"},        {"Melbourne", "Australia"},
+      {"Brisbane", "Australia"},      {"Toronto", "Canada"},
+      {"Vancouver", "Canada"},        {"Montreal", "Canada"},
+      {"New York", "United States"},  {"Chicago", "United States"},
+      {"Houston", "United States"},   {"Phoenix", "United States"},
+      {"Seattle", "United States"},   {"Boston", "United States"},
+      {"Denver", "United States"},    {"Atlanta", "United States"},
+      {"Dublin", "Ireland"},          {"Cork", "Ireland"},
+      {"Galway", "Ireland"},          {"Lisbon", "Portugal"},
+      {"Porto", "Portugal"},          {"Amsterdam", "Netherlands"},
+      {"Rotterdam", "Netherlands"},   {"Brussels", "Belgium"},
+      {"Antwerp", "Belgium"},         {"Vienna", "Austria"},
+      {"Zurich", "Switzerland"},      {"Geneva", "Switzerland"},
+      {"Stockholm", "Sweden"},        {"Gothenburg", "Sweden"},
+      {"Oslo", "Norway"},             {"Copenhagen", "Denmark"},
+      {"Helsinki", "Finland"},        {"Warsaw", "Poland"},
+      {"Krakow", "Poland"},           {"Prague", "Czech Republic"},
+      {"Budapest", "Hungary"},        {"Athens", "Greece"},
+      {"Istanbul", "Turkey"},         {"Ankara", "Turkey"},
+      {"Cairo", "Egypt"},             {"Lagos", "Nigeria"},
+      {"Nairobi", "Kenya"},           {"Cape Town", "South Africa"},
+      {"Johannesburg", "South Africa"}, {"Sao Paulo", "Brazil"},
+      {"Rio de Janeiro", "Brazil"},   {"Buenos Aires", "Argentina"},
+      {"Santiago", "Chile"},          {"Lima", "Peru"},
+      {"Bogota", "Colombia"},         {"Mexico City", "Mexico"},
+      {"Guadalajara", "Mexico"},      {"Seoul", "South Korea"},
+      {"Busan", "South Korea"},       {"Bangkok", "Thailand"},
+      {"Singapore", "Singapore"},     {"Kuala Lumpur", "Malaysia"},
+      {"Jakarta", "Indonesia"},       {"Manila", "Philippines"},
+      {"Hanoi", "Vietnam"},           {"Auckland", "New Zealand"},
+      {"Wellington", "New Zealand"},  {"Moscow", "Russia"},
+      {"Saint Petersburg", "Russia"}, {"Kyiv", "Ukraine"},
+  };
+  return kPool;
+}
+
+const std::vector<CityEntry>& ExtendedCities() {
+  static const std::vector<CityEntry> kPool = [] {
+    std::vector<CityEntry> out = Cities();
+    static const char* kBases[] = {
+        "Ash",    "Maple",  "Oak",   "Elm",    "Cedar",  "Birch",  "Willow",
+        "Pine",   "Stone",  "River", "Lake",   "Hill",   "Glen",   "Fern",
+        "Clear",  "Spring", "Fair",  "Green",  "West",   "East",   "North",
+        "South",  "New",    "Old",   "High",   "Low",    "Mill",   "Bridge",
+        "Church", "King",   "Queen", "Castle", "Market", "Harbor", "Bay",
+        "Cliff",  "Sand",   "Snow",  "Rock",   "Wolf",   "Fox",    "Deer",
+        "Hawk",   "Crow",   "Swan",  "Thorn",  "Bram",   "Hazel",  "Holly",
+        "Ivy",    "Rose",   "Lily",  "Heather", "Moss",  "Reed",   "Vale",
+        "Wind",   "Storm",  "Sun",   "Moon",   "Star",   "Gold",   "Silver",
+        "Iron",   "Copper", "Amber", "Crystal", "Pearl", "Coral",  "Jade",
+        "Marsh",  "Fen",    "Moor",  "Heath",  "Dale",   "Wold",   "Combe",
+        "Strath", "Aber",   "Inver", "Dun",    "Bal",    "Kil",    "Tre",
+        "Lan",    "Pen",    "Pol",   "Car",    "Caer",   "Brad",   "Myr",
+        "Tor",    "Wick",   "Thorp", "Hamden",
+    };
+    static const char* kSuffixes[] = {
+        "ton",    "ville", "burg",  "field",  "ford",   "port",  "mouth",
+        "haven",  "wood",  "dale",  "brook",  "stead",  "worth", "ham",
+        "bury",   "ley",   "moor",  "gate",   "cliff",  "shore", "crest",
+        "ridge",
+    };
+    const auto& countries = Countries();
+    size_t country_index = 0;
+    for (const char* base : kBases) {
+      for (const char* suffix : kSuffixes) {
+        out.push_back(
+            {std::string(base) + suffix, countries[country_index]});
+        country_index = (country_index + 1) % countries.size();
+      }
+    }
+    return out;
+  }();
+  return kPool;
+}
+
+const std::vector<std::string>& Countries() {
+  static const std::vector<std::string> kPool = [] {
+    std::vector<std::string> out;
+    for (const auto& entry : Cities()) {
+      std::string country = entry.country;
+      bool seen = false;
+      for (const auto& existing : out) {
+        if (existing == country) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) out.push_back(std::move(country));
+    }
+    return out;
+  }();
+  return kPool;
+}
+
+const std::vector<ChemicalEntry>& Chemicals() {
+  static const std::vector<ChemicalEntry> kPool = {
+      {"Water", "H2O"},           {"Hydrogen peroxide", "H2O2"},
+      {"Sulfur dioxide", "SO2"},  {"Sulfur trioxide", "SO3"},
+      {"Carbon monoxide", "CO"},  {"Carbon dioxide", "CO2"},
+      {"Bromine", "Br2"},         {"Bromide", "Br-"},
+      {"Nitric oxide", "NO"},     {"Nitrogen dioxide", "NO2"},
+      {"Nitrous oxide", "N2O"},   {"Ammonia", "NH3"},
+      {"Methane", "CH4"},         {"Ethane", "C2H6"},
+      {"Propane", "C3H8"},        {"Butane", "C4H10"},
+      {"Ethanol", "C2H5OH"},      {"Methanol", "CH3OH"},
+      {"Glucose", "C6H12O6"},     {"Sodium chloride", "NaCl"},
+      {"Potassium chloride", "KCl"}, {"Calcium carbonate", "CaCO3"},
+      {"Sodium hydroxide", "NaOH"},  {"Potassium hydroxide", "KOH"},
+      {"Sulfuric acid", "H2SO4"}, {"Nitric acid", "HNO3"},
+      {"Hydrochloric acid", "HCl"}, {"Phosphoric acid", "H3PO4"},
+      {"Ozone", "O3"},            {"Oxygen", "O2"},
+      {"Nitrogen", "N2"},         {"Hydrogen", "H2"},
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& Sectors() {
+  static const std::vector<std::string> kPool = {
+      "Consumer Goods", "Banking",        "Energy - Oil & Gas",
+      "Cement",         "Information Technology", "Telecommunication",
+      "Healthcare",     "Utilities",      "Real Estate",
+      "Transportation", "Retail",         "Manufacturing",
+      "Agriculture",    "Media",          "Insurance",
+      "Pharmaceuticals", "Automotive",    "Aerospace",
+      "Construction",   "Hospitality",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& Departments() {
+  static const std::vector<std::string> kPool = {
+      "Engineering", "Marketing",  "Sales",      "Finance",
+      "Operations",  "Legal",      "Research",   "Support",
+      "Procurement", "Logistics",  "Security",   "Facilities",
+      "Design",      "Analytics",  "Compliance", "Training",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& CompanyNames() {
+  static const std::vector<std::string> kPool = {
+      "Acme Corp",      "Globex",        "Initech",       "Umbrella Group",
+      "Stark Industries", "Wayne Enterprises", "Wonka Industries",
+      "Tyrell Corp",    "Cyberdyne Systems", "Soylent Corp",
+      "Hooli",          "Pied Piper",    "Aviato",        "Vandelay Industries",
+      "Dunder Mifflin", "Sterling Cooper", "Bluth Company", "Gekko & Co",
+      "Oceanic Airlines", "Virtucon",    "Massive Dynamic", "Veridian Dynamics",
+      "Prestige Worldwide", "Gringotts", "Monsters Inc",  "Duff Brewing",
+      "Nakatomi Trading", "Weyland-Yutani", "Oscorp",     "LexCorp",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& TitleWords() {
+  static const std::vector<std::string> kPool = {
+      "Shadow",   "River",   "Winter",  "Summer",  "Crown",   "Silent",
+      "Broken",   "Hidden",  "Golden",  "Silver",  "Ancient", "Forgotten",
+      "Last",     "First",   "Dark",    "Bright",  "Empire",  "Kingdom",
+      "Journey",  "Return",  "Legacy",  "Promise", "Secret",  "Storm",
+      "Garden",   "Harbor",  "Mountain", "Valley", "Ocean",   "Desert",
+      "Memory",   "Dream",   "Whisper", "Echo",    "Flame",   "Frost",
+      "Throne",   "Sword",   "Tower",   "Bridge",  "Mirror",  "Lantern",
+      "Voyage",   "Horizon", "Twilight", "Dawn",   "Midnight", "Eclipse",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& Occupations() {
+  static const std::vector<std::string> kPool = {
+      "Teacher",   "Engineer",  "Nurse",     "Carpenter", "Electrician",
+      "Architect", "Librarian", "Chef",      "Pilot",     "Farmer",
+      "Journalist", "Pharmacist", "Plumber", "Surveyor",  "Translator",
+      "Designer",  "Accountant", "Geologist", "Biologist", "Historian",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& CountyNames() {
+  static const std::vector<std::string> kPool = {
+      "Jackson County",  "Jefferson County", "Franklin County",
+      "Lincoln County",  "Madison County",   "Washington County",
+      "Monroe County",   "Clay County",      "Marion County",
+      "Union County",    "Wayne County",     "Montgomery County",
+      "Greene County",   "Warren County",    "Clark County",
+      "Adams County",    "Lynn County",      "Throckmorton County",
+      "McMullen County", "Swisher County",   "Smith County",
+      "Jasper County",   "Douglas County",   "Carroll County",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& StationCallSigns() {
+  static const std::vector<std::string> kPool = {
+      "WALA-TV", "KMOH-TV", "KTVK",   "KASW",   "KOLD-TV", "KARK-TV",
+      "WJLA-TV", "KOMO-TV", "WGN-TV", "KTLA",   "WPIX",    "KRON-TV",
+      "WSB-TV",  "WFAA",    "KHOU",   "WMAQ-TV", "KNBC",   "WCVB-TV",
+      "KIRO-TV", "WTVF",    "KUSA",   "WDIV-TV", "KPRC-TV", "WPLG",
+  };
+  return kPool;
+}
+
+std::string RomanNumeral(size_t n) {
+  static const struct {
+    size_t value;
+    const char* glyph;
+  } kTable[] = {{50, "L"}, {40, "XL"}, {10, "X"}, {9, "IX"},
+                {5, "V"},  {4, "IV"},  {1, "I"}};
+  std::string out;
+  for (const auto& entry : kTable) {
+    while (n >= entry.value) {
+      out += entry.glyph;
+      n -= entry.value;
+    }
+  }
+  return out;
+}
+
+}  // namespace unidetect

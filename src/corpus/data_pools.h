@@ -1,0 +1,59 @@
+// Static value pools backing the synthetic corpus generator: person
+// names, cities with their countries, chemical species, sectors, and the
+// other vocabularies the paper's motivating examples draw from
+// (Figures 2, 4, 6).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace unidetect {
+
+/// \brief A city and the country it belongs to (drives City -> Country
+/// FDs like Figure 2(d)).
+struct CityEntry {
+  std::string city;
+  std::string country;
+};
+
+/// \brief Chemical species and formula (inherently-close value family of
+/// Figure 2(g)).
+struct ChemicalEntry {
+  const char* species;
+  const char* formula;
+};
+
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<CityEntry>& Cities();
+
+/// \brief Cities() plus ~2000 deterministic synthetic town names
+/// ("Ashford", "Maplebrook Springs", ...), each with a country. The big
+/// pool makes chance duplicates in city columns *rare but regular* —
+/// the birthday-paradox regime real "Hometown" columns live in, which
+/// Uni-Detect's corpus statistics must learn are not uniqueness errors.
+const std::vector<CityEntry>& ExtendedCities();
+
+/// \brief A genuine-but-obscure town name derived by mutating one
+/// character of an ExtendedCities() entry ("Oakvile", "Ashfordd").
+/// Such names are valid yet nearly absent from the corpus and sit at
+/// edit distance 1 from a popular name — the "Tulia"/"Trulia" trap that
+/// makes dictionary spellers mis-correct real places (Figure 3).
+CityEntry RareTownName(class Rng& rng);
+const std::vector<std::string>& Countries();
+const std::vector<ChemicalEntry>& Chemicals();
+const std::vector<std::string>& Sectors();
+const std::vector<std::string>& Departments();
+const std::vector<std::string>& CompanyNames();
+const std::vector<std::string>& TitleWords();
+const std::vector<std::string>& Occupations();
+const std::vector<std::string>& CountyNames();
+const std::vector<std::string>& StationCallSigns();
+
+/// \brief Roman numeral for 1 <= n <= 60 ("XX", "XXI", ...), the
+/// short-token near-duplicate family of Figure 2(h).
+std::string RomanNumeral(size_t n);
+
+}  // namespace unidetect

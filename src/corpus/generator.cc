@@ -1,0 +1,752 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "corpus/data_pools.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace unidetect {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Column value builders. Each returns `rows` cells; uniqueness-by-
+// construction families track what they have emitted.
+
+// 97% popular pool, 3% obscure real towns (Speller bait; see
+// RareTownName). The obscure names keep their source's country so
+// City -> Country FDs stay intact.
+CityEntry PickCity(Rng& rng) {
+  if (rng.Bernoulli(0.02)) return RareTownName(rng);
+  return rng.Pick(ExtendedCities());
+}
+
+std::string MakeFullName(Rng& rng) {
+  return rng.Pick(FirstNames()) + " " + rng.Pick(LastNames());
+}
+
+std::string MakeRosterName(Rng& rng) {
+  // "Keane, Mr. Andrew" style of Figure 2(a).
+  static const std::vector<std::string> kHonorifics = {"Mr.", "Mrs.", "Ms.",
+                                                       "Dr."};
+  return rng.Pick(LastNames()) + ", " + rng.Pick(kHonorifics) + " " +
+         rng.Pick(FirstNames());
+}
+
+std::vector<std::string> MakeNames(size_t rows, Rng& rng, bool roster_style) {
+  std::vector<std::string> out;
+  out.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    out.push_back(roster_style ? MakeRosterName(rng) : MakeFullName(rng));
+  }
+  return out;
+}
+
+std::vector<std::string> MakeUniqueAlnumIds(size_t rows, Rng& rng,
+                                            const std::string& style) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(rows);
+  while (out.size() < rows) {
+    std::string id;
+    if (style == "part") {
+      // "KV214-310B8K2"-like part numbers (Figure 6).
+      id = ToUpper(rng.AlphaString(2)) + rng.DigitString(3) + "-" +
+           rng.DigitString(3) + ToUpper(rng.AlphaString(1)) +
+           rng.DigitString(1) + ToUpper(rng.AlphaString(1)) +
+           rng.DigitString(1);
+    } else if (style == "case") {
+      // "DN35828"-like case numbers.
+      id = ToUpper(rng.AlphaString(1 + rng.NextBounded(2))) +
+           rng.DigitString(5 + rng.NextBounded(2));
+    } else if (style == "stock") {
+      // "S042091"-like stock codes.
+      id = "S" + rng.DigitString(6);
+    } else if (style == "icao") {
+      id = ToUpper(rng.AlphaString(4));
+    } else {  // "sample"
+      id = "SMP-" + rng.DigitString(5);
+    }
+    if (seen.insert(id).second) out.push_back(std::move(id));
+  }
+  return out;
+}
+
+std::vector<std::string> MakeDates(size_t rows, Rng& rng) {
+  std::vector<std::string> out;
+  out.reserve(rows);
+  const int base_year = static_cast<int>(1995 + rng.NextBounded(25));
+  for (size_t i = 0; i < rows; ++i) {
+    const int year = base_year + static_cast<int>(rng.NextBounded(3));
+    const int month = static_cast<int>(1 + rng.NextBounded(12));
+    const int day = static_cast<int>(1 + rng.NextBounded(28));
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+    out.emplace_back(buf);
+  }
+  return out;
+}
+
+std::string FormatWithCommas(uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  const size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) {
+      out.push_back(',');
+    }
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> MakeBookTitles(size_t rows, Rng& rng) {
+  std::vector<std::string> out;
+  out.reserve(rows);
+  static const std::vector<std::string> kOrdinals = {
+      "One", "Two", "Three", "Four", "Five", "Six"};
+  const bool is_series = rng.Bernoulli(0.3);
+  const std::string series_name =
+      rng.Pick(TitleWords()) + rng.Pick(TitleWords());
+  for (size_t i = 0; i < rows; ++i) {
+    if (is_series && rng.Bernoulli(0.5)) {
+      out.push_back(series_name + " Book " + rng.Pick(kOrdinals));
+    } else {
+      std::string title = "The " + rng.Pick(TitleWords());
+      if (rng.Bernoulli(0.7)) title += " " + rng.Pick(TitleWords());
+      out.push_back(std::move(title));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Archetype builders.
+
+void AddColumn(AnnotatedTable* t, std::string name,
+               std::vector<std::string> cells, ColumnMeta meta) {
+  Status st = t->table.AddColumn(Column(std::move(name), std::move(cells)));
+  UNIDETECT_CHECK(st.ok());
+  t->meta.push_back(meta);
+}
+
+AnnotatedTable MakePeopleRoster(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("people_roster");
+  AddColumn(&t, "Name", MakeNames(rows, rng, /*roster_style=*/true),
+            {.role = ColumnRole::kPersonName, .natural_language = true});
+  std::vector<std::string> ages;
+  for (size_t i = 0; i < rows; ++i) {
+    ages.push_back(std::to_string(rng.UniformInt(17, 75)));
+  }
+  AddColumn(&t, "Age", std::move(ages),
+            {.role = ColumnRole::kAge, .numeric = true});
+  std::vector<std::string> hometowns;
+  for (size_t i = 0; i < rows; ++i) {
+    hometowns.push_back(PickCity(rng).city);
+  }
+  AddColumn(&t, "Hometown", std::move(hometowns),
+            {.role = ColumnRole::kCity, .natural_language = true});
+  return t;
+}
+
+AnnotatedTable MakeElection(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("election");
+  AddColumn(&t, "Candidate", MakeNames(rows, rng, false),
+            {.role = ColumnRole::kPersonName, .natural_language = true});
+  // Heavy-tailed vote shares: one or two front-runners, a long tail of
+  // sub-1% candidates (the Figure 2(e) false-positive trap).
+  std::vector<double> raw;
+  for (size_t i = 0; i < rows; ++i) raw.push_back(rng.Pareto(0.1, 0.9));
+  std::sort(raw.rbegin(), raw.rend());
+  double total = 0.0;
+  for (double v : raw) total += v;
+  std::vector<std::string> pct;
+  for (double v : raw) pct.push_back(FormatDouble(100.0 * v / total, 2));
+  AddColumn(&t, "% of total votes", std::move(pct),
+            {.role = ColumnRole::kVotePct, .numeric = true});
+  // Raw vote counts: the same heavy tail in absolute numbers — the
+  // front-runner's count is legitimately orders of magnitude above the
+  // long tail of minor candidates.
+  const double turnout = rng.Uniform(5e4, 2e6);
+  std::vector<std::string> votes;
+  for (double v : raw) {
+    votes.push_back(
+        std::to_string(static_cast<uint64_t>(turnout * v / total)));
+  }
+  AddColumn(&t, "Votes", std::move(votes),
+            {.role = ColumnRole::kViewCount, .numeric = false});
+  return t;
+}
+
+AnnotatedTable MakeBooks(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("books");
+  AddColumn(&t, "Published", MakeDates(rows, rng),
+            {.role = ColumnRole::kDate});
+  AddColumn(&t, "Title", MakeBookTitles(rows, rng),
+            {.role = ColumnRole::kBookTitle, .natural_language = true});
+  return t;
+}
+
+AnnotatedTable MakeCityStats(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("city_stats");
+  std::vector<std::string> cities;
+  std::vector<std::string> countries;
+  std::vector<std::string> populations;
+  for (size_t i = 0; i < rows; ++i) {
+    const CityEntry entry = PickCity(rng);
+    cities.push_back(entry.city);
+    countries.push_back(entry.country);
+    populations.push_back(
+        FormatWithCommas(static_cast<uint64_t>(rng.LogNormal(11.5, 1.2))));
+  }
+  AddColumn(&t, "City", std::move(cities),
+            {.role = ColumnRole::kCity, .natural_language = true});
+  AddColumn(&t, "Country", std::move(countries),
+            {.role = ColumnRole::kCountry,
+             .natural_language = true,
+             .fd_partner = 0});
+  AddColumn(&t, "Population", std::move(populations),
+            {.role = ColumnRole::kPopulationFormatted, .numeric = true});
+  return t;
+}
+
+AnnotatedTable MakeChemicals(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("chemicals");
+  const auto& pool = Chemicals();
+  std::vector<size_t> order(pool.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const size_t n = std::min(rows, pool.size());
+  std::vector<std::string> species;
+  std::vector<std::string> formulas;
+  for (size_t i = 0; i < n; ++i) {
+    species.push_back(pool[order[i]].species);
+    formulas.push_back(pool[order[i]].formula);
+  }
+  AddColumn(&t, "Species", std::move(species),
+            {.role = ColumnRole::kChemSpecies});
+  AddColumn(&t, "Formula", std::move(formulas),
+            {.role = ColumnRole::kChemFormula, .fd_partner = 0});
+  return t;
+}
+
+AnnotatedTable MakeSportsSeries(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("sports_series");
+  static const std::vector<std::string> kEvents = {
+      "Super Bowl", "WrestleMania", "Grand Prix", "Final", "Championship"};
+  const std::string event = rng.Pick(kEvents);
+  const size_t start = 1 + rng.NextBounded(20);
+  const int base_year = static_cast<int>(1960 + rng.NextBounded(40));
+  std::vector<std::string> names;
+  std::vector<std::string> years;
+  for (size_t i = 0; i < rows; ++i) {
+    names.push_back(event + " " + RomanNumeral(start + i));
+    years.push_back(std::to_string(base_year + static_cast<int>(i)));
+  }
+  AddColumn(&t, "Event", std::move(names), {.role = ColumnRole::kRomanSeries});
+  AddColumn(&t, "Season", std::move(years),
+            {.role = ColumnRole::kYear, .numeric = true, .fd_partner = 0});
+  return t;
+}
+
+AnnotatedTable MakeFlights(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("flights");
+  AddColumn(&t, "ICAO", MakeUniqueAlnumIds(rows, rng, "icao"),
+            {.role = ColumnRole::kIcaoCode, .intended_unique = true});
+  std::vector<std::string> airports;
+  std::vector<std::string> cities;
+  for (size_t i = 0; i < rows; ++i) {
+    const CityEntry entry = PickCity(rng);
+    airports.push_back(std::string(entry.city) + " International Airport");
+    cities.push_back(entry.city);
+  }
+  AddColumn(&t, "Airport", std::move(airports),
+            {.role = ColumnRole::kAirportName, .natural_language = true});
+  AddColumn(&t, "City", std::move(cities),
+            {.role = ColumnRole::kCity, .natural_language = true});
+  return t;
+}
+
+AnnotatedTable MakePartsInventory(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("parts_inventory");
+  AddColumn(&t, "Part No.", MakeUniqueAlnumIds(rows, rng, "part"),
+            {.role = ColumnRole::kPartNumber, .intended_unique = true});
+  AddColumn(&t, "Code", MakeUniqueAlnumIds(rows, rng, "stock"),
+            {.role = ColumnRole::kStockCode, .intended_unique = true});
+  std::vector<std::string> prices;
+  std::vector<std::string> quantities;
+  for (size_t i = 0; i < rows; ++i) {
+    prices.push_back(FormatDouble(rng.LogNormal(3.5, 0.8), 2));
+    quantities.push_back(std::to_string(rng.UniformInt(1, 500)));
+  }
+  AddColumn(&t, "Price", std::move(prices),
+            {.role = ColumnRole::kPrice, .numeric = true});
+  AddColumn(&t, "Quantity", std::move(quantities),
+            {.role = ColumnRole::kQuantity, .numeric = true});
+  // Lifetime units shipped: order volumes are heavy-tailed (a few parts
+  // account for nearly all shipments), so the top value legitimately
+  // dwarfs the median.
+  std::vector<std::string> shipped;
+  for (size_t i = 0; i < rows; ++i) {
+    shipped.push_back(
+        std::to_string(static_cast<uint64_t>(rng.Pareto(40.0, 0.5))));
+  }
+  AddColumn(&t, "Units shipped", std::move(shipped),
+            {.role = ColumnRole::kViewCount, .numeric = false});
+  return t;
+}
+
+AnnotatedTable MakeCaseRecords(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("case_records");
+  AddColumn(&t, "Case Number", MakeUniqueAlnumIds(rows, rng, "case"),
+            {.role = ColumnRole::kCaseNumber, .intended_unique = true});
+  std::vector<std::string> parties;
+  for (size_t i = 0; i < rows; ++i) {
+    parties.push_back(ToUpper(rng.Pick(LastNames())) + ", " +
+                      ToUpper(rng.Pick(FirstNames())));
+  }
+  AddColumn(&t, "Party Name", std::move(parties),
+            {.role = ColumnRole::kPartyName, .natural_language = true});
+  AddColumn(&t, "Filed", MakeDates(rows, rng), {.role = ColumnRole::kDate});
+  return t;
+}
+
+AnnotatedTable MakeEmployees(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("employees");
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> aliases;
+  std::vector<std::string> names;
+  while (aliases.size() < rows) {
+    const std::string& first = rng.Pick(FirstNames());
+    const std::string& last = rng.Pick(LastNames());
+    std::string alias = first + last.substr(0, 1);
+    if (!seen.insert(alias).second) {
+      alias = first + last.substr(0, 2);
+      if (!seen.insert(alias).second) continue;
+    }
+    aliases.push_back(alias);
+    names.push_back(first + " " + last);
+  }
+  AddColumn(&t, "Alias", std::move(aliases),
+            {.role = ColumnRole::kEmployeeAlias, .intended_unique = true});
+  AddColumn(&t, "Full Name", std::move(names),
+            {.role = ColumnRole::kFullName, .natural_language = true});
+  std::vector<std::string> departments;
+  for (size_t i = 0; i < rows; ++i) {
+    departments.push_back(rng.Pick(Departments()));
+  }
+  AddColumn(&t, "Department", std::move(departments),
+            {.role = ColumnRole::kDepartment, .natural_language = true});
+  return t;
+}
+
+AnnotatedTable MakeCompanies(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("companies");
+  std::vector<std::string> companies;
+  std::vector<std::string> sectors;
+  std::vector<std::string> revenues;
+  for (size_t i = 0; i < rows; ++i) {
+    companies.push_back(rng.Pick(CompanyNames()));
+    sectors.push_back(rng.Pick(Sectors()));
+    revenues.push_back(
+        FormatWithCommas(static_cast<uint64_t>(rng.LogNormal(13.0, 1.5))));
+  }
+  AddColumn(&t, "Company", std::move(companies),
+            {.role = ColumnRole::kCompany, .natural_language = true});
+  AddColumn(&t, "Sector", std::move(sectors),
+            {.role = ColumnRole::kSector, .natural_language = true});
+  AddColumn(&t, "Revenue", std::move(revenues),
+            {.role = ColumnRole::kRevenueFormatted, .numeric = true});
+  // Market cap in thousands: heavy-tailed across companies, so the
+  // largest value is routinely orders of magnitude above the median —
+  // a legitimate extreme, not an error.
+  std::vector<std::string> caps;
+  for (size_t i = 0; i < rows; ++i) {
+    caps.push_back(std::to_string(
+        static_cast<uint64_t>(rng.Pareto(900.0, 0.5))));
+  }
+  AddColumn(&t, "Market cap (k)", std::move(caps),
+            {.role = ColumnRole::kViewCount, .numeric = false});
+  return t;
+}
+
+AnnotatedTable MakeCountyStats(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("county_stats");
+  std::vector<std::string> counties;
+  std::vector<std::string> populations;
+  std::vector<std::string> areas;
+  for (size_t i = 0; i < rows; ++i) {
+    const std::string& county = rng.Pick(CountyNames());
+    counties.push_back(county);
+    populations.push_back(
+        FormatWithCommas(static_cast<uint64_t>(rng.LogNormal(10.0, 1.0))));
+    areas.push_back(county.substr(0, county.find(' ')) +
+                    " Micropolitan Statistical Area");
+  }
+  AddColumn(&t, "County", std::move(counties),
+            {.role = ColumnRole::kCounty, .natural_language = true});
+  AddColumn(&t, "2013 Pop", std::move(populations),
+            {.role = ColumnRole::kPopulationFormatted, .numeric = true});
+  AddColumn(&t, "Core Based Statistical Area", std::move(areas),
+            {.role = ColumnRole::kStatArea,
+             .natural_language = true,
+             .fd_partner = 0,
+             .synthesizable = true});
+  return t;
+}
+
+AnnotatedTable MakePlanets(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("planets");
+  std::vector<std::string> names;
+  std::vector<std::string> axes;
+  static const std::vector<std::string> kPrefixes = {
+      "Gliese", "COROT", "Kepler", "HD", "2MASS J", "BD+", "WASP", "TrES"};
+  for (size_t i = 0; i < rows; ++i) {
+    names.push_back(rng.Pick(kPrefixes) + " " + rng.DigitString(3) + " " +
+                    rng.AlphaString(1));
+    // Mostly tiny axis values with a genuine heavy tail (Figure 2(f)):
+    // large values here are real data, not errors, and they come in
+    // clumps (wide-orbit planets cluster in discovery batches), so
+    // removing one still leaves others.
+    const double axis =
+        rng.Bernoulli(0.2) ? rng.Uniform(5.0, 60.0) : rng.Uniform(0.01, 0.9);
+    axes.push_back(FormatDouble(axis, 4));
+  }
+  AddColumn(&t, "Name", std::move(names),
+            {.role = ColumnRole::kPlanetName, .intended_unique = true});
+  AddColumn(&t, "axis", std::move(axes),
+            {.role = ColumnRole::kAxis, .numeric = true});
+  return t;
+}
+
+AnnotatedTable MakeRoutes(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("routes");
+  static const std::vector<std::string> kRegions = {
+      "Malaysia Federal", "State", "National", "Provincial", "County"};
+  const std::string region = rng.Pick(kRegions);
+  const size_t start = 100 + rng.NextBounded(800);
+  std::vector<std::string> shields;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < rows; ++i) {
+    const size_t number = start + i;
+    shields.push_back(std::to_string(number));
+    names.push_back(region + " Route " + std::to_string(number));
+  }
+  AddColumn(&t, "Highway shield", std::move(shields),
+            {.role = ColumnRole::kRouteNumber, .intended_unique = true});
+  AddColumn(&t, "Name", std::move(names),
+            {.role = ColumnRole::kRouteName,
+             .fd_partner = 0,
+             .synthesizable = true});
+  return t;
+}
+
+AnnotatedTable MakeContestants(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("contestants");
+  static const std::vector<std::string> kTitlePrefixes = {
+      "Mr", "Miss", "Mister", "Ms"};
+  const std::string prefix = rng.Pick(kTitlePrefixes);
+  std::vector<std::string> countries;
+  std::vector<std::string> contestants;
+  std::vector<std::string> titles;
+  std::vector<size_t> order(Countries().size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const size_t n = std::min(rows, order.size());
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& country = Countries()[order[i]];
+    countries.push_back(country);
+    contestants.push_back(MakeFullName(rng));
+    titles.push_back(prefix + " " + country);
+  }
+  AddColumn(&t, "Country", std::move(countries),
+            {.role = ColumnRole::kCountry,
+             .intended_unique = true,
+             .natural_language = true});
+  AddColumn(&t, "Contestant", std::move(contestants),
+            {.role = ColumnRole::kContestant, .natural_language = true});
+  AddColumn(&t, "National Title", std::move(titles),
+            {.role = ColumnRole::kNationalTitle,
+             .fd_partner = 0,
+             .synthesizable = true});
+  return t;
+}
+
+AnnotatedTable MakeStations(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("stations");
+  std::vector<std::string> signs;
+  std::vector<std::string> cities;
+  std::vector<std::string> channels;
+  for (size_t i = 0; i < rows; ++i) {
+    signs.push_back(rng.Pick(StationCallSigns()));
+    cities.push_back(PickCity(rng).city);
+    channels.push_back(std::to_string(rng.UniformInt(2, 68)));
+  }
+  AddColumn(&t, "Station", std::move(signs),
+            {.role = ColumnRole::kCallSign});
+  AddColumn(&t, "City of license", std::move(cities),
+            {.role = ColumnRole::kCity, .natural_language = true});
+  AddColumn(&t, "Channel", std::move(channels),
+            {.role = ColumnRole::kChannelNumber, .numeric = true});
+  // Weekly viewers: an honest power law. A handful of stations reach
+  // audiences thousands of times larger than the median — legitimate
+  // values that MAD/SD/DBOD-style detectors flag as outliers (the
+  // Figure 2(e)/(f) trap, at full strength).
+  std::vector<std::string> viewers;
+  for (size_t i = 0; i < rows; ++i) {
+    viewers.push_back(std::to_string(
+        static_cast<uint64_t>(rng.Pareto(120.0, 0.45))));
+  }
+  AddColumn(&t, "Weekly viewers", std::move(viewers),
+            {.role = ColumnRole::kViewCount, .numeric = false});
+  return t;
+}
+
+AnnotatedTable MakeMeasurements(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("measurements");
+  AddColumn(&t, "Sample", MakeUniqueAlnumIds(rows, rng, "sample"),
+            {.role = ColumnRole::kSampleId, .intended_unique = true});
+  const double mean = rng.Uniform(50.0, 5000.0);
+  const double sd = mean * rng.Uniform(0.02, 0.15);
+  std::vector<std::string> readings;
+  std::vector<std::string> temps;
+  for (size_t i = 0; i < rows; ++i) {
+    readings.push_back(FormatDouble(rng.Normal(mean, sd), 2));
+    temps.push_back(FormatDouble(rng.Normal(21.0, 1.5), 1));
+  }
+  AddColumn(&t, "Reading", std::move(readings),
+            {.role = ColumnRole::kMeasurement, .numeric = true});
+  AddColumn(&t, "Temp", std::move(temps),
+            {.role = ColumnRole::kMeasurement, .numeric = true});
+  return t;
+}
+
+AnnotatedTable MakeBookCatalog(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("book_catalog");
+  // ISBN-13 with a real check digit: unique, structured identifiers.
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> isbns;
+  while (isbns.size() < rows) {
+    std::string digits = "978" + rng.DigitString(9);
+    int sum = 0;
+    for (size_t i = 0; i < 12; ++i) {
+      sum += (digits[i] - '0') * (i % 2 == 0 ? 1 : 3);
+    }
+    digits.push_back(static_cast<char>('0' + (10 - sum % 10) % 10));
+    std::string isbn = digits.substr(0, 3) + "-" + digits.substr(3, 1) +
+                       "-" + digits.substr(4, 5) + "-" + digits.substr(9, 3) +
+                       "-" + digits.substr(12, 1);
+    if (seen.insert(isbn).second) isbns.push_back(std::move(isbn));
+  }
+  AddColumn(&t, "ISBN", std::move(isbns),
+            {.role = ColumnRole::kIsbn, .intended_unique = true});
+  AddColumn(&t, "Title", MakeBookTitles(rows, rng),
+            {.role = ColumnRole::kBookTitle, .natural_language = true});
+  std::vector<std::string> years;
+  for (size_t i = 0; i < rows; ++i) {
+    years.push_back(std::to_string(rng.UniformInt(1985, 2020)));
+  }
+  AddColumn(&t, "Year", std::move(years),
+            {.role = ColumnRole::kYear, .numeric = true});
+  return t;
+}
+
+AnnotatedTable MakeStandings(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("standings");
+  static const std::vector<std::string> kMascots = {
+      "Lions",  "Tigers", "Bears",   "Eagles",  "Hawks",  "Wolves",
+      "Sharks", "Bulls",  "Falcons", "Panthers", "Rams",  "Cobras",
+      "Ravens", "Knights", "Titans", "Comets",  "Storm",  "Rockets",
+      "Pirates", "Giants", "Royals", "Rangers", "Chiefs", "Saints"};
+  const size_t games = 20 + rng.NextBounded(30);
+  std::vector<std::string> teams;
+  std::vector<std::string> wins;
+  std::vector<std::string> losses;
+  std::vector<std::string> points;
+  std::unordered_set<std::string> seen;
+  while (teams.size() < rows) {
+    std::string team = std::string(rng.Pick(ExtendedCities()).city) + " " +
+                       rng.Pick(kMascots);
+    if (!seen.insert(team).second) continue;
+    const auto w = static_cast<size_t>(rng.NextBounded(games + 1));
+    teams.push_back(std::move(team));
+    wins.push_back(std::to_string(w));
+    losses.push_back(std::to_string(games - w));
+    points.push_back(std::to_string(3 * w));
+  }
+  AddColumn(&t, "Team", std::move(teams),
+            {.role = ColumnRole::kTeamName,
+             .intended_unique = true,
+             .natural_language = true});
+  AddColumn(&t, "W", std::move(wins),
+            {.role = ColumnRole::kWinCount, .numeric = true});
+  AddColumn(&t, "L", std::move(losses),
+            {.role = ColumnRole::kWinCount, .numeric = true});
+  // Points = 3 * W: a numeric dependency that holds as an exact FD and
+  // is learnable by the kScaleInt synthesis transform.
+  AddColumn(&t, "Pts", std::move(points),
+            {.role = ColumnRole::kPoints,
+             .numeric = true,
+             .fd_partner = 1,
+             .synthesizable = true});
+  return t;
+}
+
+AnnotatedTable MakeWeatherLog(size_t rows, Rng& rng) {
+  AnnotatedTable t;
+  t.table.set_name("weather_log");
+  std::vector<std::string> stations;
+  std::vector<std::string> temps;
+  std::vector<std::string> humidity;
+  const double base = rng.Uniform(-5.0, 25.0);
+  for (size_t i = 0; i < rows; ++i) {
+    stations.push_back(rng.Pick(ExtendedCities()).city);
+    temps.push_back(FormatDouble(rng.Normal(base, 4.0), 1));
+    humidity.push_back(std::to_string(rng.UniformInt(20, 100)));
+  }
+  AddColumn(&t, "Station", std::move(stations),
+            {.role = ColumnRole::kCity, .natural_language = true});
+  AddColumn(&t, "Date", MakeDates(rows, rng), {.role = ColumnRole::kDate});
+  AddColumn(&t, "Temp (C)", std::move(temps),
+            {.role = ColumnRole::kTemperature, .numeric = true});
+  AddColumn(&t, "Humidity", std::move(humidity),
+            {.role = ColumnRole::kTemperature, .numeric = true});
+  return t;
+}
+
+}  // namespace
+
+AnnotatedTable GenerateTable(Archetype archetype, size_t rows, Rng& rng) {
+  switch (archetype) {
+    case Archetype::kPeopleRoster:
+      return MakePeopleRoster(rows, rng);
+    case Archetype::kElection:
+      return MakeElection(rows, rng);
+    case Archetype::kBooks:
+      return MakeBooks(rows, rng);
+    case Archetype::kCityStats:
+      return MakeCityStats(rows, rng);
+    case Archetype::kChemicals:
+      return MakeChemicals(rows, rng);
+    case Archetype::kSportsSeries:
+      return MakeSportsSeries(rows, rng);
+    case Archetype::kFlights:
+      return MakeFlights(rows, rng);
+    case Archetype::kPartsInventory:
+      return MakePartsInventory(rows, rng);
+    case Archetype::kCaseRecords:
+      return MakeCaseRecords(rows, rng);
+    case Archetype::kEmployees:
+      return MakeEmployees(rows, rng);
+    case Archetype::kCompanies:
+      return MakeCompanies(rows, rng);
+    case Archetype::kCountyStats:
+      return MakeCountyStats(rows, rng);
+    case Archetype::kPlanets:
+      return MakePlanets(rows, rng);
+    case Archetype::kRoutes:
+      return MakeRoutes(rows, rng);
+    case Archetype::kContestants:
+      return MakeContestants(rows, rng);
+    case Archetype::kStations:
+      return MakeStations(rows, rng);
+    case Archetype::kMeasurements:
+      return MakeMeasurements(rows, rng);
+    case Archetype::kBookCatalog:
+      return MakeBookCatalog(rows, rng);
+    case Archetype::kStandings:
+      return MakeStandings(rows, rng);
+    case Archetype::kWeatherLog:
+      return MakeWeatherLog(rows, rng);
+  }
+  return MakePeopleRoster(rows, rng);
+}
+
+AnnotatedCorpus GenerateCorpus(const CorpusSpec& spec) {
+  Rng rng(spec.seed);
+  AnnotatedCorpus out;
+  out.corpus.name = spec.name;
+  out.corpus.tables.reserve(spec.num_tables);
+  out.column_meta.reserve(spec.num_tables);
+
+  std::vector<double> weights = spec.archetype_weights;
+  if (weights.empty()) weights.assign(kNumArchetypes, 1.0);
+  UNIDETECT_CHECK(weights.size() == kNumArchetypes);
+
+  const size_t span = spec.rows.max_rows - spec.rows.min_rows + 1;
+  for (size_t i = 0; i < spec.num_tables; ++i) {
+    const auto archetype = static_cast<Archetype>(rng.PickWeighted(weights));
+    size_t rows = spec.rows.min_rows;
+    if (span > 1) {
+      rows += spec.rows.skew > 0 ? rng.Zipf(span, spec.rows.skew)
+                                 : rng.NextBounded(span);
+    }
+    AnnotatedTable t = GenerateTable(archetype, rows, rng);
+    t.table.set_name(t.table.name() + "_" + std::to_string(i));
+    out.corpus.tables.push_back(std::move(t.table));
+    out.column_meta.push_back(std::move(t.meta));
+  }
+  return out;
+}
+
+CorpusSpec WebCorpusSpec(size_t num_tables, uint64_t seed) {
+  CorpusSpec spec;
+  spec.name = "WEB";
+  spec.num_tables = num_tables;
+  spec.seed = seed;
+  // Mostly small web tables, with a long tail of large ones so every
+  // row-count bucket the featurization uses (Section 3.1) has training
+  // evidence — the paper's 135M-table crawl covers tall tables too.
+  spec.rows = {10, 700, 1.2};
+  return spec;
+}
+
+CorpusSpec WikiCorpusSpec(size_t num_tables, uint64_t seed) {
+  CorpusSpec spec;
+  spec.name = "WIKI";
+  spec.num_tables = num_tables;
+  spec.seed = seed;
+  spec.rows = {10, 90, 1.3};
+  // Wikipedia leans toward encyclopedic archetypes: rosters, elections,
+  // series, planets, routes, contestants; fewer enterprise sheets.
+  spec.archetype_weights = {2.0, 1.5, 1.5, 1.5, 1.0, 1.5, 1.0, 0.3, 0.3,
+                            0.2, 0.7, 1.0, 1.2, 1.2, 1.2, 1.0, 0.3, 1.0,
+                            1.5, 0.5};
+  return spec;
+}
+
+CorpusSpec EnterpriseCorpusSpec(size_t num_tables, uint64_t seed) {
+  CorpusSpec spec;
+  spec.name = "Enterprise";
+  spec.num_tables = num_tables;
+  spec.seed = seed;
+  // Much taller tables, ID/measurement heavy (exported from databases).
+  spec.rows = {150, 900, 0.5};
+  spec.archetype_weights = {0.3, 0.1, 0.2, 0.5, 0.1, 0.1, 0.5, 2.5, 2.0,
+                            2.0, 1.5, 0.5, 0.1, 0.3, 0.1, 0.3, 2.5, 0.5,
+                            0.2, 1.5};
+  return spec;
+}
+
+}  // namespace unidetect

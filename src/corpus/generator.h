@@ -1,0 +1,166 @@
+// Synthetic table generation: the stand-in for the paper's 135M-table web
+// corpus (see DESIGN.md, "Substitutions").
+//
+// Tables are produced from ~17 archetypes whose column families mirror
+// the paper's motivating examples: passenger rosters with chance-duplicate
+// names (Fig 2a), election vote shares with heavy tails (Fig 2e), chemical
+// formulas and roman-numeral series with inherently tiny edit distances
+// (Fig 2g/h), ICAO codes and part numbers that are genuinely unique
+// (Fig 4a, Fig 6), City -> Country FDs (Fig 2d), and programmatic
+// Route-number -> Route-name relationships (Fig 13).
+//
+// Every generated column carries metadata (its role, whether it is
+// semantically unique, natural language, numeric, and its FD partner)
+// used by the error injector to place ground-truth errors and never
+// consumed by any detector.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "table/table.h"
+#include "util/random.h"
+
+namespace unidetect {
+
+/// \brief Semantic role of a generated column.
+enum class ColumnRole : int {
+  kPersonName,
+  kAge,
+  kCity,
+  kCountry,
+  kVotePct,
+  kBookTitle,
+  kDate,
+  kPopulationFormatted,
+  kChemSpecies,
+  kChemFormula,
+  kRomanSeries,
+  kYear,
+  kIcaoCode,
+  kAirportName,
+  kPartNumber,
+  kStockCode,
+  kPrice,
+  kQuantity,
+  kCaseNumber,
+  kPartyName,
+  kEmployeeAlias,
+  kFullName,
+  kDepartment,
+  kCompany,
+  kSector,
+  kRevenueFormatted,
+  kCounty,
+  kStatArea,
+  kPlanetName,
+  kAxis,
+  kRouteNumber,
+  kRouteName,
+  kContestant,
+  kNationalTitle,
+  kCallSign,
+  kChannelNumber,
+  kViewCount,
+  kIsbn,
+  kTeamName,
+  kWinCount,
+  kPoints,
+  kTemperature,
+  kSampleId,
+  kMeasurement,
+  kOccupation,
+};
+
+/// \brief Generator-side ground-truth metadata for one column.
+struct ColumnMeta {
+  ColumnRole role = ColumnRole::kPersonName;
+  /// Semantically required to be unique (ID-like); a duplicate here is a
+  /// genuine uniqueness violation.
+  bool intended_unique = false;
+  /// Natural-language-ish values where a character typo is a genuine
+  /// spelling error (names, titles, cities; NOT formulas or numerals).
+  bool natural_language = false;
+  /// Numeric values eligible for outlier injection.
+  bool numeric = false;
+  /// Index of the column this one functionally depends on (-1 = none):
+  /// this column is the rhs of an FD (partner -> this).
+  int fd_partner = -1;
+  /// True when the FD is realized by an explicit string program
+  /// (FD-synthesis target; Appendix D).
+  bool synthesizable = false;
+};
+
+/// \brief A generated table plus its metadata.
+struct AnnotatedTable {
+  Table table;
+  std::vector<ColumnMeta> meta;
+};
+
+/// \brief Table archetypes (see file comment).
+enum class Archetype : int {
+  kPeopleRoster = 0,
+  kElection,
+  kBooks,
+  kCityStats,
+  kChemicals,
+  kSportsSeries,
+  kFlights,
+  kPartsInventory,
+  kCaseRecords,
+  kEmployees,
+  kCompanies,
+  kCountyStats,
+  kPlanets,
+  kRoutes,
+  kContestants,
+  kStations,
+  kMeasurements,
+  kBookCatalog,   ///< ISBNs (unique, check-digit structure) + titles
+  kStandings,     ///< league table: team, W, L, points
+  kWeatherLog,    ///< station, date, temperature readings
+};
+constexpr int kNumArchetypes = 20;
+
+/// \brief Deterministic generator for one table of a given archetype.
+AnnotatedTable GenerateTable(Archetype archetype, size_t rows, Rng& rng);
+
+/// \brief Row-count distribution of a corpus preset.
+struct RowProfile {
+  size_t min_rows = 10;
+  size_t max_rows = 60;
+  /// Zipf exponent shaping toward small tables (0 = uniform).
+  double skew = 1.1;
+};
+
+/// \brief A corpus preset: archetype mix plus row profile.
+struct CorpusSpec {
+  std::string name = "corpus";
+  size_t num_tables = 1000;
+  uint64_t seed = 42;
+  RowProfile rows;
+  /// Per-archetype sampling weights (size kNumArchetypes); empty = uniform.
+  std::vector<double> archetype_weights;
+};
+
+/// \brief A generated corpus with per-table/column metadata aligned 1:1
+/// with corpus.tables.
+struct AnnotatedCorpus {
+  Corpus corpus;
+  std::vector<std::vector<ColumnMeta>> column_meta;
+};
+
+/// \brief Generates a corpus from a spec (deterministic in spec.seed).
+AnnotatedCorpus GenerateCorpus(const CorpusSpec& spec);
+
+/// \brief Presets mirroring Table 2's three corpora. `num_tables` scales
+/// the corpus; relative row/column shapes follow the paper (WEB/WIKI
+/// small web tables, Enterprise fewer but much taller tables).
+CorpusSpec WebCorpusSpec(size_t num_tables, uint64_t seed = 1);
+CorpusSpec WikiCorpusSpec(size_t num_tables, uint64_t seed = 2);
+CorpusSpec EnterpriseCorpusSpec(size_t num_tables, uint64_t seed = 3);
+
+}  // namespace unidetect

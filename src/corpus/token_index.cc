@@ -1,0 +1,98 @@
+#include "corpus/token_index.h"
+
+#include <charconv>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace unidetect {
+
+void TokenIndex::AddTable(const Table& table) {
+  std::unordered_set<std::string> distinct;
+  for (const auto& column : table.columns()) {
+    for (const auto& cell : column.cells()) {
+      for (auto& token : TokenizeCell(cell)) {
+        distinct.insert(ToLower(token));
+      }
+    }
+  }
+  for (auto& token : distinct) counts_[token]++;
+  ++num_tables_;
+}
+
+uint64_t TokenIndex::TableCount(std::string_view token) const {
+  auto it = counts_.find(ToLower(token));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double TokenIndex::AveragePrevalence(const Column& column) const {
+  double sum = 0.0;
+  size_t cells = 0;
+  for (const auto& cell : column.cells()) {
+    auto tokens = TokenizeCell(cell);
+    if (tokens.empty()) continue;
+    double cell_sum = 0.0;
+    for (const auto& token : tokens) {
+      cell_sum += static_cast<double>(TableCount(token));
+    }
+    sum += cell_sum / static_cast<double>(tokens.size());
+    ++cells;
+  }
+  return cells > 0 ? sum / static_cast<double>(cells) : 0.0;
+}
+
+void TokenIndex::Merge(const TokenIndex& other) {
+  for (const auto& [token, count] : other.counts_) counts_[token] += count;
+  num_tables_ += other.num_tables_;
+}
+
+std::string TokenIndex::Serialize() const {
+  std::string out = "TokenIndex v1 " + std::to_string(num_tables_) + " " +
+                    std::to_string(counts_.size()) + "\n";
+  for (const auto& [token, count] : counts_) {
+    out += std::to_string(count);
+    out += '\t';
+    out += token;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<TokenIndex> TokenIndex::Deserialize(std::string_view text) {
+  TokenIndex out;
+  size_t pos = text.find('\n');
+  if (pos == std::string_view::npos) {
+    return Status::Corruption("TokenIndex: missing header");
+  }
+  std::string_view header = text.substr(0, pos);
+  if (!StartsWith(header, "TokenIndex v1 ")) {
+    return Status::Corruption("TokenIndex: bad header");
+  }
+  {
+    auto fields = Split(header, ' ');
+    if (fields.size() != 4) return Status::Corruption("TokenIndex: bad header");
+    out.num_tables_ = std::strtoull(fields[2].c_str(), nullptr, 10);
+  }
+  size_t start = pos + 1;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      return Status::Corruption("TokenIndex: malformed line");
+    }
+    uint64_t count = 0;
+    auto [ptr, ec] =
+        std::from_chars(line.data(), line.data() + tab, count);
+    if (ec != std::errc() || ptr != line.data() + tab) {
+      return Status::Corruption("TokenIndex: bad count");
+    }
+    out.counts_.emplace(std::string(line.substr(tab + 1)), count);
+  }
+  return out;
+}
+
+}  // namespace unidetect

@@ -1,0 +1,62 @@
+// Token prevalence index over the background corpus T.
+//
+// Section 3.3 featurizes columns by "the average prevalence of tokens",
+// i.e. in how many corpus tables a token occurs. The index is built in a
+// first pass over T and then consulted both during offline learning and
+// online detection (a trained model ships with its index).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "table/column.h"
+#include "table/table.h"
+#include "util/result.h"
+
+namespace unidetect {
+
+/// \brief Maps token -> number of corpus tables containing it.
+class TokenIndex {
+ public:
+  TokenIndex() = default;
+
+  /// \brief Adds one table: every distinct token in it counts once.
+  /// Tokens are case-folded.
+  void AddTable(const Table& table);
+
+  /// \brief Number of tables ingested.
+  uint64_t num_tables() const { return num_tables_; }
+
+  /// \brief Number of distinct tokens seen.
+  size_t num_tokens() const { return counts_.size(); }
+
+  /// \brief Tables containing the (case-folded) token; 0 if unseen.
+  uint64_t TableCount(std::string_view token) const;
+
+  /// \brief Prev(C) of Section 3.3: the mean, over non-empty cells and
+  /// their tokens, of the token's table count.
+  double AveragePrevalence(const Column& column) const;
+
+  /// \brief Merges another index into this one (sharded builds).
+  void Merge(const TokenIndex& other);
+
+  /// \brief Visits every (token, table-count) entry.
+  template <typename Fn>
+  void ForEachToken(Fn&& fn) const {
+    for (const auto& [token, count] : counts_) fn(token, count);
+  }
+
+  /// \brief Serialization for model persistence (text format: one
+  /// "count<TAB>token" line per token after a header).
+  std::string Serialize() const;
+  static Result<TokenIndex> Deserialize(std::string_view text);
+
+ private:
+  std::unordered_map<std::string, uint64_t> counts_;
+  uint64_t num_tables_ = 0;
+};
+
+}  // namespace unidetect

@@ -1,0 +1,27 @@
+// Detector: the interface all error-class detectors implement.
+
+#pragma once
+
+#include <vector>
+
+#include "detect/finding.h"
+#include "table/table.h"
+
+namespace unidetect {
+
+/// \brief Detects one class of errors in a table.
+///
+/// Implementations append zero or more findings, each carrying an LR
+/// score; callers filter by significance and rank.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// \brief The error class this detector predicts.
+  virtual ErrorClass error_class() const = 0;
+
+  /// \brief Appends findings for `table` to `out`.
+  virtual void Detect(const Table& table, std::vector<Finding>* out) const = 0;
+};
+
+}  // namespace unidetect

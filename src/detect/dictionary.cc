@@ -1,0 +1,49 @@
+#include "detect/dictionary.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace unidetect {
+
+namespace {
+bool IsAlphabetic(std::string_view token) {
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+}  // namespace
+
+Dictionary Dictionary::FromTokenIndex(const TokenIndex& index,
+                                      uint64_t min_table_count) {
+  Dictionary dict;
+  index.ForEachToken([&](std::string_view token, uint64_t count) {
+    if (count >= min_table_count && token.size() >= 3 &&
+        IsAlphabetic(token)) {
+      dict.words_.insert(std::string(token));
+    }
+  });
+  return dict;
+}
+
+void Dictionary::AddWord(std::string_view word) {
+  words_.insert(ToLower(word));
+}
+
+bool Dictionary::Contains(std::string_view word) const {
+  return words_.count(ToLower(word)) > 0;
+}
+
+bool Dictionary::AllWordsKnown(std::string_view cell) const {
+  bool any = false;
+  for (const auto& token : TokenizeCell(cell)) {
+    if (!IsAlphabetic(token) || token.size() < 3) continue;
+    any = true;
+    if (!Contains(token)) return false;
+  }
+  return any;
+}
+
+}  // namespace unidetect

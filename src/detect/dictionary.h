@@ -1,0 +1,48 @@
+// Dictionary: the "+Dict" refinement of Section 4.3. A spelling finding
+// whose closest-pair values are both made of known-valid words
+// ("Macroeconomics" vs "Microeconomics") is refuted and suppressed.
+//
+// The paper uses Wiktionary; we build the dictionary from the background
+// corpus itself — tokens occurring in at least `min_table_count` corpus
+// tables are considered real words (typos are rare enough in a mostly
+// clean corpus not to clear the bar).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "corpus/token_index.h"
+
+namespace unidetect {
+
+/// \brief A set of known-valid (case-folded) words.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// \brief Builds from a token prevalence index: every token appearing
+  /// in >= min_table_count tables (and purely alphabetic, length >= 3)
+  /// becomes a dictionary word.
+  static Dictionary FromTokenIndex(const TokenIndex& index,
+                                   uint64_t min_table_count = 20);
+
+  /// \brief Adds one word explicitly (tests, custom word lists).
+  void AddWord(std::string_view word);
+
+  size_t size() const { return words_.size(); }
+
+  /// \brief True if the case-folded token is a known word.
+  bool Contains(std::string_view word) const;
+
+  /// \brief True when every alphabetic token of the cell (length >= 3)
+  /// is a dictionary word — the refutation condition for +Dict.
+  bool AllWordsKnown(std::string_view cell) const;
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+}  // namespace unidetect

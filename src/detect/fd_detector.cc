@@ -1,0 +1,49 @@
+#include "detect/fd_detector.h"
+
+#include <sstream>
+
+#include "learn/candidates.h"
+
+namespace unidetect {
+
+void FdDetector::Detect(const Table& table, std::vector<Finding>* out) const {
+  const ModelOptions& options = model_->options();
+  size_t pairs = 0;
+  for (size_t l = 0; l < table.num_columns(); ++l) {
+    for (size_t r = 0; r < table.num_columns(); ++r) {
+      if (l == r) continue;
+      if (pairs >= max_pairs_per_table_) return;
+      ++pairs;
+      const FdCandidate cand = ExtractFdCandidate(
+          table.column(l), table.column(r), model_->token_index(), options);
+      if (!cand.valid || cand.dropped_rows.empty()) continue;
+      // Same reasoning as the uniqueness detector: an FD candidate is
+      // only credible when dropping the suspected rows makes the
+      // dependency hold exactly (FR(D_O^P) = 1, as in Figure 4(c)).
+      if (cand.theta2 < 1.0) continue;
+      const double lr = model_->LikelihoodRatio(ErrorClass::kFd, cand.key,
+                                                cand.theta1, cand.theta2);
+      if (lr >= 1.0) continue;
+
+      Finding finding;
+      finding.error_class = ErrorClass::kFd;
+      finding.table_name = table.name();
+      finding.column = l;
+      finding.column2 = r;
+      finding.rows = cand.dropped_rows;
+      finding.value = table.column(l).cell(cand.dropped_rows.front()) +
+                      " -> " +
+                      table.column(r).cell(cand.dropped_rows.front());
+      finding.score = lr;
+      std::ostringstream os;
+      os << "FR(" << table.column(l).name() << " -> "
+         << table.column(r).name() << ") " << cand.theta1 << " -> "
+         << cand.theta2 << " after dropping " << cand.dropped_rows.size()
+         << " violating row(s), LR=" << lr;
+      finding.explanation = os.str();
+      out->push_back(std::move(finding));
+    }
+  }
+}
+
+}  // namespace unidetect

@@ -1,0 +1,29 @@
+// FD-violation detection via perturbation LR over FR (Section 3.4).
+
+#pragma once
+
+#include <cstddef>
+
+#include "detect/detector.h"
+#include "learn/model.h"
+
+namespace unidetect {
+
+/// \brief Flags rows that break an FD (lhs -> rhs) which almost holds,
+/// when the corpus evidence says such near-FDs are normally exact.
+class FdDetector : public Detector {
+ public:
+  /// `model` must outlive the detector.
+  explicit FdDetector(const Model* model, size_t max_pairs_per_table = 30)
+      : model_(model), max_pairs_per_table_(max_pairs_per_table) {}
+
+  ErrorClass error_class() const override { return ErrorClass::kFd; }
+
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+
+ private:
+  const Model* model_;
+  size_t max_pairs_per_table_;
+};
+
+}  // namespace unidetect

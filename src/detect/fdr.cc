@@ -1,0 +1,18 @@
+#include "detect/fdr.h"
+
+namespace unidetect {
+
+std::vector<Finding> ControlFdr(const std::vector<Finding>& ranked, double q,
+                                size_t m) {
+  if (m == 0) m = ranked.size();
+  size_t keep = 0;
+  for (size_t k = 1; k <= ranked.size(); ++k) {
+    const double threshold =
+        q * static_cast<double>(k) / static_cast<double>(m);
+    if (ranked[k - 1].score <= threshold) keep = k;
+  }
+  return std::vector<Finding>(ranked.begin(),
+                              ranked.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+}  // namespace unidetect

@@ -1,0 +1,27 @@
+// False-discovery-rate control over ranked findings.
+//
+// Section 2.2.3 raises FDR control [85] as an open challenge when many
+// hypotheses are tested against the same corpus T. Treating each
+// finding's likelihood ratio as its significance value, the
+// Benjamini-Hochberg procedure picks the largest k such that
+// LR_(k) <= (k / m) * q and keeps the k most significant findings,
+// bounding the expected fraction of false discoveries by q.
+
+#pragma once
+
+#include <vector>
+
+#include "detect/finding.h"
+
+namespace unidetect {
+
+/// \brief Applies Benjamini-Hochberg at level q to findings sorted
+/// most-significant (smallest score) first; returns the kept prefix.
+///
+/// `m` is the number of hypotheses tested; pass 0 to use
+/// findings.size() (appropriate when every candidate produced a
+/// finding). Findings must already be sorted ascending by score.
+std::vector<Finding> ControlFdr(const std::vector<Finding>& ranked, double q,
+                                size_t m = 0);
+
+}  // namespace unidetect

@@ -1,0 +1,19 @@
+#include "detect/finding.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace unidetect {
+
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              const size_t row_a = a.rows.empty() ? 0 : a.rows.front();
+              const size_t row_b = b.rows.empty() ? 0 : b.rows.front();
+              return std::tie(a.score, a.table_index, a.column, a.column2,
+                              row_a) < std::tie(b.score, b.table_index,
+                                                b.column, b.column2, row_b);
+            });
+}
+
+}  // namespace unidetect

@@ -1,0 +1,44 @@
+// Finding: one predicted error, with the LR score that makes predictions
+// comparable across error classes (Section 2.2.3: "a union of all errors
+// as a ranked list").
+
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "featurize/features.h"
+
+namespace unidetect {
+
+/// \brief One predicted error.
+struct Finding {
+  ErrorClass error_class = ErrorClass::kOutlier;
+  /// Name of the table the finding is in.
+  std::string table_name;
+  /// Index of the table within a corpus-level run (0 for single tables).
+  size_t table_index = 0;
+  /// Column the finding concerns (lhs column for FD findings).
+  size_t column = 0;
+  /// rhs column for FD findings; kNoColumn otherwise.
+  size_t column2 = kNoColumn;
+  /// Suspected rows (outlier: 1 row; spelling: the closest pair;
+  /// uniqueness: duplicate rows; FD: violating rows).
+  std::vector<size_t> rows;
+  /// Human-readable offending value(s).
+  std::string value;
+  /// Likelihood ratio; smaller = more surprising = more confident.
+  double score = 1.0;
+  /// One-line reasoning ("max-MAD 8.1 -> 3.5, LR=0.0003").
+  std::string explanation;
+
+  static constexpr size_t kNoColumn = std::numeric_limits<size_t>::max();
+};
+
+/// \brief Sorts findings most-confident first (ascending LR; ties broken
+/// deterministically by table/column/row so runs are reproducible).
+void SortFindings(std::vector<Finding>* findings);
+
+}  // namespace unidetect

@@ -1,0 +1,39 @@
+#include "detect/finding_json.h"
+
+#include <sstream>
+
+#include "util/json.h"
+
+namespace unidetect {
+
+std::string FindingToJson(const Finding& finding) {
+  std::ostringstream os;
+  os << "{\"class\":" << JsonString(ErrorClassToString(finding.error_class))
+     << ",\"table\":" << finding.table_index
+     << ",\"table_name\":" << JsonString(finding.table_name)
+     << ",\"column\":" << finding.column;
+  if (finding.column2 != Finding::kNoColumn) {
+    os << ",\"column2\":" << finding.column2;
+  }
+  os << ",\"rows\":[";
+  for (size_t i = 0; i < finding.rows.size(); ++i) {
+    if (i > 0) os << ',';
+    os << finding.rows[i];
+  }
+  os << "],\"value\":" << JsonString(finding.value)
+     << ",\"score\":" << finding.score
+     << ",\"explanation\":" << JsonString(finding.explanation) << "}";
+  return os.str();
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    if (i > 0) out += ",\n ";
+    out += FindingToJson(findings[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace unidetect

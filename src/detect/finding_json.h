@@ -1,0 +1,21 @@
+// JSON export of findings, for piping unidetect_cli output into other
+// tools (spreadsheet plugins, dashboards, issue trackers).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detect/finding.h"
+
+namespace unidetect {
+
+/// \brief One finding as a JSON object, e.g.
+/// {"class":"outlier","table":3,"column":1,"rows":[7],"value":"8.716",
+///  "score":0.0003,"explanation":"..."}.
+std::string FindingToJson(const Finding& finding);
+
+/// \brief A ranked list as a JSON array (newline between elements).
+std::string FindingsToJson(const std::vector<Finding>& findings);
+
+}  // namespace unidetect

@@ -1,0 +1,40 @@
+#include "detect/outlier_detector.h"
+
+#include <sstream>
+
+#include "learn/candidates.h"
+
+namespace unidetect {
+
+void OutlierDetector::Detect(const Table& table,
+                             std::vector<Finding>* out) const {
+  const ModelOptions& options = model_->options();
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const OutlierCandidate cand =
+        ExtractOutlierCandidate(table.column(c), options);
+    if (!cand.valid) continue;
+    // A value within ~3 MADs is not even a candidate outlier under the
+    // classical robust-statistics convention [48]; without this floor the
+    // LR test can fire on rare-but-benign transitions (e.g. 1.9 -> 1.2)
+    // whose endpoints are both unremarkable.
+    if (cand.theta1 < 3.0) continue;
+    const double lr = model_->LikelihoodRatio(ErrorClass::kOutlier, cand.key,
+                                              cand.theta1, cand.theta2);
+    if (lr >= 1.0) continue;
+
+    Finding finding;
+    finding.error_class = ErrorClass::kOutlier;
+    finding.table_name = table.name();
+    finding.column = c;
+    finding.rows = {cand.row};
+    finding.value = cand.cell;
+    finding.score = lr;
+    std::ostringstream os;
+    os << "max-MAD " << cand.theta1 << " -> " << cand.theta2
+       << " after removing '" << cand.cell << "', LR=" << lr;
+    finding.explanation = os.str();
+    out->push_back(std::move(finding));
+  }
+}
+
+}  // namespace unidetect

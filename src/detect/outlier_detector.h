@@ -1,0 +1,25 @@
+// Numeric-outlier detection via perturbation LR (Section 3.1).
+
+#pragma once
+
+#include "detect/detector.h"
+#include "learn/model.h"
+
+namespace unidetect {
+
+/// \brief Flags the most outlying numeric value of a column when removing
+/// it makes the column's max-MAD drop surprisingly (small LR).
+class OutlierDetector : public Detector {
+ public:
+  /// `model` must outlive the detector.
+  explicit OutlierDetector(const Model* model) : model_(model) {}
+
+  ErrorClass error_class() const override { return ErrorClass::kOutlier; }
+
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+
+ private:
+  const Model* model_;
+};
+
+}  // namespace unidetect

@@ -1,0 +1,43 @@
+#include "detect/spelling_detector.h"
+
+#include <sstream>
+
+#include "learn/candidates.h"
+
+namespace unidetect {
+
+void SpellingDetector::Detect(const Table& table,
+                              std::vector<Finding>* out) const {
+  const ModelOptions& options = model_->options();
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const SpellingCandidate cand =
+        ExtractSpellingCandidate(table.column(c), options);
+    if (!cand.valid) continue;
+    const double lr = model_->LikelihoodRatio(ErrorClass::kSpelling, cand.key,
+                                              cand.theta1, cand.theta2);
+    if (lr >= 1.0) continue;
+    if (dictionary_ != nullptr &&
+        dictionary_->AllWordsKnown(cand.profile.value_a) &&
+        dictionary_->AllWordsKnown(cand.profile.value_b)) {
+      // Both values are real words ("Macroeconomics"/"Microeconomics"):
+      // the dictionary refutes the misspelling hypothesis.
+      continue;
+    }
+
+    Finding finding;
+    finding.error_class = ErrorClass::kSpelling;
+    finding.table_name = table.name();
+    finding.column = c;
+    finding.rows = {cand.profile.row_a, cand.profile.row_b};
+    finding.value = cand.profile.value_a + " | " + cand.profile.value_b;
+    finding.score = lr;
+    std::ostringstream os;
+    os << "MPD " << cand.theta1 << " -> " << cand.theta2 << " for pair ('"
+       << cand.profile.value_a << "', '" << cand.profile.value_b
+       << "'), LR=" << lr;
+    finding.explanation = os.str();
+    out->push_back(std::move(finding));
+  }
+}
+
+}  // namespace unidetect

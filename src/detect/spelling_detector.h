@@ -1,0 +1,32 @@
+// Spelling-mistake detection via perturbation LR over MPD (Section 3.2),
+// with the optional "+Dict" dictionary refutation of Section 4.3.
+
+#pragma once
+
+#include "detect/detector.h"
+#include "detect/dictionary.h"
+#include "learn/model.h"
+
+namespace unidetect {
+
+/// \brief Flags the closest value pair of a column when removing one
+/// endpoint raises the column's MPD surprisingly.
+class SpellingDetector : public Detector {
+ public:
+  /// `model` (and `dictionary`, if given) must outlive the detector.
+  /// With a dictionary, findings whose pair values are both entirely
+  /// made of known words are suppressed (the UNIDETECT+Dict variant).
+  explicit SpellingDetector(const Model* model,
+                            const Dictionary* dictionary = nullptr)
+      : model_(model), dictionary_(dictionary) {}
+
+  ErrorClass error_class() const override { return ErrorClass::kSpelling; }
+
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+
+ private:
+  const Model* model_;
+  const Dictionary* dictionary_;
+};
+
+}  // namespace unidetect

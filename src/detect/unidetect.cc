@@ -1,0 +1,86 @@
+#include "detect/unidetect.h"
+
+#include "autodetect/pmi_detector.h"
+#include "detect/fd_detector.h"
+#include "detect/fdr.h"
+#include "detect/outlier_detector.h"
+#include "detect/spelling_detector.h"
+#include "detect/uniqueness_detector.h"
+#include "util/thread_pool.h"
+
+namespace unidetect {
+
+UniDetect::UniDetect(const Model* model, UniDetectOptions options)
+    : model_(model), options_(options) {
+  if (options_.use_dictionary) {
+    dictionary_ = std::make_unique<Dictionary>(Dictionary::FromTokenIndex(
+        model_->token_index(), options_.dictionary_min_table_count));
+  }
+  if (options_.detect_outliers) {
+    detectors_.push_back(std::make_unique<OutlierDetector>(model_));
+  }
+  if (options_.detect_spelling) {
+    detectors_.push_back(
+        std::make_unique<SpellingDetector>(model_, dictionary_.get()));
+  }
+  if (options_.detect_uniqueness) {
+    detectors_.push_back(std::make_unique<UniquenessDetector>(model_));
+  }
+  if (options_.detect_fd) {
+    detectors_.push_back(std::make_unique<FdDetector>(
+        model_, options_.max_fd_pairs_per_table));
+  }
+  if (options_.detect_patterns) {
+    detectors_.push_back(std::make_unique<PmiDetector>(
+        &model_->pattern_index(), options_.pattern_pmi_threshold));
+  }
+}
+
+std::vector<Finding> UniDetect::DetectTable(const Table& table) const {
+  std::vector<Finding> findings;
+  for (const auto& detector : detectors_) {
+    detector->Detect(table, &findings);
+  }
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (auto& finding : findings) {
+    if (finding.score < options_.alpha) kept.push_back(std::move(finding));
+  }
+  SortFindings(&kept);
+  return kept;
+}
+
+std::vector<Finding> UniDetect::DetectCorpus(const Corpus& corpus,
+                                             size_t num_threads) const {
+  std::vector<std::vector<Finding>> per_table(corpus.tables.size());
+  if (num_threads == 1) {
+    for (size_t i = 0; i < corpus.tables.size(); ++i) {
+      per_table[i] = DetectTable(corpus.tables[i]);
+    }
+  } else {
+    // Detection is read-only over the model, so tables shard freely; the
+    // per-table collection keeps the merged order independent of the
+    // thread count.
+    ThreadPool pool(num_threads);
+    ParallelFor(pool, corpus.tables.size(),
+                [&](size_t, size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) {
+                    per_table[i] = DetectTable(corpus.tables[i]);
+                  }
+                });
+  }
+  std::vector<Finding> all;
+  for (size_t i = 0; i < per_table.size(); ++i) {
+    for (auto& finding : per_table[i]) {
+      finding.table_index = i;
+      all.push_back(std::move(finding));
+    }
+  }
+  SortFindings(&all);
+  if (options_.fdr_q > 0.0) {
+    all = ControlFdr(all, options_.fdr_q);
+  }
+  return all;
+}
+
+}  // namespace unidetect

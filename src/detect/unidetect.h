@@ -1,0 +1,73 @@
+// UniDetect: the unified facade (Definition 4). Runs the enabled
+// per-class detectors over a table or corpus and returns one ranked list
+// of findings, comparable across classes through their LR scores.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "detect/detector.h"
+#include "detect/dictionary.h"
+#include "learn/model.h"
+
+namespace unidetect {
+
+/// \brief Facade configuration.
+struct UniDetectOptions {
+  /// Significance level alpha: findings with LR >= alpha are dropped.
+  /// 1.0 keeps every finding with any surprise (useful for Precision@K
+  /// sweeps where the consumer truncates the ranked list itself).
+  double alpha = 0.05;
+  bool detect_outliers = true;
+  bool detect_spelling = true;
+  bool detect_uniqueness = true;
+  bool detect_fd = true;
+  /// Pattern-incompatibility detection (the Auto-Detect mechanism of
+  /// Section 3.5) over the model's pattern index. Off by default: the
+  /// paper treats it as an orthogonal error class.
+  bool detect_patterns = false;
+  /// PMI threshold for pattern findings (more negative = stricter).
+  double pattern_pmi_threshold = -2.0;
+  /// When true, builds a dictionary from the model's token index and runs
+  /// the UNIDETECT+Dict spelling variant (Section 4.3).
+  bool use_dictionary = false;
+  /// Tokens must appear in at least this many corpus tables to enter the
+  /// dictionary (only used when use_dictionary is true).
+  uint64_t dictionary_min_table_count = 20;
+  /// FD pair enumeration cap per table.
+  size_t max_fd_pairs_per_table = 30;
+  /// When > 0, DetectCorpus additionally applies Benjamini-Hochberg FDR
+  /// control at this level over the final ranked list (the multiple-
+  /// testing safeguard Section 2.2.3 calls out); 0 disables.
+  double fdr_q = 0.0;
+};
+
+/// \brief The unified error detector.
+class UniDetect {
+ public:
+  /// `model` must outlive the UniDetect instance.
+  UniDetect(const Model* model, UniDetectOptions options = {});
+
+  /// \brief All findings in one table, ranked most-confident first.
+  std::vector<Finding> DetectTable(const Table& table) const;
+
+  /// \brief All findings across a corpus, ranked most-confident first;
+  /// each finding's table_index identifies its table. With num_threads
+  /// != 1, tables are scanned in parallel (0 = hardware concurrency);
+  /// the ranked output is identical regardless of thread count.
+  std::vector<Finding> DetectCorpus(const Corpus& corpus,
+                                    size_t num_threads = 1) const;
+
+  const UniDetectOptions& options() const { return options_; }
+  const Dictionary* dictionary() const { return dictionary_.get(); }
+
+ private:
+  const Model* model_;
+  UniDetectOptions options_;
+  std::unique_ptr<Dictionary> dictionary_;
+  std::vector<std::unique_ptr<Detector>> detectors_;
+};
+
+}  // namespace unidetect

@@ -1,0 +1,43 @@
+#include "detect/uniqueness_detector.h"
+
+#include <sstream>
+
+#include "learn/candidates.h"
+
+namespace unidetect {
+
+void UniquenessDetector::Detect(const Table& table,
+                                std::vector<Finding>* out) const {
+  const ModelOptions& options = model_->options();
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    const UniquenessCandidate cand = ExtractUniquenessCandidate(
+        column, c, model_->token_index(), options);
+    if (!cand.valid || cand.dropped_rows.empty()) continue;
+    // A uniqueness violation is only meaningful when removing the
+    // suspected duplicates restores an exact uniqueness constraint
+    // (every paper example has UR(D_O^P) = 1). A column that stays
+    // non-unique after the epsilon-perturbation has no constraint to
+    // violate — it is simply a non-key column.
+    if (cand.theta2 < 1.0) continue;
+    const double lr = model_->LikelihoodRatio(
+        ErrorClass::kUniqueness, cand.key, cand.theta1, cand.theta2);
+    if (lr >= 1.0) continue;
+
+    Finding finding;
+    finding.error_class = ErrorClass::kUniqueness;
+    finding.table_name = table.name();
+    finding.column = c;
+    finding.rows = cand.dropped_rows;
+    finding.value = column.cell(cand.dropped_rows.front());
+    finding.score = lr;
+    std::ostringstream os;
+    os << "UR " << cand.theta1 << " -> " << cand.theta2 << " after dropping "
+       << cand.dropped_rows.size() << " duplicate(s) like '" << finding.value
+       << "', LR=" << lr;
+    finding.explanation = os.str();
+    out->push_back(std::move(finding));
+  }
+}
+
+}  // namespace unidetect

@@ -1,0 +1,26 @@
+// Uniqueness-violation detection via perturbation LR over UR (Section 3.3).
+
+#pragma once
+
+#include "detect/detector.h"
+#include "learn/model.h"
+
+namespace unidetect {
+
+/// \brief Flags duplicate values in columns that the corpus evidence says
+/// are intended to be unique (ID-like subsets: mixed-alphanumeric type,
+/// rare tokens, leftmost position).
+class UniquenessDetector : public Detector {
+ public:
+  /// `model` must outlive the detector.
+  explicit UniquenessDetector(const Model* model) : model_(model) {}
+
+  ErrorClass error_class() const override { return ErrorClass::kUniqueness; }
+
+  void Detect(const Table& table, std::vector<Finding>* out) const override;
+
+ private:
+  const Model* model_;
+};
+
+}  // namespace unidetect

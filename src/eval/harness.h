@@ -1,0 +1,84 @@
+// Experiment harness shared by the benchmark binaries: builds the
+// standard setup of Section 4 (train on WEB, inject errors into a test
+// corpus, evaluate ranked predictions with Precision@K) for every method.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "corpus/generator.h"
+#include "detect/unidetect.h"
+#include "eval/injection.h"
+#include "eval/precision.h"
+#include "learn/model.h"
+#include "learn/trainer.h"
+
+namespace unidetect {
+
+/// \brief Configuration of one experiment run.
+struct ExperimentConfig {
+  /// Background corpus size (the paper trains on WEB).
+  size_t train_tables = 25000;
+  uint64_t train_seed = 1;
+  ModelOptions model_options;
+  InjectionSpec injection;
+  /// Cache directory for trained models ("" disables caching). A model
+  /// trained with the same (train_tables, train_seed, options) is reused
+  /// across benchmark binaries.
+  std::string model_cache_dir = ".";
+  size_t threads = 0;
+};
+
+/// \brief One prepared experiment: trained model + injected test corpus.
+struct Experiment {
+  Model model;
+  AnnotatedCorpus test;
+  GroundTruth truth;
+};
+
+/// \brief Trains (or loads a cached) model and prepares the test corpus.
+Experiment BuildExperiment(const CorpusSpec& test_spec,
+                           const ExperimentConfig& config);
+
+/// \brief Trains (or loads a cached) WEB model only.
+Model TrainBackgroundModel(const ExperimentConfig& config);
+
+/// \brief Runs the UniDetect facade for one error class over the test
+/// corpus and evaluates it. `display_name` defaults to "UniDetect".
+PrecisionCurve RunUniDetect(const Experiment& experiment, ErrorClass cls,
+                            bool use_dictionary = false,
+                            const std::string& display_name = "");
+
+/// \brief Runs UniDetect-FD restricted to synthesized programmatic pairs
+/// (the FD-synthesis variant of Appendix D).
+PrecisionCurve RunFdSynthesis(const Experiment& experiment,
+                              const GroundTruth& truth,
+                              const std::string& display_name);
+
+/// \brief Runs one baseline over the test corpus and evaluates it.
+PrecisionCurve RunBaseline(const Baseline& baseline,
+                           const Experiment& experiment);
+
+/// \brief Like RunBaseline but against an alternative ground truth
+/// (used for FD-synthesis panels).
+PrecisionCurve RunBaselineAgainst(const Baseline& baseline,
+                                  const Experiment& experiment,
+                                  const GroundTruth& truth);
+
+/// \brief Ground truth restricted to FD errors on synthesizable pairs.
+GroundTruth SynthesizableFdTruth(const GroundTruth& truth);
+
+/// \brief Prints the three Precision@K panels of Figures 8/9/10 —
+/// (a) spelling, (b) numeric outliers, (c) uniqueness — comparing
+/// UniDetect (+Dict) against every per-class baseline of Section 4.2.
+void RunFigurePanels(const std::string& corpus_label,
+                     const Experiment& experiment);
+
+/// \brief Prints the FD and FD-synthesis panels of Figure 12 for one
+/// test corpus.
+void RunFdPanels(const std::string& corpus_label,
+                 const Experiment& experiment);
+
+}  // namespace unidetect

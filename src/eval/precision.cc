@@ -1,0 +1,62 @@
+#include "eval/precision.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace unidetect {
+
+std::vector<size_t> DefaultKs() {
+  return {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+}
+
+PrecisionCurve EvaluatePrecision(const std::string& method,
+                                 const std::vector<Finding>& ranked,
+                                 const GroundTruth& truth,
+                                 const std::vector<size_t>& ks) {
+  PrecisionCurve curve;
+  curve.method = method;
+  curve.ks = ks;
+  const size_t max_k =
+      ks.empty() ? 0 : *std::max_element(ks.begin(), ks.end());
+
+  std::vector<bool> is_true(std::min(max_k, ranked.size()));
+  for (size_t i = 0; i < is_true.size(); ++i) {
+    is_true[i] = truth.Matches(ranked[i]);
+  }
+  for (size_t k : ks) {
+    size_t hits = 0;
+    const size_t upto = std::min(k, is_true.size());
+    for (size_t i = 0; i < upto; ++i) {
+      if (is_true[i]) ++hits;
+    }
+    curve.precision.push_back(k == 0 ? 0.0
+                                     : static_cast<double>(hits) /
+                                           static_cast<double>(k));
+  }
+  return curve;
+}
+
+std::vector<Finding> FilterByClass(const std::vector<Finding>& findings,
+                                   ErrorClass c) {
+  std::vector<Finding> out;
+  for (const auto& finding : findings) {
+    if (finding.error_class == c) out.push_back(finding);
+  }
+  return out;
+}
+
+void PrintCurves(const std::string& title,
+                 const std::vector<PrecisionCurve>& curves) {
+  std::printf("\n== %s ==\n", title.c_str());
+  if (curves.empty()) return;
+  std::printf("%-28s", "method \\ K");
+  for (size_t k : curves.front().ks) std::printf(" %6zu", k);
+  std::printf("\n");
+  for (const auto& curve : curves) {
+    std::printf("%-28s", curve.method.c_str());
+    for (double p : curve.precision) std::printf(" %6.2f", p);
+    std::printf("\n");
+  }
+}
+
+}  // namespace unidetect

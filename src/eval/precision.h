@@ -1,0 +1,46 @@
+// Precision@K evaluation (Section 4.3): methods emit ranked findings,
+// and precision@K = (#true errors among the top K) / K against the
+// injected ground truth.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detect/finding.h"
+#include "eval/injection.h"
+
+namespace unidetect {
+
+/// \brief Precision@K curve of one method.
+struct PrecisionCurve {
+  std::string method;
+  /// The K values evaluated (e.g. {10, 20, ..., 100}).
+  std::vector<size_t> ks;
+  /// precision[i] = Precision@ks[i]; when fewer than ks[i] findings were
+  /// produced, the missing slots count as wrong (a method that returns 40
+  /// predictions has at best 0.4 precision@100), matching how a fixed
+  /// top-100 judgment treats short lists.
+  std::vector<double> precision;
+};
+
+/// \brief Default K grid {10, 20, ..., 100}.
+std::vector<size_t> DefaultKs();
+
+/// \brief Evaluates a ranked finding list against ground truth. Findings
+/// must already be sorted most-confident first.
+PrecisionCurve EvaluatePrecision(const std::string& method,
+                                 const std::vector<Finding>& ranked,
+                                 const GroundTruth& truth,
+                                 const std::vector<size_t>& ks = DefaultKs());
+
+/// \brief Keeps only findings of one error class (rank order preserved).
+std::vector<Finding> FilterByClass(const std::vector<Finding>& findings,
+                                   ErrorClass c);
+
+/// \brief Prints curves as an aligned text table, one row per method and
+/// one column per K — the shape of the paper's Figures 8-10/12 panels.
+void PrintCurves(const std::string& title,
+                 const std::vector<PrecisionCurve>& curves);
+
+}  // namespace unidetect

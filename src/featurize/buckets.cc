@@ -1,0 +1,35 @@
+#include "featurize/buckets.h"
+
+namespace unidetect {
+
+uint8_t RowCountBucket(size_t rows) {
+  if (rows <= 20) return 0;
+  if (rows <= 50) return 1;
+  if (rows <= 100) return 2;
+  if (rows <= 500) return 3;
+  if (rows <= 1000) return 4;
+  return 5;
+}
+
+uint8_t TokenLengthBucket(double avg_length) {
+  if (avg_length <= 5) return 0;
+  if (avg_length <= 10) return 1;
+  if (avg_length <= 15) return 2;
+  if (avg_length <= 20) return 3;
+  return 4;
+}
+
+uint8_t PrevalenceBucket(double avg_prevalence) {
+  if (avg_prevalence <= 50) return 0;
+  if (avg_prevalence <= 100) return 1;
+  if (avg_prevalence <= 1000) return 2;
+  if (avg_prevalence <= 10000) return 3;
+  if (avg_prevalence <= 100000) return 4;
+  return 5;
+}
+
+uint8_t LeftnessBucket(size_t column_position) {
+  return column_position >= 3 ? 3 : static_cast<uint8_t>(column_position);
+}
+
+}  // namespace unidetect

@@ -1,0 +1,32 @@
+// Bucketization of the featurization cube dimensions (Figure 5 and the
+// bucket lists in Sections 3.1-3.3). Subsetting S_D^F(T) selects corpus
+// columns whose buckets all match the test column's.
+
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace unidetect {
+
+/// \brief Row-count buckets {(0-20], (20-50], (50-100], (100-500],
+/// (500-1000], (1000-inf)} -> 0..5.
+uint8_t RowCountBucket(size_t rows);
+constexpr uint8_t kNumRowCountBuckets = 6;
+
+/// \brief Token-length buckets {(0-5], (5-10], (10-15], (15-20],
+/// (20-inf)} -> 0..4 (Section 3.2, average differing-token length).
+uint8_t TokenLengthBucket(double avg_length);
+constexpr uint8_t kNumTokenLengthBuckets = 5;
+
+/// \brief Prevalence buckets {(0-50], (50-100], (100-1000], (1000-10000],
+/// (10000-100000], (100000-inf)} -> 0..5 (Section 3.3, Prev(C)).
+uint8_t PrevalenceBucket(double avg_prevalence);
+constexpr uint8_t kNumPrevalenceBuckets = 6;
+
+/// \brief Column position from the left, capped: 0, 1, 2, 3+ -> 0..3
+/// ("leftness" [26, 28]; key columns tend to be leftmost).
+uint8_t LeftnessBucket(size_t column_position);
+constexpr uint8_t kNumLeftnessBuckets = 4;
+
+}  // namespace unidetect

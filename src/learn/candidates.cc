@@ -1,0 +1,105 @@
+#include "learn/candidates.h"
+
+#include <algorithm>
+
+#include "metrics/dispersion.h"
+
+namespace unidetect {
+
+OutlierCandidate ExtractOutlierCandidate(const Column& column,
+                                         const ModelOptions& options) {
+  OutlierCandidate out;
+  const ColumnType type = column.type();
+  if (type != ColumnType::kInteger && type != ColumnType::kFloat) return out;
+  if (column.size() < options.min_column_rows) return out;
+  const auto& values = column.NumericValues();
+  if (values.size() < options.min_column_rows) return out;
+  if (column.NumericFraction() < 0.8) return out;
+
+  const MaxScore before = MaxMadScore(values);
+  if (!before.valid) return out;
+
+  std::vector<double> remaining = values;
+  remaining.erase(remaining.begin() +
+                  static_cast<std::ptrdiff_t>(before.index));
+  const MaxScore after = MaxMadScore(remaining);
+  if (!after.valid) return out;
+
+  out.valid = true;
+  out.key = OutlierFeatures(column, options.featurize);
+  out.theta1 = before.score;
+  out.theta2 = after.score;
+  out.row = column.NumericRows()[before.index];
+  out.cell = column.cell(out.row);
+  out.value = values[before.index];
+  return out;
+}
+
+SpellingCandidate ExtractSpellingCandidate(const Column& column,
+                                           const ModelOptions& options) {
+  SpellingCandidate out;
+  if (column.size() < options.min_column_rows) return out;
+  out.profile = ComputeMpdProfile(column, options.mpd);
+  if (!out.profile.valid) return out;
+  out.valid = true;
+  out.key = SpellingFeatures(column, out.profile, options.featurize);
+  out.theta1 = static_cast<double>(out.profile.mpd);
+  out.theta2 = static_cast<double>(out.profile.mpd_perturbed);
+  return out;
+}
+
+UniquenessCandidate ExtractUniquenessCandidate(const Column& column,
+                                               size_t column_position,
+                                               const TokenIndex& index,
+                                               const ModelOptions& options) {
+  UniquenessCandidate out;
+  if (column.size() < options.min_column_rows) return out;
+  const UrProfile profile = ComputeUrProfile(column);
+  if (!profile.valid) return out;
+
+  const size_t epsilon = options.epsilon.AllowedRows(column.size());
+  out.dropped_rows = profile.duplicate_rows;
+  if (out.dropped_rows.size() > epsilon) out.dropped_rows.resize(epsilon);
+
+  out.valid = true;
+  out.key = UniquenessFeatures(column, column_position, index,
+                               options.featurize);
+  out.theta1 = profile.ur;
+  if (out.dropped_rows.size() == profile.duplicate_rows.size()) {
+    out.theta2 = profile.ur_perturbed;
+  } else {
+    // Partial perturbation: recompute UR on the reduced column.
+    const UrProfile partial =
+        ComputeUrProfile(column.WithoutRows(out.dropped_rows));
+    out.theta2 = partial.valid ? partial.ur : profile.ur;
+  }
+  return out;
+}
+
+FdCandidate ExtractFdCandidate(const Column& lhs, const Column& rhs,
+                               const TokenIndex& index,
+                               const ModelOptions& options) {
+  FdCandidate out;
+  if (lhs.size() < options.min_column_rows) return out;
+  const FrProfile profile = ComputeFrProfile(lhs, rhs);
+  if (!profile.valid) return out;
+
+  const size_t epsilon = options.epsilon.AllowedRows(lhs.size());
+  out.dropped_rows = profile.violating_rows;
+  if (out.dropped_rows.size() > epsilon) out.dropped_rows.resize(epsilon);
+
+  out.valid = true;
+  out.key = FdFeatures(lhs, rhs, index, options.featurize);
+  out.theta1 = profile.fr;
+  out.violating_groups = profile.violating_groups;
+  if (out.dropped_rows.size() == profile.violating_rows.size()) {
+    out.theta2 = profile.fr_perturbed;
+  } else {
+    const FrProfile partial = ComputeFrProfile(
+        lhs.WithoutRows(out.dropped_rows), rhs.WithoutRows(out.dropped_rows));
+    out.theta2 = partial.valid ? partial.fr : profile.fr;
+  }
+  return out;
+}
+
+}  // namespace unidetect

@@ -1,0 +1,244 @@
+#include "learn/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace unidetect {
+
+size_t EpsilonPolicy::AllowedRows(size_t num_rows) const {
+  const auto frac_rows =
+      static_cast<size_t>(std::ceil(fraction * static_cast<double>(num_rows)));
+  return std::max(min_rows, frac_rows);
+}
+
+SurpriseDirection DirectionOf(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kOutlier:
+      return SurpriseDirection::kHigherMoreSurprising;
+    case ErrorClass::kSpelling:
+    case ErrorClass::kUniqueness:
+    case ErrorClass::kFd:
+      return SurpriseDirection::kLowerMoreSurprising;
+    case ErrorClass::kPattern:
+      // Pattern incompatibility is scored by PMI (Appendix C), which is
+      // exp(-LR) up to constants; smaller is more surprising.
+      return SurpriseDirection::kLowerMoreSurprising;
+  }
+  return SurpriseDirection::kHigherMoreSurprising;
+}
+
+void Model::AddObservation(FeatureKey key, double theta1, double theta2) {
+  UNIDETECT_CHECK(!finalized_);
+  subsets_[key].Add(theta1, theta2);
+}
+
+void Model::MergeObservations(const Model& shard) {
+  UNIDETECT_CHECK(!finalized_);
+  for (const auto& [key, stats] : shard.subsets_) {
+    subsets_[key].Merge(stats);
+  }
+}
+
+void Model::Finalize() {
+  for (auto& [key, stats] : subsets_) stats.Finalize();
+  finalized_ = true;
+}
+
+uint64_t Model::num_observations() const {
+  uint64_t total = 0;
+  for (const auto& [key, stats] : subsets_) total += stats.size();
+  return total;
+}
+
+uint64_t Model::SubsetSupport(FeatureKey key) const {
+  auto it = subsets_.find(key);
+  return it == subsets_.end() ? 0 : it->second.size();
+}
+
+double Model::LikelihoodRatio(ErrorClass cls, FeatureKey key, double theta1,
+                              double theta2) const {
+  UNIDETECT_CHECK(finalized_);
+  const SurpriseDirection dir = DirectionOf(cls);
+
+  // A perturbation that does not move the metric toward "clean" carries
+  // no surprise whatsoever.
+  if (dir == SurpriseDirection::kHigherMoreSurprising && theta2 >= theta1) {
+    return 1.0;
+  }
+  if (dir == SurpriseDirection::kLowerMoreSurprising && theta2 <= theta1) {
+    return 1.0;
+  }
+
+  auto it = subsets_.find(key);
+  if (it == subsets_.end()) return 1.0;
+  const SubsetStats& stats = it->second;
+  if (stats.size() < options_.min_support) return 1.0;
+
+  uint64_t num = 0;
+  uint64_t den = 0;
+  if (options_.smoothing == SmoothingMode::kPoint) {
+    num = stats.CountPointPair(theta1, theta2, options_.point_grid);
+    den = stats.CountPointPre(theta2, options_.point_grid);
+  } else {
+    num = stats.CountSurprising(dir, theta1, theta2);
+    den = options_.denominator == DenominatorMode::kSuspiciousTail
+              ? stats.CountPreSuspiciousTail(dir, theta2)
+              : stats.CountPreCleanTail(dir, theta2);
+  }
+
+  // A thin denominator means the corpus has barely any columns that look
+  // like the *perturbed* table; the ratio would be dominated by
+  // pseudocounts and read as (spurious) surprise. No evidence, no call.
+  if (den < options_.min_support) return 1.0;
+
+  const double pc = options_.pseudocount;
+  const double lr = (static_cast<double>(num) + pc) /
+                    (static_cast<double>(den) + 2.0 * pc);
+  return std::min(lr, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization.
+
+std::string Model::Serialize() const {
+  std::ostringstream os;
+  os << "UniDetectModel v1\n";
+  os << "options " << (options_.featurize.enabled ? 1 : 0) << ' '
+     << static_cast<int>(options_.smoothing) << ' '
+     << static_cast<int>(options_.denominator) << ' '
+     << options_.epsilon.min_rows << ' ' << options_.epsilon.fraction << ' '
+     << options_.pseudocount << ' ' << options_.min_support << ' '
+     << options_.point_grid << ' ' << options_.min_column_rows << ' '
+     << options_.mpd.distance_cap << ' ' << options_.mpd.max_values << '\n';
+  os << "subsets " << subsets_.size() << '\n';
+  // Deterministic output: sort keys.
+  std::vector<FeatureKey> keys;
+  keys.reserve(subsets_.size());
+  for (const auto& [key, stats] : subsets_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(),
+            [](FeatureKey a, FeatureKey b) { return a.packed < b.packed; });
+  for (FeatureKey key : keys) {
+    std::string stats_text;
+    subsets_.at(key).SerializeTo(&stats_text);
+    os << key.packed << ' ' << stats_text << '\n';
+  }
+  const std::string index_text = token_index_.Serialize();
+  os << "tokenindex " << index_text.size() << '\n' << index_text;
+  const std::string pattern_text = pattern_index_.Serialize();
+  os << "patternindex " << pattern_text.size() << '\n' << pattern_text;
+  return os.str();
+}
+
+Result<Model> Model::Deserialize(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  std::string line;
+  if (!std::getline(is, line) || line != "UniDetectModel v1") {
+    return Status::Corruption("Model: bad magic");
+  }
+
+  Model out;
+  {
+    if (!std::getline(is, line)) return Status::Corruption("Model: truncated");
+    std::istringstream ls(line);
+    std::string tag;
+    int featurize = 1;
+    int smoothing = 0;
+    int denominator = 0;
+    ls >> tag >> featurize >> smoothing >> denominator >>
+        out.options_.epsilon.min_rows >> out.options_.epsilon.fraction >>
+        out.options_.pseudocount >> out.options_.min_support >>
+        out.options_.point_grid >> out.options_.min_column_rows >>
+        out.options_.mpd.distance_cap >> out.options_.mpd.max_values;
+    if (tag != "options" || !ls) {
+      return Status::Corruption("Model: bad options line");
+    }
+    out.options_.featurize.enabled = featurize != 0;
+    out.options_.smoothing = static_cast<SmoothingMode>(smoothing);
+    out.options_.denominator = static_cast<DenominatorMode>(denominator);
+  }
+  size_t num_subsets = 0;
+  {
+    if (!std::getline(is, line)) return Status::Corruption("Model: truncated");
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag >> num_subsets;
+    if (tag != "subsets" || !ls) {
+      return Status::Corruption("Model: bad subsets line");
+    }
+  }
+  for (size_t i = 0; i < num_subsets; ++i) {
+    if (!std::getline(is, line)) {
+      return Status::Corruption("Model: truncated subset list");
+    }
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return Status::Corruption("Model: malformed subset line");
+    }
+    FeatureKey key{std::strtoull(line.c_str(), nullptr, 10)};
+    auto stats = SubsetStats::Deserialize(
+        std::string_view(line).substr(space + 1));
+    if (!stats.ok()) return stats.status();
+    out.subsets_.emplace(key, std::move(stats).ValueOrDie());
+  }
+  {
+    if (!std::getline(is, line)) return Status::Corruption("Model: truncated");
+    std::istringstream ls(line);
+    std::string tag;
+    size_t bytes = 0;
+    ls >> tag >> bytes;
+    if (tag != "tokenindex" || !ls) {
+      return Status::Corruption("Model: bad tokenindex line");
+    }
+    std::string index_text(bytes, '\0');
+    is.read(index_text.data(), static_cast<std::streamsize>(bytes));
+    if (static_cast<size_t>(is.gcount()) != bytes) {
+      return Status::Corruption("Model: truncated token index");
+    }
+    auto index = TokenIndex::Deserialize(index_text);
+    if (!index.ok()) return index.status();
+    out.token_index_ = std::move(index).ValueOrDie();
+  }
+  {
+    if (!std::getline(is, line)) return Status::Corruption("Model: truncated");
+    std::istringstream ls(line);
+    std::string tag;
+    size_t bytes = 0;
+    ls >> tag >> bytes;
+    if (tag != "patternindex" || !ls) {
+      return Status::Corruption("Model: bad patternindex line");
+    }
+    std::string pattern_text(bytes, '\0');
+    is.read(pattern_text.data(), static_cast<std::streamsize>(bytes));
+    if (static_cast<size_t>(is.gcount()) != bytes) {
+      return Status::Corruption("Model: truncated pattern index");
+    }
+    auto pattern_index = PatternIndex::Deserialize(pattern_text);
+    if (!pattern_index.ok()) return pattern_index.status();
+    out.pattern_index_ = std::move(pattern_index).ValueOrDie();
+  }
+  out.finalized_ = true;
+  return out;
+}
+
+Status Model::Save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IOError("cannot open " + path + " for writing");
+  const std::string text = Serialize();
+  os.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!os) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Model> Model::Load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+}  // namespace unidetect

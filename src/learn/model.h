@@ -1,0 +1,132 @@
+// Model: the "memorized" output of offline learning (Section 2.2.3).
+//
+// Holds the token prevalence index and, per feature subset, the
+// (theta1, theta2) observations needed to answer smoothed LR queries at
+// interactive speed. A Model is built by the Trainer and consumed by the
+// detectors; it can be saved to and loaded from a single file.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "autodetect/pmi_detector.h"
+#include "corpus/token_index.h"
+#include "featurize/features.h"
+#include "learn/subset_stats.h"
+#include "metrics/metric_functions.h"
+#include "util/result.h"
+
+namespace unidetect {
+
+/// \brief How P_m(D | S(T)) and P_m(D_O^P | S(T)) are estimated.
+enum class SmoothingMode : int {
+  /// Range-based predicates of Eq. 12 (the paper's smoothing).
+  kRange = 0,
+  /// Exact point estimates of Eq. 11 (the ablation the paper rejects as
+  /// "highly irregular and non-smooth").
+  kPoint = 1,
+};
+
+/// \brief Which tail of the pre-perturbation metric forms the denominator.
+enum class DenominatorMode : int {
+  /// The paper's written formulas: the tail on theta2's *suspicious*
+  /// side (max-MAD >= theta2; MPD/UR/FR <= theta2).
+  kSuspiciousTail = 0,
+  /// The alternative reading suggested by Example 2 (|{UR(D) = 1}|):
+  /// the tail on theta2's *clean* side. Compared in bench_ablation.
+  kCleanTail = 1,
+};
+
+/// \brief Bound on the perturbation size epsilon (Definition 2):
+/// allowed rows = max(min_rows, ceil(fraction * num_rows)).
+struct EpsilonPolicy {
+  size_t min_rows = 2;
+  double fraction = 0.01;
+
+  size_t AllowedRows(size_t num_rows) const;
+};
+
+/// \brief Configuration shared by Trainer and detectors. Stored inside
+/// the model so a trained model carries its own conventions.
+struct ModelOptions {
+  FeaturizeOptions featurize;
+  SmoothingMode smoothing = SmoothingMode::kRange;
+  DenominatorMode denominator = DenominatorMode::kSuspiciousTail;
+  EpsilonPolicy epsilon;
+  MpdOptions mpd;
+  /// Additive smoothing: LR = (num + pseudocount) / (den + 2*pseudocount).
+  /// Keeps sparse evidence conservative (LR -> 1/2, never 0/0).
+  double pseudocount = 1.0;
+  /// Subsets with fewer observations than this yield LR = 1 (no evidence,
+  /// no detection) instead of an unreliable estimate.
+  uint64_t min_support = 30;
+  /// Quantization step for SmoothingMode::kPoint.
+  double point_grid = 0.1;
+  /// Columns with fewer rows than this are skipped entirely; tiny columns
+  /// carry no statistical signal.
+  size_t min_column_rows = 8;
+};
+
+/// \brief Suspicious-tail direction of each error class's metric.
+SurpriseDirection DirectionOf(ErrorClass c);
+
+/// \brief Trained Uni-Detect model.
+class Model {
+ public:
+  Model() = default;
+  explicit Model(ModelOptions options) : options_(std::move(options)) {}
+
+  const ModelOptions& options() const { return options_; }
+  const TokenIndex& token_index() const { return token_index_; }
+  TokenIndex* mutable_token_index() { return &token_index_; }
+
+  /// \brief Pattern co-occurrence statistics (Auto-Detect mechanism,
+  /// Section 3.5) — trained alongside the metric subsets and used by the
+  /// optional pattern-incompatibility detector.
+  const PatternIndex& pattern_index() const { return pattern_index_; }
+  PatternIndex* mutable_pattern_index() { return &pattern_index_; }
+
+  /// \brief Adds one training observation (build phase).
+  void AddObservation(FeatureKey key, double theta1, double theta2);
+
+  /// \brief Merges subsets from a shard-local model (build phase).
+  void MergeObservations(const Model& shard);
+
+  /// \brief Sorts all subsets; required before queries.
+  void Finalize();
+
+  /// \brief Smoothed likelihood ratio of Eq. 12 for a candidate with
+  /// metrics (theta1, theta2) in the subset selected by `key`.
+  ///
+  /// Returns a value in (0, 1]; smaller = more surprising = more likely a
+  /// real error. Returns exactly 1.0 when there is no usable evidence
+  /// (unknown subset, support below min_support) or when the perturbation
+  /// did not move the metric toward "clean".
+  double LikelihoodRatio(ErrorClass cls, FeatureKey key, double theta1,
+                         double theta2) const;
+
+  /// \brief Number of feature subsets with observations.
+  size_t num_subsets() const { return subsets_.size(); }
+
+  /// \brief Total observations across subsets.
+  uint64_t num_observations() const;
+
+  /// \brief Observation count for one subset (0 if absent).
+  uint64_t SubsetSupport(FeatureKey key) const;
+
+  /// \brief Persistence (single-file text format, versioned).
+  Status Save(const std::string& path) const;
+  static Result<Model> Load(const std::string& path);
+  std::string Serialize() const;
+  static Result<Model> Deserialize(std::string_view text);
+
+ private:
+  ModelOptions options_;
+  TokenIndex token_index_;
+  PatternIndex pattern_index_;
+  std::unordered_map<FeatureKey, SubsetStats, FeatureKeyHash> subsets_;
+  bool finalized_ = false;
+};
+
+}  // namespace unidetect

@@ -1,0 +1,160 @@
+#include "learn/subset_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace unidetect {
+
+void SubsetStats::Add(double pre, double post) {
+  UNIDETECT_CHECK(!finalized_);
+  pres_.push_back(static_cast<float>(pre));
+  posts_.push_back(static_cast<float>(post));
+}
+
+void SubsetStats::Finalize() {
+  if (finalized_) return;
+  std::vector<size_t> order(pres_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return pres_[a] < pres_[b]; });
+  std::vector<float> pres(pres_.size());
+  std::vector<float> posts(posts_.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    pres[i] = pres_[order[i]];
+    posts[i] = posts_[order[i]];
+  }
+  pres_ = std::move(pres);
+  posts_ = std::move(posts);
+  finalized_ = true;
+}
+
+namespace {
+// Index of the first element > theta (pres_ sorted ascending).
+size_t UpperBound(const std::vector<float>& v, double theta) {
+  return static_cast<size_t>(
+      std::upper_bound(v.begin(), v.end(), static_cast<float>(theta)) -
+      v.begin());
+}
+// Index of the first element >= theta.
+size_t LowerBound(const std::vector<float>& v, double theta) {
+  return static_cast<size_t>(
+      std::lower_bound(v.begin(), v.end(), static_cast<float>(theta)) -
+      v.begin());
+}
+}  // namespace
+
+uint64_t SubsetStats::CountSurprising(SurpriseDirection dir, double theta1,
+                                      double theta2) const {
+  UNIDETECT_CHECK(finalized_);
+  uint64_t count = 0;
+  if (dir == SurpriseDirection::kHigherMoreSurprising) {
+    // pre >= theta1 (suspicious side) and post <= theta2 (clean side).
+    const size_t begin = LowerBound(pres_, theta1);
+    for (size_t i = begin; i < posts_.size(); ++i) {
+      if (posts_[i] <= static_cast<float>(theta2)) ++count;
+    }
+  } else {
+    // pre <= theta1 and post >= theta2.
+    const size_t end = UpperBound(pres_, theta1);
+    for (size_t i = 0; i < end; ++i) {
+      if (posts_[i] >= static_cast<float>(theta2)) ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t SubsetStats::CountPreSuspiciousTail(SurpriseDirection dir,
+                                             double theta2) const {
+  UNIDETECT_CHECK(finalized_);
+  if (dir == SurpriseDirection::kHigherMoreSurprising) {
+    return pres_.size() - LowerBound(pres_, theta2);  // pre >= theta2
+  }
+  return UpperBound(pres_, theta2);  // pre <= theta2
+}
+
+uint64_t SubsetStats::CountPreCleanTail(SurpriseDirection dir,
+                                        double theta2) const {
+  UNIDETECT_CHECK(finalized_);
+  if (dir == SurpriseDirection::kHigherMoreSurprising) {
+    return UpperBound(pres_, theta2);  // pre <= theta2
+  }
+  return pres_.size() - LowerBound(pres_, theta2);  // pre >= theta2
+}
+
+namespace {
+float Quantize(double v, double grid) {
+  if (grid <= 0) return static_cast<float>(v);
+  return static_cast<float>(std::round(v / grid) * grid);
+}
+}  // namespace
+
+uint64_t SubsetStats::CountPointPair(double theta1, double theta2,
+                                     double grid) const {
+  UNIDETECT_CHECK(finalized_);
+  const float q1 = Quantize(theta1, grid);
+  const float q2 = Quantize(theta2, grid);
+  uint64_t count = 0;
+  for (size_t i = 0; i < pres_.size(); ++i) {
+    if (Quantize(pres_[i], grid) == q1 && Quantize(posts_[i], grid) == q2) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t SubsetStats::CountPointPre(double theta2, double grid) const {
+  UNIDETECT_CHECK(finalized_);
+  const float q2 = Quantize(theta2, grid);
+  uint64_t count = 0;
+  for (float pre : pres_) {
+    if (Quantize(pre, grid) == q2) ++count;
+  }
+  return count;
+}
+
+void SubsetStats::Merge(const SubsetStats& other) {
+  UNIDETECT_CHECK(!finalized_);
+  pres_.insert(pres_.end(), other.pres_.begin(), other.pres_.end());
+  posts_.insert(posts_.end(), other.posts_.begin(), other.posts_.end());
+}
+
+void SubsetStats::SerializeTo(std::string* out) const {
+  std::ostringstream os;
+  // max_digits10 makes the float -> text -> float round trip exact;
+  // anything less shifts stored values across query boundaries (a column
+  // with UR 10/13 must still compare equal to a queried theta of 10/13
+  // after the model is saved and reloaded).
+  os.precision(std::numeric_limits<float>::max_digits10);
+  os << pres_.size();
+  for (size_t i = 0; i < pres_.size(); ++i) {
+    os << ' ' << pres_[i] << ' ' << posts_[i];
+  }
+  out->append(os.str());
+}
+
+Result<SubsetStats> SubsetStats::Deserialize(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  size_t n = 0;
+  if (!(is >> n)) return Status::Corruption("SubsetStats: missing count");
+  SubsetStats out;
+  out.pres_.reserve(n);
+  out.posts_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    float pre = 0;
+    float post = 0;
+    if (!(is >> pre >> post)) {
+      return Status::Corruption("SubsetStats: truncated pair list");
+    }
+    out.pres_.push_back(pre);
+    out.posts_.push_back(post);
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace unidetect

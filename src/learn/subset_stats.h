@@ -1,0 +1,72 @@
+// SubsetStats: the materialized evidence for one corpus subset S_D^F(T).
+//
+// During offline learning, every corpus column contributes one
+// (theta1, theta2) = (m(D), m(D_O^P)) observation to the subset its
+// feature key selects. Online, the smoothed likelihood ratio of Eq. 12 is
+// two counting queries over these observations.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace unidetect {
+
+/// \brief Which metric tail counts as "more suspicious".
+///
+/// max-MAD is suspicious when large (kHigherMoreSurprising); MPD, UR and
+/// FR are suspicious when small (kLowerMoreSurprising) — a tiny MPD means
+/// a near-duplicate pair, a UR/FR just under 1 means a near-constraint.
+enum class SurpriseDirection : int {
+  kHigherMoreSurprising = 0,
+  kLowerMoreSurprising = 1,
+};
+
+/// \brief Immutable-after-Finalize store of (pre, post) metric pairs.
+class SubsetStats {
+ public:
+  /// \brief Adds one observation (build phase only).
+  void Add(double pre, double post);
+
+  /// \brief Sorts observations; must be called before any query.
+  void Finalize();
+
+  size_t size() const { return pres_.size(); }
+  bool finalized() const { return finalized_; }
+
+  /// \brief Numerator of Eq. 12: observations at least as surprising as
+  /// (theta1, theta2) — pre on theta1's suspicious side AND post on
+  /// theta2's clean side. Bounds are inclusive.
+  uint64_t CountSurprising(SurpriseDirection dir, double theta1,
+                           double theta2) const;
+
+  /// \brief Denominator of Eq. 12 in the paper's formulation: pre values
+  /// on the suspicious side of theta2 (inclusive).
+  uint64_t CountPreSuspiciousTail(SurpriseDirection dir, double theta2) const;
+
+  /// \brief Ablation denominator: pre values on the clean side of theta2.
+  uint64_t CountPreCleanTail(SurpriseDirection dir, double theta2) const;
+
+  /// \brief Point-estimate (unsmoothed) numerator/denominator for the
+  /// smoothing ablation: equality after quantization to `grid` steps.
+  uint64_t CountPointPair(double theta1, double theta2, double grid) const;
+  uint64_t CountPointPre(double theta2, double grid) const;
+
+  /// \brief Merges another (non-finalized or finalized) stats object.
+  void Merge(const SubsetStats& other);
+
+  /// \brief Text serialization: "n pre1 post1 pre2 post2 ...".
+  void SerializeTo(std::string* out) const;
+  static Result<SubsetStats> Deserialize(std::string_view text);
+
+ private:
+  // Parallel arrays sorted by pre after Finalize().
+  std::vector<float> pres_;
+  std::vector<float> posts_;
+  bool finalized_ = false;
+};
+
+}  // namespace unidetect

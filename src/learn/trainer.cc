@@ -1,0 +1,104 @@
+#include "learn/trainer.h"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "learn/candidates.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace unidetect {
+
+namespace {
+
+// Records every class's observation for one table into `shard`.
+void CrunchTable(const Table& table, const TokenIndex& index,
+                 const ModelOptions& options, size_t max_fd_pairs,
+                 Model* shard) {
+  // Column-level classes.
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+
+    const OutlierCandidate outlier = ExtractOutlierCandidate(column, options);
+    if (outlier.valid) {
+      shard->AddObservation(outlier.key, outlier.theta1, outlier.theta2);
+    }
+
+    const SpellingCandidate spelling =
+        ExtractSpellingCandidate(column, options);
+    if (spelling.valid) {
+      shard->AddObservation(spelling.key, spelling.theta1, spelling.theta2);
+    }
+
+    const UniquenessCandidate uniqueness =
+        ExtractUniquenessCandidate(column, c, index, options);
+    if (uniqueness.valid) {
+      shard->AddObservation(uniqueness.key, uniqueness.theta1,
+                            uniqueness.theta2);
+    }
+  }
+
+  // FD pairs (ordered, distinct columns).
+  size_t pairs = 0;
+  for (size_t l = 0; l < table.num_columns() && pairs < max_fd_pairs; ++l) {
+    for (size_t r = 0; r < table.num_columns() && pairs < max_fd_pairs; ++r) {
+      if (l == r) continue;
+      ++pairs;
+      const FdCandidate fd =
+          ExtractFdCandidate(table.column(l), table.column(r), index, options);
+      if (fd.valid) shard->AddObservation(fd.key, fd.theta1, fd.theta2);
+    }
+  }
+}
+
+}  // namespace
+
+Model Trainer::Train(const Corpus& corpus) const {
+  ThreadPool pool(options_.num_threads);
+  const size_t n = corpus.tables.size();
+
+  // Pass 1: token prevalence index.
+  UNIDETECT_LOG(Info) << "training pass 1 (token index) over " << n
+                      << " tables, " << pool.num_threads() << " threads";
+  std::vector<TokenIndex> index_shards(pool.num_threads());
+  std::vector<PatternIndex> pattern_shards(pool.num_threads());
+  ParallelFor(pool, n, [&](size_t shard, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      index_shards[shard].AddTable(corpus.tables[i]);
+      pattern_shards[shard].AddTable(corpus.tables[i]);
+    }
+  });
+  Model model(options_.model);
+  for (const auto& shard : index_shards) {
+    model.mutable_token_index()->Merge(shard);
+  }
+  for (const auto& shard : pattern_shards) {
+    model.mutable_pattern_index()->Merge(shard);
+  }
+
+  // Pass 2: per-class observations.
+  UNIDETECT_LOG(Info) << "training pass 2 (metric observations)";
+  std::vector<Model> model_shards;
+  model_shards.reserve(pool.num_threads());
+  for (size_t i = 0; i < pool.num_threads(); ++i) {
+    model_shards.emplace_back(options_.model);
+  }
+  const TokenIndex& index = model.token_index();
+  ParallelFor(pool, n, [&](size_t shard, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      CrunchTable(corpus.tables[i], index, options_.model,
+                  options_.max_fd_pairs_per_table, &model_shards[shard]);
+    }
+  });
+  for (const auto& shard : model_shards) model.MergeObservations(shard);
+
+  model.Finalize();
+  UNIDETECT_LOG(Info) << "trained model: " << model.num_subsets()
+                      << " subsets, " << model.num_observations()
+                      << " observations, " << model.token_index().num_tokens()
+                      << " tokens";
+  return model;
+}
+
+}  // namespace unidetect

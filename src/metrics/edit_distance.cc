@@ -1,0 +1,65 @@
+#include "metrics/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace unidetect {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+
+  std::vector<size_t> row(n + 1);
+  for (size_t i = 0; i <= n; ++i) row[i] = i;
+  for (size_t j = 1; j <= m; ++j) {
+    size_t prev_diag = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= n; ++i) {
+      const size_t cur = row[i];
+      const size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, sub});
+      prev_diag = cur;
+    }
+  }
+  return row[n];
+}
+
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t bound) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (m - n > bound) return bound + 1;
+  if (n == 0) return m;
+
+  const size_t kInf = bound + 1;
+  std::vector<size_t> row(n + 1, kInf);
+  std::vector<size_t> next(n + 1, kInf);
+  for (size_t i = 0; i <= std::min(n, bound); ++i) row[i] = i;
+
+  for (size_t j = 1; j <= m; ++j) {
+    std::fill(next.begin(), next.end(), kInf);
+    // Cells outside the diagonal band [j - bound, j + bound] can never
+    // come back under the bound, so only this window is computed.
+    const size_t lo = j > bound ? j - bound : 0;
+    const size_t hi = std::min(n, j + bound);
+    if (lo == 0) next[0] = j <= bound ? j : kInf;
+    size_t row_min = next[0];
+    for (size_t i = std::max<size_t>(lo, 1); i <= hi; ++i) {
+      const size_t sub = row[i - 1] == kInf
+                             ? kInf
+                             : row[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      const size_t del = row[i] == kInf ? kInf : row[i] + 1;
+      const size_t ins = next[i - 1] == kInf ? kInf : next[i - 1] + 1;
+      next[i] = std::min({sub, del, ins, kInf});
+      row_min = std::min(row_min, next[i]);
+    }
+    if (row_min > bound) return bound + 1;
+    std::swap(row, next);
+  }
+  return std::min(row[n], kInf);
+}
+
+}  // namespace unidetect

@@ -1,0 +1,21 @@
+// Levenshtein edit distance, with the banded variant used to compute
+// minimum pair-wise distances over whole columns efficiently.
+
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace unidetect {
+
+/// \brief Levenshtein distance (unit-cost insert/delete/substitute).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// \brief Levenshtein distance with early exit: returns `bound + 1` as
+/// soon as the true distance provably exceeds `bound`.
+///
+/// Runs the banded DP of width 2*bound+1; O(bound * max(|a|,|b|)).
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t bound);
+
+}  // namespace unidetect

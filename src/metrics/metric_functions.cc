@@ -1,0 +1,218 @@
+#include "metrics/metric_functions.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "metrics/edit_distance.h"
+#include "util/string_util.h"
+
+namespace unidetect {
+
+UrProfile ComputeUrProfile(const Column& column) {
+  UrProfile out;
+  std::unordered_map<std::string_view, size_t> first_row;
+  size_t total = 0;
+  for (size_t row = 0; row < column.size(); ++row) {
+    std::string_view cell = Trim(column.cell(row));
+    if (cell.empty()) continue;
+    ++total;
+    auto [it, inserted] = first_row.emplace(cell, row);
+    if (!inserted) out.duplicate_rows.push_back(row);
+  }
+  if (total == 0) return out;
+  out.valid = true;
+  const double distinct = static_cast<double>(first_row.size());
+  out.ur = distinct / static_cast<double>(total);
+  const double remaining =
+      static_cast<double>(total - out.duplicate_rows.size());
+  out.ur_perturbed = remaining > 0 ? distinct / remaining : 1.0;
+  return out;
+}
+
+namespace {
+
+struct DistinctValue {
+  std::string_view value;
+  size_t first_row;
+};
+
+// Closest pair among `values`, optionally excluding one index.
+struct ClosestPair {
+  size_t dist = std::numeric_limits<size_t>::max();
+  size_t i = 0;
+  size_t j = 0;
+};
+
+ClosestPair FindClosestPair(const std::vector<DistinctValue>& values,
+                            size_t cap, size_t exclude) {
+  ClosestPair best;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i == exclude) continue;
+    for (size_t j = i + 1; j < values.size(); ++j) {
+      if (j == exclude) continue;
+      const size_t bound = best.dist == std::numeric_limits<size_t>::max()
+                               ? cap
+                               : std::min(cap, best.dist);
+      const size_t d =
+          BoundedEditDistance(values[i].value, values[j].value, bound);
+      if (d < best.dist) {
+        best.dist = d;
+        best.i = i;
+        best.j = j;
+        if (d == 1) return best;  // cannot do better for distinct values
+      }
+    }
+  }
+  return best;
+}
+
+double AvgDifferingTokenLength(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = TokenizeCell(a);
+  std::vector<std::string> tb = TokenizeCell(b);
+  // Multiset difference in both directions.
+  std::map<std::string, int> counts;
+  for (const auto& t : ta) counts[t]++;
+  for (const auto& t : tb) counts[t]--;
+  double total_len = 0.0;
+  size_t n = 0;
+  for (const auto& [token, count] : counts) {
+    if (count == 0) continue;
+    total_len += static_cast<double>(token.size()) *
+                 static_cast<double>(std::abs(count));
+    n += static_cast<size_t>(std::abs(count));
+  }
+  if (n > 0) return total_len / static_cast<double>(n);
+  // Values differ only in separators; fall back to mean token length.
+  total_len = 0.0;
+  n = 0;
+  for (const auto& t : ta) {
+    total_len += static_cast<double>(t.size());
+    ++n;
+  }
+  for (const auto& t : tb) {
+    total_len += static_cast<double>(t.size());
+    ++n;
+  }
+  return n > 0 ? total_len / static_cast<double>(n)
+               : static_cast<double>(a.size() + b.size()) / 2.0;
+}
+
+}  // namespace
+
+MpdProfile ComputeMpdProfile(const Column& column, const MpdOptions& options) {
+  MpdProfile out;
+  const ColumnType type = column.type();
+  if (type == ColumnType::kInteger || type == ColumnType::kFloat ||
+      type == ColumnType::kDate) {
+    return out;  // numeric-ish columns are not spelling targets
+  }
+
+  std::vector<DistinctValue> values;
+  std::unordered_map<std::string_view, size_t> seen;
+  for (size_t row = 0; row < column.size(); ++row) {
+    std::string_view cell = Trim(column.cell(row));
+    if (cell.empty()) continue;
+    if (seen.emplace(cell, row).second) {
+      values.push_back({cell, row});
+      if (values.size() >= options.max_values) break;
+    }
+  }
+  if (values.size() < 3) return out;
+
+  const size_t no_exclude = std::numeric_limits<size_t>::max();
+  const ClosestPair closest =
+      FindClosestPair(values, options.distance_cap, no_exclude);
+  if (closest.dist == std::numeric_limits<size_t>::max()) return out;
+
+  out.valid = true;
+  out.mpd = std::min(closest.dist, options.distance_cap + 1);
+  out.row_a = values[closest.i].first_row;
+  out.row_b = values[closest.j].first_row;
+  out.value_a = std::string(values[closest.i].value);
+  out.value_b = std::string(values[closest.j].value);
+  out.avg_diff_token_length =
+      AvgDifferingTokenLength(values[closest.i].value, values[closest.j].value);
+
+  // Perturbation: drop whichever endpoint of the closest pair makes the
+  // remaining column "cleanest" (largest perturbed MPD => smallest LR).
+  const ClosestPair without_i =
+      FindClosestPair(values, options.distance_cap, closest.i);
+  const ClosestPair without_j =
+      FindClosestPair(values, options.distance_cap, closest.j);
+  const size_t mpd_i = std::min(without_i.dist, options.distance_cap + 1);
+  const size_t mpd_j = std::min(without_j.dist, options.distance_cap + 1);
+  if (mpd_i >= mpd_j) {
+    out.mpd_perturbed = mpd_i;
+    out.drop_row = out.row_a;
+  } else {
+    out.mpd_perturbed = mpd_j;
+    out.drop_row = out.row_b;
+  }
+  return out;
+}
+
+FrProfile ComputeFrProfile(const Column& lhs, const Column& rhs) {
+  FrProfile out;
+  const size_t n = std::min(lhs.size(), rhs.size());
+  if (n == 0) return out;
+
+  // Group rows by lhs value; within each group count distinct rhs values.
+  struct Group {
+    std::unordered_map<std::string_view, std::vector<size_t>> rhs_rows;
+  };
+  std::unordered_map<std::string_view, Group> groups;
+  size_t used_rows = 0;
+  for (size_t row = 0; row < n; ++row) {
+    std::string_view l = Trim(lhs.cell(row));
+    std::string_view r = Trim(rhs.cell(row));
+    if (l.empty() || r.empty()) continue;
+    ++used_rows;
+    groups[l].rhs_rows[r].push_back(row);
+  }
+  if (used_rows == 0) return out;
+
+  // Degenerate candidates where an FD is trivially true or meaningless:
+  // lhs (almost) all-distinct pairs carry no repeat evidence, and a
+  // single-group lhs is a constant column.
+  if (groups.size() <= 1) return out;
+
+  size_t distinct_pairs = 0;
+  size_t conforming_pairs = 0;
+  for (auto& [l, group] : groups) {
+    distinct_pairs += group.rhs_rows.size();
+    if (group.rhs_rows.size() == 1) {
+      conforming_pairs += 1;
+      continue;
+    }
+    ++out.violating_groups;
+    // Keep the majority rhs (ties: the one appearing first); all rows of
+    // the minority rhs values form the perturbation set.
+    size_t best_support = 0;
+    size_t best_first_row = std::numeric_limits<size_t>::max();
+    std::string_view best_rhs;
+    for (const auto& [r, rows] : group.rhs_rows) {
+      if (rows.size() > best_support ||
+          (rows.size() == best_support && rows.front() < best_first_row)) {
+        best_support = rows.size();
+        best_first_row = rows.front();
+        best_rhs = r;
+      }
+    }
+    for (const auto& [r, rows] : group.rhs_rows) {
+      if (r == best_rhs) continue;
+      out.violating_rows.insert(out.violating_rows.end(), rows.begin(),
+                                rows.end());
+    }
+  }
+  out.valid = true;
+  out.fr = static_cast<double>(conforming_pairs) /
+           static_cast<double>(distinct_pairs);
+  // Dropping all minority rows leaves exactly one rhs per lhs group.
+  out.fr_perturbed = 1.0;
+  std::sort(out.violating_rows.begin(), out.violating_rows.end());
+  return out;
+}
+
+}  // namespace unidetect

@@ -1,0 +1,73 @@
+// Repair suggestions for detected errors.
+//
+// Detection is "one step before error-repair" (Appendix A), but several
+// Uni-Detect findings carry enough structure for a concrete fix:
+//   spelling    -- rewrite the suspect value to its closest-pair partner
+//                  (the partner is the canonical form when it is the more
+//                  corpus-prevalent of the two)
+//   outlier     -- undo scale slips: x1000 / /1000 / comma-vs-period
+//                  variants that land the value back inside the column's
+//                  robust range
+//   fd          -- rewrite violating rows to their lhs group's majority
+//                  rhs value
+//   fd-synthesis -- apply the learnt program (the paper: "explicit
+//                  programmatic relationships ... enable exact repair")
+//   uniqueness  -- no rewrite is derivable; suggest removal for review
+//
+// Suggestions are exactly that: candidate fixes with a rationale, for a
+// human to accept.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detect/finding.h"
+#include "learn/model.h"
+#include "synthesis/string_program.h"
+#include "table/table.h"
+
+namespace unidetect {
+
+/// \brief What a suggestion proposes to do with a cell.
+enum class RepairAction : int {
+  kReplace = 0,  ///< overwrite the cell with `suggested`
+  kRemoveRow,    ///< delete the row (no replacement derivable)
+};
+
+/// \brief One proposed fix.
+struct RepairSuggestion {
+  RepairAction action = RepairAction::kReplace;
+  size_t column = 0;
+  size_t row = 0;
+  std::string current;
+  std::string suggested;  ///< empty for kRemoveRow
+  std::string rationale;
+};
+
+/// \brief Derives repair suggestions for findings.
+class Repairer {
+ public:
+  /// `model` supplies token prevalence for canonical-form decisions; it
+  /// must outlive the Repairer.
+  explicit Repairer(const Model* model) : model_(model) {}
+
+  /// \brief Suggestions for one finding in its table (possibly empty —
+  /// not every error admits an automatic fix).
+  std::vector<RepairSuggestion> Suggest(const Table& table,
+                                        const Finding& finding) const;
+
+ private:
+  std::vector<RepairSuggestion> SuggestSpelling(const Table& table,
+                                                const Finding& finding) const;
+  std::vector<RepairSuggestion> SuggestOutlier(const Table& table,
+                                               const Finding& finding) const;
+  std::vector<RepairSuggestion> SuggestUniqueness(
+      const Table& table, const Finding& finding) const;
+  std::vector<RepairSuggestion> SuggestFd(const Table& table,
+                                          const Finding& finding) const;
+
+  const Model* model_;
+};
+
+}  // namespace unidetect

@@ -1,0 +1,231 @@
+#include "search/config_search.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "featurize/buckets.h"
+#include "metrics/dispersion.h"
+#include "metrics/metric_functions.h"
+
+namespace unidetect {
+
+const char* MetricKindToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kMaxMad:
+      return "max-MAD";
+    case MetricKind::kMaxSd:
+      return "max-SD";
+    case MetricKind::kMpd:
+      return "MPD";
+    case MetricKind::kUr:
+      return "UR";
+  }
+  return "?";
+}
+
+const char* PerturbationKindToString(PerturbationKind kind) {
+  switch (kind) {
+    case PerturbationKind::kDropMostOutlying:
+      return "drop-most-outlying";
+    case PerturbationKind::kDropClosestPair:
+      return "drop-closest-pair";
+    case PerturbationKind::kDropDuplicates:
+      return "drop-duplicates";
+  }
+  return "?";
+}
+
+std::string Configuration::ToString() const {
+  std::string out = MetricKindToString(metric);
+  out += " + ";
+  out += PerturbationKindToString(perturbation);
+  if (!featurize) out += " (no featurization)";
+  return out;
+}
+
+MetricValue EvalMetric(MetricKind kind, const Column& column) {
+  MetricValue out;
+  switch (kind) {
+    case MetricKind::kMaxMad: {
+      const MaxScore score = MaxMadScore(column.NumericValues());
+      if (score.valid && column.NumericFraction() >= 0.8) {
+        out.valid = true;
+        out.value = score.score;
+      }
+      return out;
+    }
+    case MetricKind::kMaxSd: {
+      const MaxScore score = MaxSdScore(column.NumericValues());
+      if (score.valid && column.NumericFraction() >= 0.8) {
+        out.valid = true;
+        out.value = score.score;
+      }
+      return out;
+    }
+    case MetricKind::kMpd: {
+      const MpdProfile profile = ComputeMpdProfile(column);
+      if (profile.valid) {
+        out.valid = true;
+        out.value = static_cast<double>(profile.mpd);
+      }
+      return out;
+    }
+    case MetricKind::kUr: {
+      const UrProfile profile = ComputeUrProfile(column);
+      if (profile.valid) {
+        out.valid = true;
+        out.value = profile.ur;
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+SurpriseDirection DirectionOfMetric(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kMaxMad:
+    case MetricKind::kMaxSd:
+      return SurpriseDirection::kHigherMoreSurprising;
+    case MetricKind::kMpd:
+    case MetricKind::kUr:
+      return SurpriseDirection::kLowerMoreSurprising;
+  }
+  return SurpriseDirection::kHigherMoreSurprising;
+}
+
+std::vector<size_t> SelectPerturbationRows(PerturbationKind kind,
+                                           const Column& column,
+                                           size_t epsilon) {
+  std::vector<size_t> rows;
+  switch (kind) {
+    case PerturbationKind::kDropMostOutlying: {
+      const MaxScore score = MaxMadScore(column.NumericValues());
+      if (score.valid) rows.push_back(column.NumericRows()[score.index]);
+      break;
+    }
+    case PerturbationKind::kDropClosestPair: {
+      const MpdProfile profile = ComputeMpdProfile(column);
+      if (profile.valid) rows.push_back(profile.drop_row);
+      break;
+    }
+    case PerturbationKind::kDropDuplicates: {
+      rows = ComputeUrProfile(column).duplicate_rows;
+      break;
+    }
+  }
+  if (rows.size() > epsilon) rows.resize(epsilon);
+  return rows;
+}
+
+namespace {
+
+// Generic subset key for the search: configuration index x column type x
+// row bucket. (Class-specific extra dimensions are deliberately absent —
+// the search compares raw (m, P) pairings.)
+FeatureKey SearchKey(size_t config_index, const Column& column,
+                     bool featurize) {
+  uint64_t key = config_index;
+  if (featurize) {
+    key |= static_cast<uint64_t>(column.type()) << 8;
+    key |= static_cast<uint64_t>(RowCountBucket(column.size())) << 11;
+  }
+  return FeatureKey{key};
+}
+
+struct Transition {
+  bool valid = false;
+  FeatureKey key;
+  double theta1 = 0.0;
+  double theta2 = 0.0;
+};
+
+Transition ExtractTransition(const Configuration& config, size_t config_index,
+                             const Column& column,
+                             const ConfigSearchOptions& options) {
+  Transition out;
+  if (column.size() < options.min_column_rows) return out;
+  const MetricValue before = EvalMetric(config.metric, column);
+  if (!before.valid) return out;
+  const size_t epsilon = options.epsilon.AllowedRows(column.size());
+  const std::vector<size_t> rows =
+      SelectPerturbationRows(config.perturbation, column, epsilon);
+  if (rows.empty()) return out;
+  const MetricValue after =
+      EvalMetric(config.metric, column.WithoutRows(rows));
+  if (!after.valid) return out;
+  out.valid = true;
+  out.key = SearchKey(config_index, column, config.featurize);
+  out.theta1 = before.value;
+  out.theta2 = after.value;
+  return out;
+}
+
+}  // namespace
+
+std::vector<ConfigResult> SearchConfigurations(
+    const Corpus& background, const Corpus& targets,
+    const ConfigSearchOptions& options) {
+  // Enumerate the configuration space.
+  std::vector<Configuration> configs;
+  for (int m = 0; m < kNumMetricKinds; ++m) {
+    for (int p = 0; p < kNumPerturbationKinds; ++p) {
+      Configuration config;
+      config.metric = static_cast<MetricKind>(m);
+      config.perturbation = static_cast<PerturbationKind>(p);
+      configs.push_back(config);
+    }
+  }
+
+  // Learn each configuration's statistics from the background corpus.
+  // One Model holds every configuration's subsets (keys are disjoint by
+  // config index).
+  ModelOptions model_options;
+  model_options.min_support = options.min_support;
+  model_options.pseudocount = options.pseudocount;
+  model_options.epsilon = options.epsilon;
+  model_options.min_column_rows = options.min_column_rows;
+  Model model(model_options);
+  for (const auto& table : background.tables) {
+    for (const auto& column : table.columns()) {
+      for (size_t i = 0; i < configs.size(); ++i) {
+        const Transition tr =
+            ExtractTransition(configs[i], i, column, options);
+        if (tr.valid) model.AddObservation(tr.key, tr.theta1, tr.theta2);
+      }
+    }
+  }
+  model.Finalize();
+
+  // Count discoveries on the target corpus (Definition 5's objective).
+  std::vector<ConfigResult> results(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) results[i].config = configs[i];
+  // The LR direction is the metric's; reuse the model's machinery by
+  // mapping metric direction onto a pseudo error class.
+  for (const auto& table : targets.tables) {
+    for (const auto& column : table.columns()) {
+      for (size_t i = 0; i < configs.size(); ++i) {
+        const Transition tr =
+            ExtractTransition(configs[i], i, column, options);
+        if (!tr.valid) continue;
+        results[i].candidates++;
+        const ErrorClass pseudo_class =
+            DirectionOfMetric(configs[i].metric) ==
+                    SurpriseDirection::kHigherMoreSurprising
+                ? ErrorClass::kOutlier
+                : ErrorClass::kUniqueness;
+        const double lr = model.LikelihoodRatio(pseudo_class, tr.key,
+                                                tr.theta1, tr.theta2);
+        if (lr < options.alpha) results[i].discoveries++;
+      }
+    }
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const ConfigResult& a, const ConfigResult& b) {
+              return a.discoveries > b.discoveries;
+            });
+  return results;
+}
+
+}  // namespace unidetect

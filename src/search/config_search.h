@@ -1,0 +1,94 @@
+// Configuration search (Definition 5): given spaces of metric functions
+// M and perturbations P, find the configurations (m, P) that maximize
+// statistically surprising discoveries on target tables D:
+//
+//   argmax |{ D : min_O LR(D, D_O^P) < alpha }|
+//
+// The paper's intuition: only *aligned* configurations — a perturbation
+// that actually moves its metric, like (max-MAD, drop-most-outlying) or
+// (MPD, drop-closest-pair) — can produce surprising ratios; mismatched
+// combos (e.g. UR metric with drop-closest-pair perturbation) barely move
+// the metric and discover nothing. This module instantiates that search
+// over column-level metrics.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/token_index.h"
+#include "learn/model.h"
+#include "table/column.h"
+
+namespace unidetect {
+
+/// \brief Column-level metric functions in the search space M.
+enum class MetricKind : int {
+  kMaxMad = 0,   ///< most outlying value's MAD score (Section 3.1)
+  kMaxSd,        ///< same with SD scores
+  kMpd,          ///< minimum pair-wise edit distance (Section 3.2)
+  kUr,           ///< uniqueness ratio (Section 3.3)
+};
+constexpr int kNumMetricKinds = 4;
+const char* MetricKindToString(MetricKind kind);
+
+/// \brief Perturbations in the search space P (each selects <= epsilon
+/// rows to hypothetically remove).
+enum class PerturbationKind : int {
+  kDropMostOutlying = 0,  ///< the value with the highest MAD score
+  kDropClosestPair,       ///< one endpoint of the closest value pair
+  kDropDuplicates,        ///< extra occurrences of repeated values
+};
+constexpr int kNumPerturbationKinds = 3;
+const char* PerturbationKindToString(PerturbationKind kind);
+
+/// \brief One point of the configuration space.
+struct Configuration {
+  MetricKind metric = MetricKind::kMaxMad;
+  PerturbationKind perturbation = PerturbationKind::kDropMostOutlying;
+  bool featurize = true;
+
+  std::string ToString() const;
+};
+
+/// \brief Metric evaluation: value of `kind` on a column, or invalid.
+struct MetricValue {
+  bool valid = false;
+  double value = 0.0;
+};
+MetricValue EvalMetric(MetricKind kind, const Column& column);
+
+/// \brief Suspicious-tail direction of each metric.
+SurpriseDirection DirectionOfMetric(MetricKind kind);
+
+/// \brief Rows selected by a perturbation, capped at `epsilon`.
+std::vector<size_t> SelectPerturbationRows(PerturbationKind kind,
+                                           const Column& column,
+                                           size_t epsilon);
+
+/// \brief Search options.
+struct ConfigSearchOptions {
+  double alpha = 0.01;
+  EpsilonPolicy epsilon;
+  uint64_t min_support = 30;
+  double pseudocount = 1.0;
+  size_t min_column_rows = 8;
+};
+
+/// \brief Result for one configuration: how many target columns it
+/// discovers (LR below alpha), per Definition 5.
+struct ConfigResult {
+  Configuration config;
+  size_t discoveries = 0;
+  size_t candidates = 0;  ///< columns where metric + perturbation applied
+};
+
+/// \brief Evaluates every (metric, perturbation) configuration: learns
+/// its statistics from `background` and counts discoveries on `targets`.
+/// Returned results are sorted by discoveries, descending.
+std::vector<ConfigResult> SearchConfigurations(
+    const Corpus& background, const Corpus& targets,
+    const ConfigSearchOptions& options = {});
+
+}  // namespace unidetect

@@ -1,0 +1,56 @@
+#include "synthesis/fd_synthesis_detector.h"
+
+#include <sstream>
+
+#include "learn/candidates.h"
+
+namespace unidetect {
+
+void FdSynthesisDetector::Detect(const Table& table,
+                                 std::vector<Finding>* out) const {
+  const ModelOptions& options = model_->options();
+  size_t pairs = 0;
+  for (size_t l = 0; l < table.num_columns(); ++l) {
+    for (size_t r = 0; r < table.num_columns(); ++r) {
+      if (l == r) continue;
+      if (pairs >= max_pairs_per_table_) return;
+      ++pairs;
+      const Column& lhs = table.column(l);
+      const Column& rhs = table.column(r);
+
+      const SynthesisResult synth =
+          SynthesizeColumnProgram(lhs, rhs, synthesis_);
+      if (!synth.found || synth.violating_rows.empty()) continue;
+      // A programmatic relationship exists and a few rows break it; run
+      // the ordinary FD perturbation test on the pair.
+      const FdCandidate cand =
+          ExtractFdCandidate(lhs, rhs, model_->token_index(), options);
+      if (!cand.valid || cand.dropped_rows.empty()) continue;
+      const double lr = model_->LikelihoodRatio(ErrorClass::kFd, cand.key,
+                                                cand.theta1, cand.theta2);
+      if (lr >= 1.0) continue;
+
+      Finding finding;
+      finding.error_class = ErrorClass::kFd;
+      finding.table_name = table.name();
+      finding.column = l;
+      finding.column2 = r;
+      // Rows the program fails to explain are the repairable violations;
+      // fall back to the FD candidate's rows if the program explains the
+      // FD-violating rows (conflict on lhs duplication only).
+      finding.rows = synth.violating_rows;
+      for (size_t row : cand.dropped_rows) finding.rows.push_back(row);
+      finding.value = lhs.cell(finding.rows.front()) + " -> " +
+                      rhs.cell(finding.rows.front());
+      finding.score = lr;
+      std::ostringstream os;
+      os << "program y = " << synth.program.Describe() << " (coverage "
+         << synth.coverage << "), FR " << cand.theta1 << " -> "
+         << cand.theta2 << ", LR=" << lr;
+      finding.explanation = os.str();
+      out->push_back(std::move(finding));
+    }
+  }
+}
+
+}  // namespace unidetect

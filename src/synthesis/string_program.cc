@@ -1,0 +1,195 @@
+#include "synthesis/string_program.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace unidetect {
+
+namespace {
+
+std::optional<std::string> ApplyTransform(TransformKind kind, char separator,
+                                          size_t token_index, long factor,
+                                          const std::string& input) {
+  switch (kind) {
+    case TransformKind::kIdentity:
+      return input;
+    case TransformKind::kUpperCase:
+      return ToUpper(input);
+    case TransformKind::kLowerCase:
+      return ToLower(input);
+    case TransformKind::kTokenAt: {
+      const std::vector<std::string> tokens = Split(input, separator);
+      if (token_index >= tokens.size()) return std::nullopt;
+      std::string token = std::string(Trim(tokens[token_index]));
+      if (token.empty()) return std::nullopt;
+      return token;
+    }
+    case TransformKind::kScaleInt: {
+      if (!LooksLikeInteger(input)) return std::nullopt;
+      const auto value = ParseNumeric(input);
+      if (!value.has_value()) return std::nullopt;
+      return std::to_string(static_cast<long long>(*value) * factor);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> StringProgram::Apply(
+    const std::string& input) const {
+  auto transformed =
+      ApplyTransform(transform, separator, token_index, factor, input);
+  if (!transformed.has_value()) return std::nullopt;
+  return prefix + *transformed + suffix;
+}
+
+std::string StringProgram::Describe() const {
+  std::string body;
+  switch (transform) {
+    case TransformKind::kIdentity:
+      body = "x";
+      break;
+    case TransformKind::kUpperCase:
+      body = "upper(x)";
+      break;
+    case TransformKind::kLowerCase:
+      body = "lower(x)";
+      break;
+    case TransformKind::kTokenAt:
+      body = "split(x, '" + std::string(1, separator) + "')[" +
+             std::to_string(token_index) + "]";
+      break;
+    case TransformKind::kScaleInt:
+      body = std::to_string(factor) + " * x";
+      break;
+  }
+  std::string out;
+  if (!prefix.empty()) out += "\"" + prefix + "\" + ";
+  out += body;
+  if (!suffix.empty()) out += " + \"" + suffix + "\"";
+  return out;
+}
+
+namespace {
+
+struct TransformSpec {
+  TransformKind kind;
+  char separator = ' ';
+  size_t token_index = 0;
+  long factor = 1;
+};
+
+// Fixed search order: simpler transforms first.
+std::vector<TransformSpec> TransformCandidates() {
+  std::vector<TransformSpec> out;
+  out.push_back({TransformKind::kIdentity});
+  out.push_back({TransformKind::kUpperCase});
+  out.push_back({TransformKind::kLowerCase});
+  for (char sep : {' ', ',', '-', '/'}) {
+    for (size_t k = 0; k < 3; ++k) {
+      out.push_back({TransformKind::kTokenAt, sep, k});
+    }
+  }
+  for (long factor : {2L, 3L, 10L, 100L}) {
+    TransformSpec spec;
+    spec.kind = TransformKind::kScaleInt;
+    spec.factor = factor;
+    out.push_back(spec);
+  }
+  return out;
+}
+
+// (prefix, suffix) decompositions of `target` around occurrences of
+// `core`.
+std::vector<std::pair<std::string, std::string>> Decompose(
+    const std::string& target, const std::string& core) {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (core.empty()) return out;
+  size_t pos = target.find(core);
+  while (pos != std::string::npos) {
+    out.emplace_back(target.substr(0, pos), target.substr(pos + core.size()));
+    pos = target.find(core, pos + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+SynthesisResult SynthesizeColumnProgram(const Column& lhs, const Column& rhs,
+                                        const SynthesisOptions& options) {
+  SynthesisResult result;
+  const size_t n = std::min(lhs.size(), rhs.size());
+  // Non-empty example rows.
+  std::vector<size_t> examples;
+  for (size_t row = 0; row < n; ++row) {
+    if (!Trim(lhs.cell(row)).empty() && !Trim(rhs.cell(row)).empty()) {
+      examples.push_back(row);
+    }
+  }
+  if (examples.size() < options.min_rows) return result;
+
+  const size_t seeds = std::min(examples.size(), options.max_seed_rows);
+  for (const TransformSpec& spec : TransformCandidates()) {
+    // Propose (prefix, suffix) pairs from a handful of seed rows. Any
+    // single seed may be the corrupted cell, so candidates are *voted on*
+    // over every example rather than intersected across seeds.
+    std::vector<std::pair<std::string, std::string>> candidates;
+    for (size_t s = 0; s < seeds && candidates.size() < 16; ++s) {
+      const size_t row = examples[s];
+      const auto core = ApplyTransform(spec.kind, spec.separator,
+                                       spec.token_index, spec.factor,
+                                       lhs.cell(row));
+      if (!core.has_value()) continue;
+      for (auto& candidate : Decompose(rhs.cell(row), *core)) {
+        if (std::find(candidates.begin(), candidates.end(), candidate) ==
+            candidates.end()) {
+          candidates.push_back(std::move(candidate));
+        }
+      }
+    }
+    if (candidates.empty()) continue;
+
+    // Vote: the candidate explaining the most example rows wins.
+    StringProgram best_program;
+    size_t best_explained = 0;
+    std::vector<size_t> best_violations;
+    for (const auto& [prefix, suffix] : candidates) {
+      StringProgram program;
+      program.transform = spec.kind;
+      program.separator = spec.separator;
+      program.token_index = spec.token_index;
+      program.factor = spec.factor;
+      program.prefix = prefix;
+      program.suffix = suffix;
+      std::vector<size_t> violations;
+      size_t explained = 0;
+      for (size_t row : examples) {
+        const auto predicted = program.Apply(lhs.cell(row));
+        if (predicted.has_value() && *predicted == rhs.cell(row)) {
+          ++explained;
+        } else {
+          violations.push_back(row);
+        }
+      }
+      if (explained > best_explained) {
+        best_explained = explained;
+        best_program = program;
+        best_violations = std::move(violations);
+      }
+    }
+    const double coverage = static_cast<double>(best_explained) /
+                            static_cast<double>(examples.size());
+    if (coverage < options.min_coverage) continue;
+
+    result.found = true;
+    result.program = best_program;
+    result.coverage = coverage;
+    result.violating_rows = std::move(best_violations);
+    return result;
+  }
+  return result;
+}
+
+}  // namespace unidetect

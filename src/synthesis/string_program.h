@@ -1,0 +1,73 @@
+// String-program synthesis for FD-synthesis (Appendix D): learns an
+// explicit programmatic relationship Y = prefix . T(X) . suffix between
+// two columns, where T is a small transform (identity, token extraction,
+// case folding). Examples the paper gives: "Malaysia Federal Route 748"
+// from shield "748" (Figure 13) and "Mr Gay Hong Kong" from country
+// "Hong Kong" (Figure 14).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "table/column.h"
+
+namespace unidetect {
+
+/// \brief The transform applied to the input value before concatenation.
+enum class TransformKind : int {
+  kIdentity = 0,
+  kTokenAt,    ///< k-th token after splitting on a separator
+  kUpperCase,
+  kLowerCase,
+  kScaleInt,   ///< integer multiplication (points = 3 * wins, cents = 100 * dollars)
+};
+
+/// \brief A synthesized unary string program: Apply(x) = prefix +
+/// transform(x) + suffix.
+struct StringProgram {
+  TransformKind transform = TransformKind::kIdentity;
+  char separator = ' ';  ///< only for kTokenAt
+  size_t token_index = 0;  ///< only for kTokenAt
+  long factor = 1;  ///< only for kScaleInt
+  std::string prefix;
+  std::string suffix;
+
+  /// \brief Evaluates the program; nullopt when the transform does not
+  /// apply (e.g. token index out of range).
+  std::optional<std::string> Apply(const std::string& input) const;
+
+  /// \brief Human-readable form, e.g. `"Mr " + x`.
+  std::string Describe() const;
+};
+
+/// \brief Result of synthesizing a program from (lhs, rhs) examples.
+struct SynthesisResult {
+  bool found = false;
+  StringProgram program;
+  /// Fraction of non-empty example rows the program explains.
+  double coverage = 0.0;
+  /// Rows where program(lhs) != rhs — FD-synthesis violation candidates.
+  std::vector<size_t> violating_rows;
+};
+
+/// \brief Synthesis options.
+struct SynthesisOptions {
+  /// A program must explain at least this fraction of rows.
+  double min_coverage = 0.7;
+  /// At least this many example rows are required.
+  size_t min_rows = 8;
+  /// Examples scanned for candidate (prefix, suffix) pairs; remaining
+  /// rows only vote.
+  size_t max_seed_rows = 20;
+};
+
+/// \brief Searches the program space for one explaining rhs from lhs.
+/// Deterministic: transforms are tried in a fixed order and the first
+/// program reaching full agreement on the seed rows wins (ties broken
+/// toward simpler transforms).
+SynthesisResult SynthesizeColumnProgram(const Column& lhs, const Column& rhs,
+                                        const SynthesisOptions& options = {});
+
+}  // namespace unidetect

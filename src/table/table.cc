@@ -1,0 +1,66 @@
+#include "table/table.h"
+
+#include <algorithm>
+
+namespace unidetect {
+
+Status Table::AddColumn(Column column) {
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "column '" + column.name() + "' has " + std::to_string(column.size()) +
+        " rows, table has " + std::to_string(num_rows()));
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Table Table::WithoutRows(const std::vector<size_t>& rows) const {
+  Table out(name_);
+  for (const auto& col : columns_) {
+    // Lengths stay consistent because every column drops the same rows.
+    Status st = out.AddColumn(col.WithoutRows(rows));
+    (void)st;
+  }
+  return out;
+}
+
+Result<Table> Table::FromCsv(const CsvData& csv, std::string name) {
+  size_t width = csv.header.size();
+  for (const auto& row : csv.rows) width = std::max(width, row.size());
+  if (width == 0) return Status::InvalidArgument("CSV has no columns");
+
+  Table out(std::move(name));
+  for (size_t c = 0; c < width; ++c) {
+    std::string col_name =
+        c < csv.header.size() ? csv.header[c] : "col" + std::to_string(c);
+    std::vector<std::string> cells;
+    cells.reserve(csv.rows.size());
+    for (const auto& row : csv.rows) {
+      cells.push_back(c < row.size() ? row[c] : std::string());
+    }
+    UNIDETECT_RETURN_NOT_OK(out.AddColumn(Column(std::move(col_name),
+                                                 std::move(cells))));
+  }
+  return out;
+}
+
+CsvData Table::ToCsv() const {
+  CsvData out;
+  out.header.reserve(columns_.size());
+  for (const auto& col : columns_) out.header.push_back(col.name());
+  out.rows.resize(num_rows());
+  for (auto& row : out.rows) row.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    for (size_t r = 0; r < col.size(); ++r) out.rows[r].push_back(col.cell(r));
+  }
+  return out;
+}
+
+}  // namespace unidetect

@@ -1,0 +1,57 @@
+// Table: a named collection of equal-length columns.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "table/column.h"
+#include "util/csv.h"
+#include "util/result.h"
+
+namespace unidetect {
+
+/// \brief A relational table (column-major).
+///
+/// All columns have the same number of rows; AddColumn enforces this.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_.front().size();
+  }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& mutable_column(size_t i) { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// \brief Appends a column; fails if its length differs from existing
+  /// columns.
+  Status AddColumn(Column column);
+
+  /// \brief Index of the column with the given name, or error.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// \brief Copy with the given rows removed from every column
+  /// (the table-level perturbation D \ O).
+  Table WithoutRows(const std::vector<size_t>& rows) const;
+
+  /// \brief Builds a Table from parsed CSV (column-major transpose).
+  /// Missing trailing fields become empty cells; extra fields error.
+  static Result<Table> FromCsv(const CsvData& csv, std::string name = "csv");
+
+  /// \brief Converts back to row-major CSV data.
+  CsvData ToCsv() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace unidetect

@@ -1,0 +1,93 @@
+#include "table/types.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace unidetect {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kEmpty:
+      return "empty";
+    case ValueType::kInteger:
+      return "integer";
+    case ValueType::kFloat:
+      return "float";
+    case ValueType::kDate:
+      return "date";
+    case ValueType::kMixedAlnum:
+      return "mixed-alnum";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kUnknown:
+      return "unknown";
+    case ColumnType::kInteger:
+      return "integer";
+    case ColumnType::kFloat:
+      return "float";
+    case ColumnType::kDate:
+      return "date";
+    case ColumnType::kMixedAlnum:
+      return "mixed-alnum";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+namespace {
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool LooksLikeDate(std::string_view cell) {
+  std::string_view s = Trim(cell);
+  for (char sep : {'-', '/'}) {
+    // Find exactly two separators.
+    size_t p1 = s.find(sep);
+    if (p1 == std::string_view::npos) continue;
+    size_t p2 = s.find(sep, p1 + 1);
+    if (p2 == std::string_view::npos) continue;
+    if (s.find(sep, p2 + 1) != std::string_view::npos) continue;
+    std::string_view a = s.substr(0, p1);
+    std::string_view b = s.substr(p1 + 1, p2 - p1 - 1);
+    std::string_view c = s.substr(p2 + 1);
+    if (!AllDigits(a) || !AllDigits(b) || !AllDigits(c)) continue;
+    // Y-M-D or D-M-Y / M-D-Y: one 4-digit year part at either end,
+    // the others 1-2 digits.
+    const bool ymd = a.size() == 4 && b.size() <= 2 && c.size() <= 2;
+    const bool dmy = c.size() == 4 && a.size() <= 2 && b.size() <= 2;
+    if (ymd || dmy) return true;
+  }
+  return false;
+}
+
+ValueType ClassifyValue(std::string_view cell) {
+  std::string_view s = Trim(cell);
+  if (s.empty()) return ValueType::kEmpty;
+  if (LooksLikeDate(s)) return ValueType::kDate;
+  if (LooksLikeInteger(s)) return ValueType::kInteger;
+  if (ParseNumeric(s).has_value()) return ValueType::kFloat;
+  bool has_letter = false;
+  bool has_digit = false;
+  for (char c : s) {
+    if (std::isalpha(static_cast<unsigned char>(c))) has_letter = true;
+    if (std::isdigit(static_cast<unsigned char>(c))) has_digit = true;
+  }
+  if (has_letter && has_digit) return ValueType::kMixedAlnum;
+  return ValueType::kString;
+}
+
+}  // namespace unidetect

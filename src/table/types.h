@@ -1,0 +1,53 @@
+// Value and column type classification used by Uni-Detect featurization.
+//
+// The paper (Sections 2.2.2, 3.1-3.4) featurizes columns by data type:
+// string vs. integer vs. floating-point vs. mixed-alphanumeric. Dates are
+// recognized separately because date columns behave like "numbers that can
+// collide by chance" for uniqueness reasoning (Figure 2(b)).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace unidetect {
+
+/// \brief Type of a single cell value.
+enum class ValueType : int {
+  kEmpty = 0,
+  kInteger = 1,
+  kFloat = 2,
+  kDate = 3,
+  kMixedAlnum = 4,  ///< letters and digits mixed, e.g. "KV214-310B8K2"
+  kString = 5,      ///< letters/punctuation only
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// \brief Dominant type of a column, the first featurization dimension.
+enum class ColumnType : int {
+  kUnknown = 0,
+  kInteger = 1,
+  kFloat = 2,
+  kDate = 3,
+  kMixedAlnum = 4,
+  kString = 5,
+};
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// \brief Classifies one cell.
+///
+/// Rules (checked in order):
+///  - empty / whitespace-only        -> kEmpty
+///  - parses as integer (commas ok)  -> kInteger
+///  - parses as number               -> kFloat
+///  - ISO-like date (Y-M-D, M/D/Y)   -> kDate
+///  - contains letters AND digits    -> kMixedAlnum
+///  - otherwise                      -> kString
+ValueType ClassifyValue(std::string_view cell);
+
+/// \brief True for "2015-04-01", "04/01/2015", "2015/04/01" shapes.
+bool LooksLikeDate(std::string_view cell);
+
+}  // namespace unidetect

@@ -1,0 +1,130 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace unidetect {
+
+Result<CsvData> ParseCsv(std::string_view text, const CsvOptions& options) {
+  CsvData out;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+
+  auto end_field = [&] {
+    if (options.trim_fields && !field_was_quoted) {
+      field = std::string(Trim(field));
+    }
+    record.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    // Skip records that are entirely empty (e.g., trailing newline).
+    if (!(record.size() == 1 && record[0].empty())) {
+      out.rows.push_back(std::move(record));
+    }
+    record.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      field_was_quoted = true;
+    } else if (c == options.delimiter) {
+      end_field();
+    } else if (c == '\n') {
+      end_record();
+    } else if (c == '\r') {
+      // consumed; \r\n handled when \n arrives, bare \r ends the record
+      if (i + 1 >= text.size() || text[i + 1] != '\n') end_record();
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("CSV ends inside a quoted field");
+  }
+  if (!field.empty() || !record.empty()) end_record();
+
+  if (options.has_header && !out.rows.empty()) {
+    out.header = std::move(out.rows.front());
+    out.rows.erase(out.rows.begin());
+  }
+  return out;
+}
+
+Result<CsvData> ReadCsvFile(const std::string& path,
+                            const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+namespace {
+void AppendField(std::string& out, const std::string& field, char delimiter) {
+  const bool needs_quotes =
+      field.find(delimiter) != std::string::npos ||
+      field.find('"') != std::string::npos ||
+      field.find('\n') != std::string::npos ||
+      field.find('\r') != std::string::npos;
+  if (!needs_quotes) {
+    out += field;
+    return;
+  }
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+void AppendRecord(std::string& out, const std::vector<std::string>& record,
+                  char delimiter) {
+  for (size_t i = 0; i < record.size(); ++i) {
+    if (i > 0) out.push_back(delimiter);
+    AppendField(out, record[i], delimiter);
+  }
+  out.push_back('\n');
+}
+}  // namespace
+
+std::string WriteCsv(const CsvData& data, char delimiter) {
+  std::string out;
+  if (!data.header.empty()) AppendRecord(out, data.header, delimiter);
+  for (const auto& row : data.rows) AppendRecord(out, row, delimiter);
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvData& data,
+                    char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  const std::string text = WriteCsv(data, delimiter);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace unidetect

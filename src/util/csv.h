@@ -1,0 +1,45 @@
+// RFC-4180-style CSV reading and writing for the example applications and
+// for importing user spreadsheets into the Table model.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace unidetect {
+
+/// \brief Parsing options for CSV input.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Treat the first record as column headers.
+  bool has_header = true;
+  /// Trim ASCII whitespace around unquoted fields.
+  bool trim_fields = true;
+};
+
+/// \brief A parsed CSV file: header (possibly empty) plus data rows.
+struct CsvData {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// \brief Parses CSV text. Handles quoted fields, embedded delimiters,
+/// escaped quotes (""), and both \n and \r\n record separators.
+Result<CsvData> ParseCsv(std::string_view text, const CsvOptions& options = {});
+
+/// \brief Reads and parses a CSV file from disk.
+Result<CsvData> ReadCsvFile(const std::string& path,
+                            const CsvOptions& options = {});
+
+/// \brief Serializes rows to CSV, quoting fields only when required.
+std::string WriteCsv(const CsvData& data, char delimiter = ',');
+
+/// \brief Writes CSV text to a file.
+Status WriteCsvFile(const std::string& path, const CsvData& data,
+                    char delimiter = ',');
+
+}  // namespace unidetect

@@ -1,0 +1,56 @@
+#include "util/json.h"
+
+#include <cstdio>
+
+namespace unidetect {
+
+void AppendJsonString(std::string_view value, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20 || c >= 0x7f) {
+          // Control bytes and anything non-ASCII: escape byte-wise. This
+          // mangles multi-byte UTF-8 into per-byte escapes, which is
+          // lossy for readers expecting text but always yields valid
+          // JSON; table cells in this codebase are ASCII.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+        break;
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonString(std::string_view value) {
+  std::string out;
+  AppendJsonString(value, &out);
+  return out;
+}
+
+}  // namespace unidetect

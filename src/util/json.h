@@ -1,0 +1,19 @@
+// Minimal JSON writing (no parsing): enough to export findings and
+// repair suggestions for downstream tools. Strings are escaped per RFC
+// 8259; invalid UTF-8 bytes are emitted as \u00XX escapes so output is
+// always valid JSON even for binary-ish cells.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace unidetect {
+
+/// \brief Appends a JSON string literal (with quotes) to `out`.
+void AppendJsonString(std::string_view value, std::string* out);
+
+/// \brief Returns the JSON string literal for `value`.
+std::string JsonString(std::string_view value);
+
+}  // namespace unidetect

@@ -1,0 +1,54 @@
+// Leveled logging to stderr, plus CHECK macros for internal invariants.
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace unidetect {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void FatalCheckFailure(const char* expr, const char* file,
+                                    int line);
+
+}  // namespace internal
+
+#define UNIDETECT_LOG(level)                                          \
+  ::unidetect::internal::LogMessage(::unidetect::LogLevel::k##level, \
+                                    __FILE__, __LINE__)
+
+/// \brief Aborts with a message when an internal invariant is violated.
+/// Unlike assert(), CHECK is active in release builds: a corrupted model
+/// or histogram must never silently produce wrong statistics.
+#define UNIDETECT_CHECK(expr)                                             \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::unidetect::internal::FatalCheckFailure(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+}  // namespace unidetect

@@ -1,0 +1,124 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace unidetect {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's nearly-divisionless method would be faster; modulo bias for
+  // 64-bit state and corpus-scale bounds is negligible (< 2^-40).
+  return Next() % bound;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::Pareto(double xm, double alpha) {
+  double u = 0.0;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  // Inverse-CDF on the truncated zeta distribution via the integral
+  // approximation H(x) = (x^(1-s) - 1) / (1 - s); exact enough for corpus
+  // shaping and O(1) per sample.
+  if (n <= 1) return 0;
+  if (s == 1.0) s = 1.0000001;
+  const double h_n =
+      (std::pow(static_cast<double>(n) + 0.5, 1.0 - s) - 1.0) / (1.0 - s);
+  const double u = NextDouble() * h_n;
+  const double x = std::pow(u * (1.0 - s) + 1.0, 1.0 / (1.0 - s)) - 0.5;
+  auto rank = static_cast<uint64_t>(x);
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+size_t Rng::PickWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target <= 0.0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+std::string Rng::AlphaString(size_t length) {
+  std::string out(length, 'a');
+  for (auto& c : out) c = static_cast<char>('a' + NextBounded(26));
+  return out;
+}
+
+std::string Rng::DigitString(size_t length) {
+  std::string out(length, '0');
+  for (size_t i = 0; i < length; ++i) {
+    if (i == 0 && length > 1) {
+      out[i] = static_cast<char>('1' + NextBounded(9));
+    } else {
+      out[i] = static_cast<char>('0' + NextBounded(10));
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace unidetect

@@ -1,0 +1,77 @@
+// Result<T>: a value-or-Status, the return type of fallible producers.
+
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace unidetect {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Accessing the value of an errored Result is a
+/// programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, so `return st;` works).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : storage_(std::move(status)) {
+    assert(!std::get<Status>(storage_).ok() &&
+           "Result constructed from OK status carries no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// \brief The error status; Status::OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(storage_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(storage_));
+  }
+
+  /// \brief Convenience aliases matching arrow::Result.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) && {
+    if (ok()) return std::move(std::get<T>(storage_));
+    return alternative;
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+/// \brief Assigns the value of a Result expression or propagates its error.
+#define UNIDETECT_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto UNIDETECT_CONCAT_(res_, __LINE__) = (expr);     \
+  if (!UNIDETECT_CONCAT_(res_, __LINE__).ok())         \
+    return UNIDETECT_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(UNIDETECT_CONCAT_(res_, __LINE__)).ValueOrDie()
+
+#define UNIDETECT_CONCAT_IMPL_(a, b) a##b
+#define UNIDETECT_CONCAT_(a, b) UNIDETECT_CONCAT_IMPL_(a, b)
+
+}  // namespace unidetect

@@ -1,0 +1,102 @@
+// Status: error propagation without exceptions across API boundaries,
+// following the Arrow/RocksDB convention used throughout this codebase.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace unidetect {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kCorruption = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+};
+
+/// \brief Returns a human-readable name for a StatusCode ("OK", "IOError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail.
+///
+/// A Status is either OK (the default) or carries a code and message.
+/// Functions that can fail return Status (or Result<T> when they also
+/// produce a value). Statuses are cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// \brief Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  /// \brief "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Returns early with the status if the expression is not OK.
+#define UNIDETECT_RETURN_NOT_OK(expr)        \
+  do {                                       \
+    ::unidetect::Status _st = (expr);        \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace unidetect

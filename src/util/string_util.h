@@ -1,0 +1,49 @@
+// Small string helpers shared across the library.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unidetect {
+
+/// \brief Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Splits on runs of whitespace and common punctuation, dropping
+/// empty tokens. This is the canonical cell tokenizer used for token
+/// prevalence and dictionary features.
+std::vector<std::string> TokenizeCell(std::string_view s);
+
+/// \brief Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// \brief ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// \brief ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Parses a numeric cell.
+///
+/// Accepts optional sign, decimal point, thousands separators ("8,011"),
+/// leading/trailing whitespace, and a trailing '%'. Returns nullopt for
+/// anything else (including empty strings).
+std::optional<double> ParseNumeric(std::string_view s);
+
+/// \brief True if the trimmed cell parses as an integer (no '.', no exponent).
+bool LooksLikeInteger(std::string_view s);
+
+/// \brief Formats a double the way the corpus generators and examples print
+/// numbers: up to `precision` digits after the point, trailing zeros trimmed.
+std::string FormatDouble(double v, int precision = 6);
+
+}  // namespace unidetect

@@ -1,0 +1,58 @@
+// Fixed-size thread pool used by the offline learning component.
+//
+// The paper crunches the corpus with MapReduce-like jobs; we use a shared
+// pool plus ParallelFor, which partitions an index range into contiguous
+// shards (one per worker) so each shard can own a deterministic forked Rng.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace unidetect {
+
+/// \brief Minimal work-queue thread pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 means hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// \brief Runs fn(shard_index, begin, end) over [0, n) split into
+/// contiguous shards, one per pool thread, and waits for completion.
+///
+/// Shard boundaries depend only on (n, pool size), so callers can derive
+/// deterministic per-shard state from shard_index.
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t shard, size_t begin,
+                                          size_t end)>& fn);
+
+}  // namespace unidetect

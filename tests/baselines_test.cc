@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "baselines/constraint_baselines.h"
+#include "baselines/outlier_baselines.h"
+#include "baselines/spelling_baselines.h"
+
+namespace unidetect {
+namespace {
+
+Table OneColumnTable(std::vector<std::string> cells,
+                     const char* name = "col") {
+  Table table("t");
+  EXPECT_TRUE(table.AddColumn(Column(name, std::move(cells))).ok());
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Outlier baselines.
+
+TEST(MaxMadBaselineTest, FlagsExtremeWithNegatedScore) {
+  MaxMadBaseline baseline;
+  std::vector<Finding> findings;
+  baseline.Detect(
+      OneColumnTable({"10", "11", "12", "10.5", "11.5", "13", "12.5", "9000"}),
+      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rows, (std::vector<size_t>{7}));
+  EXPECT_LT(findings[0].score, -10.0);  // negated MAD score
+}
+
+TEST(MaxSdBaselineTest, SkipsTinyColumns) {
+  MaxSdBaseline baseline;
+  std::vector<Finding> findings;
+  baseline.Detect(OneColumnTable({"1", "2", "900"}), &findings);
+  EXPECT_TRUE(findings.empty());  // < 8 numeric values
+}
+
+TEST(DbodBaselineTest, ScoresDetachedExtreme) {
+  DbodBaseline baseline;
+  std::vector<Finding> findings;
+  baseline.Detect(
+      OneColumnTable({"1", "2", "3", "4", "5", "6", "7", "1000"}), &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rows, (std::vector<size_t>{7}));
+  // DBOD = (1000 - 7) / (1000 - 1).
+  EXPECT_NEAR(-findings[0].score, 993.0 / 999.0, 1e-9);
+}
+
+TEST(DbodBaselineTest, FlagsDetachedMinimumToo) {
+  DbodBaseline baseline;
+  std::vector<Finding> findings;
+  baseline.Detect(
+      OneColumnTable({"-1000", "1", "2", "3", "4", "5", "6", "7"}),
+      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rows, (std::vector<size_t>{0}));
+}
+
+TEST(LofBaselineTest, ComputeLofIsolatesOutlier) {
+  std::vector<double> values = {1, 1.1, 1.2, 0.9, 1.05, 0.95, 1.15, 50};
+  const std::vector<double> lof = LofBaseline::ComputeLof(values, 3);
+  ASSERT_EQ(lof.size(), values.size());
+  size_t best = 0;
+  for (size_t i = 1; i < lof.size(); ++i) {
+    if (lof[i] > lof[best]) best = i;
+  }
+  EXPECT_EQ(best, 7u);
+  EXPECT_GT(lof[7], 2.0);
+  // Inliers sit near density 1.
+  EXPECT_LT(lof[0], 2.0);
+}
+
+TEST(LofBaselineTest, TooFewPointsGivesZeros) {
+  const std::vector<double> lof = LofBaseline::ComputeLof({1, 2}, 5);
+  for (double v : lof) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Spelling baselines.
+
+TEST(FuzzyClusterTest, RanksCloserPairsFirst) {
+  FuzzyClusterBaseline baseline;
+  std::vector<Finding> findings;
+  baseline.Detect(OneColumnTable({"Mississippi", "Mississipi", "Ohio",
+                                  "Texas", "Nevada"}),
+                  &findings);
+  ASSERT_GE(findings.size(), 1u);
+  EXPECT_NE(findings[0].value.find("Mississipi"), std::string::npos);
+}
+
+TEST(FuzzyClusterTest, IgnoresNumericColumns) {
+  FuzzyClusterBaseline baseline;
+  std::vector<Finding> findings;
+  baseline.Detect(OneColumnTable({"100", "101", "102", "103"}), &findings);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(WordFrequencyTest, BestCorrectionFindsPopularNeighbor) {
+  TokenIndex index;
+  for (int i = 0; i < 100; ++i) {
+    Table table("t");
+    ASSERT_TRUE(table.AddColumn(Column("c", {"chicago"})).ok());
+    index.AddTable(table);
+  }
+  const WordFrequency frequency(index);
+  EXPECT_EQ(frequency.Count("chicago"), 100u);
+  EXPECT_EQ(frequency.BestCorrection("chicagoo", 50), "chicago");
+  EXPECT_EQ(frequency.BestCorrection("chicgo", 50), "chicago");
+  EXPECT_EQ(frequency.BestCorrection("hcicago", 50), "chicago");  // transpose
+  EXPECT_EQ(frequency.BestCorrection("zzz", 50), "");
+  // A word never corrects to itself.
+  EXPECT_EQ(frequency.BestCorrection("chicago", 50), "");
+}
+
+TEST(SpellerBaselineTest, FlagsRareTokenWithPopularNeighbor) {
+  TokenIndex index;
+  for (int i = 0; i < 100; ++i) {
+    Table table("t");
+    ASSERT_TRUE(table.AddColumn(Column("c", {"london paris berlin"})).ok());
+    index.AddTable(table);
+  }
+  const WordFrequency frequency(index);
+  SpellerBaseline baseline(&frequency);
+  std::vector<Finding> findings;
+  baseline.Detect(OneColumnTable({"londn", "paris", "berlin"}), &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rows, (std::vector<size_t>{0}));
+}
+
+TEST(SpellerBaselineTest, AddressOnlyRestrictsColumns) {
+  TokenIndex index;
+  for (int i = 0; i < 100; ++i) {
+    Table table("t");
+    ASSERT_TRUE(table.AddColumn(Column("c", {"london"})).ok());
+    index.AddTable(table);
+  }
+  const WordFrequency frequency(index);
+  SpellerOptions options;
+  options.address_only = true;
+  SpellerBaseline baseline(&frequency, options);
+
+  Table with_city("t");
+  ASSERT_TRUE(with_city.AddColumn(Column("City", {"londn", "london"})).ok());
+  Table without("t");
+  ASSERT_TRUE(without.AddColumn(Column("Notes", {"londn", "london"})).ok());
+  std::vector<Finding> findings;
+  baseline.Detect(without, &findings);
+  EXPECT_TRUE(findings.empty());
+  baseline.Detect(with_city, &findings);
+  EXPECT_EQ(findings.size(), 1u);
+}
+
+TEST(OovBaselineTest, FlagsUnknownTokensOnly) {
+  TokenIndex index;
+  for (int i = 0; i < 50; ++i) {
+    Table table("t");
+    ASSERT_TRUE(table.AddColumn(Column("c", {"common words here"})).ok());
+    index.AddTable(table);
+  }
+  OovBaseline baseline(&index, "GloVe", 10);
+  std::vector<Finding> findings;
+  baseline.Detect(OneColumnTable({"common", "xqzvkw", "words"}), &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rows, (std::vector<size_t>{1}));
+}
+
+// ---------------------------------------------------------------------------
+// Uniqueness / FD baselines.
+
+TEST(UniqueRowRatioTest, FlagsAlmostUniqueOnly) {
+  UniqueRowRatioBaseline baseline(0.9);
+  std::vector<Finding> findings;
+  // 9/10 distinct -> flagged.
+  baseline.Detect(OneColumnTable({"a", "b", "c", "d", "e", "f", "g", "h",
+                                  "i", "a"}),
+                  &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NEAR(-findings[0].score, 0.9, 1e-9);
+  // Fully unique -> nothing to flag.
+  findings.clear();
+  baseline.Detect(OneColumnTable({"a", "b", "c", "d", "e", "f", "g", "h"}),
+                  &findings);
+  EXPECT_TRUE(findings.empty());
+  // Mostly duplicated -> below threshold.
+  findings.clear();
+  baseline.Detect(OneColumnTable({"a", "a", "a", "b", "b", "b", "c", "c"}),
+                  &findings);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(UniqueValueRatioTest, RobustToFrequencyOutliers) {
+  // One value repeated many times, the rest singletons: unique-VALUE
+  // ratio stays high (9/10 distinct values are singletons) even though
+  // unique-ROW ratio is low.
+  std::vector<std::string> cells = {"x", "x", "x", "x", "x", "x", "x",
+                                    "x", "x", "x"};
+  for (int i = 0; i < 9; ++i) cells.push_back("v" + std::to_string(i));
+  UniqueValueRatioBaseline uvr(0.85);
+  UniqueRowRatioBaseline urr(0.85);
+  std::vector<Finding> uvr_findings;
+  std::vector<Finding> urr_findings;
+  uvr.Detect(OneColumnTable(cells), &uvr_findings);
+  urr.Detect(OneColumnTable(cells), &urr_findings);
+  EXPECT_EQ(uvr_findings.size(), 1u);
+  EXPECT_TRUE(urr_findings.empty());
+}
+
+Table FdTable() {
+  Table table("t");
+  std::vector<std::string> lhs;
+  std::vector<std::string> rhs;
+  for (int i = 0; i < 10; ++i) {
+    lhs.push_back("k" + std::to_string(i));
+    rhs.push_back("v" + std::to_string(i / 2));  // 2 lhs per rhs value
+  }
+  lhs[9] = "k0";  // duplicate key with conflicting value
+  EXPECT_TRUE(table.AddColumn(Column("lhs", lhs)).ok());
+  EXPECT_TRUE(table.AddColumn(Column("rhs", rhs)).ok());
+  return table;
+}
+
+TEST(UniqueProjectionRatioTest, FlagsNearFd) {
+  UniqueProjectionRatioBaseline baseline(0.8);
+  std::vector<Finding> findings;
+  baseline.Detect(FdTable(), &findings);
+  ASSERT_GE(findings.size(), 1u);
+  EXPECT_EQ(findings[0].column, 0u);
+  EXPECT_EQ(findings[0].column2, 1u);
+  // |pi_X| = 9 distinct lhs, |pi_XY| = 10 distinct pairs -> 0.9.
+  EXPECT_NEAR(-findings[0].score, 0.9, 1e-9);
+}
+
+TEST(ConformingRowRatioTest, CountsConformingRows) {
+  ConformingRowRatioBaseline baseline(0.5);
+  std::vector<Finding> findings;
+  baseline.Detect(FdTable(), &findings);
+  ASSERT_GE(findings.size(), 1u);
+  // Rows 0 and 9 (the conflicting k0 group) do not conform: 8/10.
+  EXPECT_NEAR(-findings[0].score, 0.8, 1e-9);
+}
+
+TEST(ConformingPairRatioTest, QuadraticPenaltyIsMild) {
+  ConformingPairRatioBaseline baseline(0.5);
+  std::vector<Finding> findings;
+  baseline.Detect(FdTable(), &findings);
+  ASSERT_GE(findings.size(), 1u);
+  // 2 conflicting ordered pairs out of 100 -> 0.98.
+  EXPECT_NEAR(-findings[0].score, 0.98, 1e-9);
+}
+
+TEST(ApproximateFdTest, ExactFdNotFlagged) {
+  Table table("t");
+  ASSERT_TRUE(table
+                  .AddColumn(Column("city", {"a", "b", "a", "b", "c", "d",
+                                             "c", "d"}))
+                  .ok());
+  ASSERT_TRUE(table
+                  .AddColumn(Column("country", {"1", "2", "1", "2", "3", "4",
+                                                "3", "4"}))
+                  .ok());
+  UniqueProjectionRatioBaseline baseline(0.5);
+  std::vector<Finding> findings;
+  baseline.Detect(table, &findings);
+  EXPECT_TRUE(findings.empty());  // no violating rows anywhere
+}
+
+TEST(BaselineCorpusRunTest, RanksBestFirstAcrossTables) {
+  Corpus corpus;
+  corpus.tables.push_back(
+      OneColumnTable({"1", "2", "3", "4", "5", "6", "7", "50"}));
+  corpus.tables.push_back(
+      OneColumnTable({"1", "2", "3", "4", "5", "6", "7", "5000"}));
+  MaxMadBaseline baseline;
+  const std::vector<Finding> ranked = baseline.DetectCorpus(corpus);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].table_index, 1u);  // larger score ranks first
+  EXPECT_EQ(ranked[1].table_index, 0u);
+}
+
+}  // namespace
+}  // namespace unidetect

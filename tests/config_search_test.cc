@@ -1,0 +1,109 @@
+#include "search/config_search.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "eval/injection.h"
+
+namespace unidetect {
+namespace {
+
+TEST(EvalMetricTest, PerKindValidity) {
+  Column numeric("n", {"1", "2", "3", "4", "5", "6", "7", "100"});
+  Column strings("s", {"alpha", "beta", "gamma", "delta"});
+
+  EXPECT_TRUE(EvalMetric(MetricKind::kMaxMad, numeric).valid);
+  EXPECT_TRUE(EvalMetric(MetricKind::kMaxSd, numeric).valid);
+  EXPECT_FALSE(EvalMetric(MetricKind::kMpd, numeric).valid);
+  EXPECT_TRUE(EvalMetric(MetricKind::kUr, numeric).valid);
+
+  EXPECT_FALSE(EvalMetric(MetricKind::kMaxMad, strings).valid);
+  EXPECT_TRUE(EvalMetric(MetricKind::kMpd, strings).valid);
+  EXPECT_TRUE(EvalMetric(MetricKind::kUr, strings).valid);
+}
+
+TEST(EvalMetricTest, UrValueMatchesProfile) {
+  Column col("c", {"a", "b", "a", "c"});
+  const MetricValue value = EvalMetric(MetricKind::kUr, col);
+  ASSERT_TRUE(value.valid);
+  EXPECT_DOUBLE_EQ(value.value, 0.75);
+}
+
+TEST(DirectionOfMetricTest, Tails) {
+  EXPECT_EQ(DirectionOfMetric(MetricKind::kMaxMad),
+            SurpriseDirection::kHigherMoreSurprising);
+  EXPECT_EQ(DirectionOfMetric(MetricKind::kMpd),
+            SurpriseDirection::kLowerMoreSurprising);
+  EXPECT_EQ(DirectionOfMetric(MetricKind::kUr),
+            SurpriseDirection::kLowerMoreSurprising);
+}
+
+TEST(SelectPerturbationRowsTest, EachKindSelectsItsTarget) {
+  Column numeric("n", {"1", "2", "3", "4", "900"});
+  EXPECT_EQ(SelectPerturbationRows(PerturbationKind::kDropMostOutlying,
+                                   numeric, 2),
+            (std::vector<size_t>{4}));
+
+  Column dups("d", {"a", "b", "a", "c", "b"});
+  EXPECT_EQ(SelectPerturbationRows(PerturbationKind::kDropDuplicates, dups, 5),
+            (std::vector<size_t>{2, 4}));
+  // Epsilon caps.
+  EXPECT_EQ(
+      SelectPerturbationRows(PerturbationKind::kDropDuplicates, dups, 1),
+      (std::vector<size_t>{2}));
+
+  Column names("s", {"Chicago", "Chicagoo", "Boston", "Denver"});
+  const auto rows =
+      SelectPerturbationRows(PerturbationKind::kDropClosestPair, names, 1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0] == 0 || rows[0] == 1);
+}
+
+TEST(ConfigurationTest, ToStringNamesParts) {
+  Configuration config;
+  config.metric = MetricKind::kMpd;
+  config.perturbation = PerturbationKind::kDropClosestPair;
+  EXPECT_EQ(config.ToString(), "MPD + drop-closest-pair");
+}
+
+TEST(SearchConfigurationsTest, AlignedConfigsBeatMismatched) {
+  const AnnotatedCorpus background = GenerateCorpus(WebCorpusSpec(1200, 1));
+  AnnotatedCorpus targets = GenerateCorpus(WebCorpusSpec(400, 555));
+  InjectErrors(&targets, InjectionSpec());
+
+  ConfigSearchOptions options;
+  options.min_support = 15;
+  options.alpha = 0.05;  // small corpora: looser significance bar
+  const auto results =
+      SearchConfigurations(background.corpus, targets.corpus, options);
+  ASSERT_EQ(results.size(),
+            static_cast<size_t>(kNumMetricKinds * kNumPerturbationKinds));
+  // Results sorted by discoveries descending.
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].discoveries, results[i].discoveries);
+  }
+
+  auto discoveries_of = [&](MetricKind m, PerturbationKind p) {
+    for (const auto& result : results) {
+      if (result.config.metric == m && result.config.perturbation == p) {
+        return result.discoveries;
+      }
+    }
+    return size_t{0};
+  };
+  // The paper's canonical bad combo finds nothing; its aligned
+  // counterpart finds plenty.
+  EXPECT_GT(discoveries_of(MetricKind::kUr,
+                           PerturbationKind::kDropDuplicates),
+            0u);
+  EXPECT_EQ(discoveries_of(MetricKind::kMpd,
+                           PerturbationKind::kDropDuplicates),
+            0u);
+  EXPECT_GT(discoveries_of(MetricKind::kMaxMad,
+                           PerturbationKind::kDropMostOutlying),
+            discoveries_of(MetricKind::kMaxMad,
+                           PerturbationKind::kDropDuplicates));
+}
+
+}  // namespace
+}  // namespace unidetect

@@ -1,0 +1,73 @@
+#include "corpus/corpus_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "corpus/generator.h"
+
+namespace unidetect {
+namespace {
+
+TEST(CorpusIoTest, SaveLoadRoundTrip) {
+  const std::string dir = testing::TempDir() + "/unidetect_corpus_io";
+  std::filesystem::remove_all(dir);
+
+  const Corpus original = GenerateCorpus(WebCorpusSpec(12, 9)).corpus;
+  ASSERT_TRUE(SaveCorpusToDirectory(original, dir).ok());
+
+  auto loaded = LoadCorpusFromDirectory(dir);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->tables.size(), original.tables.size());
+  for (size_t i = 0; i < original.tables.size(); ++i) {
+    const Table& a = original.tables[i];
+    const Table& b = loaded->tables[i];
+    ASSERT_EQ(a.num_columns(), b.num_columns()) << a.name();
+    ASSERT_EQ(a.num_rows(), b.num_rows()) << a.name();
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.column(c).name(), b.column(c).name());
+      EXPECT_EQ(a.column(c).cells(), b.column(c).cells());
+    }
+  }
+}
+
+TEST(CorpusIoTest, MissingDirectoryIsNotFound) {
+  auto result = LoadCorpusFromDirectory("/nonexistent/unidetect/dir");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(CorpusIoTest, JunkFilesAreSkippedNotFatal) {
+  const std::string dir = testing::TempDir() + "/unidetect_corpus_junk";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream good(dir + "/a_good.csv");
+    good << "x,y\n1,2\n";
+    std::ofstream bad(dir + "/b_bad.csv");
+    bad << "x\n\"unterminated\n";
+    std::ofstream ignored(dir + "/notes.txt");
+    ignored << "not a table";
+  }
+  auto loaded = LoadCorpusFromDirectory(dir);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->tables.size(), 1u);
+  EXPECT_EQ(loaded->tables[0].name(), "a_good");
+}
+
+TEST(CorpusIoTest, FileNamesSanitized) {
+  const std::string dir = testing::TempDir() + "/unidetect_corpus_names";
+  std::filesystem::remove_all(dir);
+  Corpus corpus;
+  Table table("we/ird name!");
+  ASSERT_TRUE(table.AddColumn(Column("c", {"1"})).ok());
+  corpus.tables.push_back(std::move(table));
+  ASSERT_TRUE(SaveCorpusToDirectory(corpus, dir).ok());
+  auto loaded = LoadCorpusFromDirectory(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->tables.size(), 1u);
+}
+
+}  // namespace
+}  // namespace unidetect

@@ -1,0 +1,91 @@
+// Fuzz-style property test: the CSV parser must never crash, loop, or
+// mis-handle arbitrary byte soup, and must round-trip anything the
+// writer produces.
+
+#include <gtest/gtest.h>
+
+#include "table/table.h"
+#include "util/csv.h"
+#include "util/random.h"
+
+namespace unidetect {
+namespace {
+
+class CsvFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvFuzzTest, ParserNeverCrashesOnRandomBytes) {
+  Rng rng(GetParam());
+  static const char kAlphabet[] = "ab,\"\n\r \t;x1.\\";
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string soup;
+    const size_t len = rng.NextBounded(200);
+    for (size_t i = 0; i < len; ++i) {
+      soup.push_back(kAlphabet[rng.NextBounded(sizeof(kAlphabet) - 1)]);
+    }
+    auto parsed = ParseCsv(soup);
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsCorruption());
+      continue;
+    }
+    // Any successful parse yields rectangular-izable data.
+    auto table = Table::FromCsv(*parsed, "fuzz");
+    if (table.ok()) {
+      EXPECT_EQ(table->num_rows(), parsed->rows.size());
+    }
+  }
+}
+
+TEST_P(CsvFuzzTest, WriterOutputAlwaysReparses) {
+  Rng rng(GetParam() + 1000);
+  static const char kCellAlphabet[] = "ab,\"\n\r \t;x1.\\'|";
+  for (int trial = 0; trial < 200; ++trial) {
+    CsvData data;
+    const size_t cols = 1 + rng.NextBounded(4);
+    for (size_t c = 0; c < cols; ++c) {
+      data.header.push_back("c" + std::to_string(c));
+    }
+    const size_t rows = rng.NextBounded(6);
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < cols; ++c) {
+        std::string cell;
+        const size_t len = rng.NextBounded(12);
+        for (size_t i = 0; i < len; ++i) {
+          cell.push_back(
+              kCellAlphabet[rng.NextBounded(sizeof(kCellAlphabet) - 1)]);
+        }
+        row.push_back(std::move(cell));
+      }
+      data.rows.push_back(std::move(row));
+    }
+    CsvOptions exact;
+    exact.trim_fields = false;
+    auto reparsed = ParseCsv(WriteCsv(data), exact);
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed->header, data.header);
+    // Writer-then-parser must preserve every cell byte-for-byte, except
+    // rows that are entirely empty (the parser drops blank records).
+    size_t non_empty_rows = 0;
+    for (const auto& row : data.rows) {
+      bool empty = true;
+      for (const auto& cell : row) {
+        if (!cell.empty()) empty = false;
+      }
+      if (!empty || row.size() > 1) ++non_empty_rows;
+    }
+    ASSERT_LE(reparsed->rows.size(), data.rows.size());
+    size_t j = 0;
+    for (const auto& row : data.rows) {
+      bool empty_single = row.size() == 1 && row[0].empty();
+      if (empty_single) continue;
+      ASSERT_LT(j, reparsed->rows.size());
+      EXPECT_EQ(reparsed->rows[j], row);
+      ++j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace unidetect

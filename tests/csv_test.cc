@@ -1,0 +1,110 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace unidetect {
+namespace {
+
+TEST(CsvParseTest, HeaderAndRows) {
+  auto result = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(result->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParseTest, NoHeaderOption) {
+  CsvOptions options;
+  options.has_header = false;
+  auto result = ParseCsv("1,2\n3,4\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->header.empty());
+  EXPECT_EQ(result->rows.size(), 2u);
+}
+
+TEST(CsvParseTest, QuotedFields) {
+  auto result = ParseCsv("name,notes\n\"Keane, Mr. Andrew\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], "Keane, Mr. Andrew");
+  EXPECT_EQ(result->rows[0][1], "said \"hi\"");
+}
+
+TEST(CsvParseTest, EmbeddedNewlineInQuotes) {
+  auto result = ParseCsv("a\n\"line1\nline2\"\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParseTest, CrLfLineEndings) {
+  auto result = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][1], "2");
+}
+
+TEST(CsvParseTest, TrimsUnquotedOnly) {
+  auto result = ParseCsv("a,b\n  x  ,\"  y  \"\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0], "x");
+  EXPECT_EQ(result->rows[0][1], "  y  ");
+}
+
+TEST(CsvParseTest, MissingFinalNewline) {
+  auto result = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][1], "2");
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsCorruption) {
+  auto result = ParseCsv("a\n\"oops\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST(CsvParseTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto result = ParseCsv("a;b\n1;2\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][1], "2");
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  CsvData data;
+  data.header = {"name", "note"};
+  data.rows = {{"Keane, Mr. Andrew", "said \"hi\""}, {"plain", "multi\nline"}};
+  const std::string text = WriteCsv(data);
+  auto reparsed = ParseCsv(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->header, data.header);
+  // Quoted fields keep interior whitespace exactly.
+  CsvOptions no_trim;
+  no_trim.trim_fields = false;
+  auto exact = ParseCsv(text, no_trim);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->rows, data.rows);
+}
+
+TEST(CsvFileTest, ReadMissingFileFails) {
+  auto result = ReadCsvFile("/nonexistent/path/file.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST(CsvFileTest, WriteThenRead) {
+  const std::string path = testing::TempDir() + "/unidetect_csv_test.csv";
+  CsvData data;
+  data.header = {"x"};
+  data.rows = {{"1"}, {"2"}};
+  ASSERT_TRUE(WriteCsvFile(path, data).ok());
+  auto result = ReadCsvFile(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace unidetect

@@ -1,0 +1,61 @@
+#include "detect/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace unidetect {
+namespace {
+
+TEST(DictionaryTest, CaseInsensitiveMembership) {
+  Dictionary dict;
+  dict.AddWord("London");
+  EXPECT_TRUE(dict.Contains("london"));
+  EXPECT_TRUE(dict.Contains("LONDON"));
+  EXPECT_FALSE(dict.Contains("paris"));
+}
+
+TEST(DictionaryTest, AllWordsKnown) {
+  Dictionary dict;
+  dict.AddWord("new");
+  dict.AddWord("york");
+  EXPECT_TRUE(dict.AllWordsKnown("New York"));
+  EXPECT_FALSE(dict.AllWordsKnown("New Jersey"));
+  // Cells with no alphabetic token >= 3 chars carry no dictionary
+  // evidence; they are NOT "all known".
+  EXPECT_FALSE(dict.AllWordsKnown("42"));
+  EXPECT_FALSE(dict.AllWordsKnown("A1"));
+}
+
+TEST(DictionaryTest, ShortAndNonAlphaTokensIgnored) {
+  Dictionary dict;
+  dict.AddWord("doe");
+  dict.AddWord("john");
+  // "Jr" (2 chars) and "III" would be ignored... "III" is alphabetic and
+  // 3 chars, so it must be known; "42" is skipped.
+  EXPECT_FALSE(dict.AllWordsKnown("John Doe III"));
+  dict.AddWord("iii");
+  EXPECT_TRUE(dict.AllWordsKnown("John Doe III 42"));
+}
+
+TEST(DictionaryTest, FromTokenIndexThresholds) {
+  TokenIndex index;
+  auto add_tables = [&](const std::string& cell, int count) {
+    for (int i = 0; i < count; ++i) {
+      Table table("t");
+      ASSERT_TRUE(table.AddColumn(Column("c", {cell})).ok());
+      index.AddTable(table);
+    }
+  };
+  add_tables("frequent", 30);
+  add_tables("rare", 2);
+  add_tables("A1B2", 50);  // non-alphabetic: excluded regardless of count
+  add_tables("ab", 50);    // too short
+  const Dictionary dict = Dictionary::FromTokenIndex(index, 20);
+  EXPECT_TRUE(dict.Contains("frequent"));
+  EXPECT_FALSE(dict.Contains("rare"));
+  EXPECT_FALSE(dict.Contains("a1b2"));
+  EXPECT_FALSE(dict.Contains("ab"));
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+}  // namespace
+}  // namespace unidetect

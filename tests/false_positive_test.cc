@@ -1,0 +1,60 @@
+// High-precision property (the paper's central requirement): on a CLEAN
+// corpus — no injected errors, only natural phenomena like chance name
+// duplicates, heavy-tailed numerics, and inherently-close string
+// families — a strict significance level must produce very few findings.
+// "A supposedly-intelligent feature [must not] become a nuisance."
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "detect/unidetect.h"
+#include "learn/trainer.h"
+#include "util/logging.h"
+
+namespace unidetect {
+namespace {
+
+const Model& SharedModel() {
+  static const Model* model = [] {
+    SetLogLevel(LogLevel::kWarning);
+    Trainer trainer;
+    return new Model(
+        trainer.Train(GenerateCorpus(WebCorpusSpec(5000, 123)).corpus));
+  }();
+  return *model;
+}
+
+class CleanCorpusTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CleanCorpusTest, StrictAlphaStaysQuiet) {
+  // A fresh clean sample from the same distribution, different seed.
+  const AnnotatedCorpus clean =
+      GenerateCorpus(WebCorpusSpec(300, GetParam()));
+  UniDetectOptions options;
+  options.alpha = 0.002;  // strict significance for background scanning
+  options.use_dictionary = true;
+  UniDetect detector(&SharedModel(), options);
+  const std::vector<Finding> findings = detector.DetectCorpus(clean.corpus);
+  // Well under one finding per ten clean tables.
+  EXPECT_LT(findings.size(), clean.corpus.tables.size() / 10)
+      << "first: " << (findings.empty() ? "" : findings[0].explanation);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CleanCorpusTest,
+                         ::testing::Values(9001, 9002, 9003));
+
+TEST(CleanCorpusTest, LooseAlphaFindsMoreThanStrict) {
+  const AnnotatedCorpus clean = GenerateCorpus(WebCorpusSpec(200, 9004));
+  UniDetectOptions strict;
+  strict.alpha = 0.002;
+  UniDetectOptions loose;
+  loose.alpha = 0.2;
+  const size_t strict_count =
+      UniDetect(&SharedModel(), strict).DetectCorpus(clean.corpus).size();
+  const size_t loose_count =
+      UniDetect(&SharedModel(), loose).DetectCorpus(clean.corpus).size();
+  EXPECT_LE(strict_count, loose_count);
+}
+
+}  // namespace
+}  // namespace unidetect

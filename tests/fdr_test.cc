@@ -1,0 +1,62 @@
+#include "detect/fdr.h"
+
+#include <gtest/gtest.h>
+
+namespace unidetect {
+namespace {
+
+Finding WithScore(double score) {
+  Finding finding;
+  finding.score = score;
+  return finding;
+}
+
+TEST(FdrTest, KeepsBhPrefix) {
+  // m = 4, q = 0.1: thresholds 0.025, 0.05, 0.075, 0.1.
+  std::vector<Finding> ranked = {WithScore(0.01), WithScore(0.04),
+                                 WithScore(0.09), WithScore(0.5)};
+  const auto kept = ControlFdr(ranked, 0.1);
+  // k=1: 0.01 <= 0.025 ok; k=2: 0.04 <= 0.05 ok; k=3: 0.09 > 0.075;
+  // k=4: 0.5 > 0.1 -> keep 2.
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_DOUBLE_EQ(kept[1].score, 0.04);
+}
+
+TEST(FdrTest, LargestKWinsEvenAfterGap) {
+  // BH keeps through a violation if a later k satisfies its threshold.
+  std::vector<Finding> ranked = {WithScore(0.020), WithScore(0.060),
+                                 WithScore(0.074), WithScore(0.099)};
+  const auto kept = ControlFdr(ranked, 0.1);
+  // k=2 fails (0.060 > 0.05) but k=4 passes (0.099 <= 0.1): keep all 4.
+  EXPECT_EQ(kept.size(), 4u);
+}
+
+TEST(FdrTest, NothingSignificantKeepsNothing) {
+  std::vector<Finding> ranked = {WithScore(0.5), WithScore(0.9)};
+  EXPECT_TRUE(ControlFdr(ranked, 0.05).empty());
+}
+
+TEST(FdrTest, EmptyInput) {
+  EXPECT_TRUE(ControlFdr({}, 0.05).empty());
+}
+
+TEST(FdrTest, ExplicitHypothesisCountTightens) {
+  std::vector<Finding> ranked = {WithScore(0.04)};
+  // With m = 1 the threshold is q; with m = 100 it is q/100.
+  EXPECT_EQ(ControlFdr(ranked, 0.05, 1).size(), 1u);
+  EXPECT_TRUE(ControlFdr(ranked, 0.05, 100).empty());
+}
+
+TEST(FdrTest, StricterQKeepsFewer) {
+  std::vector<Finding> ranked;
+  for (int i = 1; i <= 50; ++i) {
+    ranked.push_back(WithScore(0.002 * i));
+  }
+  const size_t loose = ControlFdr(ranked, 0.2).size();
+  const size_t strict = ControlFdr(ranked, 0.02).size();
+  EXPECT_GE(loose, strict);
+  EXPECT_GT(loose, 0u);
+}
+
+}  // namespace
+}  // namespace unidetect

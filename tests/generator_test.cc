@@ -1,0 +1,158 @@
+#include "corpus/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "corpus/data_pools.h"
+#include "metrics/metric_functions.h"
+
+namespace unidetect {
+namespace {
+
+TEST(DataPoolsTest, PoolsNonEmptyAndConsistent) {
+  EXPECT_GE(FirstNames().size(), 100u);
+  EXPECT_GE(LastNames().size(), 100u);
+  EXPECT_GE(Cities().size(), 80u);
+  // The extended pool is large enough for the birthday-paradox regime.
+  EXPECT_GE(ExtendedCities().size(), 2000u);
+  for (const auto& entry : Cities()) {
+    EXPECT_FALSE(entry.city.empty());
+    EXPECT_FALSE(entry.country.empty());
+  }
+}
+
+TEST(DataPoolsTest, RomanNumerals) {
+  EXPECT_EQ(RomanNumeral(1), "I");
+  EXPECT_EQ(RomanNumeral(4), "IV");
+  EXPECT_EQ(RomanNumeral(9), "IX");
+  EXPECT_EQ(RomanNumeral(20), "XX");
+  EXPECT_EQ(RomanNumeral(21), "XXI");
+  EXPECT_EQ(RomanNumeral(49), "XLIX");
+  EXPECT_EQ(RomanNumeral(58), "LVIII");
+}
+
+TEST(DataPoolsTest, RareTownNameIsCloseToSource) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const CityEntry town = RareTownName(rng);
+    EXPECT_FALSE(town.city.empty());
+    EXPECT_FALSE(town.country.empty());
+  }
+}
+
+TEST(GenerateTableTest, EveryArchetypeProducesConsistentMetadata) {
+  Rng rng(11);
+  for (int a = 0; a < kNumArchetypes; ++a) {
+    const AnnotatedTable t =
+        GenerateTable(static_cast<Archetype>(a), 25, rng);
+    EXPECT_GT(t.table.num_columns(), 0u) << "archetype " << a;
+    EXPECT_GT(t.table.num_rows(), 0u) << "archetype " << a;
+    ASSERT_EQ(t.meta.size(), t.table.num_columns()) << "archetype " << a;
+    for (const auto& meta : t.meta) {
+      if (meta.fd_partner >= 0) {
+        EXPECT_LT(static_cast<size_t>(meta.fd_partner),
+                  t.table.num_columns());
+      }
+      // Synthesizable implies an FD partner to synthesize from.
+      if (meta.synthesizable) EXPECT_GE(meta.fd_partner, 0);
+    }
+  }
+}
+
+TEST(GenerateTableTest, IntendedUniqueColumnsAreUnique) {
+  Rng rng(13);
+  for (int a = 0; a < kNumArchetypes; ++a) {
+    const AnnotatedTable t =
+        GenerateTable(static_cast<Archetype>(a), 40, rng);
+    for (size_t c = 0; c < t.meta.size(); ++c) {
+      if (!t.meta[c].intended_unique) continue;
+      const Column& column = t.table.column(c);
+      EXPECT_EQ(column.NumDistinct(), column.size())
+          << "archetype " << a << " column " << column.name();
+    }
+  }
+}
+
+TEST(GenerateTableTest, FdPartnersActuallyHold) {
+  Rng rng(17);
+  for (int a = 0; a < kNumArchetypes; ++a) {
+    const AnnotatedTable t =
+        GenerateTable(static_cast<Archetype>(a), 40, rng);
+    for (size_t c = 0; c < t.meta.size(); ++c) {
+      if (t.meta[c].fd_partner < 0) continue;
+      const Column& lhs =
+          t.table.column(static_cast<size_t>(t.meta[c].fd_partner));
+      const Column& rhs = t.table.column(c);
+      const FrProfile profile = ComputeFrProfile(lhs, rhs);
+      if (profile.valid) {
+        EXPECT_DOUBLE_EQ(profile.fr, 1.0)
+            << "archetype " << a << ": " << lhs.name() << " -> "
+            << rhs.name();
+      }
+    }
+  }
+}
+
+TEST(GenerateCorpusTest, Deterministic) {
+  CorpusSpec spec = WebCorpusSpec(50, 99);
+  const AnnotatedCorpus a = GenerateCorpus(spec);
+  const AnnotatedCorpus b = GenerateCorpus(spec);
+  ASSERT_EQ(a.corpus.tables.size(), b.corpus.tables.size());
+  for (size_t i = 0; i < a.corpus.tables.size(); ++i) {
+    ASSERT_EQ(a.corpus.tables[i].num_columns(),
+              b.corpus.tables[i].num_columns());
+    for (size_t c = 0; c < a.corpus.tables[i].num_columns(); ++c) {
+      EXPECT_EQ(a.corpus.tables[i].column(c).cells(),
+                b.corpus.tables[i].column(c).cells());
+    }
+  }
+}
+
+TEST(GenerateCorpusTest, SeedChangesContent) {
+  const AnnotatedCorpus a = GenerateCorpus(WebCorpusSpec(20, 1));
+  const AnnotatedCorpus b = GenerateCorpus(WebCorpusSpec(20, 2));
+  bool any_difference = false;
+  for (size_t i = 0; i < a.corpus.tables.size() && !any_difference; ++i) {
+    if (a.corpus.tables[i].num_rows() != b.corpus.tables[i].num_rows() ||
+        a.corpus.tables[i].name() != b.corpus.tables[i].name()) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GenerateCorpusTest, MetadataAlignedWithTables) {
+  const AnnotatedCorpus corpus = GenerateCorpus(WikiCorpusSpec(100, 5));
+  ASSERT_EQ(corpus.column_meta.size(), corpus.corpus.tables.size());
+  for (size_t i = 0; i < corpus.corpus.tables.size(); ++i) {
+    EXPECT_EQ(corpus.column_meta[i].size(),
+              corpus.corpus.tables[i].num_columns());
+  }
+}
+
+TEST(GenerateCorpusTest, PresetShapesFollowTable2) {
+  // WEB/WIKI are short web tables; Enterprise tables are much taller.
+  const CorpusStats web = GenerateCorpus(WebCorpusSpec(300, 1)).corpus.Stats();
+  const CorpusStats wiki =
+      GenerateCorpus(WikiCorpusSpec(300, 2)).corpus.Stats();
+  const CorpusStats enterprise =
+      GenerateCorpus(EnterpriseCorpusSpec(100, 3)).corpus.Stats();
+  EXPECT_GT(enterprise.avg_rows_per_table, 3 * web.avg_rows_per_table);
+  EXPECT_GT(enterprise.avg_rows_per_table, 3 * wiki.avg_rows_per_table);
+  EXPECT_GT(web.avg_columns_per_table, 1.5);
+  EXPECT_LT(web.avg_columns_per_table, 8.0);
+}
+
+TEST(GenerateCorpusTest, RowsWithinSpecBounds) {
+  CorpusSpec spec = WebCorpusSpec(200, 4);
+  const AnnotatedCorpus corpus = GenerateCorpus(spec);
+  for (const auto& table : corpus.corpus.tables) {
+    // Some archetypes (chemicals, contestants) cap rows by pool size.
+    EXPECT_LE(table.num_rows(), spec.rows.max_rows);
+    EXPECT_GE(table.num_rows(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace unidetect

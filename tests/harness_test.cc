@@ -1,0 +1,99 @@
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/logging.h"
+
+namespace unidetect {
+namespace {
+
+ExperimentConfig SmallConfig(const std::string& cache_dir) {
+  SetLogLevel(LogLevel::kWarning);
+  ExperimentConfig config;
+  config.train_tables = 400;
+  config.train_seed = 31;
+  config.model_cache_dir = cache_dir;
+  return config;
+}
+
+TEST(HarnessTest, ModelCacheRoundTrip) {
+  const std::string dir = testing::TempDir() + "/unidetect_harness_cache";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const ExperimentConfig config = SmallConfig(dir);
+  const Model first = TrainBackgroundModel(config);
+  // A cache file now exists...
+  size_t cached_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".model") ++cached_files;
+  }
+  EXPECT_EQ(cached_files, 1u);
+  // ...and the second call loads it with identical statistics.
+  const Model second = TrainBackgroundModel(config);
+  EXPECT_EQ(first.num_subsets(), second.num_subsets());
+  EXPECT_EQ(first.num_observations(), second.num_observations());
+}
+
+TEST(HarnessTest, DifferentOptionsGetDifferentCacheEntries) {
+  const std::string dir = testing::TempDir() + "/unidetect_harness_cache2";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  ExperimentConfig a = SmallConfig(dir);
+  ExperimentConfig b = a;
+  b.model_options.featurize.enabled = false;
+  (void)TrainBackgroundModel(a);
+  (void)TrainBackgroundModel(b);
+  size_t cached_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".model") ++cached_files;
+  }
+  EXPECT_EQ(cached_files, 2u);
+}
+
+TEST(HarnessTest, BuildExperimentInjectsAndNames) {
+  ExperimentConfig config = SmallConfig("");
+  CorpusSpec spec = WikiCorpusSpec(150, 77);
+  spec.name = "harness-test";
+  const Experiment experiment = BuildExperiment(spec, config);
+  EXPECT_EQ(experiment.test.corpus.name, "harness-test");
+  EXPECT_EQ(experiment.test.corpus.tables.size(), 150u);
+  EXPECT_GT(experiment.truth.errors.size(), 0u);
+}
+
+TEST(HarnessTest, RunUniDetectNamesVariants) {
+  ExperimentConfig config = SmallConfig("");
+  CorpusSpec spec = WebCorpusSpec(120, 78);
+  const Experiment experiment = BuildExperiment(spec, config);
+  EXPECT_EQ(RunUniDetect(experiment, ErrorClass::kSpelling).method,
+            "UniDetect");
+  EXPECT_EQ(RunUniDetect(experiment, ErrorClass::kSpelling, true).method,
+            "UniDetect+Dict");
+  EXPECT_EQ(
+      RunUniDetect(experiment, ErrorClass::kSpelling, false, "custom").method,
+      "custom");
+}
+
+TEST(HarnessTest, SynthesizableFdTruthFilters) {
+  GroundTruth truth;
+  InjectedError plain;
+  plain.error_class = ErrorClass::kFd;
+  truth.errors.push_back(plain);
+  InjectedError synth;
+  synth.error_class = ErrorClass::kFd;
+  synth.on_synthesizable_pair = true;
+  truth.errors.push_back(synth);
+  InjectedError spelling_on_synth;
+  spelling_on_synth.error_class = ErrorClass::kSpelling;
+  spelling_on_synth.on_synthesizable_pair = true;
+  truth.errors.push_back(spelling_on_synth);
+
+  const GroundTruth filtered = SynthesizableFdTruth(truth);
+  EXPECT_EQ(filtered.errors.size(), 2u);
+}
+
+}  // namespace
+}  // namespace unidetect

@@ -1,0 +1,182 @@
+#include "eval/injection.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+
+namespace unidetect {
+namespace {
+
+AnnotatedCorpus TestCorpus(size_t tables = 300, uint64_t seed = 3) {
+  return GenerateCorpus(WebCorpusSpec(tables, seed));
+}
+
+TEST(InjectionTest, RecordsWhatItCorrupts) {
+  AnnotatedCorpus corpus = TestCorpus();
+  const AnnotatedCorpus pristine = TestCorpus();
+  InjectionSpec spec;
+  const GroundTruth truth = InjectErrors(&corpus, spec);
+  ASSERT_GT(truth.errors.size(), 20u);
+  for (const auto& error : truth.errors) {
+    const Table& table = corpus.corpus.tables[error.table_index];
+    ASSERT_LT(error.column, table.num_columns());
+    ASSERT_LT(error.row, table.num_rows());
+    // The corrupted cell holds the recorded corrupted value...
+    EXPECT_EQ(table.column(error.column).cell(error.row), error.corrupted);
+    // ...and differs from the pristine corpus at that cell unless the
+    // corruption landed where a later injection overwrote it (rare).
+    const Table& original = pristine.corpus.tables[error.table_index];
+    if (error.error_class != ErrorClass::kFd) {
+      EXPECT_NE(original.column(error.column).cell(error.row),
+                error.corrupted);
+    }
+  }
+}
+
+TEST(InjectionTest, ZeroRatesInjectNothing) {
+  AnnotatedCorpus corpus = TestCorpus();
+  InjectionSpec spec;
+  spec.spelling_rate = spec.outlier_rate = 0.0;
+  spec.uniqueness_rate = spec.fd_rate = 0.0;
+  const GroundTruth truth = InjectErrors(&corpus, spec);
+  EXPECT_TRUE(truth.errors.empty());
+}
+
+TEST(InjectionTest, Deterministic) {
+  AnnotatedCorpus a = TestCorpus();
+  AnnotatedCorpus b = TestCorpus();
+  InjectionSpec spec;
+  const GroundTruth ta = InjectErrors(&a, spec);
+  const GroundTruth tb = InjectErrors(&b, spec);
+  ASSERT_EQ(ta.errors.size(), tb.errors.size());
+  for (size_t i = 0; i < ta.errors.size(); ++i) {
+    EXPECT_EQ(ta.errors[i].table_index, tb.errors[i].table_index);
+    EXPECT_EQ(ta.errors[i].row, tb.errors[i].row);
+    EXPECT_EQ(ta.errors[i].corrupted, tb.errors[i].corrupted);
+  }
+}
+
+TEST(InjectionTest, EveryClassRepresented) {
+  AnnotatedCorpus corpus = TestCorpus(600);
+  InjectionSpec spec;
+  const GroundTruth truth = InjectErrors(&corpus, spec);
+  EXPECT_GT(truth.CountClass(ErrorClass::kSpelling), 0u);
+  EXPECT_GT(truth.CountClass(ErrorClass::kOutlier), 0u);
+  EXPECT_GT(truth.CountClass(ErrorClass::kUniqueness), 0u);
+  EXPECT_GT(truth.CountClass(ErrorClass::kFd), 0u);
+}
+
+TEST(InjectionTest, SpellingTypoIsCloseToSource) {
+  AnnotatedCorpus corpus = TestCorpus(400);
+  InjectionSpec spec;
+  spec.outlier_rate = spec.uniqueness_rate = spec.fd_rate = 0.0;
+  const GroundTruth truth = InjectErrors(&corpus, spec);
+  ASSERT_GT(truth.errors.size(), 10u);
+  for (const auto& error : truth.errors) {
+    const Table& table = corpus.corpus.tables[error.table_index];
+    const std::string& source =
+        table.column(error.column).cell(error.partner_row);
+    // The typo derives from the partner row's value: nonempty, distinct.
+    EXPECT_NE(error.corrupted, source);
+    EXPECT_FALSE(source.empty());
+  }
+}
+
+TEST(InjectionTest, UniquenessDuplicatesPartnerValue) {
+  AnnotatedCorpus corpus = TestCorpus(400);
+  InjectionSpec spec;
+  spec.spelling_rate = spec.outlier_rate = spec.fd_rate = 0.0;
+  const GroundTruth truth = InjectErrors(&corpus, spec);
+  for (const auto& error : truth.errors) {
+    if (error.error_class != ErrorClass::kUniqueness) continue;
+    const Table& table = corpus.corpus.tables[error.table_index];
+    EXPECT_EQ(table.column(error.column).cell(error.row),
+              table.column(error.column).cell(error.partner_row));
+  }
+}
+
+TEST(InjectionTest, FdViolationActuallyViolates) {
+  AnnotatedCorpus corpus = TestCorpus(500);
+  InjectionSpec spec;
+  spec.spelling_rate = spec.outlier_rate = spec.uniqueness_rate = 0.0;
+  const GroundTruth truth = InjectErrors(&corpus, spec);
+  size_t checked = 0;
+  for (const auto& error : truth.errors) {
+    if (error.error_class != ErrorClass::kFd) continue;
+    const Table& table = corpus.corpus.tables[error.table_index];
+    const Column& lhs = table.column(error.column);
+    const Column& rhs = table.column(error.column2);
+    EXPECT_EQ(lhs.cell(error.row), lhs.cell(error.partner_row));
+    EXPECT_NE(rhs.cell(error.row), rhs.cell(error.partner_row));
+    ++checked;
+  }
+  EXPECT_GT(checked, 5u);
+}
+
+TEST(GroundTruthMatchTest, LocationBasedJudgment) {
+  GroundTruth truth;
+  InjectedError error;
+  error.error_class = ErrorClass::kSpelling;
+  error.table_index = 3;
+  error.column = 1;
+  error.row = 7;
+  error.partner_row = 2;
+  truth.errors.push_back(error);
+
+  Finding finding;
+  finding.table_index = 3;
+  finding.column = 1;
+  finding.rows = {7};
+  finding.error_class = ErrorClass::kSpelling;
+  EXPECT_TRUE(truth.Matches(finding));
+
+  // A different class pointing at the same cell still counts (the
+  // paper's judges label errors, not classes).
+  finding.error_class = ErrorClass::kUniqueness;
+  EXPECT_TRUE(truth.Matches(finding));
+
+  // Partner row also counts.
+  finding.rows = {2};
+  EXPECT_TRUE(truth.Matches(finding));
+
+  // Wrong table / column / row do not.
+  finding.rows = {7};
+  finding.table_index = 4;
+  EXPECT_FALSE(truth.Matches(finding));
+  finding.table_index = 3;
+  finding.column = 0;
+  EXPECT_FALSE(truth.Matches(finding));
+  finding.column = 1;
+  finding.rows = {8};
+  EXPECT_FALSE(truth.Matches(finding));
+}
+
+TEST(GroundTruthMatchTest, FdColumnsMatchEitherSide) {
+  GroundTruth truth;
+  InjectedError error;
+  error.error_class = ErrorClass::kFd;
+  error.table_index = 0;
+  error.column = 2;
+  error.column2 = 4;
+  error.row = 5;
+  truth.errors.push_back(error);
+
+  Finding finding;
+  finding.error_class = ErrorClass::kFd;
+  finding.table_index = 0;
+  finding.column = 4;  // reversed direction
+  finding.column2 = 2;
+  finding.rows = {5};
+  EXPECT_TRUE(truth.Matches(finding));
+
+  // A uniqueness finding on the lhs column alone also matches.
+  Finding uniq;
+  uniq.error_class = ErrorClass::kUniqueness;
+  uniq.table_index = 0;
+  uniq.column = 2;
+  uniq.rows = {5};
+  EXPECT_TRUE(truth.Matches(uniq));
+}
+
+}  // namespace
+}  // namespace unidetect

@@ -1,0 +1,55 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/finding_json.h"
+
+namespace unidetect {
+namespace {
+
+TEST(JsonStringTest, PlainAndEscapes) {
+  EXPECT_EQ(JsonString("plain"), "\"plain\"");
+  EXPECT_EQ(JsonString("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonString("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(JsonString("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(JsonString("new\nline"), "\"new\\nline\"");
+  EXPECT_EQ(JsonString(std::string(1, '\x01')), "\"\\u0001\"");
+  EXPECT_EQ(JsonString(""), "\"\"");
+}
+
+TEST(FindingJsonTest, RoundShape) {
+  Finding finding;
+  finding.error_class = ErrorClass::kOutlier;
+  finding.table_index = 3;
+  finding.table_name = "t\"x";
+  finding.column = 1;
+  finding.rows = {7, 9};
+  finding.value = "8.716";
+  finding.score = 0.25;
+  finding.explanation = "why";
+  const std::string json = FindingToJson(finding);
+  EXPECT_NE(json.find("\"class\":\"outlier\""), std::string::npos);
+  EXPECT_NE(json.find("\"table\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":[7,9]"), std::string::npos);
+  EXPECT_NE(json.find("\"t\\\"x\""), std::string::npos);
+  EXPECT_EQ(json.find("column2"), std::string::npos);  // absent when unset
+
+  finding.column2 = 4;
+  EXPECT_NE(FindingToJson(finding).find("\"column2\":4"), std::string::npos);
+}
+
+TEST(FindingJsonTest, ArrayForm) {
+  Finding a;
+  a.value = "x";
+  Finding b;
+  b.value = "y";
+  const std::string json = FindingsToJson({a, b});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"x\""), std::string::npos);
+  EXPECT_NE(json.find("\"y\""), std::string::npos);
+  EXPECT_EQ(FindingsToJson({}), "[]");
+}
+
+}  // namespace
+}  // namespace unidetect

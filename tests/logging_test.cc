@@ -1,0 +1,36 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace unidetect {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, SuppressedMessagesAreCheap) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // Streams below the threshold must not crash or emit.
+  for (int i = 0; i < 1000; ++i) {
+    UNIDETECT_LOG(Debug) << "suppressed " << i;
+  }
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  UNIDETECT_CHECK(1 + 1 == 2);  // must not abort
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH(UNIDETECT_CHECK(false), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace unidetect

@@ -1,0 +1,192 @@
+#include "metrics/metric_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace unidetect {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Uniqueness ratio.
+
+TEST(UrProfileTest, AllUnique) {
+  Column col("c", {"a", "b", "c", "d"});
+  const UrProfile profile = ComputeUrProfile(col);
+  ASSERT_TRUE(profile.valid);
+  EXPECT_DOUBLE_EQ(profile.ur, 1.0);
+  EXPECT_DOUBLE_EQ(profile.ur_perturbed, 1.0);
+  EXPECT_TRUE(profile.duplicate_rows.empty());
+}
+
+TEST(UrProfileTest, OneDuplicatePair) {
+  Column col("c", {"a", "b", "a", "c"});
+  const UrProfile profile = ComputeUrProfile(col);
+  ASSERT_TRUE(profile.valid);
+  EXPECT_DOUBLE_EQ(profile.ur, 0.75);
+  EXPECT_DOUBLE_EQ(profile.ur_perturbed, 1.0);
+  EXPECT_EQ(profile.duplicate_rows, (std::vector<size_t>{2}));
+}
+
+TEST(UrProfileTest, TripleValueDropsTwoRows) {
+  Column col("c", {"a", "a", "a", "b"});
+  const UrProfile profile = ComputeUrProfile(col);
+  EXPECT_DOUBLE_EQ(profile.ur, 0.5);
+  EXPECT_EQ(profile.duplicate_rows, (std::vector<size_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(profile.ur_perturbed, 1.0);
+}
+
+TEST(UrProfileTest, EmptyCellsIgnored) {
+  Column col("c", {"a", "", "a", "  "});
+  const UrProfile profile = ComputeUrProfile(col);
+  ASSERT_TRUE(profile.valid);
+  EXPECT_DOUBLE_EQ(profile.ur, 0.5);  // 1 distinct / 2 non-empty
+  EXPECT_EQ(profile.duplicate_rows, (std::vector<size_t>{2}));
+}
+
+TEST(UrProfileTest, AllEmptyInvalid) {
+  Column col("c", {"", " "});
+  EXPECT_FALSE(ComputeUrProfile(col).valid);
+}
+
+// ---------------------------------------------------------------------------
+// Minimum pair-wise distance.
+
+TEST(MpdProfileTest, PaperExample1Shape) {
+  // "Kevin Doeling"/"Kevin Dowling" are the closest pair; removing one
+  // jumps the MPD to the distance between unrelated names.
+  Column col("cast", {"Kevin Doeling", "Kevin Dowling", "Alan Myerson",
+                      "Rob Morrow", "Jane Lynch"});
+  const MpdProfile profile = ComputeMpdProfile(col);
+  ASSERT_TRUE(profile.valid);
+  EXPECT_EQ(profile.mpd, 1u);
+  EXPECT_TRUE((profile.value_a == "Kevin Doeling" &&
+               profile.value_b == "Kevin Dowling") ||
+              (profile.value_a == "Kevin Dowling" &&
+               profile.value_b == "Kevin Doeling"));
+  EXPECT_GT(profile.mpd_perturbed, 5u);
+  EXPECT_TRUE(profile.drop_row == profile.row_a ||
+              profile.drop_row == profile.row_b);
+}
+
+TEST(MpdProfileTest, InherentlyClosePairsKeepMpdLow) {
+  // Roman-numeral series: removing one value leaves other distance-1
+  // pairs (Figure 2(h)); the perturbed MPD stays small.
+  Column col("event", {"Super Bowl XX", "Super Bowl XXI", "Super Bowl XXII",
+                       "Super Bowl XXV", "Super Bowl XXVI"});
+  const MpdProfile profile = ComputeMpdProfile(col);
+  ASSERT_TRUE(profile.valid);
+  EXPECT_EQ(profile.mpd, 1u);
+  EXPECT_LE(profile.mpd_perturbed, 2u);
+}
+
+TEST(MpdProfileTest, NumericColumnsInvalid) {
+  Column ints("c", {"1", "2", "3", "4"});
+  EXPECT_FALSE(ComputeMpdProfile(ints).valid);
+  Column dates("c", {"2015-04-01", "2015-05-26", "2015-06-02"});
+  EXPECT_FALSE(ComputeMpdProfile(dates).valid);
+}
+
+TEST(MpdProfileTest, NeedsThreeDistinctValues) {
+  Column col("c", {"abc", "abd", "abc", "abd"});
+  EXPECT_FALSE(ComputeMpdProfile(col).valid);
+}
+
+TEST(MpdProfileTest, DistanceCapApplies) {
+  Column col("c", {"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+                   "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbb",
+                   "cccccccccccccccccccccccccccccc"});
+  MpdOptions options;
+  options.distance_cap = 5;
+  const MpdProfile profile = ComputeMpdProfile(col, options);
+  ASSERT_TRUE(profile.valid);
+  EXPECT_EQ(profile.mpd, 6u);  // cap + 1 means "far"
+}
+
+TEST(MpdProfileTest, DiffTokenLengthLongVsShort) {
+  Column long_tokens("c", {"Kevin Doeling", "Kevin Dowling", "Alan Myerson",
+                           "Rob Morrow"});
+  Column short_tokens("c", {"Super Bowl XXI", "Super Bowl XXII",
+                            "Super Bowl XXV", "Super Bowl XL"});
+  const MpdProfile lp = ComputeMpdProfile(long_tokens);
+  const MpdProfile sp = ComputeMpdProfile(short_tokens);
+  ASSERT_TRUE(lp.valid);
+  ASSERT_TRUE(sp.valid);
+  EXPECT_GT(lp.avg_diff_token_length, 5.0);  // "Doeling"/"Dowling"
+  EXPECT_LT(sp.avg_diff_token_length, 5.0);  // "XXI"/"XXII"
+}
+
+// ---------------------------------------------------------------------------
+// FD compliance ratio.
+
+TEST(FrProfileTest, ExactFd) {
+  Column lhs("city", {"London", "Paris", "London", "Paris"});
+  Column rhs("country", {"UK", "France", "UK", "France"});
+  const FrProfile profile = ComputeFrProfile(lhs, rhs);
+  ASSERT_TRUE(profile.valid);
+  EXPECT_DOUBLE_EQ(profile.fr, 1.0);
+  EXPECT_TRUE(profile.violating_rows.empty());
+  EXPECT_EQ(profile.violating_groups, 0u);
+}
+
+TEST(FrProfileTest, OneViolatingGroup) {
+  Column lhs("city", {"London", "Paris", "London", "Berlin"});
+  Column rhs("country", {"UK", "France", "England", "Germany"});
+  const FrProfile profile = ComputeFrProfile(lhs, rhs);
+  ASSERT_TRUE(profile.valid);
+  // Distinct pairs: (London,UK), (London,England), (Paris,France),
+  // (Berlin,Germany): 2 of 4 conform... the London group contributes two
+  // conflicting pairs, so FR = 2/4.
+  EXPECT_DOUBLE_EQ(profile.fr, 0.5);
+  EXPECT_EQ(profile.violating_groups, 1u);
+  // Majority tie resolved toward the first-seen rhs: row 2 is dropped.
+  EXPECT_EQ(profile.violating_rows, (std::vector<size_t>{2}));
+  EXPECT_DOUBLE_EQ(profile.fr_perturbed, 1.0);
+}
+
+TEST(FrProfileTest, MajorityRhsKept) {
+  Column lhs("k", {"a", "a", "a", "b"});
+  Column rhs("v", {"1", "2", "2", "9"});
+  const FrProfile profile = ComputeFrProfile(lhs, rhs);
+  ASSERT_TRUE(profile.valid);
+  // "2" has majority support in group "a"; row 0 (value "1") is dropped.
+  EXPECT_EQ(profile.violating_rows, (std::vector<size_t>{0}));
+}
+
+TEST(FrProfileTest, PaperFigure4cRatio) {
+  // FR("ID" -> "Awardee") = 4/6 in the paper's example: 6 distinct pairs,
+  // 4 in conforming groups. Reconstruct an equivalent shape.
+  Column lhs("id", {"1", "2", "3", "3", "4", "5", "5"});
+  Column rhs("awardee", {"A", "B", "C", "C2", "D", "E", "E2"});
+  const FrProfile profile = ComputeFrProfile(lhs, rhs);
+  ASSERT_TRUE(profile.valid);
+  // Pairs: 1A 2B 3C 3C2 4D 5E 5E2 -> 7 distinct, 3 conforming (1A,2B,4D).
+  EXPECT_NEAR(profile.fr, 3.0 / 7.0, 1e-12);
+  EXPECT_EQ(profile.violating_groups, 2u);
+}
+
+TEST(FrProfileTest, ConstantLhsInvalid) {
+  Column lhs("k", {"a", "a", "a"});
+  Column rhs("v", {"1", "2", "3"});
+  EXPECT_FALSE(ComputeFrProfile(lhs, rhs).valid);
+}
+
+TEST(FrProfileTest, EmptyCellsSkipped) {
+  Column lhs("k", {"a", "", "a", "b"});
+  Column rhs("v", {"1", "9", "2", "3"});
+  const FrProfile profile = ComputeFrProfile(lhs, rhs);
+  ASSERT_TRUE(profile.valid);
+  EXPECT_EQ(profile.violating_groups, 1u);
+}
+
+TEST(FrProfileTest, ViolatingRowsSorted) {
+  Column lhs("k", {"a", "b", "a", "b", "a"});
+  Column rhs("v", {"1", "7", "2", "8", "1"});
+  const FrProfile profile = ComputeFrProfile(lhs, rhs);
+  ASSERT_TRUE(profile.valid);
+  EXPECT_TRUE(std::is_sorted(profile.violating_rows.begin(),
+                             profile.violating_rows.end()));
+}
+
+}  // namespace
+}  // namespace unidetect

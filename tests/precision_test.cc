@@ -1,0 +1,83 @@
+#include "eval/precision.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/finding.h"
+
+namespace unidetect {
+namespace {
+
+GroundTruth OneTruth() {
+  GroundTruth truth;
+  InjectedError error;
+  error.error_class = ErrorClass::kOutlier;
+  error.table_index = 0;
+  error.column = 0;
+  error.row = 1;
+  truth.errors.push_back(error);
+  return truth;
+}
+
+Finding At(size_t table, size_t column, size_t row, double score) {
+  Finding finding;
+  finding.error_class = ErrorClass::kOutlier;
+  finding.table_index = table;
+  finding.column = column;
+  finding.rows = {row};
+  finding.score = score;
+  return finding;
+}
+
+TEST(PrecisionTest, CountsHitsWithinK) {
+  const GroundTruth truth = OneTruth();
+  std::vector<Finding> ranked = {At(0, 0, 1, 0.1), At(0, 0, 5, 0.2),
+                                 At(1, 0, 1, 0.3)};
+  const PrecisionCurve curve =
+      EvaluatePrecision("m", ranked, truth, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(curve.precision[0], 1.0);
+  EXPECT_DOUBLE_EQ(curve.precision[1], 0.5);
+  EXPECT_NEAR(curve.precision[2], 1.0 / 3.0, 1e-12);
+}
+
+TEST(PrecisionTest, ShortListsPenalized) {
+  const GroundTruth truth = OneTruth();
+  std::vector<Finding> ranked = {At(0, 0, 1, 0.1)};
+  const PrecisionCurve curve =
+      EvaluatePrecision("m", ranked, truth, {1, 10});
+  EXPECT_DOUBLE_EQ(curve.precision[0], 1.0);
+  // 1 true among a forced top-10 window.
+  EXPECT_DOUBLE_EQ(curve.precision[1], 0.1);
+}
+
+TEST(PrecisionTest, EmptyListIsZero) {
+  const PrecisionCurve curve =
+      EvaluatePrecision("m", {}, OneTruth(), {10});
+  EXPECT_DOUBLE_EQ(curve.precision[0], 0.0);
+}
+
+TEST(PrecisionTest, DefaultKsSpanTo100) {
+  const auto ks = DefaultKs();
+  ASSERT_EQ(ks.size(), 10u);
+  EXPECT_EQ(ks.front(), 10u);
+  EXPECT_EQ(ks.back(), 100u);
+}
+
+TEST(FilterByClassTest, KeepsOrderWithinClass) {
+  std::vector<Finding> findings = {At(0, 0, 1, 0.1), At(1, 0, 1, 0.2)};
+  findings[1].error_class = ErrorClass::kSpelling;
+  const auto outliers = FilterByClass(findings, ErrorClass::kOutlier);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0].table_index, 0u);
+}
+
+TEST(SortFindingsTest, AscendingScoreDeterministicTies) {
+  std::vector<Finding> findings = {At(2, 0, 0, 0.5), At(1, 0, 0, 0.5),
+                                   At(0, 0, 0, 0.1)};
+  SortFindings(&findings);
+  EXPECT_DOUBLE_EQ(findings[0].score, 0.1);
+  EXPECT_EQ(findings[1].table_index, 1u);  // tie broken by table index
+  EXPECT_EQ(findings[2].table_index, 2u);
+}
+
+}  // namespace
+}  // namespace unidetect

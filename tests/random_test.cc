@@ -1,0 +1,145 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace unidetect {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // every value of a tiny range is hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, ParetoRespectsMinimum) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(5.0, 1.0), 5.0);
+  }
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(17);
+  const uint64_t n = 100;
+  size_t low_half = 0;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.Zipf(n, 1.1);
+    EXPECT_LT(v, n);
+    if (v < n / 2) ++low_half;
+  }
+  // Zipf mass concentrates on small ranks.
+  EXPECT_GT(low_half, 3500u);
+}
+
+TEST(RngTest, ZipfDegenerate) {
+  Rng rng(17);
+  EXPECT_EQ(rng.Zipf(1, 1.0), 0u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, PickWeightedHonorsZeroWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.PickWeighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, StringsHaveRequestedShape) {
+  Rng rng(31);
+  const std::string alpha = rng.AlphaString(12);
+  EXPECT_EQ(alpha.size(), 12u);
+  for (char c : alpha) EXPECT_TRUE(c >= 'a' && c <= 'z');
+  const std::string digits = rng.DigitString(8);
+  EXPECT_EQ(digits.size(), 8u);
+  EXPECT_NE(digits[0], '0');  // no leading zero for length > 1
+  for (char c : digits) EXPECT_TRUE(c >= '0' && c <= '9');
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(37);
+  Rng child = a.Fork();
+  // The fork advances the parent, and the two streams differ.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == child.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace unidetect

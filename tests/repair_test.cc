@@ -1,0 +1,142 @@
+#include "repair/repair.h"
+
+#include <gtest/gtest.h>
+
+namespace unidetect {
+namespace {
+
+// A model whose token index knows "dowling" is prevalent and "doeling"
+// is not; no metric observations needed for repair logic.
+const Model& RepairModel() {
+  static const Model* model = [] {
+    auto* m = new Model(ModelOptions{});
+    for (int i = 0; i < 50; ++i) {
+      Table table("t");
+      EXPECT_TRUE(
+          table.AddColumn(Column("c", {"Kevin Dowling", "Chicago"})).ok());
+      m->mutable_token_index()->AddTable(table);
+    }
+    m->Finalize();
+    return m;
+  }();
+  return *model;
+}
+
+Finding MakeFinding(ErrorClass cls, size_t column, std::vector<size_t> rows,
+                    size_t column2 = Finding::kNoColumn) {
+  Finding finding;
+  finding.error_class = cls;
+  finding.column = column;
+  finding.column2 = column2;
+  finding.rows = std::move(rows);
+  return finding;
+}
+
+TEST(RepairTest, SpellingPrefersPrevalentForm) {
+  Table table("cast");
+  ASSERT_TRUE(table
+                  .AddColumn(Column("Name", {"Kevin Doeling", "Kevin Dowling",
+                                             "Alan Myerson"}))
+                  .ok());
+  Repairer repairer(&RepairModel());
+  const auto suggestions = repairer.Suggest(
+      table, MakeFinding(ErrorClass::kSpelling, 0, {0, 1}));
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].action, RepairAction::kReplace);
+  EXPECT_EQ(suggestions[0].row, 0u);
+  EXPECT_EQ(suggestions[0].current, "Kevin Doeling");
+  EXPECT_EQ(suggestions[0].suggested, "Kevin Dowling");
+}
+
+TEST(RepairTest, OutlierScaleSlipUndone) {
+  Table table("m");
+  ASSERT_TRUE(table
+                  .AddColumn(Column("Reading", {"2.497", "2815", "2641",
+                                                "2702", "2588", "2776"}))
+                  .ok());
+  Repairer repairer(&RepairModel());
+  const auto suggestions =
+      repairer.Suggest(table, MakeFinding(ErrorClass::kOutlier, 0, {0}));
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].suggested, "2497");
+}
+
+TEST(RepairTest, OutlierWithNoPlausibleScaleFixIsSilent) {
+  Table table("m");
+  ASSERT_TRUE(table
+                  .AddColumn(Column("Reading", {"123456", "2815", "2641",
+                                                "2702", "2588", "2776"}))
+                  .ok());
+  Repairer repairer(&RepairModel());
+  // 123456 / 1000 = 123.5 and /100 = 1234.6: both still far outside the
+  // ~2700 cluster.
+  EXPECT_TRUE(
+      repairer.Suggest(table, MakeFinding(ErrorClass::kOutlier, 0, {0}))
+          .empty());
+}
+
+TEST(RepairTest, UniquenessSuggestsRemoval) {
+  Table table("ids");
+  ASSERT_TRUE(
+      table.AddColumn(Column("Id", {"A1", "B2", "A1", "C3"})).ok());
+  Repairer repairer(&RepairModel());
+  const auto suggestions = repairer.Suggest(
+      table, MakeFinding(ErrorClass::kUniqueness, 0, {2}));
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].action, RepairAction::kRemoveRow);
+  EXPECT_EQ(suggestions[0].row, 2u);
+}
+
+TEST(RepairTest, FdMajorityRepair) {
+  Table table("cities");
+  ASSERT_TRUE(table
+                  .AddColumn(Column("City", {"London", "London", "London",
+                                             "Paris", "Paris", "Berlin",
+                                             "Berlin", "Rome"}))
+                  .ok());
+  ASSERT_TRUE(table
+                  .AddColumn(Column("Country", {"UK", "UK", "England",
+                                                "France", "France", "Germany",
+                                                "Germany", "Italy"}))
+                  .ok());
+  Repairer repairer(&RepairModel());
+  const auto suggestions =
+      repairer.Suggest(table, MakeFinding(ErrorClass::kFd, 0, {2}, 1));
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].column, 1u);
+  EXPECT_EQ(suggestions[0].current, "England");
+  EXPECT_EQ(suggestions[0].suggested, "UK");
+}
+
+TEST(RepairTest, FdSynthesisExactRepair) {
+  // Figure 13: the program reconstructs "Route 738" for shield "738".
+  Table table("routes");
+  std::vector<std::string> shields;
+  std::vector<std::string> names;
+  for (int i = 0; i < 8; ++i) {
+    shields.push_back(std::to_string(730 + i));
+    names.push_back("Route " + std::to_string(730 + i));
+  }
+  names[3] = "Route 999";  // corrupted dependent cell
+  ASSERT_TRUE(table.AddColumn(Column("Shield", shields)).ok());
+  ASSERT_TRUE(table.AddColumn(Column("Name", names)).ok());
+  Repairer repairer(&RepairModel());
+  const auto suggestions =
+      repairer.Suggest(table, MakeFinding(ErrorClass::kFd, 0, {3}, 1));
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].suggested, "Route 733");
+  EXPECT_NE(suggestions[0].rationale.find("programmatic"),
+            std::string::npos);
+}
+
+TEST(RepairTest, PatternFindingsHaveNoAutomaticFix) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn(Column("d", {"2001-01-01", "2001-Jan-01"})).ok());
+  Repairer repairer(&RepairModel());
+  EXPECT_TRUE(
+      repairer.Suggest(table, MakeFinding(ErrorClass::kPattern, 0, {1}))
+          .empty());
+}
+
+}  // namespace
+}  // namespace unidetect

@@ -1,0 +1,175 @@
+// Failure-injection / adversarial-input tests: every public entry point
+// must tolerate degenerate tables (empty, single-row, all-blank,
+// constant, enormous cells, binary bytes) without crashing or producing
+// NaN scores. A background-scanning feature meets arbitrary user data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/constraint_baselines.h"
+#include "baselines/outlier_baselines.h"
+#include "baselines/spelling_baselines.h"
+#include "corpus/generator.h"
+#include "detect/unidetect.h"
+#include "learn/trainer.h"
+#include "repair/repair.h"
+#include "synthesis/string_program.h"
+
+namespace unidetect {
+namespace {
+
+const Model& TinyModel() {
+  static const Model* model = [] {
+    Trainer trainer;
+    return new Model(
+        trainer.Train(GenerateCorpus(WebCorpusSpec(300, 77)).corpus));
+  }();
+  return *model;
+}
+
+std::vector<Table> DegenerateTables() {
+  std::vector<Table> tables;
+
+  tables.emplace_back("empty");
+
+  Table one_cell("one_cell");
+  EXPECT_TRUE(one_cell.AddColumn(Column("c", {"x"})).ok());
+  tables.push_back(std::move(one_cell));
+
+  Table all_blank("all_blank");
+  EXPECT_TRUE(
+      all_blank.AddColumn(Column("c", std::vector<std::string>(20, ""))).ok());
+  tables.push_back(std::move(all_blank));
+
+  Table constant("constant");
+  EXPECT_TRUE(
+      constant.AddColumn(Column("c", std::vector<std::string>(20, "same")))
+          .ok());
+  EXPECT_TRUE(
+      constant.AddColumn(Column("d", std::vector<std::string>(20, "7")))
+          .ok());
+  tables.push_back(std::move(constant));
+
+  Table huge_cells("huge_cells");
+  EXPECT_TRUE(huge_cells
+                  .AddColumn(Column("c", {std::string(40000, 'a'),
+                                          std::string(40000, 'b'),
+                                          std::string(39999, 'a'),
+                                          "short", "also short", "third",
+                                          "fourth", "fifth", "sixth",
+                                          "seventh"}))
+                  .ok());
+  tables.push_back(std::move(huge_cells));
+
+  Table binaryish("binaryish");
+  EXPECT_TRUE(binaryish
+                  .AddColumn(Column("c", {"\x01\x02\x03", "\xff\xfe",
+                                          "nor\tmal", "new\nline", "quo\"te",
+                                          "comma,inside", "tab\there",
+                                          "plain", "values", "here"}))
+                  .ok());
+  tables.push_back(std::move(binaryish));
+
+  Table mixed_junk("mixed_junk");
+  EXPECT_TRUE(mixed_junk
+                  .AddColumn(Column("c", {"1e308", "-1e308", "0", "0", "NaN",
+                                          "inf", "1", "2", "3", "4", "5",
+                                          "6"}))
+                  .ok());
+  tables.push_back(std::move(mixed_junk));
+
+  return tables;
+}
+
+TEST(RobustnessTest, UniDetectSurvivesDegenerateTables) {
+  UniDetectOptions options;
+  options.alpha = 1.0;
+  options.use_dictionary = true;
+  UniDetect detector(&TinyModel(), options);
+  for (const Table& table : DegenerateTables()) {
+    const std::vector<Finding> findings = detector.DetectTable(table);
+    for (const Finding& finding : findings) {
+      EXPECT_TRUE(std::isfinite(finding.score)) << table.name();
+      EXPECT_GE(finding.score, 0.0) << table.name();
+      EXPECT_LE(finding.score, 1.0) << table.name();
+      for (size_t row : finding.rows) {
+        EXPECT_LT(row, table.num_rows()) << table.name();
+      }
+    }
+  }
+}
+
+TEST(RobustnessTest, BaselinesSurviveDegenerateTables) {
+  const WordFrequency frequency(TinyModel().token_index());
+  std::vector<std::unique_ptr<Baseline>> baselines;
+  baselines.push_back(std::make_unique<FuzzyClusterBaseline>());
+  baselines.push_back(std::make_unique<SpellerBaseline>(&frequency));
+  baselines.push_back(std::make_unique<OovBaseline>(
+      &TinyModel().token_index(), "OOV", 10));
+  baselines.push_back(std::make_unique<MaxMadBaseline>());
+  baselines.push_back(std::make_unique<MaxSdBaseline>());
+  baselines.push_back(std::make_unique<DbodBaseline>());
+  baselines.push_back(std::make_unique<LofBaseline>());
+  baselines.push_back(std::make_unique<UniqueRowRatioBaseline>());
+  baselines.push_back(std::make_unique<UniqueValueRatioBaseline>());
+  baselines.push_back(std::make_unique<UniqueProjectionRatioBaseline>());
+  baselines.push_back(std::make_unique<ConformingRowRatioBaseline>());
+  baselines.push_back(std::make_unique<ConformingPairRatioBaseline>());
+
+  for (const Table& table : DegenerateTables()) {
+    for (const auto& baseline : baselines) {
+      std::vector<Finding> findings;
+      baseline->Detect(table, &findings);
+      for (const Finding& finding : findings) {
+        EXPECT_TRUE(std::isfinite(finding.score))
+            << baseline->name() << " on " << table.name();
+      }
+    }
+  }
+}
+
+TEST(RobustnessTest, SynthesisSurvivesDegenerateColumns) {
+  Column empty("a", {});
+  Column blank("b", std::vector<std::string>(10, ""));
+  Column normal("c", {"1", "2", "3", "4", "5", "6", "7", "8", "9", "10"});
+  EXPECT_FALSE(SynthesizeColumnProgram(empty, empty).found);
+  EXPECT_FALSE(SynthesizeColumnProgram(blank, normal).found);
+  EXPECT_FALSE(SynthesizeColumnProgram(normal, blank).found);
+}
+
+TEST(RobustnessTest, RepairerSurvivesBogusFindings) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn(Column("c", {"1", "2", "3"})).ok());
+  Repairer repairer(&TinyModel());
+  // Findings with out-of-range rows or missing pair columns.
+  Finding bogus;
+  bogus.error_class = ErrorClass::kFd;
+  bogus.column = 0;
+  bogus.column2 = Finding::kNoColumn;
+  bogus.rows = {99};
+  EXPECT_TRUE(repairer.Suggest(table, bogus).empty());
+
+  Finding empty_rows;
+  empty_rows.error_class = ErrorClass::kOutlier;
+  empty_rows.column = 0;
+  EXPECT_TRUE(repairer.Suggest(table, empty_rows).empty());
+
+  Finding single_row_spelling;
+  single_row_spelling.error_class = ErrorClass::kSpelling;
+  single_row_spelling.column = 0;
+  single_row_spelling.rows = {0};  // spelling repair needs a pair
+  EXPECT_TRUE(repairer.Suggest(table, single_row_spelling).empty());
+}
+
+TEST(RobustnessTest, TrainerSurvivesPathologicalCorpus) {
+  Corpus corpus;
+  corpus.name = "pathological";
+  for (Table& table : DegenerateTables()) corpus.tables.push_back(table);
+  Trainer trainer;
+  const Model model = trainer.Train(corpus);  // must not crash
+  EXPECT_GE(model.num_subsets(), 0u);
+}
+
+}  // namespace
+}  // namespace unidetect

@@ -1,0 +1,99 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace unidetect {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(TokenizeCellTest, SplitsOnSeparatorsDropsEmpties) {
+  EXPECT_EQ(TokenizeCell("Keane, Mr. Andrew"),
+            (std::vector<std::string>{"Keane", "Mr.", "Andrew"}));
+  EXPECT_EQ(TokenizeCell("  spaced   out  "),
+            (std::vector<std::string>{"spaced", "out"}));
+  EXPECT_TRUE(TokenizeCell("").empty());
+  EXPECT_TRUE(TokenizeCell(" ,;: ").empty());
+}
+
+TEST(TokenizeCellTest, KeepsHyphensAndDots) {
+  // Call signs and decimals survive as single tokens.
+  EXPECT_EQ(TokenizeCell("WALA-TV"), (std::vector<std::string>{"WALA-TV"}));
+  EXPECT_EQ(TokenizeCell("3.14"), (std::vector<std::string>{"3.14"}));
+}
+
+TEST(TrimTest, Whitespace) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("\t a b \r\n"), "a b");
+}
+
+TEST(CaseTest, UpperLower) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+  EXPECT_EQ(ToUpper("MiXeD 123"), "MIXED 123");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("TokenIndex v1", "TokenIndex"));
+  EXPECT_FALSE(StartsWith("Token", "TokenIndex"));
+  EXPECT_TRUE(EndsWith("file.model", ".model"));
+  EXPECT_FALSE(EndsWith(".model", "file.model"));
+}
+
+TEST(ParseNumericTest, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(*ParseNumeric("42"), 42.0);
+  EXPECT_DOUBLE_EQ(*ParseNumeric("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(*ParseNumeric("  7.25  "), 7.25);
+  EXPECT_DOUBLE_EQ(*ParseNumeric("+10"), 10.0);
+}
+
+TEST(ParseNumericTest, ThousandsSeparators) {
+  EXPECT_DOUBLE_EQ(*ParseNumeric("8,011"), 8011.0);
+  EXPECT_DOUBLE_EQ(*ParseNumeric("1,234,567"), 1234567.0);
+  // The decimal-slip value of Figure 4(e) parses as a small float.
+  EXPECT_DOUBLE_EQ(*ParseNumeric("8.716"), 8.716);
+}
+
+TEST(ParseNumericTest, Percentages) {
+  EXPECT_DOUBLE_EQ(*ParseNumeric("43.2%"), 43.2);
+  EXPECT_DOUBLE_EQ(*ParseNumeric("43.2 %"), 43.2);
+}
+
+TEST(ParseNumericTest, Rejections) {
+  EXPECT_FALSE(ParseNumeric("").has_value());
+  EXPECT_FALSE(ParseNumeric("abc").has_value());
+  EXPECT_FALSE(ParseNumeric("12abc").has_value());
+  EXPECT_FALSE(ParseNumeric("1,,2").has_value());
+  EXPECT_FALSE(ParseNumeric(",12").has_value());
+  EXPECT_FALSE(ParseNumeric("12,").has_value());
+  EXPECT_FALSE(ParseNumeric("1.2.3").has_value());
+  EXPECT_FALSE(ParseNumeric("%").has_value());
+}
+
+TEST(LooksLikeIntegerTest, Basic) {
+  EXPECT_TRUE(LooksLikeInteger("42"));
+  EXPECT_TRUE(LooksLikeInteger("-42"));
+  EXPECT_TRUE(LooksLikeInteger("61,044"));
+  EXPECT_FALSE(LooksLikeInteger("4.2"));
+  EXPECT_FALSE(LooksLikeInteger("abc"));
+  EXPECT_FALSE(LooksLikeInteger(""));
+  EXPECT_FALSE(LooksLikeInteger("-"));
+}
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(0.25, 2), "0.25");
+  EXPECT_EQ(FormatDouble(100.0, 0), "100");
+}
+
+}  // namespace
+}  // namespace unidetect

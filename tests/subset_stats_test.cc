@@ -1,0 +1,141 @@
+#include "learn/subset_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace unidetect {
+namespace {
+
+SubsetStats MakeStats(std::vector<std::pair<double, double>> pairs) {
+  SubsetStats stats;
+  for (auto [pre, post] : pairs) stats.Add(pre, post);
+  stats.Finalize();
+  return stats;
+}
+
+TEST(SubsetStatsTest, CountSurprisingHigherDirection) {
+  // max-MAD style: suspicious = high pre, clean = low post.
+  SubsetStats stats = MakeStats({{10, 2}, {8, 7}, {5, 4}, {12, 1}, {3, 3}});
+  EXPECT_EQ(stats.CountSurprising(SurpriseDirection::kHigherMoreSurprising,
+                                  /*theta1=*/8, /*theta2=*/2),
+            2u);  // (10,2) and (12,1)
+  EXPECT_EQ(stats.CountSurprising(SurpriseDirection::kHigherMoreSurprising,
+                                  8, 7),
+            3u);  // adds (8,7)
+  EXPECT_EQ(stats.CountSurprising(SurpriseDirection::kHigherMoreSurprising,
+                                  100, 0),
+            0u);
+}
+
+TEST(SubsetStatsTest, CountSurprisingLowerDirection) {
+  // MPD/UR style: suspicious = low pre, clean = high post.
+  SubsetStats stats = MakeStats({{1, 9}, {1, 1}, {2, 2}, {3, 9}, {9, 9}});
+  EXPECT_EQ(stats.CountSurprising(SurpriseDirection::kLowerMoreSurprising,
+                                  /*theta1=*/1, /*theta2=*/9),
+            1u);  // only (1,9)
+  EXPECT_EQ(stats.CountSurprising(SurpriseDirection::kLowerMoreSurprising,
+                                  3, 9),
+            2u);  // (1,9) and (3,9)
+}
+
+TEST(SubsetStatsTest, TailCountsInclusive) {
+  SubsetStats stats = MakeStats({{1, 0}, {2, 0}, {2, 0}, {5, 0}});
+  EXPECT_EQ(stats.CountPreSuspiciousTail(
+                SurpriseDirection::kHigherMoreSurprising, 2),
+            3u);  // pre >= 2
+  EXPECT_EQ(stats.CountPreSuspiciousTail(
+                SurpriseDirection::kLowerMoreSurprising, 2),
+            3u);  // pre <= 2
+  EXPECT_EQ(stats.CountPreCleanTail(
+                SurpriseDirection::kHigherMoreSurprising, 2),
+            3u);  // pre <= 2
+  EXPECT_EQ(stats.CountPreCleanTail(
+                SurpriseDirection::kLowerMoreSurprising, 2),
+            3u);  // pre >= 2
+}
+
+TEST(SubsetStatsTest, PointCountsQuantize) {
+  SubsetStats stats = MakeStats({{1.02, 2.04}, {1.04, 2.01}, {1.3, 2.0}});
+  EXPECT_EQ(stats.CountPointPair(1.0, 2.0, 0.1), 2u);
+  EXPECT_EQ(stats.CountPointPre(1.3, 0.1), 1u);
+}
+
+TEST(SubsetStatsTest, MergeThenFinalize) {
+  SubsetStats a;
+  a.Add(1, 2);
+  SubsetStats b;
+  b.Add(3, 4);
+  a.Merge(b);
+  a.Finalize();
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.CountPreSuspiciousTail(
+                SurpriseDirection::kHigherMoreSurprising, 0),
+            2u);
+}
+
+TEST(SubsetStatsTest, SerializationRoundTripExact) {
+  // Values chosen to be inexact in binary: the round trip must preserve
+  // boundary equality (the bug class fixed by max_digits10).
+  SubsetStats stats;
+  stats.Add(10.0 / 13.0, 10.0 / 11.0);
+  stats.Add(20.0 / 21.0, 1.0);
+  stats.Finalize();
+  std::string text;
+  stats.SerializeTo(&text);
+  auto restored = SubsetStats::Deserialize(text);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 2u);
+  EXPECT_EQ(restored->CountSurprising(SurpriseDirection::kLowerMoreSurprising,
+                                      10.0 / 13.0, 10.0 / 11.0),
+            stats.CountSurprising(SurpriseDirection::kLowerMoreSurprising,
+                                  10.0 / 13.0, 10.0 / 11.0));
+  EXPECT_EQ(restored->CountPreSuspiciousTail(
+                SurpriseDirection::kLowerMoreSurprising, 20.0 / 21.0),
+            2u);
+}
+
+TEST(SubsetStatsTest, DeserializeRejectsTruncation) {
+  EXPECT_FALSE(SubsetStats::Deserialize("3 1 2 3").ok());
+  EXPECT_FALSE(SubsetStats::Deserialize("").ok());
+}
+
+// Property: the numerator is monotone — widening either threshold can
+// only add observations (this is the structural fact behind Theorem 1).
+class SubsetStatsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubsetStatsPropertyTest, NumeratorMonotone) {
+  Rng rng(GetParam());
+  SubsetStats stats;
+  for (int i = 0; i < 500; ++i) {
+    stats.Add(rng.Uniform(0, 100), rng.Uniform(0, 100));
+  }
+  stats.Finalize();
+  for (int trial = 0; trial < 100; ++trial) {
+    const double t1 = rng.Uniform(0, 100);
+    const double t2 = rng.Uniform(0, 100);
+    const double t1_wider = t1 - rng.Uniform(0, 10);   // lower theta1
+    const double t2_wider = t2 + rng.Uniform(0, 10);   // higher theta2
+    // Higher-surprising direction: num(theta1, theta2) grows when theta1
+    // shrinks or theta2 grows.
+    EXPECT_LE(stats.CountSurprising(
+                  SurpriseDirection::kHigherMoreSurprising, t1, t2),
+              stats.CountSurprising(
+                  SurpriseDirection::kHigherMoreSurprising, t1_wider, t2));
+    EXPECT_LE(stats.CountSurprising(
+                  SurpriseDirection::kHigherMoreSurprising, t1, t2),
+              stats.CountSurprising(
+                  SurpriseDirection::kHigherMoreSurprising, t1, t2_wider));
+    // Tails are monotone in theta2.
+    EXPECT_GE(stats.CountPreSuspiciousTail(
+                  SurpriseDirection::kHigherMoreSurprising, t2),
+              stats.CountPreSuspiciousTail(
+                  SurpriseDirection::kHigherMoreSurprising, t2_wider));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsetStatsPropertyTest,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace unidetect

@@ -1,0 +1,144 @@
+#include "synthesis/string_program.h"
+
+#include <gtest/gtest.h>
+
+#include "synthesis/fd_synthesis_detector.h"
+
+namespace unidetect {
+namespace {
+
+Column Col(const char* name, std::vector<std::string> cells) {
+  return Column(name, std::move(cells));
+}
+
+SynthesisOptions Loose() {
+  SynthesisOptions options;
+  options.min_rows = 4;
+  return options;
+}
+
+TEST(StringProgramTest, ApplyAndDescribe) {
+  StringProgram program;
+  program.prefix = "Route ";
+  program.suffix = "!";
+  EXPECT_EQ(*program.Apply("42"), "Route 42!");
+  EXPECT_EQ(program.Describe(), "\"Route \" + x + \"!\"");
+
+  StringProgram token;
+  token.transform = TransformKind::kTokenAt;
+  token.separator = ' ';
+  token.token_index = 1;
+  EXPECT_EQ(*token.Apply("John Smith"), "Smith");
+  EXPECT_FALSE(token.Apply("Single").has_value());
+
+  StringProgram upper;
+  upper.transform = TransformKind::kUpperCase;
+  EXPECT_EQ(*upper.Apply("abc"), "ABC");
+}
+
+TEST(SynthesizeTest, RouteNamesFromShields) {
+  // Figure 13: shield "748" -> "Malaysia Federal Route 748".
+  Column lhs = Col("shield", {"736", "737", "738", "739", "740"});
+  Column rhs = Col("name", {"Malaysia Federal Route 736",
+                            "Malaysia Federal Route 737",
+                            "Malaysia Federal Route 738",
+                            "Malaysia Federal Route 739",
+                            "Malaysia Federal Route 740"});
+  const SynthesisResult result = SynthesizeColumnProgram(lhs, rhs, Loose());
+  ASSERT_TRUE(result.found);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+  EXPECT_TRUE(result.violating_rows.empty());
+  EXPECT_EQ(*result.program.Apply("748"), "Malaysia Federal Route 748");
+}
+
+TEST(SynthesizeTest, DetectsProgramViolations) {
+  // One corrupted dependent cell (Figure 13's "738" -> "Route 748").
+  Column lhs = Col("shield", {"736", "737", "738", "739", "740", "741"});
+  Column rhs = Col("name", {"Route 736", "Route 737", "Route 748",
+                            "Route 739", "Route 740", "Route 741"});
+  const SynthesisResult result = SynthesizeColumnProgram(lhs, rhs, Loose());
+  ASSERT_TRUE(result.found);
+  EXPECT_NEAR(result.coverage, 5.0 / 6.0, 1e-12);
+  EXPECT_EQ(result.violating_rows, (std::vector<size_t>{2}));
+}
+
+TEST(SynthesizeTest, SurvivesCorruptedSeedRow) {
+  // The corrupted row is the FIRST example: candidate voting must still
+  // recover the majority program.
+  Column lhs = Col("shield", {"736", "737", "738", "739", "740", "741"});
+  Column rhs = Col("name", {"Route 999", "Route 737", "Route 738",
+                            "Route 739", "Route 740", "Route 741"});
+  const SynthesisResult result = SynthesizeColumnProgram(lhs, rhs, Loose());
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.violating_rows, (std::vector<size_t>{0}));
+}
+
+TEST(SynthesizeTest, TitleFromCountry) {
+  // Figure 14: country -> "Mr Gay <country>".
+  Column lhs = Col("country", {"Denmark", "Finland", "France", "India",
+                               "Mexico"});
+  Column rhs = Col("title", {"Mr Gay Denmark", "Mr Gay Finland",
+                             "Mr Gay France", "Mr Gay India",
+                             "Mr Gay Mexico"});
+  const SynthesisResult result = SynthesizeColumnProgram(lhs, rhs, Loose());
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.program.prefix, "Mr Gay ");
+}
+
+TEST(SynthesizeTest, TokenExtraction) {
+  // Last name from "First Last".
+  Column lhs = Col("full", {"John Smith", "Mary Jones", "Alan Brown",
+                            "Ruth Clark", "Peter Adams"});
+  Column rhs = Col("last", {"Smith", "Jones", "Brown", "Clark", "Adams"});
+  const SynthesisResult result = SynthesizeColumnProgram(lhs, rhs, Loose());
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.program.transform, TransformKind::kTokenAt);
+  EXPECT_EQ(result.program.token_index, 1u);
+}
+
+TEST(SynthesizeTest, IntegerScaling) {
+  // Points = 3 * wins (league standings).
+  Column lhs = Col("wins", {"0", "4", "7", "11", "13", "2"});
+  Column rhs = Col("points", {"0", "12", "21", "33", "39", "6"});
+  const SynthesisResult result = SynthesizeColumnProgram(lhs, rhs, Loose());
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.program.transform, TransformKind::kScaleInt);
+  EXPECT_EQ(result.program.factor, 3);
+  EXPECT_EQ(*result.program.Apply("20"), "60");
+}
+
+TEST(SynthesizeTest, NoRelationshipFindsNothing) {
+  Column lhs = Col("a", {"x1", "x2", "x3", "x4", "x5"});
+  Column rhs = Col("b", {"orange", "apple", "plum", "grape", "melon"});
+  EXPECT_FALSE(SynthesizeColumnProgram(lhs, rhs, Loose()).found);
+}
+
+TEST(SynthesizeTest, CoverageThresholdRespected) {
+  // Program explains only 3/6 rows: below the default 0.7 floor.
+  Column lhs = Col("a", {"1", "2", "3", "4", "5", "6"});
+  Column rhs = Col("b", {"v1", "v2", "v3", "zz", "yy", "xx"});
+  SynthesisOptions strict = Loose();
+  strict.min_coverage = 0.7;
+  EXPECT_FALSE(SynthesizeColumnProgram(lhs, rhs, strict).found);
+  strict.min_coverage = 0.4;
+  EXPECT_TRUE(SynthesizeColumnProgram(lhs, rhs, strict).found);
+}
+
+TEST(SynthesizeTest, RequiresMinimumRows) {
+  Column lhs = Col("a", {"1", "2"});
+  Column rhs = Col("b", {"v1", "v2"});
+  EXPECT_FALSE(SynthesizeColumnProgram(lhs, rhs).found);
+}
+
+TEST(SynthesizeTest, IdentityProgramPreferredWhenExact) {
+  Column lhs = Col("a", {"x", "y", "z", "w", "v"});
+  Column rhs = Col("b", {"x", "y", "z", "w", "v"});
+  const SynthesisResult result = SynthesizeColumnProgram(lhs, rhs, Loose());
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.program.transform, TransformKind::kIdentity);
+  EXPECT_TRUE(result.program.prefix.empty());
+  EXPECT_TRUE(result.program.suffix.empty());
+}
+
+}  // namespace
+}  // namespace unidetect

@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace unidetect {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> touched(n);
+  ParallelFor(pool, n, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, ShardsAreContiguousAndOrdered) {
+  ThreadPool pool(4);
+  std::vector<std::pair<size_t, size_t>> ranges(4, {0, 0});
+  ParallelFor(pool, 10, [&](size_t shard, size_t begin, size_t end) {
+    ranges[shard] = {begin, end};
+  });
+  // 10 over 4 threads: chunk = 3 -> shards [0,3) [3,6) [6,9) [9,10).
+  EXPECT_EQ(ranges[0], (std::pair<size_t, size_t>{0, 3}));
+  EXPECT_EQ(ranges[1], (std::pair<size_t, size_t>{3, 6}));
+  EXPECT_EQ(ranges[2], (std::pair<size_t, size_t>{6, 9}));
+  EXPECT_EQ(ranges[3], (std::pair<size_t, size_t>{9, 10}));
+}
+
+TEST(ParallelForTest, HandlesFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  ParallelFor(pool, 2, [&](size_t, size_t begin, size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelForTest, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  ParallelFor(pool, 0, [&](size_t, size_t, size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace unidetect

@@ -1,0 +1,72 @@
+#include "learn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "learn/candidates.h"
+
+namespace unidetect {
+namespace {
+
+Corpus SmallCorpus(size_t tables = 200, uint64_t seed = 21) {
+  return GenerateCorpus(WebCorpusSpec(tables, seed)).corpus;
+}
+
+TEST(TrainerTest, ProducesObservationsForEveryClass) {
+  Trainer trainer;
+  const Model model = trainer.Train(SmallCorpus());
+  EXPECT_GT(model.num_subsets(), 10u);
+  EXPECT_GT(model.num_observations(), 200u);
+  EXPECT_GT(model.token_index().num_tables(), 0u);
+  EXPECT_GT(model.token_index().num_tokens(), 100u);
+}
+
+TEST(TrainerTest, ThreadCountDoesNotChangeStatistics) {
+  const Corpus corpus = SmallCorpus();
+  TrainerOptions one;
+  one.num_threads = 1;
+  TrainerOptions four;
+  four.num_threads = 4;
+  const Model a = Trainer(one).Train(corpus);
+  const Model b = Trainer(four).Train(corpus);
+  EXPECT_EQ(a.num_subsets(), b.num_subsets());
+  EXPECT_EQ(a.num_observations(), b.num_observations());
+  EXPECT_EQ(a.token_index().num_tokens(), b.token_index().num_tokens());
+
+  // LR queries agree on a real candidate.
+  const Column probe("Hometown",
+                     {"London", "Paris", "Paris", "Berlin", "Madrid", "Rome",
+                      "Tokyo", "Delhi", "Oslo", "Cairo"});
+  const auto cand =
+      ExtractUniquenessCandidate(probe, 0, a.token_index(), a.options());
+  if (cand.valid) {
+    EXPECT_DOUBLE_EQ(a.LikelihoodRatio(ErrorClass::kUniqueness, cand.key,
+                                       cand.theta1, cand.theta2),
+                     b.LikelihoodRatio(ErrorClass::kUniqueness, cand.key,
+                                       cand.theta1, cand.theta2));
+  }
+}
+
+TEST(TrainerTest, FdPairCapLimitsWork) {
+  TrainerOptions options;
+  options.max_fd_pairs_per_table = 2;
+  const Model capped = Trainer(options).Train(SmallCorpus(50));
+  TrainerOptions uncapped_options;
+  uncapped_options.max_fd_pairs_per_table = 100;
+  const Model uncapped = Trainer(uncapped_options).Train(SmallCorpus(50));
+  EXPECT_LT(capped.num_observations(), uncapped.num_observations());
+}
+
+TEST(TrainerTest, ModelOptionsArePropagated) {
+  TrainerOptions options;
+  options.model.min_support = 77;
+  options.model.featurize.enabled = false;
+  const Model model = Trainer(options).Train(SmallCorpus(30));
+  EXPECT_EQ(model.options().min_support, 77u);
+  EXPECT_FALSE(model.options().featurize.enabled);
+  // With featurization off there is at most one subset per error class.
+  EXPECT_LE(model.num_subsets(), 4u);
+}
+
+}  // namespace
+}  // namespace unidetect

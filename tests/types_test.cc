@@ -1,0 +1,67 @@
+#include "table/types.h"
+
+#include <gtest/gtest.h>
+
+namespace unidetect {
+namespace {
+
+TEST(ClassifyValueTest, Empty) {
+  EXPECT_EQ(ClassifyValue(""), ValueType::kEmpty);
+  EXPECT_EQ(ClassifyValue("   "), ValueType::kEmpty);
+}
+
+TEST(ClassifyValueTest, Integers) {
+  EXPECT_EQ(ClassifyValue("42"), ValueType::kInteger);
+  EXPECT_EQ(ClassifyValue("-17"), ValueType::kInteger);
+  EXPECT_EQ(ClassifyValue("61,044"), ValueType::kInteger);
+}
+
+TEST(ClassifyValueTest, Floats) {
+  EXPECT_EQ(ClassifyValue("3.14"), ValueType::kFloat);
+  EXPECT_EQ(ClassifyValue("8.716"), ValueType::kFloat);
+  EXPECT_EQ(ClassifyValue("43.2%"), ValueType::kFloat);
+}
+
+TEST(ClassifyValueTest, Dates) {
+  EXPECT_EQ(ClassifyValue("2015-04-01"), ValueType::kDate);
+  EXPECT_EQ(ClassifyValue("04/01/2015"), ValueType::kDate);
+  EXPECT_EQ(ClassifyValue("2015/4/1"), ValueType::kDate);
+}
+
+TEST(ClassifyValueTest, MixedAlnum) {
+  EXPECT_EQ(ClassifyValue("KV214-310B8K2"), ValueType::kMixedAlnum);
+  EXPECT_EQ(ClassifyValue("DN35828"), ValueType::kMixedAlnum);
+  EXPECT_EQ(ClassifyValue("Gliese 163 b"), ValueType::kMixedAlnum);
+}
+
+TEST(ClassifyValueTest, Strings) {
+  EXPECT_EQ(ClassifyValue("London"), ValueType::kString);
+  EXPECT_EQ(ClassifyValue("Keane, Mr. Andrew"), ValueType::kString);
+  EXPECT_EQ(ClassifyValue("H-O"), ValueType::kString);
+}
+
+TEST(LooksLikeDateTest, Accepts) {
+  EXPECT_TRUE(LooksLikeDate("1999-12-31"));
+  EXPECT_TRUE(LooksLikeDate("9/9/2020"));
+  EXPECT_TRUE(LooksLikeDate("  2015-05-26  "));
+}
+
+TEST(LooksLikeDateTest, Rejects) {
+  EXPECT_FALSE(LooksLikeDate("2015"));
+  EXPECT_FALSE(LooksLikeDate("2015-04"));
+  EXPECT_FALSE(LooksLikeDate("2015-04-01-02"));
+  EXPECT_FALSE(LooksLikeDate("20155-04-01"));   // 5-digit year
+  EXPECT_FALSE(LooksLikeDate("ab-cd-ef"));
+  EXPECT_FALSE(LooksLikeDate("1-2-3"));          // no 4-digit year part
+  EXPECT_FALSE(LooksLikeDate("2015-Apr-01"));    // letters
+}
+
+TEST(TypeNamesTest, AllDistinct) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kInteger), "integer");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kMixedAlnum), "mixed-alnum");
+  EXPECT_STREQ(ColumnTypeToString(ColumnType::kString), "string");
+  EXPECT_STREQ(ColumnTypeToString(ColumnType::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace unidetect
