@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_config_search.dir/bench_config_search.cc.o"
+  "CMakeFiles/bench_config_search.dir/bench_config_search.cc.o.d"
+  "bench_config_search"
+  "bench_config_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_config_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

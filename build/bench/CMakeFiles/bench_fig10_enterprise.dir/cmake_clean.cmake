@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_enterprise.dir/bench_fig10_enterprise.cc.o"
+  "CMakeFiles/bench_fig10_enterprise.dir/bench_fig10_enterprise.cc.o.d"
+  "bench_fig10_enterprise"
+  "bench_fig10_enterprise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_enterprise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

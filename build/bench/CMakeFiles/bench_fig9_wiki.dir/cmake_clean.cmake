@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_wiki.dir/bench_fig9_wiki.cc.o"
+  "CMakeFiles/bench_fig9_wiki.dir/bench_fig9_wiki.cc.o.d"
+  "bench_fig9_wiki"
+  "bench_fig9_wiki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_wiki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

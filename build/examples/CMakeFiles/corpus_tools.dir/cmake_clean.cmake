@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_tools.dir/corpus_tools.cpp.o"
+  "CMakeFiles/corpus_tools.dir/corpus_tools.cpp.o.d"
+  "corpus_tools"
+  "corpus_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spreadsheet_audit.dir/spreadsheet_audit.cpp.o"
+  "CMakeFiles/spreadsheet_audit.dir/spreadsheet_audit.cpp.o.d"
+  "spreadsheet_audit"
+  "spreadsheet_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spreadsheet_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unidetect_cli.dir/unidetect_cli.cpp.o"
+  "CMakeFiles/unidetect_cli.dir/unidetect_cli.cpp.o.d"
+  "unidetect_cli"
+  "unidetect_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unidetect_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

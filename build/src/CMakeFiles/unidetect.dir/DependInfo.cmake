@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autodetect/pattern.cc" "src/CMakeFiles/unidetect.dir/autodetect/pattern.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/autodetect/pattern.cc.o.d"
+  "/root/repo/src/autodetect/pmi_detector.cc" "src/CMakeFiles/unidetect.dir/autodetect/pmi_detector.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/autodetect/pmi_detector.cc.o.d"
+  "/root/repo/src/baselines/baseline.cc" "src/CMakeFiles/unidetect.dir/baselines/baseline.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/baselines/baseline.cc.o.d"
+  "/root/repo/src/baselines/constraint_baselines.cc" "src/CMakeFiles/unidetect.dir/baselines/constraint_baselines.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/baselines/constraint_baselines.cc.o.d"
+  "/root/repo/src/baselines/outlier_baselines.cc" "src/CMakeFiles/unidetect.dir/baselines/outlier_baselines.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/baselines/outlier_baselines.cc.o.d"
+  "/root/repo/src/baselines/spelling_baselines.cc" "src/CMakeFiles/unidetect.dir/baselines/spelling_baselines.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/baselines/spelling_baselines.cc.o.d"
+  "/root/repo/src/corpus/corpus.cc" "src/CMakeFiles/unidetect.dir/corpus/corpus.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/corpus/corpus.cc.o.d"
+  "/root/repo/src/corpus/corpus_io.cc" "src/CMakeFiles/unidetect.dir/corpus/corpus_io.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/corpus/corpus_io.cc.o.d"
+  "/root/repo/src/corpus/data_pools.cc" "src/CMakeFiles/unidetect.dir/corpus/data_pools.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/corpus/data_pools.cc.o.d"
+  "/root/repo/src/corpus/generator.cc" "src/CMakeFiles/unidetect.dir/corpus/generator.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/corpus/generator.cc.o.d"
+  "/root/repo/src/corpus/token_index.cc" "src/CMakeFiles/unidetect.dir/corpus/token_index.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/corpus/token_index.cc.o.d"
+  "/root/repo/src/detect/dictionary.cc" "src/CMakeFiles/unidetect.dir/detect/dictionary.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/detect/dictionary.cc.o.d"
+  "/root/repo/src/detect/fd_detector.cc" "src/CMakeFiles/unidetect.dir/detect/fd_detector.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/detect/fd_detector.cc.o.d"
+  "/root/repo/src/detect/fdr.cc" "src/CMakeFiles/unidetect.dir/detect/fdr.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/detect/fdr.cc.o.d"
+  "/root/repo/src/detect/finding.cc" "src/CMakeFiles/unidetect.dir/detect/finding.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/detect/finding.cc.o.d"
+  "/root/repo/src/detect/finding_json.cc" "src/CMakeFiles/unidetect.dir/detect/finding_json.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/detect/finding_json.cc.o.d"
+  "/root/repo/src/detect/outlier_detector.cc" "src/CMakeFiles/unidetect.dir/detect/outlier_detector.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/detect/outlier_detector.cc.o.d"
+  "/root/repo/src/detect/spelling_detector.cc" "src/CMakeFiles/unidetect.dir/detect/spelling_detector.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/detect/spelling_detector.cc.o.d"
+  "/root/repo/src/detect/unidetect.cc" "src/CMakeFiles/unidetect.dir/detect/unidetect.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/detect/unidetect.cc.o.d"
+  "/root/repo/src/detect/uniqueness_detector.cc" "src/CMakeFiles/unidetect.dir/detect/uniqueness_detector.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/detect/uniqueness_detector.cc.o.d"
+  "/root/repo/src/eval/harness.cc" "src/CMakeFiles/unidetect.dir/eval/harness.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/eval/harness.cc.o.d"
+  "/root/repo/src/eval/injection.cc" "src/CMakeFiles/unidetect.dir/eval/injection.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/eval/injection.cc.o.d"
+  "/root/repo/src/eval/precision.cc" "src/CMakeFiles/unidetect.dir/eval/precision.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/eval/precision.cc.o.d"
+  "/root/repo/src/featurize/buckets.cc" "src/CMakeFiles/unidetect.dir/featurize/buckets.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/featurize/buckets.cc.o.d"
+  "/root/repo/src/featurize/features.cc" "src/CMakeFiles/unidetect.dir/featurize/features.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/featurize/features.cc.o.d"
+  "/root/repo/src/learn/candidates.cc" "src/CMakeFiles/unidetect.dir/learn/candidates.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/learn/candidates.cc.o.d"
+  "/root/repo/src/learn/model.cc" "src/CMakeFiles/unidetect.dir/learn/model.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/learn/model.cc.o.d"
+  "/root/repo/src/learn/subset_stats.cc" "src/CMakeFiles/unidetect.dir/learn/subset_stats.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/learn/subset_stats.cc.o.d"
+  "/root/repo/src/learn/trainer.cc" "src/CMakeFiles/unidetect.dir/learn/trainer.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/learn/trainer.cc.o.d"
+  "/root/repo/src/metrics/dispersion.cc" "src/CMakeFiles/unidetect.dir/metrics/dispersion.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/metrics/dispersion.cc.o.d"
+  "/root/repo/src/metrics/edit_distance.cc" "src/CMakeFiles/unidetect.dir/metrics/edit_distance.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/metrics/edit_distance.cc.o.d"
+  "/root/repo/src/metrics/metric_functions.cc" "src/CMakeFiles/unidetect.dir/metrics/metric_functions.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/metrics/metric_functions.cc.o.d"
+  "/root/repo/src/repair/repair.cc" "src/CMakeFiles/unidetect.dir/repair/repair.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/repair/repair.cc.o.d"
+  "/root/repo/src/search/config_search.cc" "src/CMakeFiles/unidetect.dir/search/config_search.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/search/config_search.cc.o.d"
+  "/root/repo/src/synthesis/fd_synthesis_detector.cc" "src/CMakeFiles/unidetect.dir/synthesis/fd_synthesis_detector.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/synthesis/fd_synthesis_detector.cc.o.d"
+  "/root/repo/src/synthesis/string_program.cc" "src/CMakeFiles/unidetect.dir/synthesis/string_program.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/synthesis/string_program.cc.o.d"
+  "/root/repo/src/table/column.cc" "src/CMakeFiles/unidetect.dir/table/column.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/table/column.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/unidetect.dir/table/table.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/table/table.cc.o.d"
+  "/root/repo/src/table/types.cc" "src/CMakeFiles/unidetect.dir/table/types.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/table/types.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/unidetect.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/json.cc" "src/CMakeFiles/unidetect.dir/util/json.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/util/json.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/unidetect.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/unidetect.dir/util/random.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/unidetect.dir/util/status.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/unidetect.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/unidetect.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/unidetect.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

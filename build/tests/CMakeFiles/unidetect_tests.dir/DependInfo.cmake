@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/unidetect_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/candidates_test.cc" "tests/CMakeFiles/unidetect_tests.dir/candidates_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/candidates_test.cc.o.d"
+  "/root/repo/tests/column_table_test.cc" "tests/CMakeFiles/unidetect_tests.dir/column_table_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/column_table_test.cc.o.d"
+  "/root/repo/tests/config_search_test.cc" "tests/CMakeFiles/unidetect_tests.dir/config_search_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/config_search_test.cc.o.d"
+  "/root/repo/tests/corpus_io_test.cc" "tests/CMakeFiles/unidetect_tests.dir/corpus_io_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/corpus_io_test.cc.o.d"
+  "/root/repo/tests/csv_fuzz_test.cc" "tests/CMakeFiles/unidetect_tests.dir/csv_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/csv_fuzz_test.cc.o.d"
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/unidetect_tests.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/csv_test.cc.o.d"
+  "/root/repo/tests/detectors_test.cc" "tests/CMakeFiles/unidetect_tests.dir/detectors_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/detectors_test.cc.o.d"
+  "/root/repo/tests/dictionary_test.cc" "tests/CMakeFiles/unidetect_tests.dir/dictionary_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/dictionary_test.cc.o.d"
+  "/root/repo/tests/dispersion_test.cc" "tests/CMakeFiles/unidetect_tests.dir/dispersion_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/dispersion_test.cc.o.d"
+  "/root/repo/tests/edit_distance_test.cc" "tests/CMakeFiles/unidetect_tests.dir/edit_distance_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/edit_distance_test.cc.o.d"
+  "/root/repo/tests/end_to_end_test.cc" "tests/CMakeFiles/unidetect_tests.dir/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/end_to_end_test.cc.o.d"
+  "/root/repo/tests/false_positive_test.cc" "tests/CMakeFiles/unidetect_tests.dir/false_positive_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/false_positive_test.cc.o.d"
+  "/root/repo/tests/fdr_test.cc" "tests/CMakeFiles/unidetect_tests.dir/fdr_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/fdr_test.cc.o.d"
+  "/root/repo/tests/features_test.cc" "tests/CMakeFiles/unidetect_tests.dir/features_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/features_test.cc.o.d"
+  "/root/repo/tests/generator_test.cc" "tests/CMakeFiles/unidetect_tests.dir/generator_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/generator_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/unidetect_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/injection_test.cc" "tests/CMakeFiles/unidetect_tests.dir/injection_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/injection_test.cc.o.d"
+  "/root/repo/tests/json_test.cc" "tests/CMakeFiles/unidetect_tests.dir/json_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/json_test.cc.o.d"
+  "/root/repo/tests/logging_test.cc" "tests/CMakeFiles/unidetect_tests.dir/logging_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/logging_test.cc.o.d"
+  "/root/repo/tests/metric_functions_test.cc" "tests/CMakeFiles/unidetect_tests.dir/metric_functions_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/metric_functions_test.cc.o.d"
+  "/root/repo/tests/model_test.cc" "tests/CMakeFiles/unidetect_tests.dir/model_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/model_test.cc.o.d"
+  "/root/repo/tests/pattern_test.cc" "tests/CMakeFiles/unidetect_tests.dir/pattern_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/pattern_test.cc.o.d"
+  "/root/repo/tests/perturbation_property_test.cc" "tests/CMakeFiles/unidetect_tests.dir/perturbation_property_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/perturbation_property_test.cc.o.d"
+  "/root/repo/tests/precision_test.cc" "tests/CMakeFiles/unidetect_tests.dir/precision_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/precision_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/unidetect_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/repair_test.cc" "tests/CMakeFiles/unidetect_tests.dir/repair_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/repair_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/unidetect_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/unidetect_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/string_util_test.cc" "tests/CMakeFiles/unidetect_tests.dir/string_util_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/string_util_test.cc.o.d"
+  "/root/repo/tests/subset_stats_test.cc" "tests/CMakeFiles/unidetect_tests.dir/subset_stats_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/subset_stats_test.cc.o.d"
+  "/root/repo/tests/synthesis_test.cc" "tests/CMakeFiles/unidetect_tests.dir/synthesis_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/synthesis_test.cc.o.d"
+  "/root/repo/tests/thread_pool_test.cc" "tests/CMakeFiles/unidetect_tests.dir/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/thread_pool_test.cc.o.d"
+  "/root/repo/tests/token_index_test.cc" "tests/CMakeFiles/unidetect_tests.dir/token_index_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/token_index_test.cc.o.d"
+  "/root/repo/tests/trainer_test.cc" "tests/CMakeFiles/unidetect_tests.dir/trainer_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/trainer_test.cc.o.d"
+  "/root/repo/tests/types_test.cc" "tests/CMakeFiles/unidetect_tests.dir/types_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/types_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/unidetect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
