@@ -9,6 +9,7 @@
 #include "corpus/generator.h"
 #include "detect/unidetect.h"
 #include "learn/candidates.h"
+#include "learn/subset_stats.h"
 #include "learn/trainer.h"
 #include "metrics/edit_distance.h"
 #include "metrics/metric_functions.h"
@@ -47,19 +48,39 @@ void BM_BoundedEditDistance(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundedEditDistance)->Arg(2)->Arg(20);
 
-void BM_MpdProfile(benchmark::State& state) {
+Column MakeNameColumn(int64_t n) {
   Rng rng(7);
   std::vector<std::string> cells;
-  for (int64_t i = 0; i < state.range(0); ++i) {
+  for (int64_t i = 0; i < n; ++i) {
     cells.push_back(rng.Pick(FirstNames()) + " " + rng.Pick(LastNames()));
   }
-  const Column column("names", cells);
+  return Column("names", cells);
+}
+
+void BM_MpdProfile(benchmark::State& state) {
+  const Column column = MakeNameColumn(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(ComputeMpdProfile(column));
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_MpdProfile)->Arg(20)->Arg(50)->Arg(200)->Complexity();
+BENCHMARK(BM_MpdProfile)->Arg(20)->Arg(50)->Arg(200)->Arg(400)->Complexity();
+
+// Seed three-scan algorithm, kept as the baseline the optimized single
+// pass is measured against (both live in metric_functions.cc).
+void BM_MpdProfileReference(benchmark::State& state) {
+  const Column column = MakeNameColumn(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeMpdProfileReference(column));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MpdProfileReference)
+    ->Arg(20)
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(400)
+    ->Complexity();
 
 void BM_UrProfile(benchmark::State& state) {
   Rng rng(9);
@@ -104,6 +125,55 @@ void BM_LikelihoodRatioLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LikelihoodRatioLookup);
+
+// Raw CountSurprising query against one large subset: merge-sort tree
+// (BM_LrQuery) vs the linear reference scan (BM_LrQueryLinear). Thetas
+// cycle through a precomputed pool so the query point varies per
+// iteration without timing the RNG.
+const SubsetStats& SharedLargeSubset() {
+  static const SubsetStats* stats = [] {
+    Rng rng(41);
+    auto* s = new SubsetStats();
+    for (int i = 0; i < 100000; ++i) {
+      s->Add(rng.Uniform(0, 1000), rng.Uniform(0, 1000));
+    }
+    s->Finalize();
+    return s;
+  }();
+  return *stats;
+}
+
+void BM_LrQuery(benchmark::State& state) {
+  const SubsetStats& stats = SharedLargeSubset();
+  Rng rng(43);
+  std::vector<double> thetas(256);
+  for (auto& t : thetas) t = rng.Uniform(0, 1000);
+  size_t i = 0;
+  for (auto _ : state) {
+    const double t1 = thetas[i % thetas.size()];
+    const double t2 = thetas[(i + 1) % thetas.size()];
+    ++i;
+    benchmark::DoNotOptimize(stats.CountSurprising(
+        SurpriseDirection::kLowerMoreSurprising, t1, t2));
+  }
+}
+BENCHMARK(BM_LrQuery)->Arg(100000);
+
+void BM_LrQueryLinear(benchmark::State& state) {
+  const SubsetStats& stats = SharedLargeSubset();
+  Rng rng(43);
+  std::vector<double> thetas(256);
+  for (auto& t : thetas) t = rng.Uniform(0, 1000);
+  size_t i = 0;
+  for (auto _ : state) {
+    const double t1 = thetas[i % thetas.size()];
+    const double t2 = thetas[(i + 1) % thetas.size()];
+    ++i;
+    benchmark::DoNotOptimize(stats.CountSurprisingLinear(
+        SurpriseDirection::kLowerMoreSurprising, t1, t2));
+  }
+}
+BENCHMARK(BM_LrQueryLinear)->Arg(100000);
 
 void BM_DetectTable(benchmark::State& state) {
   const Model& model = SharedModel();

@@ -206,7 +206,5 @@ src/CMakeFiles/unidetect.dir/autodetect/pmi_detector.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/autodetect/pattern.h \
- /root/repo/src/util/string_util.h
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/autodetect/pattern.h /root/repo/src/util/string_util.h

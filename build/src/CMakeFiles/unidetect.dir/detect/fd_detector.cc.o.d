@@ -180,6 +180,5 @@ src/CMakeFiles/unidetect.dir/detect/fd_detector.cc.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /root/repo/src/metrics/metric_functions.h /root/repo/src/learn/model.h \
  /root/repo/src/autodetect/pmi_detector.h /root/repo/src/corpus/corpus.h \
- /root/repo/src/learn/subset_stats.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/learn/candidates.h
+ /root/repo/src/learn/subset_stats.h /root/repo/src/learn/candidates.h \
+ /root/repo/src/util/string_util.h

@@ -183,6 +183,5 @@ src/CMakeFiles/unidetect.dir/detect/spelling_detector.cc.o: \
  /root/repo/src/detect/dictionary.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/learn/model.h \
  /root/repo/src/autodetect/pmi_detector.h /root/repo/src/corpus/corpus.h \
- /root/repo/src/learn/subset_stats.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/learn/candidates.h
+ /root/repo/src/learn/subset_stats.h /root/repo/src/learn/candidates.h \
+ /root/repo/src/util/string_util.h

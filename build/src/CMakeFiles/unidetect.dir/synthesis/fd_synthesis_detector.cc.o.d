@@ -183,6 +183,5 @@ src/CMakeFiles/unidetect.dir/synthesis/fd_synthesis_detector.cc.o: \
  /root/repo/src/metrics/metric_functions.h /root/repo/src/learn/model.h \
  /root/repo/src/autodetect/pmi_detector.h /root/repo/src/corpus/corpus.h \
  /root/repo/src/learn/subset_stats.h \
- /root/repo/src/synthesis/string_program.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/learn/candidates.h
+ /root/repo/src/synthesis/string_program.h \
+ /root/repo/src/learn/candidates.h /root/repo/src/util/string_util.h

@@ -40,6 +40,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/string_util_test.cc" "tests/CMakeFiles/unidetect_tests.dir/string_util_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/string_util_test.cc.o.d"
   "/root/repo/tests/subset_stats_test.cc" "tests/CMakeFiles/unidetect_tests.dir/subset_stats_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/subset_stats_test.cc.o.d"
   "/root/repo/tests/synthesis_test.cc" "tests/CMakeFiles/unidetect_tests.dir/synthesis_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/synthesis_test.cc.o.d"
+  "/root/repo/tests/thread_determinism_test.cc" "tests/CMakeFiles/unidetect_tests.dir/thread_determinism_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/thread_determinism_test.cc.o.d"
   "/root/repo/tests/thread_pool_test.cc" "tests/CMakeFiles/unidetect_tests.dir/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/thread_pool_test.cc.o.d"
   "/root/repo/tests/token_index_test.cc" "tests/CMakeFiles/unidetect_tests.dir/token_index_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/token_index_test.cc.o.d"
   "/root/repo/tests/trainer_test.cc" "tests/CMakeFiles/unidetect_tests.dir/trainer_test.cc.o" "gcc" "tests/CMakeFiles/unidetect_tests.dir/trainer_test.cc.o.d"

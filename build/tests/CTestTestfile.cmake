@@ -5,3 +5,5 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/unidetect_tests[1]_include.cmake")
+add_test(perf_smoke "/root/repo/build/tests/perf_smoke")
+set_tests_properties(perf_smoke PROPERTIES  LABELS "perf" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;16;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the hot-path microbenchmarks and records the numbers that back the
+# PR 1 performance claims (single-pass MPD closest pair, merge-sort-tree
+# LR counting) in BENCH_PR1.json at the repo root. The optimized paths
+# and their seed-equivalent reference implementations live in the same
+# binary, so one run captures both sides of every before/after pair.
+#
+# Usage: scripts/bench_perf.sh [extra benchmark args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ ! -x build/bench/bench_perf ]]; then
+  cmake -B build -S .
+  cmake --build build -j --target bench_perf
+fi
+
+# The perf-labelled ctest slice guards the numbers below: benchmarks are
+# only meaningful if the optimized paths agree with the references.
+ctest --test-dir build -L perf --output-on-failure
+
+build/bench/bench_perf \
+  --benchmark_filter='BM_(MpdProfile|MpdProfileReference|LrQuery|LrQueryLinear|BoundedEditDistance|EditDistance|LikelihoodRatioLookup)' \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_PR1.json \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "Wrote $(pwd)/BENCH_PR1.json"

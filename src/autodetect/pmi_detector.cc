@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
 
 #include "autodetect/pattern.h"
 #include "util/string_util.h"
@@ -174,10 +173,9 @@ void PmiDetector::Detect(const Table& table, std::vector<Finding>* out) const {
       // rank alongside the LR scores of the other classes (Appendix C:
       // the PMI statistic is the LR test in disguise).
       finding.score = std::exp(pmi);
-      std::ostringstream os;
-      os << "pattern '" << pattern << "' incompatible with dominant '"
-         << *dominant << "' (PMI " << pmi << ")";
-      finding.explanation = os.str();
+      finding.explanation =
+          StrCat("pattern '", pattern, "' incompatible with dominant '",
+                 *dominant, "' (PMI ", pmi, ")");
       out->push_back(std::move(finding));
     }
   }

@@ -1,8 +1,7 @@
 #include "detect/fd_detector.h"
 
-#include <sstream>
-
 #include "learn/candidates.h"
+#include "util/string_util.h"
 
 namespace unidetect {
 
@@ -35,12 +34,11 @@ void FdDetector::Detect(const Table& table, std::vector<Finding>* out) const {
                       " -> " +
                       table.column(r).cell(cand.dropped_rows.front());
       finding.score = lr;
-      std::ostringstream os;
-      os << "FR(" << table.column(l).name() << " -> "
-         << table.column(r).name() << ") " << cand.theta1 << " -> "
-         << cand.theta2 << " after dropping " << cand.dropped_rows.size()
-         << " violating row(s), LR=" << lr;
-      finding.explanation = os.str();
+      finding.explanation =
+          StrCat("FR(", table.column(l).name(), " -> ",
+                 table.column(r).name(), ") ", cand.theta1, " -> ",
+                 cand.theta2, " after dropping ", cand.dropped_rows.size(),
+                 " violating row(s), LR=", lr);
       out->push_back(std::move(finding));
     }
   }

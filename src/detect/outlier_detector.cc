@@ -1,8 +1,7 @@
 #include "detect/outlier_detector.h"
 
-#include <sstream>
-
 #include "learn/candidates.h"
+#include "util/string_util.h"
 
 namespace unidetect {
 
@@ -29,10 +28,9 @@ void OutlierDetector::Detect(const Table& table,
     finding.rows = {cand.row};
     finding.value = cand.cell;
     finding.score = lr;
-    std::ostringstream os;
-    os << "max-MAD " << cand.theta1 << " -> " << cand.theta2
-       << " after removing '" << cand.cell << "', LR=" << lr;
-    finding.explanation = os.str();
+    finding.explanation =
+        StrCat("max-MAD ", cand.theta1, " -> ", cand.theta2,
+               " after removing '", cand.cell, "', LR=", lr);
     out->push_back(std::move(finding));
   }
 }

@@ -1,8 +1,7 @@
 #include "detect/spelling_detector.h"
 
-#include <sstream>
-
 #include "learn/candidates.h"
+#include "util/string_util.h"
 
 namespace unidetect {
 
@@ -31,11 +30,10 @@ void SpellingDetector::Detect(const Table& table,
     finding.rows = {cand.profile.row_a, cand.profile.row_b};
     finding.value = cand.profile.value_a + " | " + cand.profile.value_b;
     finding.score = lr;
-    std::ostringstream os;
-    os << "MPD " << cand.theta1 << " -> " << cand.theta2 << " for pair ('"
-       << cand.profile.value_a << "', '" << cand.profile.value_b
-       << "'), LR=" << lr;
-    finding.explanation = os.str();
+    finding.explanation =
+        StrCat("MPD ", cand.theta1, " -> ", cand.theta2, " for pair ('",
+               cand.profile.value_a, "', '", cand.profile.value_b,
+               "'), LR=", lr);
     out->push_back(std::move(finding));
   }
 }

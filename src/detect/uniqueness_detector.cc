@@ -1,8 +1,7 @@
 #include "detect/uniqueness_detector.h"
 
-#include <sstream>
-
 #include "learn/candidates.h"
+#include "util/string_util.h"
 
 namespace unidetect {
 
@@ -31,11 +30,10 @@ void UniquenessDetector::Detect(const Table& table,
     finding.rows = cand.dropped_rows;
     finding.value = column.cell(cand.dropped_rows.front());
     finding.score = lr;
-    std::ostringstream os;
-    os << "UR " << cand.theta1 << " -> " << cand.theta2 << " after dropping "
-       << cand.dropped_rows.size() << " duplicate(s) like '" << finding.value
-       << "', LR=" << lr;
-    finding.explanation = os.str();
+    finding.explanation =
+        StrCat("UR ", cand.theta1, " -> ", cand.theta2, " after dropping ",
+               cand.dropped_rows.size(), " duplicate(s) like '",
+               finding.value, "', LR=", lr);
     out->push_back(std::move(finding));
   }
 }

@@ -16,6 +16,12 @@ void SubsetStats::Add(double pre, double post) {
   posts_.push_back(static_cast<float>(post));
 }
 
+namespace {
+// Below this size the linear scan beats the tree (and the tree's memory
+// overhead buys nothing); counts are identical either way.
+constexpr size_t kTreeMinSize = 64;
+}  // namespace
+
 void SubsetStats::Finalize() {
   if (finalized_) return;
   std::vector<size_t> order(pres_.size());
@@ -30,6 +36,28 @@ void SubsetStats::Finalize() {
   }
   pres_ = std::move(pres);
   posts_ = std::move(posts);
+
+  // Build the merge-sort tree bottom-up: level k sorts posts_ within
+  // aligned blocks of 2^(k+1), ending with one fully-sorted block.
+  tree_.clear();
+  const size_t n = posts_.size();
+  if (n >= kTreeMinSize) {
+    const std::vector<float>* prev = &posts_;
+    for (size_t block = 2; block / 2 < n; block *= 2) {
+      std::vector<float> level(n);
+      for (size_t start = 0; start < n; start += block) {
+        const size_t mid = std::min(start + block / 2, n);
+        const size_t end = std::min(start + block, n);
+        std::merge(prev->begin() + static_cast<std::ptrdiff_t>(start),
+                   prev->begin() + static_cast<std::ptrdiff_t>(mid),
+                   prev->begin() + static_cast<std::ptrdiff_t>(mid),
+                   prev->begin() + static_cast<std::ptrdiff_t>(end),
+                   level.begin() + static_cast<std::ptrdiff_t>(start));
+      }
+      tree_.push_back(std::move(level));
+      prev = &tree_.back();
+    }
+  }
   finalized_ = true;
 }
 
@@ -48,8 +76,52 @@ size_t LowerBound(const std::vector<float>& v, double theta) {
 }
 }  // namespace
 
+uint64_t SubsetStats::CountPostsInPrefix(size_t prefix_len, float theta,
+                                         bool count_geq) const {
+  // Binary block decomposition of the prefix: taking block sizes largest
+  // first keeps `pos` a multiple of every block size still to come, so
+  // each counted block is complete and aligned within its tree level.
+  uint64_t count = 0;
+  size_t pos = 0;
+  for (size_t k = tree_.size(); k-- > 0;) {
+    const size_t block = size_t{1} << (k + 1);
+    if (prefix_len - pos < block) continue;
+    const auto begin = tree_[k].begin() + static_cast<std::ptrdiff_t>(pos);
+    const auto end = begin + static_cast<std::ptrdiff_t>(block);
+    if (count_geq) {
+      count += static_cast<uint64_t>(end - std::lower_bound(begin, end, theta));
+    } else {
+      count += static_cast<uint64_t>(std::upper_bound(begin, end, theta) - begin);
+    }
+    pos += block;
+  }
+  if (pos < prefix_len) {  // at most one leaf-level element remains
+    const float post = posts_[pos];
+    if (count_geq ? post >= theta : post <= theta) ++count;
+  }
+  return count;
+}
+
 uint64_t SubsetStats::CountSurprising(SurpriseDirection dir, double theta1,
                                       double theta2) const {
+  UNIDETECT_CHECK(finalized_);
+  if (tree_.empty()) return CountSurprisingLinear(dir, theta1, theta2);
+  const float t2 = static_cast<float>(theta2);
+  if (dir == SurpriseDirection::kHigherMoreSurprising) {
+    // pre >= theta1 (suspicious side) and post <= theta2 (clean side):
+    // a suffix of the pre-sorted order, counted as full-range minus prefix.
+    const size_t begin = LowerBound(pres_, theta1);
+    return CountPostsInPrefix(posts_.size(), t2, /*count_geq=*/false) -
+           CountPostsInPrefix(begin, t2, /*count_geq=*/false);
+  }
+  // pre <= theta1 and post >= theta2: a prefix of the pre-sorted order.
+  const size_t end = UpperBound(pres_, theta1);
+  return CountPostsInPrefix(end, t2, /*count_geq=*/true);
+}
+
+uint64_t SubsetStats::CountSurprisingLinear(SurpriseDirection dir,
+                                            double theta1,
+                                            double theta2) const {
   UNIDETECT_CHECK(finalized_);
   uint64_t count = 0;
   if (dir == SurpriseDirection::kHigherMoreSurprising) {

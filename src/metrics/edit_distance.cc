@@ -1,7 +1,6 @@
 #include "metrics/edit_distance.h"
 
 #include <algorithm>
-#include <vector>
 
 namespace unidetect {
 
@@ -26,17 +25,62 @@ size_t EditDistance(std::string_view a, std::string_view b) {
   return row[n];
 }
 
+namespace {
+
+// Myers' bit-parallel Levenshtein scan (Hyyrö's formulation). Pattern `a`
+// must fit one machine word (|a| <= 64); runs in |b| word operations,
+// independent of the distance. Returns the exact distance.
+size_t MyersEditDistance(std::string_view a, std::string_view b,
+                         uint64_t peq[256]) {
+  const size_t n = a.size();
+  for (const char c : a) {
+    peq[static_cast<unsigned char>(c)] = 0;  // defensive: table must be clean
+  }
+  for (size_t i = 0; i < n; ++i) {
+    peq[static_cast<unsigned char>(a[i])] |= uint64_t{1} << i;
+  }
+
+  const uint64_t mask = uint64_t{1} << (n - 1);
+  uint64_t vp = n == 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+  uint64_t vn = 0;
+  size_t score = n;
+  for (const char c : b) {
+    const uint64_t pm = peq[static_cast<unsigned char>(c)];
+    const uint64_t d0 = (((pm & vp) + vp) ^ vp) | pm | vn;
+    uint64_t hp = vn | ~(d0 | vp);
+    uint64_t hn = vp & d0;
+    if (hp & mask) ++score;
+    if (hn & mask) --score;
+    hp = (hp << 1) | 1;
+    hn <<= 1;
+    vp = hn | ~(d0 | hp);
+    vn = hp & d0;
+  }
+
+  for (const char c : a) peq[static_cast<unsigned char>(c)] = 0;
+  return score;
+}
+
+}  // namespace
+
 size_t BoundedEditDistance(std::string_view a, std::string_view b,
-                           size_t bound) {
+                           size_t bound, EditDistanceScratch* scratch) {
   if (a.size() > b.size()) std::swap(a, b);
   const size_t n = a.size();
   const size_t m = b.size();
   if (m - n > bound) return bound + 1;
   if (n == 0) return m;
 
+  if (n <= 64) {
+    const size_t d = MyersEditDistance(a, b, scratch->peq);
+    return d <= bound ? d : bound + 1;
+  }
+
   const size_t kInf = bound + 1;
-  std::vector<size_t> row(n + 1, kInf);
-  std::vector<size_t> next(n + 1, kInf);
+  std::vector<size_t>& row = scratch->row;
+  std::vector<size_t>& next = scratch->next;
+  row.assign(n + 1, kInf);
+  next.assign(n + 1, kInf);
   for (size_t i = 0; i <= std::min(n, bound); ++i) row[i] = i;
 
   for (size_t j = 1; j <= m; ++j) {
@@ -60,6 +104,12 @@ size_t BoundedEditDistance(std::string_view a, std::string_view b,
     std::swap(row, next);
   }
   return std::min(row[n], kInf);
+}
+
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t bound) {
+  thread_local EditDistanceScratch scratch;
+  return BoundedEditDistance(a, b, bound, &scratch);
 }
 
 }  // namespace unidetect

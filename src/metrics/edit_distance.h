@@ -1,12 +1,36 @@
-// Levenshtein edit distance, with the banded variant used to compute
-// minimum pair-wise distances over whole columns efficiently.
+// Levenshtein edit distance. Three implementations share one contract:
+//
+//   EditDistance          -- classic rolling-row DP, O(|a| * |b|).
+//   BoundedEditDistance   -- early-exit variant: Myers bit-parallel scan
+//                            (O(max(|a|,|b|)) word operations) when the
+//                            shorter string fits in one 64-bit word,
+//                            otherwise a banded DP of width 2*bound+1.
+//
+// The bounded variant powers the O(n^2) closest-pair loop behind the MPD
+// metric, so it must not allocate per call: callers inside hot loops pass
+// an EditDistanceScratch they own, and the scratch-less overload falls
+// back to a thread_local buffer.
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace unidetect {
+
+/// \brief Reusable work space for BoundedEditDistance.
+///
+/// Holds the two DP rows of the banded fallback and the 256-entry
+/// pattern-match table of the Myers bit-parallel kernel. The table is
+/// kept all-zero between calls (the kernel clears exactly the entries it
+/// set), so reuse costs nothing.
+struct EditDistanceScratch {
+  std::vector<size_t> row;
+  std::vector<size_t> next;
+  uint64_t peq[256] = {};
+};
 
 /// \brief Levenshtein distance (unit-cost insert/delete/substitute).
 size_t EditDistance(std::string_view a, std::string_view b);
@@ -14,7 +38,11 @@ size_t EditDistance(std::string_view a, std::string_view b);
 /// \brief Levenshtein distance with early exit: returns `bound + 1` as
 /// soon as the true distance provably exceeds `bound`.
 ///
-/// Runs the banded DP of width 2*bound+1; O(bound * max(|a|,|b|)).
+/// Allocation-free: all per-call state lives in `*scratch`.
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t bound, EditDistanceScratch* scratch);
+
+/// \brief Convenience overload using a thread_local scratch buffer.
 size_t BoundedEditDistance(std::string_view a, std::string_view b,
                            size_t bound);
 

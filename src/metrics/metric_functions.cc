@@ -1,9 +1,12 @@
 #include "metrics/metric_functions.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <map>
+#include <numeric>
 #include <unordered_map>
+#include <vector>
 
 #include "metrics/edit_distance.h"
 #include "util/string_util.h"
@@ -38,12 +41,64 @@ struct DistinctValue {
   size_t first_row;
 };
 
+std::vector<DistinctValue> CollectDistinctValues(const Column& column,
+                                                 const MpdOptions& options) {
+  std::vector<DistinctValue> values;
+  std::unordered_map<std::string_view, size_t> seen;
+  for (size_t row = 0; row < column.size(); ++row) {
+    std::string_view cell = Trim(column.cell(row));
+    if (cell.empty()) continue;
+    if (seen.emplace(cell, row).second) {
+      values.push_back({cell, row});
+      if (values.size() >= options.max_values) break;
+    }
+  }
+  return values;
+}
+
 // Closest pair among `values`, optionally excluding one index.
 struct ClosestPair {
   size_t dist = std::numeric_limits<size_t>::max();
   size_t i = 0;
   size_t j = 0;
 };
+
+// The seed implementation of the bounded distance (banded DP with per-call
+// allocations), kept verbatim so ComputeMpdProfileReference benchmarks the
+// pre-optimization cost and property tests have an independent oracle.
+size_t ReferenceBoundedEditDistance(std::string_view a, std::string_view b,
+                                    size_t bound) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (m - n > bound) return bound + 1;
+  if (n == 0) return m;
+
+  const size_t kInf = bound + 1;
+  std::vector<size_t> row(n + 1, kInf);
+  std::vector<size_t> next(n + 1, kInf);
+  for (size_t i = 0; i <= std::min(n, bound); ++i) row[i] = i;
+
+  for (size_t j = 1; j <= m; ++j) {
+    std::fill(next.begin(), next.end(), kInf);
+    const size_t lo = j > bound ? j - bound : 0;
+    const size_t hi = std::min(n, j + bound);
+    if (lo == 0) next[0] = j <= bound ? j : kInf;
+    size_t row_min = next[0];
+    for (size_t i = std::max<size_t>(lo, 1); i <= hi; ++i) {
+      const size_t sub = row[i - 1] == kInf
+                             ? kInf
+                             : row[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      const size_t del = row[i] == kInf ? kInf : row[i] + 1;
+      const size_t ins = next[i - 1] == kInf ? kInf : next[i - 1] + 1;
+      next[i] = std::min({sub, del, ins, kInf});
+      row_min = std::min(row_min, next[i]);
+    }
+    if (row_min > bound) return bound + 1;
+    std::swap(row, next);
+  }
+  return std::min(row[n], kInf);
+}
 
 ClosestPair FindClosestPair(const std::vector<DistinctValue>& values,
                             size_t cap, size_t exclude) {
@@ -56,7 +111,7 @@ ClosestPair FindClosestPair(const std::vector<DistinctValue>& values,
                                ? cap
                                : std::min(cap, best.dist);
       const size_t d =
-          BoundedEditDistance(values[i].value, values[j].value, bound);
+          ReferenceBoundedEditDistance(values[i].value, values[j].value, bound);
       if (d < best.dist) {
         best.dist = d;
         best.i = i;
@@ -66,6 +121,165 @@ ClosestPair FindClosestPair(const std::vector<DistinctValue>& values,
     }
   }
   return best;
+}
+
+// ---------------------------------------------------------------------------
+// Single-pass closest-pair search.
+//
+// One scan over all value pairs yields the closest pair AND the closest
+// distances avoiding each of its endpoints (the two perturbed MPDs),
+// replacing the three full scans of the reference implementation.
+//
+// Correctness of the single pass rests on a 4-tracker invariant. Besides
+// the running best pair B = (bi, bj), three buckets hold the minimum
+// distance among scanned pairs classified RELATIVE TO THE CURRENT BEST:
+// pairs touching bi only, pairs touching bj only, and pairs disjoint from
+// both. When B is dethroned, the (at most four) retained argmin pairs are
+// reclassified against the new endpoints. A pair dropped from a bucket
+// always loses to a same-bucket pair of smaller-or-equal distance, and
+// buckets separate "touches v" from "avoids v" whenever v is an endpoint
+// of the current best — which is exactly when losing an avoids-v pair to
+// a touches-v pair could corrupt the final answer. Hence at every moment
+// the minimum over scanned pairs avoiding bi (resp. bj) is attained by a
+// retained candidate, and at the end of the scan the two exclusion minima
+// are exact. (The property test in metric_functions_test.cc checks this
+// against the three-scan reference on randomized columns.)
+//
+// All distances are clamped to cap + 1, matching the adaptive bounds of
+// the reference scans. The best pair additionally tracks the
+// lexicographically-smallest (i, j) among ties, which is the pair the
+// reference's in-order strict-improvement scan selects.
+
+constexpr size_t kNoPair = std::numeric_limits<size_t>::max();
+
+struct PairTracker {
+  size_t dist;
+  size_t i = kNoPair;
+  size_t j = kNoPair;
+};
+
+struct SinglePassResult {
+  ClosestPair best;
+  size_t excl_i = 0;  ///< min distance over pairs avoiding best.i (clamped)
+  size_t excl_j = 0;  ///< min distance over pairs avoiding best.j (clamped)
+};
+
+// 64-bit character-presence signature; folding via `c & 63` only merges
+// bits, which can weaken but never invalidate the derived lower bound.
+uint64_t CharSignature(std::string_view s) {
+  uint64_t sig = 0;
+  for (const char c : s) sig |= uint64_t{1} << (static_cast<unsigned char>(c) & 63);
+  return sig;
+}
+
+// Lower bound on the edit distance: every unit edit can eliminate at most
+// one character present in a but absent from b, and introduce at most one
+// present in b but absent from a.
+size_t SignatureLowerBound(uint64_t sa, uint64_t sb) {
+  const auto a_only = static_cast<size_t>(std::popcount(sa & ~sb));
+  const auto b_only = static_cast<size_t>(std::popcount(sb & ~sa));
+  return std::max(a_only, b_only);
+}
+
+SinglePassResult SinglePassClosestPair(const std::vector<DistinctValue>& values,
+                                       size_t cap) {
+  const size_t n = values.size();
+  const size_t far = cap + 1;
+
+  std::vector<uint64_t> sig(n);
+  std::vector<size_t> len(n);
+  for (size_t v = 0; v < n; ++v) {
+    sig[v] = CharSignature(values[v].value);
+    len[v] = values[v].value.size();
+  }
+
+  // Length-sorted processing: similar-length pairs (the likely close ones)
+  // are scanned first, so the adaptive thresholds collapse early and the
+  // length-gap prefilter can break out of the inner loop.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return len[a] != len[b] ? len[a] < len[b] : a < b;
+  });
+
+  // When no pair is within cap, every pair clamps to cap + 1 and the
+  // reference scan reports the first pair it evaluated: seed the best
+  // tracker with exactly that outcome.
+  ClosestPair best{far, 0, 1};
+  PairTracker touch_i{far};    // pairs sharing best.i only
+  PairTracker touch_j{far};    // pairs sharing best.j only
+  PairTracker disjoint{far};   // pairs avoiding both endpoints
+
+  EditDistanceScratch scratch;
+
+  // Classifies (i, j, d) into the bucket it belongs to under the current
+  // best and records it on improvement.
+  const auto bucket_of = [&](size_t i, size_t j) -> PairTracker& {
+    const bool on_i = i == best.i || j == best.i;
+    const bool on_j = i == best.j || j == best.j;
+    return on_i ? touch_i : (on_j ? touch_j : disjoint);
+  };
+  const auto offer_to_bucket = [&](size_t i, size_t j, size_t d) {
+    PairTracker& bucket = bucket_of(i, j);
+    if (d < bucket.dist) bucket = {d, i, j};
+  };
+
+  for (size_t a = 0; a < n; ++a) {
+    const size_t va = order[a];
+    for (size_t b = a + 1; b < n; ++b) {
+      const size_t vb = order[b];
+      // Largest distance any tracker still cares about: the best tracker
+      // needs exact values up to its current distance (ties included,
+      // for the lexicographic rule), the buckets up to one below theirs.
+      const size_t bucket_cap =
+          std::max({touch_i.dist, touch_j.dist, disjoint.dist});
+      const size_t relevant =
+          std::max(std::min(best.dist, cap),
+                   bucket_cap == 0 ? size_t{0} : bucket_cap - 1);
+      const size_t gap = len[vb] - len[va];
+      if (gap > relevant) break;  // later b's are even longer
+
+      const size_t i = std::min(va, vb);
+      const size_t j = std::max(va, vb);
+      PairTracker& bucket = bucket_of(i, j);
+      const size_t need =
+          std::max(std::min(best.dist, cap),
+                   bucket.dist == 0 ? size_t{0} : bucket.dist - 1);
+      if (gap > need) continue;
+      if (SignatureLowerBound(sig[va], sig[vb]) > need) continue;
+
+      const size_t d = BoundedEditDistance(values[va].value, values[vb].value,
+                                           need, &scratch);
+      if (d > need) continue;  // beyond every tracker's interest
+
+      if (d < best.dist ||
+          (d == best.dist &&
+           (i < best.i || (i == best.i && j < best.j)))) {
+        // Dethrone: the old best and the bucket argmins are the only
+        // candidates that can seed the buckets of the new best.
+        const ClosestPair old_best = best;
+        const PairTracker old[3] = {touch_i, touch_j, disjoint};
+        best = {d, i, j};
+        touch_i = {far};
+        touch_j = {far};
+        disjoint = {far};
+        if (old_best.dist < far) {
+          offer_to_bucket(old_best.i, old_best.j, old_best.dist);
+        }
+        for (const PairTracker& t : old) {
+          if (t.i != kNoPair) offer_to_bucket(t.i, t.j, t.dist);
+        }
+      } else {
+        offer_to_bucket(i, j, d);
+      }
+    }
+  }
+
+  SinglePassResult out;
+  out.best = best;
+  out.excl_i = std::min(disjoint.dist, touch_j.dist);
+  out.excl_j = std::min(disjoint.dist, touch_i.dist);
+  return out;
 }
 
 double AvgDifferingTokenLength(std::string_view a, std::string_view b) {
@@ -99,26 +313,56 @@ double AvgDifferingTokenLength(std::string_view a, std::string_view b) {
                : static_cast<double>(a.size() + b.size()) / 2.0;
 }
 
+bool IsMpdEligible(const Column& column) {
+  const ColumnType type = column.type();
+  // Numeric-ish columns are not spelling targets.
+  return type != ColumnType::kInteger && type != ColumnType::kFloat &&
+         type != ColumnType::kDate;
+}
+
 }  // namespace
 
 MpdProfile ComputeMpdProfile(const Column& column, const MpdOptions& options) {
   MpdProfile out;
-  const ColumnType type = column.type();
-  if (type == ColumnType::kInteger || type == ColumnType::kFloat ||
-      type == ColumnType::kDate) {
-    return out;  // numeric-ish columns are not spelling targets
-  }
+  if (!IsMpdEligible(column)) return out;
 
-  std::vector<DistinctValue> values;
-  std::unordered_map<std::string_view, size_t> seen;
-  for (size_t row = 0; row < column.size(); ++row) {
-    std::string_view cell = Trim(column.cell(row));
-    if (cell.empty()) continue;
-    if (seen.emplace(cell, row).second) {
-      values.push_back({cell, row});
-      if (values.size() >= options.max_values) break;
-    }
+  const std::vector<DistinctValue> values =
+      CollectDistinctValues(column, options);
+  if (values.size() < 3) return out;
+
+  const SinglePassResult found =
+      SinglePassClosestPair(values, options.distance_cap);
+
+  out.valid = true;
+  out.mpd = std::min(found.best.dist, options.distance_cap + 1);
+  out.row_a = values[found.best.i].first_row;
+  out.row_b = values[found.best.j].first_row;
+  out.value_a = std::string(values[found.best.i].value);
+  out.value_b = std::string(values[found.best.j].value);
+  out.avg_diff_token_length = AvgDifferingTokenLength(
+      values[found.best.i].value, values[found.best.j].value);
+
+  // Perturbation: drop whichever endpoint of the closest pair makes the
+  // remaining column "cleanest" (largest perturbed MPD => smallest LR).
+  const size_t mpd_i = std::min(found.excl_i, options.distance_cap + 1);
+  const size_t mpd_j = std::min(found.excl_j, options.distance_cap + 1);
+  if (mpd_i >= mpd_j) {
+    out.mpd_perturbed = mpd_i;
+    out.drop_row = out.row_a;
+  } else {
+    out.mpd_perturbed = mpd_j;
+    out.drop_row = out.row_b;
   }
+  return out;
+}
+
+MpdProfile ComputeMpdProfileReference(const Column& column,
+                                      const MpdOptions& options) {
+  MpdProfile out;
+  if (!IsMpdEligible(column)) return out;
+
+  const std::vector<DistinctValue> values =
+      CollectDistinctValues(column, options);
   if (values.size() < 3) return out;
 
   const size_t no_exclude = std::numeric_limits<size_t>::max();
@@ -135,8 +379,6 @@ MpdProfile ComputeMpdProfile(const Column& column, const MpdOptions& options) {
   out.avg_diff_token_length =
       AvgDifferingTokenLength(values[closest.i].value, values[closest.j].value);
 
-  // Perturbation: drop whichever endpoint of the closest pair makes the
-  // remaining column "cleanest" (largest perturbed MPD => smallest LR).
   const ClosestPair without_i =
       FindClosestPair(values, options.distance_cap, closest.i);
   const ClosestPair without_j =

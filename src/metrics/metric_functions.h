@@ -73,7 +73,19 @@ struct MpdOptions {
 /// \brief Computes the MPD profile of a column over distinct, non-empty,
 /// non-numeric-only values. Numeric columns are not meaningful targets
 /// for edit-distance spelling analysis and return valid = false.
+///
+/// Internally runs a single length-sorted pass over value pairs that
+/// yields the closest pair and both endpoint-exclusion minima at once,
+/// with bit-parallel bounded edit distances and cheap lower-bound
+/// prefilters (see metric_functions.cc).
 MpdProfile ComputeMpdProfile(const Column& column, const MpdOptions& options = {});
+
+/// \brief Reference implementation of ComputeMpdProfile: three full
+/// banded-DP closest-pair scans (the seed algorithm). Kept as the oracle
+/// for property tests and the baseline for perf benchmarks; produces
+/// results identical to ComputeMpdProfile.
+MpdProfile ComputeMpdProfileReference(const Column& column,
+                                      const MpdOptions& options = {});
 
 // ---------------------------------------------------------------------------
 // FD compliance ratio (FR), Section 3.4.

@@ -1,8 +1,7 @@
 #include "synthesis/fd_synthesis_detector.h"
 
-#include <sstream>
-
 #include "learn/candidates.h"
+#include "util/string_util.h"
 
 namespace unidetect {
 
@@ -43,11 +42,10 @@ void FdSynthesisDetector::Detect(const Table& table,
       finding.value = lhs.cell(finding.rows.front()) + " -> " +
                       rhs.cell(finding.rows.front());
       finding.score = lr;
-      std::ostringstream os;
-      os << "program y = " << synth.program.Describe() << " (coverage "
-         << synth.coverage << "), FR " << cand.theta1 << " -> "
-         << cand.theta2 << ", LR=" << lr;
-      finding.explanation = os.str();
+      finding.explanation =
+          StrCat("program y = ", synth.program.Describe(), " (coverage ",
+                 synth.coverage, "), FR ", cand.theta1, " -> ", cand.theta2,
+                 ", LR=", lr);
       out->push_back(std::move(finding));
     }
   }

@@ -150,6 +150,31 @@ bool LooksLikeInteger(std::string_view raw) {
   return any_digit;
 }
 
+namespace strcat_internal {
+
+void AppendPiece(std::string* out, double v) {
+  // "%.6g" is exactly what a default-constructed ostream produces for a
+  // double (precision 6, defaultfloat); explanations built with StrCat
+  // must stay byte-identical to the ostringstream originals.
+  char buf[64];
+  const int len = std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf, static_cast<size_t>(len));
+}
+
+void AppendPiece(std::string* out, long long v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, static_cast<size_t>(ptr - buf));
+}
+
+void AppendPiece(std::string* out, unsigned long long v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, static_cast<size_t>(ptr - buf));
+}
+
+}  // namespace strcat_internal
+
 std::string FormatDouble(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);

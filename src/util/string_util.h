@@ -46,4 +46,53 @@ bool LooksLikeInteger(std::string_view s);
 /// numbers: up to `precision` digits after the point, trailing zeros trimmed.
 std::string FormatDouble(double v, int precision = 6);
 
+// ---------------------------------------------------------------------------
+// StrCat / StrAppend: cheap concatenation for hot explanation formatting.
+//
+// Doubles are rendered exactly as a default-formatted std::ostream would
+// render them (printf "%.6g"), so replacing an ostringstream with StrCat
+// is byte-for-byte output preserving.
+
+namespace strcat_internal {
+inline void AppendPiece(std::string* out, std::string_view v) {
+  out->append(v);
+}
+inline void AppendPiece(std::string* out, const char* v) { out->append(v); }
+inline void AppendPiece(std::string* out, char v) { out->push_back(v); }
+void AppendPiece(std::string* out, double v);
+inline void AppendPiece(std::string* out, float v) {
+  AppendPiece(out, static_cast<double>(v));
+}
+void AppendPiece(std::string* out, long long v);
+void AppendPiece(std::string* out, unsigned long long v);
+inline void AppendPiece(std::string* out, int v) {
+  AppendPiece(out, static_cast<long long>(v));
+}
+inline void AppendPiece(std::string* out, long v) {
+  AppendPiece(out, static_cast<long long>(v));
+}
+inline void AppendPiece(std::string* out, unsigned v) {
+  AppendPiece(out, static_cast<unsigned long long>(v));
+}
+inline void AppendPiece(std::string* out, unsigned long v) {
+  AppendPiece(out, static_cast<unsigned long long>(v));
+}
+}  // namespace strcat_internal
+
+/// \brief Appends every piece to *out without intermediate allocations.
+template <typename... Pieces>
+void StrAppend(std::string* out, const Pieces&... pieces) {
+  (strcat_internal::AppendPiece(out, pieces), ...);
+}
+
+/// \brief Concatenates pieces (strings, string_views, chars, integers,
+/// doubles) into one string. Doubles format as "%.6g", matching the
+/// default std::ostream rendering.
+template <typename... Pieces>
+std::string StrCat(const Pieces&... pieces) {
+  std::string out;
+  StrAppend(&out, pieces...);
+  return out;
+}
+
 }  // namespace unidetect

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
 
 namespace unidetect {
 namespace {
@@ -186,6 +190,105 @@ TEST(FrProfileTest, ViolatingRowsSorted) {
   ASSERT_TRUE(profile.valid);
   EXPECT_TRUE(std::is_sorted(profile.violating_rows.begin(),
                              profile.violating_rows.end()));
+}
+
+// ---------------------------------------------------------------------------
+// Single-pass closest pair vs the three-scan reference.
+
+void ExpectSameMpdProfile(const Column& column, const MpdOptions& options,
+                          const std::string& context) {
+  const MpdProfile fast = ComputeMpdProfile(column, options);
+  const MpdProfile ref = ComputeMpdProfileReference(column, options);
+  ASSERT_EQ(fast.valid, ref.valid) << context;
+  if (!fast.valid) return;
+  EXPECT_EQ(fast.mpd, ref.mpd) << context;
+  EXPECT_EQ(fast.mpd_perturbed, ref.mpd_perturbed) << context;
+  EXPECT_EQ(fast.row_a, ref.row_a) << context;
+  EXPECT_EQ(fast.row_b, ref.row_b) << context;
+  EXPECT_EQ(fast.value_a, ref.value_a) << context;
+  EXPECT_EQ(fast.value_b, ref.value_b) << context;
+  EXPECT_EQ(fast.drop_row, ref.drop_row) << context;
+  EXPECT_DOUBLE_EQ(fast.avg_diff_token_length, ref.avg_diff_token_length)
+      << context;
+}
+
+class MpdEquivalencePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MpdEquivalencePropertyTest, SinglePassMatchesThreeScans) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = 3 + rng.NextBounded(40);
+    std::vector<std::string> cells;
+    const int flavor = static_cast<int>(rng.NextBounded(4));
+    for (size_t i = 0; i < n; ++i) {
+      switch (flavor) {
+        case 0:  // random short strings, many near-collisions
+          cells.push_back(rng.AlphaString(1 + rng.NextBounded(5)));
+          break;
+        case 1:  // equal-length ids (length-gap prefilter never fires)
+          cells.push_back(rng.AlphaString(8));
+          break;
+        case 2: {  // clustered values: common prefix + small suffix edit
+          std::string s = "prefix-" + rng.AlphaString(3);
+          cells.push_back(std::move(s));
+          break;
+        }
+        default:  // wide length spread, stresses the sorted-order break
+          cells.push_back(rng.AlphaString(rng.NextBounded(30)));
+          break;
+      }
+    }
+    const Column column("c", cells);
+    MpdOptions options;
+    // Small caps exercise the cap+1 clamp paths; the default cap the
+    // common ones.
+    options.distance_cap = trial % 3 == 0 ? 2 : 20;
+    ExpectSameMpdProfile(column, options,
+                         "seed=" + std::to_string(GetParam()) +
+                             " trial=" + std::to_string(trial));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpdEquivalencePropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(MpdEquivalenceTest, AllPairsBeyondCap) {
+  // No pair within the cap: both implementations must report the first
+  // two distinct values with mpd = cap + 1.
+  Column column("c", {"aaaaaaaa", "bbbbbbbb", "cccccccc", "dddddddd"});
+  MpdOptions options;
+  options.distance_cap = 3;
+  ExpectSameMpdProfile(column, options, "beyond-cap");
+  const MpdProfile fast = ComputeMpdProfile(column, options);
+  ASSERT_TRUE(fast.valid);
+  EXPECT_EQ(fast.mpd, 4u);
+  EXPECT_EQ(fast.value_a, "aaaaaaaa");
+  EXPECT_EQ(fast.value_b, "bbbbbbbb");
+}
+
+TEST(MpdEquivalenceTest, TieOnMinimumPicksFirstPair) {
+  // Two distance-1 pairs; the reference's in-order scan reports the
+  // lexicographically-first one.
+  Column column("c", {"gamma", "gamme", "delto", "delta"});
+  ExpectSameMpdProfile(column, MpdOptions{}, "ties");
+  const MpdProfile fast = ComputeMpdProfile(column);
+  ASSERT_TRUE(fast.valid);
+  EXPECT_EQ(fast.mpd, 1u);
+  EXPECT_EQ(fast.value_a, "gamma");
+  EXPECT_EQ(fast.value_b, "gamme");
+}
+
+TEST(MpdEquivalenceTest, LongStringsUseBandedFallback) {
+  // Values longer than 64 chars leave the bit-parallel kernel's word
+  // width and must fall back to the banded DP.
+  const std::string base(70, 'x');
+  std::string typo = base;
+  typo[35] = 'y';
+  Column column("c", {base + "a", typo + "a", base + "zzz", "short"});
+  ExpectSameMpdProfile(column, MpdOptions{}, "long-strings");
+  const MpdProfile fast = ComputeMpdProfile(column);
+  ASSERT_TRUE(fast.valid);
+  EXPECT_EQ(fast.mpd, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,86 @@
+// Fast perf-smoke check (ctest label "perf"): asserts that the two
+// optimized hot paths agree with their reference implementations on a
+// freshly generated corpus. Runs in well under a second; CI executes it
+// alongside the benchmark job so a correctness regression in either
+// optimization fails fast without waiting for the full test suite.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "corpus/generator.h"
+#include "learn/subset_stats.h"
+#include "metrics/metric_functions.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace unidetect {
+namespace {
+
+#define SMOKE_CHECK(cond, ...)                        \
+  do {                                                \
+    if (!(cond)) {                                    \
+      std::fprintf(stderr, "perf_smoke FAILED: ");    \
+      std::fprintf(stderr, __VA_ARGS__);              \
+      std::fprintf(stderr, "\n");                     \
+      std::exit(1);                                   \
+    }                                                 \
+  } while (0)
+
+void CheckLrCounts() {
+  Rng rng(2024);
+  SubsetStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    stats.Add(rng.Uniform(0, 30), rng.Uniform(0, 30));
+  }
+  stats.Finalize();
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double t1 = rng.Uniform(0, 30);
+    const double t2 = rng.Uniform(0, 30);
+    for (const auto dir : {SurpriseDirection::kHigherMoreSurprising,
+                           SurpriseDirection::kLowerMoreSurprising}) {
+      const uint64_t tree = stats.CountSurprising(dir, t1, t2);
+      const uint64_t linear = stats.CountSurprisingLinear(dir, t1, t2);
+      SMOKE_CHECK(tree == linear,
+                  "CountSurprising mismatch: tree=%llu linear=%llu "
+                  "t1=%f t2=%f dir=%d",
+                  static_cast<unsigned long long>(tree),
+                  static_cast<unsigned long long>(linear), t1, t2,
+                  static_cast<int>(dir));
+    }
+  }
+}
+
+void CheckMpdProfiles() {
+  const AnnotatedCorpus corpus = GenerateCorpus(WebCorpusSpec(40, 555));
+  size_t checked = 0;
+  for (const auto& table : corpus.corpus.tables) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const MpdProfile fast = ComputeMpdProfile(table.column(c));
+      const MpdProfile ref = ComputeMpdProfileReference(table.column(c));
+      SMOKE_CHECK(fast.valid == ref.valid, "valid mismatch in %s col %zu",
+                  table.name().c_str(), c);
+      if (!fast.valid) continue;
+      ++checked;
+      SMOKE_CHECK(fast.mpd == ref.mpd && fast.row_a == ref.row_a &&
+                      fast.row_b == ref.row_b &&
+                      fast.mpd_perturbed == ref.mpd_perturbed &&
+                      fast.drop_row == ref.drop_row,
+                  "MPD profile mismatch in %s col %zu: "
+                  "mpd %zu/%zu rows (%zu,%zu)/(%zu,%zu)",
+                  table.name().c_str(), c, fast.mpd, ref.mpd, fast.row_a,
+                  fast.row_b, ref.row_a, ref.row_b);
+    }
+  }
+  SMOKE_CHECK(checked > 20, "too few MPD-eligible columns: %zu", checked);
+}
+
+}  // namespace
+}  // namespace unidetect
+
+int main() {
+  unidetect::SetLogLevel(unidetect::LogLevel::kWarning);
+  unidetect::CheckLrCounts();
+  unidetect::CheckMpdProfiles();
+  std::printf("perf_smoke OK\n");
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace unidetect {
 namespace {
 
@@ -93,6 +95,30 @@ TEST(FormatDoubleTest, TrimsTrailingZeros) {
   EXPECT_EQ(FormatDouble(2.0), "2");
   EXPECT_EQ(FormatDouble(0.25, 2), "0.25");
   EXPECT_EQ(FormatDouble(100.0, 0), "100");
+}
+
+TEST(StrCatTest, MixedPieces) {
+  EXPECT_EQ(StrCat("a", std::string("b"), std::string_view("c"), 'd'), "abcd");
+  EXPECT_EQ(StrCat("n=", 42, " m=", size_t{7}, " k=", -3), "n=42 m=7 k=-3");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StrCatTest, DoublesMatchOstreamDefaultFormat) {
+  // StrCat explanations replaced ostringstream formatting in the
+  // detectors; outputs must stay byte-identical across every double
+  // shape the LR scores and metric values can take.
+  for (double v : {0.0, 1.0, 0.25, 2.0 / 3.0, 1e-7, 123456.0, 1234567.0,
+                   0.000123456789, 3.5e20, -0.0817, 17.125, 1e6}) {
+    std::ostringstream os;
+    os << v;
+    EXPECT_EQ(StrCat(v), os.str()) << "v=" << v;
+  }
+}
+
+TEST(StrAppendTest, AppendsInPlace) {
+  std::string s = "LR=";
+  StrAppend(&s, 0.5, " rows=", 12u);
+  EXPECT_EQ(s, "LR=0.5 rows=12");
 }
 
 }  // namespace

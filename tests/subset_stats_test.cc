@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/random.h"
 
 namespace unidetect {
@@ -136,6 +138,48 @@ TEST_P(SubsetStatsPropertyTest, NumeratorMonotone) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SubsetStatsPropertyTest,
                          ::testing::Values(11, 22, 33));
+
+// Property: the merge-sort-tree dominance count agrees with the linear
+// reference scan for every direction, on sizes straddling the tree-build
+// threshold, with thetas both random and snapped to stored values (the
+// inclusive-boundary cases).
+class TreeVsLinearPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeVsLinearPropertyTest, TreeCountMatchesLinear) {
+  Rng rng(GetParam());
+  for (const size_t n : {3u, 63u, 64u, 65u, 127u, 500u, 1000u}) {
+    SubsetStats stats;
+    std::vector<std::pair<double, double>> raw;
+    for (size_t i = 0; i < n; ++i) {
+      // Quantized values create heavy ties, stressing the inclusive
+      // bounds on both axes.
+      const double pre = std::round(rng.Uniform(0, 40)) / 4.0;
+      const double post = std::round(rng.Uniform(0, 40)) / 4.0;
+      raw.emplace_back(pre, post);
+      stats.Add(pre, post);
+    }
+    stats.Finalize();
+    for (int trial = 0; trial < 50; ++trial) {
+      double t1 = rng.Uniform(-1, 11);
+      double t2 = rng.Uniform(-1, 11);
+      if (trial % 2 == 0) {
+        const auto& hit = raw[rng.NextBounded(raw.size())];
+        t1 = hit.first;
+        t2 = hit.second;
+      }
+      for (const auto dir : {SurpriseDirection::kHigherMoreSurprising,
+                             SurpriseDirection::kLowerMoreSurprising}) {
+        EXPECT_EQ(stats.CountSurprising(dir, t1, t2),
+                  stats.CountSurprisingLinear(dir, t1, t2))
+            << "n=" << n << " t1=" << t1 << " t2=" << t2
+            << " dir=" << static_cast<int>(dir);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeVsLinearPropertyTest,
+                         ::testing::Values(7, 77, 777));
 
 }  // namespace
 }  // namespace unidetect
