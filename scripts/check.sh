@@ -1,23 +1,53 @@
 #!/usr/bin/env bash
-# Full local verification: release build + tests, sanitizer build + tests,
-# and every benchmark binary. Mirrors what CI would run.
+# Full local verification — the same preset matrix CI runs
+# (.github/workflows/ci.yml):
+#
+#   release     optimized build + full test suite
+#   asan-ubsan  address+UB sanitizer build + full test suite
+#   tsan        ThreadSanitizer build + the multithreaded
+#               DetectCorpus / ThreadPool / parallel-load tests
+#   lint        -Wall -Wextra -Werror build + determinism lint gate
+#   tidy        clang-tidy over every TU (skipped if clang-tidy missing)
+#   format      clang-format --dry-run (skipped if clang-format missing)
+#
+# `scripts/check.sh --bench` additionally runs every benchmark binary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== release build =="
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+run_preset() {
+  local name="$1"
+  echo "== preset: ${name} =="
+  cmake --preset "${name}"
+  cmake --build --preset "${name}"
+}
 
-echo "== address+UB sanitizer build =="
-cmake -B build-asan -G Ninja \
-  -DUNIDETECT_SANITIZE="address;undefined" \
-  -DUNIDETECT_BUILD_BENCHMARKS=OFF -DUNIDETECT_BUILD_EXAMPLES=OFF
-cmake --build build-asan
-ctest --test-dir build-asan --output-on-failure
+run_preset release
+ctest --preset release
 
-echo "== benchmarks =="
-for bench in build/bench/bench_*; do
-  echo "--- ${bench} ---"
-  "${bench}"
-done
+run_preset asan-ubsan
+ctest --preset asan-ubsan
+
+run_preset tsan
+ctest --preset tsan
+
+run_preset lint
+ctest --preset lint
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  run_preset tidy
+else
+  echo "== preset: tidy skipped (clang-tidy not installed) =="
+fi
+
+echo "== format check =="
+scripts/format_check.sh
+
+if [[ "${1:-}" == "--bench" ]]; then
+  echo "== benchmarks =="
+  for bench in build-release/bench/bench_*; do
+    echo "--- ${bench} ---"
+    "${bench}"
+  done
+fi
+
+echo "check.sh: all gates green"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: verifies every tracked C++ file already
+# matches .clang-format. Never rewrites anything. Skips (exit 0) with a
+# notice when clang-format is not installed, so gcc-only environments
+# keep a green matrix.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format_check: clang-format not found; skipping" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.h')
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "format_check: no tracked C++ files" >&2
+  exit 0
+fi
+
+clang-format --dry-run --Werror "${files[@]}"
+echo "format_check: ${#files[@]} files clean"

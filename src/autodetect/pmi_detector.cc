@@ -49,10 +49,17 @@ void AppendCountMap(const std::unordered_map<std::string, uint64_t>& map,
                     std::string* out) {
   *out += std::to_string(map.size());
   *out += '\n';
-  for (const auto& [key, count] : map) {
-    *out += std::to_string(count);
+  // Key-sorted emit: hash-order output would make the serialized index
+  // differ across standard libraries for the same corpus.
+  std::vector<const std::pair<const std::string, uint64_t>*> sorted;
+  sorted.reserve(map.size());
+  for (const auto& entry : map) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : sorted) {
+    *out += std::to_string(entry->second);
     *out += '\t';
-    *out += key;
+    *out += entry->first;
     *out += '\n';
   }
 }
@@ -137,16 +144,23 @@ void PmiDetector::Detect(const Table& table, std::vector<Finding>* out) const {
     }
     if (rows_by_pattern.size() < 2 || rows_by_pattern.size() > 16) continue;
 
-    // The dominant pattern vs. each minority pattern.
+    // The dominant pattern vs. each minority pattern. Ties on row count
+    // break toward the lexicographically smaller pattern so the choice
+    // never depends on hash iteration order.
     const std::string* dominant = nullptr;
     size_t dominant_rows = 0;
     for (const auto& [pattern, rows] : rows_by_pattern) {
-      if (rows.size() > dominant_rows) {
+      if (rows.size() > dominant_rows ||
+          (rows.size() == dominant_rows && dominant != nullptr &&
+           pattern < *dominant)) {
         dominant_rows = rows.size();
         dominant = &pattern;
       }
     }
-    for (const auto& [pattern, rows] : rows_by_pattern) {
+    // Emission order is hash-dependent here, but every finding goes
+    // through SortFindings' total order before anything ranked is
+    // returned, so the hash order never reaches output.
+    for (const auto& [pattern, rows] : rows_by_pattern) {  // NOLINT(determinism)
       if (&pattern == dominant) continue;
       // Only clear minorities are error candidates.
       if (rows.size() * 5 > dominant_rows) continue;

@@ -4,14 +4,31 @@
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
+#include <optional>
+#include <utility>
 
 #include "util/logging.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
 
 namespace unidetect {
 
 namespace fs = std::filesystem;
 
 namespace {
+// Files skipped by parallel-load shards; drained in path order after the
+// shards join so the warning log is deterministic.
+struct SkipLog {
+  Mutex mu;
+  std::vector<std::pair<size_t, std::string>> entries GUARDED_BY(mu);
+
+  void Record(size_t path_index, std::string message) EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    entries.emplace_back(path_index, std::move(message));
+  }
+};
+
 std::string SanitizeFileName(const std::string& name) {
   std::string out;
   for (char c : name) {
@@ -37,7 +54,7 @@ Status SaveCorpusToDirectory(const Corpus& corpus, const std::string& dir) {
   for (size_t i = 0; i < corpus.tables.size(); ++i) {
     const Table& table = corpus.tables[i];
     // Zero-padded index keeps lexicographic load order == save order.
-    char index[16];
+    char index[32];
     std::snprintf(index, sizeof(index), "%08zu", i);
     const std::string path = dir + "/" + index + "_" +
                              SanitizeFileName(table.name()) + ".csv";
@@ -46,7 +63,8 @@ Status SaveCorpusToDirectory(const Corpus& corpus, const std::string& dir) {
   return Status::OK();
 }
 
-Result<Corpus> LoadCorpusFromDirectory(const std::string& dir) {
+Result<Corpus> LoadCorpusFromDirectory(const std::string& dir,
+                                       size_t num_threads) {
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) {
     return Status::NotFound(dir + " is not a directory");
@@ -62,20 +80,48 @@ Result<Corpus> LoadCorpusFromDirectory(const std::string& dir) {
   }
   std::sort(paths.begin(), paths.end());
 
+  auto parse_one = [](const std::string& path) -> Result<Table> {
+    auto csv = ReadCsvFile(path);
+    if (!csv.ok()) return csv.status();
+    return Table::FromCsv(*csv, fs::path(path).stem().string());
+  };
+
+  // Per-path slots keep table order independent of shard timing.
+  std::vector<std::optional<Table>> slots(paths.size());
+  SkipLog skips;
+  auto load_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      auto table = parse_one(paths[i]);
+      if (table.ok()) {
+        slots[i].emplace(std::move(table).ValueOrDie());
+      } else {
+        skips.Record(i, table.status().ToString());
+      }
+    }
+  };
+  if (num_threads == 1) {
+    load_range(0, paths.size());
+  } else {
+    ThreadPool pool(num_threads);
+    ParallelFor(pool, paths.size(),
+                [&](size_t, size_t begin, size_t end) {
+                  load_range(begin, end);
+                });
+  }
+
+  {
+    MutexLock lock(&skips.mu);
+    std::sort(skips.entries.begin(), skips.entries.end());
+    for (const auto& [index, message] : skips.entries) {
+      UNIDETECT_LOG(Warning) << "skipping " << paths[index] << ": "
+                             << message;
+    }
+  }
+
   Corpus corpus;
   corpus.name = dir;
-  for (const std::string& path : paths) {
-    auto csv = ReadCsvFile(path);
-    if (!csv.ok()) {
-      UNIDETECT_LOG(Warning) << "skipping " << path << ": " << csv.status();
-      continue;
-    }
-    auto table = Table::FromCsv(*csv, fs::path(path).stem().string());
-    if (!table.ok()) {
-      UNIDETECT_LOG(Warning) << "skipping " << path << ": " << table.status();
-      continue;
-    }
-    corpus.tables.push_back(std::move(table).ValueOrDie());
+  for (auto& slot : slots) {
+    if (slot.has_value()) corpus.tables.push_back(std::move(*slot));
   }
   return corpus;
 }

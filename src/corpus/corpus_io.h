@@ -21,6 +21,11 @@ Status SaveCorpusToDirectory(const Corpus& corpus, const std::string& dir);
 /// table each, in lexicographic filename order (deterministic). Files
 /// that fail to parse are skipped with a warning rather than failing the
 /// whole load — a corpus crawl always contains some junk.
-Result<Corpus> LoadCorpusFromDirectory(const std::string& dir);
+///
+/// With num_threads != 1 files are read and parsed in parallel
+/// (0 = hardware concurrency); table order, skip decisions, and warning
+/// order are identical regardless of thread count.
+Result<Corpus> LoadCorpusFromDirectory(const std::string& dir,
+                                       size_t num_threads = 1);
 
 }  // namespace unidetect

@@ -1,5 +1,6 @@
 #include "corpus/token_index.h"
 
+#include <algorithm>
 #include <charconv>
 #include <unordered_set>
 
@@ -49,10 +50,17 @@ void TokenIndex::Merge(const TokenIndex& other) {
 std::string TokenIndex::Serialize() const {
   std::string out = "TokenIndex v1 " + std::to_string(num_tables_) + " " +
                     std::to_string(counts_.size()) + "\n";
-  for (const auto& [token, count] : counts_) {
-    out += std::to_string(count);
+  // Emit in token order: hash-order output would make the serialized
+  // index differ across standard libraries for the same corpus.
+  std::vector<const std::pair<const std::string, uint64_t>*> sorted;
+  sorted.reserve(counts_.size());
+  for (const auto& entry : counts_) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : sorted) {
+    out += std::to_string(entry->second);
     out += '\t';
-    out += token;
+    out += entry->first;
     out += '\n';
   }
   return out;

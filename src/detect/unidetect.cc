@@ -6,9 +6,21 @@
 #include "detect/outlier_detector.h"
 #include "detect/spelling_detector.h"
 #include "detect/uniqueness_detector.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace unidetect {
+
+namespace {
+// Scan-progress state shared by the DetectCorpus worker shards; the lock
+// both guards the counter and serializes the user callback so observers
+// see a strictly increasing `done`.
+struct ProgressState {
+  Mutex mu;
+  size_t done GUARDED_BY(mu) = 0;
+};
+}  // namespace
 
 UniDetect::UniDetect(const Model* model, UniDetectOptions options)
     : model_(model), options_(options) {
@@ -53,9 +65,17 @@ std::vector<Finding> UniDetect::DetectTable(const Table& table) const {
 std::vector<Finding> UniDetect::DetectCorpus(const Corpus& corpus,
                                              size_t num_threads) const {
   std::vector<std::vector<Finding>> per_table(corpus.tables.size());
+  const size_t total = corpus.tables.size();
+  ProgressState progress;
+  auto report_done = [&]() {
+    if (!options_.progress) return;
+    MutexLock lock(&progress.mu);
+    options_.progress(++progress.done, total);
+  };
   if (num_threads == 1) {
     for (size_t i = 0; i < corpus.tables.size(); ++i) {
       per_table[i] = DetectTable(corpus.tables[i]);
+      report_done();
     }
   } else {
     // Detection is read-only over the model, so tables shard freely; the
@@ -66,6 +86,7 @@ std::vector<Finding> UniDetect::DetectCorpus(const Corpus& corpus,
                 [&](size_t, size_t begin, size_t end) {
                   for (size_t i = begin; i < end; ++i) {
                     per_table[i] = DetectTable(corpus.tables[i]);
+                    report_done();
                   }
                 });
   }

@@ -1,0 +1,64 @@
+// Clang thread-safety-analysis capability macros.
+//
+// These expand to `__attribute__((...))` under clang (where
+// -Wthread-safety turns the annotations into compile-time lock-discipline
+// checks) and to nothing elsewhere, so annotated code stays portable to
+// gcc. See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for the
+// analysis model; `src/util/mutex.h` provides the annotated Mutex /
+// MutexLock / CondVar types these attach to.
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define UNIDETECT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef UNIDETECT_THREAD_ANNOTATION
+#define UNIDETECT_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) UNIDETECT_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY UNIDETECT_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) UNIDETECT_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) UNIDETECT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  UNIDETECT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  UNIDETECT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  UNIDETECT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  UNIDETECT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  UNIDETECT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  UNIDETECT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  UNIDETECT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  UNIDETECT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  UNIDETECT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) UNIDETECT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  UNIDETECT_THREAD_ANNOTATION(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) UNIDETECT_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  UNIDETECT_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -16,43 +16,42 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutting_down_ && tasks_.empty()) task_available_.Wait(mu_);
       if (tasks_.empty()) return;  // shutting down
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -6,13 +6,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace unidetect {
 
@@ -29,21 +30,21 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// \brief Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// \brief Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  CondVar task_available_;
+  CondVar all_done_;
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
 };
 
 /// \brief Runs fn(shard_index, begin, end) over [0, n) split into

@@ -32,6 +32,36 @@ TEST(CorpusIoTest, SaveLoadRoundTrip) {
   }
 }
 
+TEST(CorpusIoTest, ParallelLoadMatchesSerial) {
+  const std::string dir = testing::TempDir() + "/unidetect_corpus_par";
+  std::filesystem::remove_all(dir);
+
+  const Corpus original = GenerateCorpus(WebCorpusSpec(40, 17)).corpus;
+  ASSERT_TRUE(SaveCorpusToDirectory(original, dir).ok());
+  {
+    // A junk file exercises the shard-safe skip path as well.
+    std::ofstream bad(dir + "/zz_bad.csv");
+    bad << "x\n\"unterminated\n";
+  }
+
+  auto serial = LoadCorpusFromDirectory(dir, /*num_threads=*/1);
+  auto parallel = LoadCorpusFromDirectory(dir, /*num_threads=*/4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->tables.size(), original.tables.size());
+  ASSERT_EQ(parallel->tables.size(), serial->tables.size());
+  for (size_t i = 0; i < serial->tables.size(); ++i) {
+    const Table& a = serial->tables[i];
+    const Table& b = parallel->tables[i];
+    EXPECT_EQ(a.name(), b.name());
+    ASSERT_EQ(a.num_columns(), b.num_columns()) << a.name();
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.column(c).name(), b.column(c).name());
+      EXPECT_EQ(a.column(c).cells(), b.column(c).cells());
+    }
+  }
+}
+
 TEST(CorpusIoTest, MissingDirectoryIsNotFound) {
   auto result = LoadCorpusFromDirectory("/nonexistent/unidetect/dir");
   ASSERT_FALSE(result.ok());

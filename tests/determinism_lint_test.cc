@@ -1,0 +1,106 @@
+// Tests for the determinism linter itself, pinned against the fixture
+// files in tests/lint_fixtures/ (exact finding counts and NOLINT
+// suppression semantics).
+
+#include "lint/determinism_lint.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace unidetect {
+namespace lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(UNIDETECT_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+LintResult LintFixture(const std::string& name) {
+  const std::string path = FixturePath(name);
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LintSource(path, buffer.str());
+}
+
+std::map<std::string, int> CountByCheck(const LintResult& result) {
+  std::map<std::string, int> counts;
+  for (const auto& finding : result.findings) ++counts[finding.check];
+  return counts;
+}
+
+TEST(DeterminismLintTest, CleanFixtureHasNoFindings) {
+  LintResult result = LintFixture("good_sorted_iteration.cc");
+  EXPECT_TRUE(result.findings.empty())
+      << result.findings.size() << " unexpected findings, first: "
+      << (result.findings.empty() ? "" : result.findings[0].message);
+  EXPECT_EQ(result.suppressed, 0);
+}
+
+TEST(DeterminismLintTest, UnorderedAppendsFlagged) {
+  LintResult result = LintFixture("bad_unordered_append.cc");
+  ASSERT_EQ(result.findings.size(), 3u);
+  for (const auto& finding : result.findings) {
+    EXPECT_EQ(finding.check, "unordered-iteration");
+  }
+  EXPECT_EQ(result.suppressed, 0);
+}
+
+TEST(DeterminismLintTest, BannedSourcesFlagged) {
+  LintResult result = LintFixture("bad_banned_sources.cc");
+  auto counts = CountByCheck(result);
+  EXPECT_EQ(counts["banned-source"], 5);
+  EXPECT_EQ(counts["pointer-key"], 2);
+  EXPECT_EQ(result.findings.size(), 7u);
+}
+
+TEST(DeterminismLintTest, MutableStateFlagged) {
+  LintResult result = LintFixture("bad_mutable_state.cc");
+  auto counts = CountByCheck(result);
+  EXPECT_EQ(counts["mutable-global"], 2);
+  EXPECT_EQ(counts["mutable-static"], 1);
+  EXPECT_EQ(result.findings.size(), 3u);
+}
+
+TEST(DeterminismLintTest, NolintSuppressesFindings) {
+  LintResult result = LintFixture("nolint_suppression.cc");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].check, "mutable-global");
+  EXPECT_EQ(result.suppressed, 2);
+}
+
+TEST(DeterminismLintTest, FindingsAreSortedAndCarryLines) {
+  LintResult result = LintFixture("bad_mutable_state.cc");
+  ASSERT_EQ(result.findings.size(), 3u);
+  for (size_t i = 1; i < result.findings.size(); ++i) {
+    EXPECT_LE(result.findings[i - 1].line, result.findings[i].line);
+  }
+  for (const auto& finding : result.findings) {
+    EXPECT_GT(finding.line, 0);
+    EXPECT_NE(finding.file.find("bad_mutable_state.cc"), std::string::npos);
+  }
+}
+
+TEST(DeterminismLintTest, RandomOwnerFileMayUseEngines) {
+  const std::string source = "void Seed() { std::mt19937 gen; (void)gen; }\n";
+  EXPECT_TRUE(
+      LintSource("src/util/random.cc", source).findings.empty());
+  EXPECT_EQ(LintSource("src/detect/foo.cc", source).findings.size(), 1u);
+}
+
+TEST(DeterminismLintTest, ReportJsonShape) {
+  LintResult result = LintFixture("nolint_suppression.cc");
+  const std::string json = ReportJson(1, result);
+  EXPECT_NE(json.find("\"files_scanned\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"check\":\"mutable-global\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace unidetect

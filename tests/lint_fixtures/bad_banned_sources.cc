@@ -1,0 +1,32 @@
+// Lint fixture: banned-source (5) and pointer-key (2) findings.
+// Not part of the build; scanned textually by determinism_lint_test.
+
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <unordered_set>
+
+namespace fixture {
+
+int UnseededNoise() {
+  return std::rand();  // banned-source: rand
+}
+
+void Reseed() {
+  // banned-source twice: srand and the wall-clock seed.
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+}
+
+double HardwareNoise() {
+  std::random_device rd;  // banned-source: random_device
+  std::mt19937 gen(rd());  // banned-source: mt19937
+  return static_cast<double>(gen());
+}
+
+struct ByAddress {
+  std::map<const char*, int> hits;   // pointer-key: map keyed on pointer
+  std::unordered_set<void*> seen;    // pointer-key: hashed pointer
+};
+
+}  // namespace fixture

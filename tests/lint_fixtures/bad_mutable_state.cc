@@ -1,0 +1,28 @@
+// Lint fixture: mutable-global (2) and mutable-static (1) findings.
+// Not part of the build; scanned textually by determinism_lint_test.
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+int g_call_count = 0;                // mutable-global
+std::vector<std::string> g_names;    // mutable-global
+std::atomic<int> g_atomic_ok{0};     // synchronized: allowed
+std::mutex g_mu;                     // synchronization primitive: allowed
+const int kConstant = 7;             // immutable: allowed
+static constexpr double kPi = 3.14;  // immutable: allowed
+
+int NextId() {
+  static int counter = 0;  // mutable-static
+  return ++counter;
+}
+
+const std::string& CachedName() {
+  static const std::string kName = "fixture";  // const static: allowed
+  return kName;
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Lint fixture: unordered-iteration findings (expected: 3).
+// Not part of the build; scanned textually by determinism_lint_test.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+// Range-for appending to a vector, never sorted: hash order escapes.
+std::vector<int> CollectValues(
+    const std::unordered_map<std::string, int>& counts) {
+  std::vector<int> out;
+  for (const auto& [key, value] : counts) {
+    out.push_back(value);
+  }
+  return out;
+}
+
+// Range-for appending to a string.
+std::string SerializeKeys(const std::unordered_set<std::string>& keys) {
+  std::string out;
+  for (const auto& key : keys) {
+    out += key;
+    out += '\n';
+  }
+  return out;
+}
+
+// Iterator-style loop over an unordered container.
+int IteratorLoop(const std::unordered_map<std::string, int>& counts,
+                 std::vector<int>* sink) {
+  for (auto it = counts.begin(); it != counts.end(); ++it) {
+    sink->push_back(it->second);
+  }
+  return 0;
+}
+
+}  // namespace fixture

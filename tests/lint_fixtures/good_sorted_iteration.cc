@@ -1,0 +1,43 @@
+// Lint fixture: known-good patterns the determinism linter must accept.
+// Not part of the build; scanned textually by determinism_lint_test.
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::atomic<int> g_requests{0};  // synchronized: allowed
+std::mutex g_mu;                 // synchronization primitive: allowed
+const int kConstant = 7;         // immutable: allowed
+
+// Unordered iteration is fine when the appended-to output is sorted
+// before leaving the enclosing block.
+std::vector<std::string> SortedKeys(
+    const std::unordered_map<std::string, int>& counts) {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : counts) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Numeric accumulation over unordered iteration is not an append.
+int SumValues(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  return total;
+}
+
+const std::string& CachedName() {
+  static const std::string kName = "fixture";  // const static: allowed
+  return kName;
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Lint fixture: NOLINT escapes (expected: 1 finding, 2 suppressed).
+// Not part of the build; scanned textually by determinism_lint_test.
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::string Dump(const std::unordered_map<std::string, int>& counts) {
+  std::string out;
+  // The consumer re-sorts these lines, so hash order never escapes.
+  for (const auto& [key, value] : counts) {  // NOLINT(determinism)
+    out += key;
+  }
+  return out;
+}
+
+int g_unsuppressed = 0;  // stays a mutable-global finding
+
+// NOLINTNEXTLINE(determinism)
+int g_suppressed_counter = 0;
+
+}  // namespace fixture

@@ -1,0 +1,698 @@
+#include "lint/determinism_lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace unidetect {
+namespace lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kPunct, kString };
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Lexed {
+  std::vector<Tok> toks;
+  // Lines on which findings are suppressed (NOLINT(determinism) on the
+  // line itself or NOLINTNEXTLINE(determinism) on the line above).
+  std::set<int> nolint_lines;
+};
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool IsIdentChar(char c) { return IsIdentStart(c) || (c >= '0' && c <= '9'); }
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+// Records NOLINT markers found inside a comment span.
+void ScanCommentForNolint(std::string_view comment, int line, Lexed* out) {
+  constexpr std::string_view kNext = "NOLINTNEXTLINE(determinism)";
+  constexpr std::string_view kHere = "NOLINT(determinism)";
+  int cur_line = line;
+  for (size_t i = 0; i < comment.size(); ++i) {
+    if (comment[i] == '\n') ++cur_line;
+    if (comment.compare(i, kNext.size(), kNext) == 0) {
+      out->nolint_lines.insert(cur_line + 1);
+    } else if (comment.compare(i, kHere.size(), kHere) == 0) {
+      out->nolint_lines.insert(cur_line);
+    }
+  }
+}
+
+Lexed Tokenize(std::string_view src) {
+  Lexed out;
+  static const std::array<std::string_view, 13> kTwoCharOps = {
+      "<<", ">>", "+=", "-=", "->", "::", "==", "!=",
+      "<=", ">=", "&&", "||", "++"};
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+  const size_t n = src.size();
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: consume the (possibly continued) line.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      ScanCommentForNolint(src.substr(i, end - i), line, &out);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      size_t end = src.find("*/", i + 2);
+      if (end == std::string_view::npos) end = n;
+      std::string_view body = src.substr(i, end - i);
+      ScanCommentForNolint(body, line, &out);
+      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      i = (end == n) ? n : end + 2;
+      continue;
+    }
+    // String literal (with minimal raw-string support).
+    if (c == '"') {
+      bool raw = false;
+      if (!out.toks.empty() && out.toks.back().kind == TokKind::kIdent) {
+        const std::string& prev = out.toks.back().text;
+        if (prev == "R" || prev == "u8R" || prev == "uR" || prev == "UR" ||
+            prev == "LR") {
+          raw = true;
+          out.toks.pop_back();
+        }
+      }
+      size_t start = i;
+      if (raw) {
+        size_t open = src.find('(', i);
+        std::string delim =
+            ")" + std::string(src.substr(i + 1, open - i - 1)) + "\"";
+        size_t end = src.find(delim, open);
+        if (end == std::string_view::npos) end = n;
+        else end += delim.size();
+        std::string_view body = src.substr(start, end - start);
+        line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+        out.toks.push_back({TokKind::kString, "\"\"", line});
+        i = end;
+      } else {
+        ++i;
+        while (i < n && src[i] != '"') {
+          if (src[i] == '\\' && i + 1 < n) ++i;
+          ++i;
+        }
+        if (i < n) ++i;
+        out.toks.push_back({TokKind::kString, "\"\"", line});
+      }
+      continue;
+    }
+    // Char literal.
+    if (c == '\'') {
+      ++i;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n) ++i;
+      out.toks.push_back({TokKind::kString, "''", line});
+      continue;
+    }
+    // Number.
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(src[i + 1]))) {
+      size_t start = i;
+      while (i < n && (IsIdentChar(src[i]) || src[i] == '.' ||
+                       src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.toks.push_back(
+          {TokKind::kNumber, std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+    // Identifier.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      out.toks.push_back(
+          {TokKind::kIdent, std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+    // Punctuation: longest-match two-char operators first.
+    if (i + 1 < n) {
+      std::string_view two = src.substr(i, 2);
+      bool matched = false;
+      for (std::string_view op : kTwoCharOps) {
+        if (two == op) {
+          out.toks.push_back({TokKind::kPunct, std::string(op), line});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+    out.toks.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Analysis helpers
+// ---------------------------------------------------------------------------
+
+bool TokIs(const std::vector<Tok>& t, size_t i, std::string_view text) {
+  return i < t.size() && t[i].text == text;
+}
+
+bool IsIdent(const std::vector<Tok>& t, size_t i) {
+  return i < t.size() && t[i].kind == TokKind::kIdent;
+}
+
+/// Skips a balanced template-argument list. `i` must index the `<`.
+/// Returns the index just past the matching `>`, or `i` if this does not
+/// look like a template argument list (statement end reached first).
+size_t SkipAngles(const std::vector<Tok>& t, size_t i) {
+  int depth = 0;
+  const size_t limit = std::min(t.size(), i + 400);
+  for (size_t j = i; j < limit; ++j) {
+    const std::string& x = t[j].text;
+    if (x == "<") {
+      ++depth;
+    } else if (x == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (x == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (x == ";" || x == "{" || x == "}") {
+      return i;  // comparison, not a template
+    }
+  }
+  return i;
+}
+
+/// First template argument of the list opened at `i` (the `<`); empty if
+/// none. Used for pointer-keyed container detection.
+std::vector<const Tok*> FirstTemplateArg(const std::vector<Tok>& t, size_t i) {
+  std::vector<const Tok*> arg;
+  int angle = 0;
+  int paren = 0;
+  const size_t limit = std::min(t.size(), i + 400);
+  for (size_t j = i; j < limit; ++j) {
+    const std::string& x = t[j].text;
+    if (x == "<") {
+      if (++angle == 1) continue;
+    } else if (x == ">" || x == ">>") {
+      if (angle == 1) return arg;
+      angle -= (x == ">>") ? 2 : 1;
+      if (angle <= 0) return arg;
+    } else if (x == "(") {
+      ++paren;
+    } else if (x == ")") {
+      if (--paren < 0) return {};
+    } else if (x == "," && angle == 1 && paren == 0) {
+      return arg;
+    } else if (x == ";" || x == "{" || x == "}") {
+      return {};  // not a template argument list after all
+    }
+    if (angle >= 1) arg.push_back(&t[j]);
+    if (arg.size() > 100) return arg;
+  }
+  return {};
+}
+
+const std::unordered_set<std::string>& SyncTypeAllowlist() {
+  static const std::unordered_set<std::string> kAllow = {
+      "mutex",  "shared_mutex",  "recursive_mutex", "timed_mutex",
+      "Mutex",  "atomic",        "atomic_flag",     "atomic_bool",
+      "atomic_int", "atomic_size_t", "once_flag",   "condition_variable",
+      "condition_variable_any", "CondVar"};
+  return kAllow;
+}
+
+struct Analyzer {
+  const std::vector<Tok>& t;
+  std::string file;
+  Options options;
+  std::vector<Finding>* findings;
+
+  std::unordered_set<std::string> unordered_names;
+  std::unordered_set<std::string> string_names;
+
+  void Emit(int line, const char* check, std::string message) {
+    findings->push_back({file, line, check, std::move(message)});
+  }
+
+  // -- declared-name collection ------------------------------------------
+
+  void CollectDeclaredNames() {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!IsIdent(t, i)) continue;
+      const std::string& name = t[i].text;
+      const bool unordered =
+          name == "unordered_map" || name == "unordered_set" ||
+          name == "unordered_multimap" || name == "unordered_multiset";
+      const bool stringish = name == "string";
+      if (!unordered && !stringish) continue;
+      size_t j = i + 1;
+      if (TokIs(t, j, "<")) {
+        size_t after = SkipAngles(t, j);
+        if (after == j) continue;
+        j = after;
+      } else if (unordered) {
+        // unordered_map without template args: using-alias etc.; skip.
+        continue;
+      }
+      while (TokIs(t, j, "&") || TokIs(t, j, "*") || TokIs(t, j, "const")) {
+        ++j;
+      }
+      if (IsIdent(t, j)) {
+        if (unordered) {
+          unordered_names.insert(t[j].text);
+        } else {
+          string_names.insert(t[j].text);
+        }
+      }
+    }
+  }
+
+  // -- check: unordered-iteration ----------------------------------------
+
+  bool RangeOverUnordered(size_t open_paren, size_t close_paren) {
+    // Range-for: single ':' at paren depth 1; otherwise look for
+    // `<unordered>.begin` iterator loops.
+    int depth = 0;
+    size_t colon = 0;
+    for (size_t j = open_paren; j <= close_paren; ++j) {
+      const std::string& x = t[j].text;
+      if (x == "(") ++depth;
+      else if (x == ")") --depth;
+      else if (x == ":" && depth == 1 && colon == 0) colon = j;
+    }
+    if (colon != 0) {
+      for (size_t j = colon + 1; j < close_paren; ++j) {
+        if (IsIdent(t, j) && (unordered_names.count(t[j].text) ||
+                              t[j].text == "unordered_map" ||
+                              t[j].text == "unordered_set")) {
+          return true;
+        }
+      }
+      return false;
+    }
+    for (size_t j = open_paren; j + 2 < close_paren; ++j) {
+      if (IsIdent(t, j) && unordered_names.count(t[j].text) &&
+          (TokIs(t, j + 1, ".") || TokIs(t, j + 1, "->")) &&
+          (TokIs(t, j + 2, "begin") || TokIs(t, j + 2, "cbegin"))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool BodyAppends(size_t body_begin, size_t body_end) {
+    for (size_t j = body_begin; j < body_end; ++j) {
+      const std::string& x = t[j].text;
+      if ((x == "push_back" || x == "emplace_back") && j > 0 &&
+          (t[j - 1].text == "." || t[j - 1].text == "->")) {
+        return true;
+      }
+      if (x == "<<") return true;
+      if (x == "+=" && j > 0 && IsIdent(t, j - 1) &&
+          string_names.count(t[j - 1].text)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool SortFollows(size_t from) {
+    int depth = 0;
+    for (size_t j = from; j < t.size(); ++j) {
+      const std::string& x = t[j].text;
+      if (x == "{") {
+        ++depth;
+      } else if (x == "}") {
+        if (depth == 0) return false;  // enclosing block closed, no sort
+        --depth;
+      } else if (t[j].kind == TokKind::kIdent &&
+                 (x == "sort" || x == "stable_sort" ||
+                  x.find("Sort") != std::string::npos)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void CheckUnorderedIteration() {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!(IsIdent(t, i) && t[i].text == "for")) continue;
+      if (!TokIs(t, i + 1, "(")) continue;
+      // Find matching close paren.
+      int depth = 0;
+      size_t close = 0;
+      for (size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].text == "(") ++depth;
+        else if (t[j].text == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (close == 0) continue;
+      if (!RangeOverUnordered(i + 1, close)) continue;
+      // Loop body: braced block or single statement.
+      size_t body_begin = close + 1;
+      size_t body_end = body_begin;
+      if (TokIs(t, body_begin, "{")) {
+        int b = 0;
+        for (size_t j = body_begin; j < t.size(); ++j) {
+          if (t[j].text == "{") ++b;
+          else if (t[j].text == "}" && --b == 0) {
+            body_end = j;
+            break;
+          }
+        }
+      } else {
+        while (body_end < t.size() && t[body_end].text != ";") ++body_end;
+      }
+      if (!BodyAppends(body_begin, body_end)) continue;
+      if (SortFollows(body_end + 1)) continue;
+      Emit(t[i].line, "unordered-iteration",
+           "loop over unordered container appends to ordered output with "
+           "no subsequent sort in the enclosing block; hash order leaks "
+           "into results");
+    }
+  }
+
+  // -- check: banned-source / pointer-key --------------------------------
+
+  void CheckBannedSources() {
+    static const std::unordered_set<std::string> kBannedAlways = {
+        "rand", "srand", "rand_r", "drand48", "lrand48", "random_shuffle"};
+    static const std::unordered_set<std::string> kBannedOutsideRandom = {
+        "random_device", "mt19937", "mt19937_64", "default_random_engine",
+        "minstd_rand", "ranlux24", "ranlux48", "knuth_b"};
+    static const std::unordered_set<std::string> kKeyedContainers = {
+        "map", "set", "multimap", "multiset", "unordered_map",
+        "unordered_set", "hash", "less", "greater"};
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!IsIdent(t, i)) continue;
+      const std::string& name = t[i].text;
+      const bool member_access =
+          i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->");
+      if (!member_access && kBannedAlways.count(name)) {
+        Emit(t[i].line, "banned-source",
+             "'" + name + "' is nondeterministic across runs; use " +
+                 "unidetect::Rng (src/util/random.h) instead");
+        continue;
+      }
+      if (!member_access && !options.allow_random_primitives &&
+          kBannedOutsideRandom.count(name)) {
+        Emit(t[i].line, "banned-source",
+             "'" + name + "' outside src/util/random.*; all randomness "
+                 "must flow through unidetect::Rng");
+        continue;
+      }
+      if (name == "time" && TokIs(t, i + 1, "(") &&
+          (TokIs(t, i + 2, "nullptr") || TokIs(t, i + 2, "NULL") ||
+           TokIs(t, i + 2, "0")) &&
+          TokIs(t, i + 3, ")")) {
+        Emit(t[i].line, "banned-source",
+             "wall-clock seed 'time(...)' is nondeterministic; thread a "
+             "fixed seed through unidetect::Rng");
+        continue;
+      }
+      if (kKeyedContainers.count(name) && TokIs(t, i + 1, "<")) {
+        auto arg = FirstTemplateArg(t, i + 1);
+        bool has_pointer = false;
+        for (const Tok* tok : arg) {
+          if (tok->text == "*") has_pointer = true;
+        }
+        if (has_pointer) {
+          Emit(t[i].line, "pointer-key",
+               "'" + name + "' keyed on a pointer: iteration/compare order "
+                   "follows allocation addresses, which differ run to run");
+        }
+      }
+    }
+  }
+
+  // -- check: mutable-global / mutable-static ----------------------------
+
+  enum class Scope { kNamespace, kClass, kFunction };
+
+  static bool HeadHasAny(const std::vector<const Tok*>& head,
+                         const std::unordered_set<std::string>& names) {
+    for (const Tok* tok : head) {
+      if (names.count(tok->text)) return true;
+    }
+    return false;
+  }
+
+  /// Statement head: tokens from `stmt_start` to `stmt_end` with
+  /// template-argument lists collapsed (so a '(' inside <...> does not
+  /// read as a function signature).
+  std::vector<const Tok*> StatementHead(size_t stmt_start, size_t stmt_end) {
+    std::vector<const Tok*> head;
+    for (size_t j = stmt_start; j < stmt_end; ++j) {
+      if (t[j].text == "<" && j > stmt_start && IsIdent(t, j - 1)) {
+        size_t after = SkipAngles(t, j);
+        if (after != j) {
+          j = after - 1;
+          continue;
+        }
+      }
+      head.push_back(&t[j]);
+    }
+    return head;
+  }
+
+  /// Scope kind opened by a brace whose statement head is `head`:
+  /// `namespace`/class-key introducers win; anything else (function
+  /// bodies, control blocks, lambdas, initializer lists) is treated as
+  /// function scope, where only `static` declarations are examined.
+  static Scope ClassifyBrace(const std::vector<const Tok*>& head) {
+    for (const Tok* tok : head) {
+      if (tok->text == "namespace") return Scope::kNamespace;
+      if (tok->text == "class" || tok->text == "struct" ||
+          tok->text == "union" || tok->text == "enum") {
+        return Scope::kClass;
+      }
+      if (tok->text == ")" || tok->text == "=") break;
+    }
+    return Scope::kFunction;
+  }
+
+  void CheckMutableState() {
+    // Declaration checks fire once per statement, at its first '{' or
+    // ';' — whichever comes first owns the evaluation.
+    std::vector<Scope> scopes;  // implicit file scope = namespace
+    size_t stmt_start = 0;
+    bool evaluated = false;
+    auto current = [&]() {
+      return scopes.empty() ? Scope::kNamespace : scopes.back();
+    };
+    for (size_t i = 0; i < t.size(); ++i) {
+      const std::string& x = t[i].text;
+      if (x == ";") {
+        if (!evaluated) {
+          EvaluateHead(StatementHead(stmt_start, i), current());
+        }
+        stmt_start = i + 1;
+        evaluated = false;
+        continue;
+      }
+      if (x == "}") {
+        if (!scopes.empty()) scopes.pop_back();
+        stmt_start = i + 1;
+        evaluated = false;
+        continue;
+      }
+      if (x == ":" && i > 0 &&
+          (t[i - 1].text == "public" || t[i - 1].text == "private" ||
+           t[i - 1].text == "protected")) {
+        stmt_start = i + 1;
+        evaluated = false;
+        continue;
+      }
+      if (x != "{") continue;
+      std::vector<const Tok*> head = StatementHead(stmt_start, i);
+      if (!evaluated) {
+        EvaluateHead(head, current());
+        evaluated = true;
+      }
+      scopes.push_back(ClassifyBrace(head));
+      stmt_start = i + 1;
+      evaluated = false;
+    }
+  }
+
+  void EvaluateHead(const std::vector<const Tok*>& head, Scope scope) {
+    if (head.empty()) return;
+    static const std::unordered_set<std::string> kConstish = {
+        "const", "constexpr", "consteval", "constinit"};
+    static const std::unordered_set<std::string> kNamespaceSkip = {
+        "namespace", "using",  "typedef",       "template", "class",
+        "struct",    "union",  "enum",          "extern",   "friend",
+        "static_assert", "operator", "return",  "if",       "for",
+        "while",     "switch", "do",            "goto",     "case",
+        "default",   "delete", "throw"};
+    const bool is_static = head.front()->text == "static";
+    if (scope != Scope::kNamespace && !is_static) return;
+    if (kNamespaceSkip.count(head.front()->text)) return;
+    // Const, synchronization types, and thread_local pins are fine.
+    if (HeadHasAny(head, kConstish)) return;
+    if (HeadHasAny(head, SyncTypeAllowlist())) return;
+    // Anything with parens before an initializer reads as a function
+    // declaration/definition (or an annotated, intentionally-shared
+    // variable via GUARDED_BY(...)); skip.
+    for (const Tok* tok : head) {
+      if (tok->text == "=") break;
+      if (tok->text == "(") return;
+      if (tok->text == "operator") return;
+    }
+    // Plain expression statements (assignments, calls) are not
+    // declarations; a declaration head needs at least two identifiers
+    // (type + name) before any '='.
+    int idents_before_init = 0;
+    for (const Tok* tok : head) {
+      if (tok->text == "=") break;
+      if (tok->kind == TokKind::kIdent && !kConstish.count(tok->text) &&
+          tok->text != "static" && tok->text != "inline" &&
+          tok->text != "std" && tok->text != "thread_local" &&
+          tok->text != "unsigned" && tok->text != "signed") {
+        ++idents_before_init;
+      }
+    }
+    if (idents_before_init < 2) return;
+    const Tok* anchor = head.front();
+    if (is_static && scope != Scope::kNamespace) {
+      Emit(anchor->line, "mutable-static",
+           "mutable function-local 'static' is cross-call shared state; "
+           "make it const, move it to an owner object, or NOLINT with a "
+           "justification");
+    } else {
+      Emit(anchor->line, "mutable-global",
+           "mutable namespace-scope variable is shared global state; make "
+           "it const, wrap it behind a synchronized accessor, or NOLINT "
+           "with a justification");
+    }
+  }
+};
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Options OptionsForPath(std::string_view path) {
+  Options options;
+  if (path.find("util/random.") != std::string_view::npos) {
+    options.allow_random_primitives = true;
+  }
+  return options;
+}
+
+LintResult LintSource(std::string_view path, std::string_view source,
+                      const Options& options) {
+  Lexed lexed = Tokenize(source);
+  std::vector<Finding> raw;
+  Analyzer analyzer{lexed.toks, std::string(path), options, &raw, {}, {}};
+  analyzer.CollectDeclaredNames();
+  analyzer.CheckUnorderedIteration();
+  analyzer.CheckBannedSources();
+  analyzer.CheckMutableState();
+
+  LintResult result;
+  for (auto& finding : raw) {
+    if (lexed.nolint_lines.count(finding.line)) {
+      ++result.suppressed;
+    } else {
+      result.findings.push_back(std::move(finding));
+    }
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.check < b.check;
+            });
+  return result;
+}
+
+LintResult LintSource(std::string_view path, std::string_view source) {
+  return LintSource(path, source, OptionsForPath(path));
+}
+
+std::string ReportJson(size_t files_scanned, const LintResult& merged) {
+  std::string out = "{\"files_scanned\":" + std::to_string(files_scanned) +
+                    ",\"suppressed\":" + std::to_string(merged.suppressed) +
+                    ",\"findings\":[";
+  for (size_t i = 0; i < merged.findings.size(); ++i) {
+    const Finding& f = merged.findings[i];
+    if (i > 0) out += ",";
+    out += "{\"file\":\"" + JsonEscape(f.file) + "\",\"line\":" +
+           std::to_string(f.line) + ",\"check\":\"" + JsonEscape(f.check) +
+           "\",\"message\":\"" + JsonEscape(f.message) + "\"}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace lint
+}  // namespace unidetect

@@ -1,0 +1,67 @@
+// Determinism linter: a token-level static scanner for the
+// nondeterminism bug classes that break Uni-Detect's byte-identical
+// ranking contract (see DESIGN.md section 9).
+//
+// Checks:
+//   unordered-iteration  iteration over an unordered container whose
+//                        body appends to a string/stream/vector, with no
+//                        subsequent sort in the enclosing block.
+//   banned-source        std::rand/srand/time(nullptr)/... and the
+//                        <random> engines outside src/util/random.*.
+//   pointer-key          ordering or hashing keyed on pointer values
+//                        (map<T*, ...>, set<T*>, hash<T*>, less<T*>).
+//   mutable-global       non-const namespace-scope variables and
+//                        `static` locals, unless const/constexpr, a
+//                        synchronization type, or NOLINT'ed.
+//
+// Escape hatch: `// NOLINT(determinism)` on the reported line, or
+// `// NOLINTNEXTLINE(determinism)` on the line above it.
+//
+// The library is dependency-free (it does not link the code it lints);
+// the `determinism_lint` driver walks directories, prints findings, and
+// writes a machine-readable JSON report.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unidetect {
+namespace lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string check;
+  std::string message;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;
+  int suppressed = 0;  // findings silenced by NOLINT(determinism)
+};
+
+struct Options {
+  /// The <random> primitives are allowed inside the one file that is
+  /// supposed to own them (src/util/random.*).
+  bool allow_random_primitives = false;
+};
+
+/// \brief Per-path defaults (sets allow_random_primitives for
+/// paths containing "util/random.").
+Options OptionsForPath(std::string_view path);
+
+/// \brief Lints one translation unit held in memory.
+LintResult LintSource(std::string_view path, std::string_view source,
+                      const Options& options);
+
+/// \brief Convenience: LintSource with OptionsForPath(path).
+LintResult LintSource(std::string_view path, std::string_view source);
+
+/// \brief Serializes findings as a JSON report:
+/// {"files_scanned":N,"suppressed":M,"findings":[{...}]}.
+std::string ReportJson(size_t files_scanned, const LintResult& merged);
+
+}  // namespace lint
+}  // namespace unidetect

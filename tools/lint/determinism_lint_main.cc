@@ -1,0 +1,110 @@
+// Driver for the determinism linter.
+//
+// Usage: determinism_lint [--json REPORT] PATH...
+//   PATH       a .cc/.h file or a directory walked recursively
+//   --json     also write the machine-readable report to REPORT
+//
+// Exit code: 0 when clean, 1 when findings remain after NOLINT
+// suppression, 2 on usage or I/O errors.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/determinism_lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsCppSource(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp" ||
+         ext == ".cxx";
+}
+
+bool CollectFiles(const std::string& arg, std::vector<std::string>* files) {
+  std::error_code ec;
+  if (fs::is_directory(arg, ec)) {
+    for (const auto& entry :
+         fs::recursive_directory_iterator(arg, ec)) {
+      if (entry.is_regular_file() && IsCppSource(entry.path())) {
+        files->push_back(entry.path().string());
+      }
+    }
+    return !ec;
+  }
+  if (fs::is_regular_file(arg, ec)) {
+    files->push_back(arg);
+    return true;
+  }
+  std::cerr << "determinism_lint: no such file or directory: " << arg
+            << "\n";
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "determinism_lint: --json needs a path\n";
+        return 2;
+      }
+      json_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: determinism_lint [--json REPORT] PATH...\n";
+      return 0;
+    } else {
+      if (!CollectFiles(arg, &files)) return 2;
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: determinism_lint [--json REPORT] PATH...\n";
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  unidetect::lint::LintResult merged;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "determinism_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto result = unidetect::lint::LintSource(file, buffer.str());
+    merged.suppressed += result.suppressed;
+    for (auto& finding : result.findings) {
+      merged.findings.push_back(std::move(finding));
+    }
+  }
+
+  for (const auto& f : merged.findings) {
+    std::cerr << f.file << ":" << f.line << ": [" << f.check << "] "
+              << f.message << "\n";
+  }
+  const std::string report =
+      unidetect::lint::ReportJson(files.size(), merged);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "determinism_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << report;
+  }
+  std::cerr << "determinism_lint: " << files.size() << " files, "
+            << merged.findings.size() << " findings, " << merged.suppressed
+            << " suppressed\n";
+  return merged.findings.empty() ? 0 : 1;
+}
