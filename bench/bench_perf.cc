@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+
 #include "corpus/data_pools.h"
 #include "corpus/generator.h"
 #include "detect/unidetect.h"
@@ -13,6 +16,8 @@
 #include "learn/trainer.h"
 #include "metrics/edit_distance.h"
 #include "metrics/metric_functions.h"
+#include "serving/detection_service.h"
+#include "util/binary_io.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -209,6 +214,70 @@ void BM_CorpusGeneration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_CorpusGeneration)->Arg(500)->Unit(benchmark::kMillisecond);
+
+// Cold model load, binary snapshot vs legacy text: the artifact-tier
+// claim is that a service restart pays file size + checksum, not a
+// line-by-line parse. Both write once in setup and time Model::Load end
+// to end (read, sniff, decode).
+void BM_ModelLoadBinary(benchmark::State& state) {
+  const std::string path = "/tmp/unidetect_bench_binary.model";
+  if (!SharedModel().Save(path).ok()) {
+    state.SkipWithError("save failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto loaded = Model::Load(path);
+    if (!loaded.ok()) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(ReadFileToString(path)->size()));
+}
+BENCHMARK(BM_ModelLoadBinary)->Unit(benchmark::kMillisecond);
+
+void BM_ModelLoadText(benchmark::State& state) {
+  const std::string path = "/tmp/unidetect_bench_text.model";
+  if (!WriteStringToFile(path, SharedModel().Serialize()).ok()) {
+    state.SkipWithError("save failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto loaded = Model::Load(path);
+    if (!loaded.ok()) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(ReadFileToString(path)->size()));
+}
+BENCHMARK(BM_ModelLoadText)->Unit(benchmark::kMillisecond);
+
+// Serving-tier batch throughput: tables/second through DetectionService
+// at 1 and 4 worker threads.
+void BM_DetectBatch(benchmark::State& state) {
+  static const Corpus* const batch = [] {
+    return new Corpus(GenerateCorpus(WebCorpusSpec(64, 53)).corpus);
+  }();
+  UniDetectOptions options;
+  options.alpha = 1.0;
+  DetectionService service(
+      std::shared_ptr<const Model>(&SharedModel(), [](const Model*) {}),
+      options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.DetectBatch(
+        batch->tables, nullptr, static_cast<size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch->tables.size()));
+}
+BENCHMARK(BM_DetectBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace unidetect

@@ -1,0 +1,94 @@
+// serve_demo: the serving tier end to end — load a model snapshot into a
+// DetectionService, answer batched detection requests, hot-swap the
+// model with Reload() while requests keep flowing, and print the service
+// counters. Without a model path it trains a small model first (and
+// saves it as a binary snapshot) so the demo is self-contained.
+//
+//   $ ./build/examples/serve_demo [model_path] [num_request_tables]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "eval/injection.h"
+#include "learn/trainer.h"
+#include "serving/detection_service.h"
+#include "util/logging.h"
+
+using namespace unidetect;
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  const std::string path = argc > 1 ? argv[1] : "serve_demo.model";
+  const size_t num_tables =
+      argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 64;
+
+  // Ensure a model snapshot exists at `path` (train one if not).
+  if (!Model::Load(path).ok()) {
+    std::printf("No model at %s; training a small one...\n", path.c_str());
+    Trainer trainer;
+    const Model model =
+        trainer.Train(GenerateCorpus(WebCorpusSpec(2000, 7)).corpus);
+    const Status st = model.Save(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Stand up the service.
+  auto service = DetectionService::Create(path);
+  if (!service.ok()) {
+    std::fprintf(stderr, "serve: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Serving model %s (generation %llu)\n", path.c_str(),
+              static_cast<unsigned long long>((*service)->generation()));
+
+  // A batch of "request" tables with injected errors.
+  AnnotatedCorpus requests = GenerateCorpus(WebCorpusSpec(num_tables, 11));
+  InjectErrors(&requests, InjectionSpec{});
+
+  const DetectionService::BatchResult batch =
+      (*service)->DetectBatch(requests.corpus.tables, nullptr,
+                              /*num_threads=*/0);
+  size_t total = 0;
+  for (const auto& findings : batch.per_table) total += findings.size();
+  std::printf("Batch of %zu tables -> %zu findings (generation %llu)\n",
+              batch.per_table.size(), total,
+              static_cast<unsigned long long>(batch.generation));
+
+  // Per-request override: stricter alpha, fewer findings.
+  UniDetectOptions strict;
+  strict.alpha = 1e-4;
+  const DetectionService::BatchResult strict_batch =
+      (*service)->DetectBatch(requests.corpus.tables, &strict);
+  size_t strict_total = 0;
+  for (const auto& findings : strict_batch.per_table) {
+    strict_total += findings.size();
+  }
+  std::printf("Same batch at alpha=1e-4 -> %zu findings\n", strict_total);
+
+  // Hot swap: reload the same file; generation advances, service keeps
+  // serving throughout (see DetectionServiceTest for the racing proof).
+  const Status reload = (*service)->Reload(path);
+  if (!reload.ok()) {
+    std::fprintf(stderr, "reload: %s\n", reload.ToString().c_str());
+    return 1;
+  }
+  std::printf("Reloaded -> generation %llu\n",
+              static_cast<unsigned long long>((*service)->generation()));
+
+  const ServiceStats stats = (*service)->Stats();
+  std::printf("Stats: %llu requests, %llu tables, %llu findings, "
+              "%llu reloads, p50 < %.0fus, p99 < %.0fus\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.tables),
+              static_cast<unsigned long long>(stats.findings),
+              static_cast<unsigned long long>(stats.reloads),
+              stats.latency_p50_us, stats.latency_p99_us);
+  return 0;
+}

@@ -135,7 +135,7 @@ int CmdDetect(const Flags& flags) {
   UniDetectOptions options;
   options.alpha = flags.GetDouble("alpha", 0.05);
   options.fdr_q = flags.GetDouble("fdr", 0.0);
-  options.detect_patterns = flags.Has("patterns");
+  options.set_detect(ErrorClass::kPattern, flags.Has("patterns"));
   options.use_dictionary = true;
   UniDetect detector(&*model, options);
   Corpus one;

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Runs the hot-path microbenchmarks and records the numbers that back the
-# PR 1 performance claims (single-pass MPD closest pair, merge-sort-tree
-# LR counting) in BENCH_PR1.json at the repo root. The optimized paths
-# and their seed-equivalent reference implementations live in the same
-# binary, so one run captures both sides of every before/after pair.
+# performance claims in BENCH_PR3.json at the repo root: the PR 1 pairs
+# (single-pass MPD closest pair vs the three-scan reference,
+# merge-sort-tree LR counting vs the linear scan) plus the PR 3 pairs
+# (binary snapshot vs legacy text cold model load, DetectBatch
+# throughput at 1 vs 4 threads). Each optimized path and its baseline
+# live in the same binary, so one run captures both sides.
 #
 # Usage: scripts/bench_perf.sh [extra benchmark args...]
 set -euo pipefail
@@ -19,10 +21,10 @@ fi
 ctest --test-dir build -L perf --output-on-failure
 
 build/bench/bench_perf \
-  --benchmark_filter='BM_(MpdProfile|MpdProfileReference|LrQuery|LrQueryLinear|BoundedEditDistance|EditDistance|LikelihoodRatioLookup)' \
+  --benchmark_filter='BM_(MpdProfile|MpdProfileReference|LrQuery|LrQueryLinear|BoundedEditDistance|EditDistance|LikelihoodRatioLookup|ModelLoadBinary|ModelLoadText|DetectBatch)' \
   --benchmark_format=json \
-  --benchmark_out=BENCH_PR1.json \
+  --benchmark_out=BENCH_PR3.json \
   --benchmark_out_format=json \
   "$@"
 
-echo "Wrote $(pwd)/BENCH_PR1.json"
+echo "Wrote $(pwd)/BENCH_PR3.json"

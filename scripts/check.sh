@@ -5,7 +5,8 @@
 #   release     optimized build + full test suite
 #   asan-ubsan  address+UB sanitizer build + full test suite
 #   tsan        ThreadSanitizer build + the multithreaded
-#               DetectCorpus / ThreadPool / parallel-load tests
+#               DetectCorpus / ThreadPool / parallel-load tests and the
+#               DetectionService Reload-under-DetectBatch race
 #   lint        -Wall -Wextra -Werror build + determinism lint gate
 #   tidy        clang-tidy over every TU (skipped if clang-tidy missing)
 #   format      clang-format --dry-run (skipped if clang-format missing)

@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "autodetect/pattern.h"
+#include "detect/detector_registry.h"
+#include "detect/unidetect.h"
+#include "learn/model.h"
+#include "util/binary_io.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace unidetect {
@@ -110,6 +116,60 @@ Result<PatternIndex> PatternIndex::Deserialize(std::string_view text) {
   return out;
 }
 
+namespace {
+void AppendCountMapBinary(
+    const std::unordered_map<std::string, uint64_t>& map, std::string* out) {
+  AppendU64(out, map.size());
+  // Key-sorted emit, same determinism rationale as the text format.
+  std::vector<const std::pair<const std::string, uint64_t>*> sorted;
+  sorted.reserve(map.size());
+  for (const auto& entry : map) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : sorted) {
+    AppendLengthPrefixed(out, entry->first);
+    AppendU64(out, entry->second);
+  }
+}
+
+Status ParseCountMapBinary(BinaryReader* reader,
+                           std::unordered_map<std::string, uint64_t>* map) {
+  uint64_t entries = 0;
+  if (!reader->ReadU64(&entries)) {
+    return Status::Corruption("PatternIndex: truncated binary map header");
+  }
+  // Bounded reserve: a corrupt count must not allocate ahead of the
+  // truncation check (each entry is at least 12 bytes).
+  map->reserve(static_cast<size_t>(
+      std::min<uint64_t>(entries, reader->remaining() / 12)));
+  for (uint64_t i = 0; i < entries; ++i) {
+    std::string_view key;
+    uint64_t count = 0;
+    if (!reader->ReadLengthPrefixed(&key) || !reader->ReadU64(&count)) {
+      return Status::Corruption("PatternIndex: truncated binary map entry");
+    }
+    map->emplace(std::string(key), count);
+  }
+  return Status::OK();
+}
+}  // namespace
+
+void PatternIndex::AppendBinary(std::string* out) const {
+  AppendU64(out, num_columns_);
+  AppendCountMapBinary(pattern_counts_, out);
+  AppendCountMapBinary(pair_counts_, out);
+}
+
+Result<PatternIndex> PatternIndex::FromBinary(BinaryReader* reader) {
+  PatternIndex out;
+  if (!reader->ReadU64(&out.num_columns_)) {
+    return Status::Corruption("PatternIndex: truncated binary header");
+  }
+  UNIDETECT_RETURN_NOT_OK(ParseCountMapBinary(reader, &out.pattern_counts_));
+  UNIDETECT_RETURN_NOT_OK(ParseCountMapBinary(reader, &out.pair_counts_));
+  return out;
+}
+
 uint64_t PatternIndex::PatternCount(const std::string& pattern) const {
   auto it = pattern_counts_.find(pattern);
   return it == pattern_counts_.end() ? 0 : it->second;
@@ -193,6 +253,17 @@ void PmiDetector::Detect(const Table& table, std::vector<Finding>* out) const {
       out->push_back(std::move(finding));
     }
   }
+}
+
+void RegisterPatternDetector(DetectorRegistry* registry) {
+  const Status st = registry->Register(
+      ErrorClass::kPattern, /*enabled_by_default=*/false,
+      [](const DetectorContext& context) -> std::unique_ptr<Detector> {
+        return std::make_unique<PmiDetector>(
+            &context.model->pattern_index(),
+            context.options->pattern_pmi_threshold);
+      });
+  UNIDETECT_CHECK(st.ok());
 }
 
 }  // namespace unidetect

@@ -18,6 +18,9 @@
 
 namespace unidetect {
 
+class BinaryReader;
+class DetectorRegistry;
+
 /// \brief Corpus statistics over column pattern (co-)occurrence.
 class PatternIndex {
  public:
@@ -33,9 +36,15 @@ class PatternIndex {
   /// \brief Merges another index (sharded builds).
   void Merge(const PatternIndex& other);
 
-  /// \brief Text serialization (embedded in the Model file).
+  /// \brief Text serialization (embedded in the legacy Model file).
   std::string Serialize() const;
   static Result<PatternIndex> Deserialize(std::string_view text);
+
+  /// \brief Binary codec for the snapshot format (model_format/):
+  /// u64 num_columns, then the pattern and pair count maps, each as
+  /// u64 size followed by key-sorted (length-prefixed key, u64 count).
+  void AppendBinary(std::string* out) const;
+  static Result<PatternIndex> FromBinary(BinaryReader* reader);
 
   uint64_t num_columns() const { return num_columns_; }
   uint64_t PatternCount(const std::string& pattern) const;
@@ -72,5 +81,10 @@ class PmiDetector : public Detector {
   const PatternIndex* index_;
   double pmi_threshold_;
 };
+
+/// \brief Registers the pattern detector (off by default — the paper
+/// treats pattern incompatibility as an orthogonal error class); the PMI
+/// threshold comes from UniDetectOptions::pattern_pmi_threshold.
+void RegisterPatternDetector(DetectorRegistry* registry);
 
 }  // namespace unidetect

@@ -121,11 +121,12 @@ std::vector<double> LofBaseline::ComputeLof(const std::vector<double>& values,
       const bool can_left = left > 0;
       const bool can_right = right + 1 < n;
       if (!can_left && !can_right) break;
-      const double dl =
-          can_left ? sorted[i] - sorted[left - 1] : 1e300;
-      const double dr =
-          can_right ? sorted[right + 1] - sorted[i] : 1e300;
-      if (dl <= dr) {
+      const double dl = can_left ? sorted[i] - sorted[left - 1] : 0.0;
+      const double dr = can_right ? sorted[right + 1] - sorted[i] : 0.0;
+      // The exhausted side must lose outright: an infinite gap on the
+      // live side (e.g. values spanning +/-1e308) beats any sentinel,
+      // and a NaN gap makes every comparison false.
+      if (can_left && (!can_right || dl <= dr)) {
         nb.push_back(--left);
       } else {
         nb.push_back(++right);

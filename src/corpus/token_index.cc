@@ -4,6 +4,7 @@
 #include <charconv>
 #include <unordered_set>
 
+#include "util/binary_io.h"
 #include "util/string_util.h"
 
 namespace unidetect {
@@ -99,6 +100,43 @@ Result<TokenIndex> TokenIndex::Deserialize(std::string_view text) {
       return Status::Corruption("TokenIndex: bad count");
     }
     out.counts_.emplace(std::string(line.substr(tab + 1)), count);
+  }
+  return out;
+}
+
+void TokenIndex::AppendBinary(std::string* out) const {
+  AppendU64(out, num_tables_);
+  AppendU64(out, counts_.size());
+  // Token-sorted emit, same determinism rationale as Serialize().
+  std::vector<const std::pair<const std::string, uint64_t>*> sorted;
+  sorted.reserve(counts_.size());
+  for (const auto& entry : counts_) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : sorted) {
+    AppendLengthPrefixed(out, entry->first);
+    AppendU64(out, entry->second);
+  }
+}
+
+Result<TokenIndex> TokenIndex::FromBinary(BinaryReader* reader) {
+  TokenIndex out;
+  uint64_t num_tokens = 0;
+  if (!reader->ReadU64(&out.num_tables_) || !reader->ReadU64(&num_tokens)) {
+    return Status::Corruption("TokenIndex: truncated binary header");
+  }
+  // Bound the reserve by what the buffer could possibly hold (each entry
+  // is at least 12 bytes) so a corrupt count cannot trigger a huge
+  // allocation before the truncation check fires.
+  out.counts_.reserve(static_cast<size_t>(
+      std::min<uint64_t>(num_tokens, reader->remaining() / 12)));
+  for (uint64_t i = 0; i < num_tokens; ++i) {
+    std::string_view token;
+    uint64_t count = 0;
+    if (!reader->ReadLengthPrefixed(&token) || !reader->ReadU64(&count)) {
+      return Status::Corruption("TokenIndex: truncated binary entry");
+    }
+    out.counts_.emplace(std::string(token), count);
   }
   return out;
 }

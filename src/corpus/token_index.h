@@ -18,6 +18,8 @@
 
 namespace unidetect {
 
+class BinaryReader;
+
 /// \brief Maps token -> number of corpus tables containing it.
 class TokenIndex {
  public:
@@ -53,6 +55,12 @@ class TokenIndex {
   /// "count<TAB>token" line per token after a header).
   std::string Serialize() const;
   static Result<TokenIndex> Deserialize(std::string_view text);
+
+  /// \brief Binary codec for the snapshot format (model_format/):
+  /// u64 num_tables, u64 num_tokens, then per token (sorted order, so
+  /// output is deterministic) a length-prefixed token and u64 count.
+  void AppendBinary(std::string* out) const;
+  static Result<TokenIndex> FromBinary(BinaryReader* reader);
 
  private:
   std::unordered_map<std::string, uint64_t> counts_;

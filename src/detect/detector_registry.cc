@@ -1,0 +1,84 @@
+#include "detect/detector_registry.h"
+
+#include <utility>
+
+#include "autodetect/pmi_detector.h"
+#include "detect/fd_detector.h"
+#include "detect/outlier_detector.h"
+#include "detect/spelling_detector.h"
+#include "detect/uniqueness_detector.h"
+#include "detect/unidetect.h"
+#include "util/logging.h"
+
+namespace unidetect {
+
+namespace {
+size_t IndexOf(ErrorClass cls) {
+  const size_t index = static_cast<size_t>(cls);
+  UNIDETECT_CHECK(index < static_cast<size_t>(kNumErrorClasses));
+  return index;
+}
+}  // namespace
+
+Status DetectorRegistry::Register(ErrorClass cls, bool enabled_by_default,
+                                  Factory factory) {
+  Entry& entry = entries_[IndexOf(cls)];
+  if (entry.factory) {
+    return Status::AlreadyExists(std::string("detector for class ") +
+                                 ErrorClassToString(cls) +
+                                 " already registered");
+  }
+  entry.factory = std::move(factory);
+  entry.enabled_by_default = enabled_by_default;
+  return Status::OK();
+}
+
+bool DetectorRegistry::Has(ErrorClass cls) const {
+  return static_cast<bool>(entries_[IndexOf(cls)].factory);
+}
+
+bool DetectorRegistry::EnabledByDefault(ErrorClass cls) const {
+  return entries_[IndexOf(cls)].enabled_by_default;
+}
+
+std::vector<ErrorClass> DetectorRegistry::Classes() const {
+  std::vector<ErrorClass> classes;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].factory) classes.push_back(static_cast<ErrorClass>(i));
+  }
+  return classes;
+}
+
+std::unique_ptr<Detector> DetectorRegistry::Create(
+    ErrorClass cls, const DetectorContext& context) const {
+  const Entry& entry = entries_[IndexOf(cls)];
+  if (!entry.factory) return nullptr;
+  return entry.factory(context);
+}
+
+std::array<bool, kNumErrorClasses> DetectorRegistry::DefaultEnables() const {
+  std::array<bool, kNumErrorClasses> enables{};
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    enables[i] = entries_[i].factory && entries_[i].enabled_by_default;
+  }
+  return enables;
+}
+
+const DetectorRegistry& DetectorRegistry::Builtin() {
+  static const DetectorRegistry* const registry = [] {
+    auto* r = new DetectorRegistry();
+    RegisterOutlierDetector(r);
+    RegisterSpellingDetector(r);
+    RegisterUniquenessDetector(r);
+    RegisterFdDetector(r);
+    RegisterPatternDetector(r);
+    return r;
+  }();
+  return *registry;
+}
+
+std::array<bool, kNumErrorClasses> DefaultDetectorEnables() {
+  return DetectorRegistry::Builtin().DefaultEnables();
+}
+
+}  // namespace unidetect

@@ -1,0 +1,77 @@
+// DetectorRegistry: the factory layer between the UniDetect facade and
+// the per-class detectors. Each error class registers a factory (from
+// its own translation unit, via the Register*Detector functions declared
+// in the detector headers), so the facade never hard-wires concrete
+// detector types and new error classes plug in without touching it.
+//
+// Registration is explicit rather than via self-registering static
+// objects: the library is linked statically, and a detector TU whose
+// symbols are otherwise unreferenced could legally be dropped by the
+// linker — taking its registration with it. An explicit Builtin()
+// composition is immune to that and keeps registration order (and thus
+// every derived default) deterministic.
+
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "detect/detector.h"
+#include "util/status.h"
+
+namespace unidetect {
+
+class Dictionary;
+class Model;
+struct UniDetectOptions;
+
+/// \brief Everything a detector factory may consult at construction
+/// time. Pointers are non-owning; `dictionary` is null unless the
+/// facade built one (UniDetectOptions::use_dictionary).
+struct DetectorContext {
+  const Model* model = nullptr;
+  const Dictionary* dictionary = nullptr;
+  const UniDetectOptions* options = nullptr;
+};
+
+/// \brief Factory map keyed by ErrorClass.
+class DetectorRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Detector>(const DetectorContext&)>;
+
+  /// \brief Registers a factory for `cls`. `enabled_by_default` seeds
+  /// the per-class flag in UniDetectOptions (see DefaultDetectorEnables).
+  /// Registering a class twice is AlreadyExists.
+  Status Register(ErrorClass cls, bool enabled_by_default, Factory factory);
+
+  bool Has(ErrorClass cls) const;
+  bool EnabledByDefault(ErrorClass cls) const;
+
+  /// \brief Registered classes in ascending ErrorClass order.
+  std::vector<ErrorClass> Classes() const;
+
+  /// \brief Instantiates the detector for `cls` (null if unregistered).
+  std::unique_ptr<Detector> Create(ErrorClass cls,
+                                   const DetectorContext& context) const;
+
+  /// \brief Per-class default-enable flags, indexed by ErrorClass;
+  /// unregistered classes are false.
+  std::array<bool, kNumErrorClasses> DefaultEnables() const;
+
+  /// \brief The registry with every built-in detector registered: the
+  /// four paper classes (Sections 3.1-3.4) enabled by default and the
+  /// pattern class (Section 3.5) registered but off by default.
+  static const DetectorRegistry& Builtin();
+
+ private:
+  struct Entry {
+    Factory factory;  // empty when unregistered
+    bool enabled_by_default = false;
+  };
+  std::array<Entry, kNumErrorClasses> entries_;
+};
+
+}  // namespace unidetect

@@ -1,6 +1,11 @@
 #include "detect/fd_detector.h"
 
+#include <memory>
+
+#include "detect/detector_registry.h"
+#include "detect/unidetect.h"
 #include "learn/candidates.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace unidetect {
@@ -42,6 +47,16 @@ void FdDetector::Detect(const Table& table, std::vector<Finding>* out) const {
       out->push_back(std::move(finding));
     }
   }
+}
+
+void RegisterFdDetector(DetectorRegistry* registry) {
+  const Status st = registry->Register(
+      ErrorClass::kFd, /*enabled_by_default=*/true,
+      [](const DetectorContext& context) -> std::unique_ptr<Detector> {
+        return std::make_unique<FdDetector>(
+            context.model, context.options->max_fd_pairs_per_table);
+      });
+  UNIDETECT_CHECK(st.ok());
 }
 
 }  // namespace unidetect

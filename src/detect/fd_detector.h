@@ -9,6 +9,8 @@
 
 namespace unidetect {
 
+class DetectorRegistry;
+
 /// \brief Flags rows that break an FD (lhs -> rhs) which almost holds,
 /// when the corpus evidence says such near-FDs are normally exact.
 class FdDetector : public Detector {
@@ -25,5 +27,9 @@ class FdDetector : public Detector {
   const Model* model_;
   size_t max_pairs_per_table_;
 };
+
+/// \brief Registers the FD detector (enabled by default); the pair cap
+/// comes from UniDetectOptions::max_fd_pairs_per_table.
+void RegisterFdDetector(DetectorRegistry* registry);
 
 }  // namespace unidetect

@@ -1,29 +1,31 @@
 #include "detect/finding_json.h"
 
-#include <sstream>
-
 #include "util/json.h"
+#include "util/string_util.h"
 
 namespace unidetect {
 
 std::string FindingToJson(const Finding& finding) {
-  std::ostringstream os;
-  os << "{\"class\":" << JsonString(ErrorClassToString(finding.error_class))
-     << ",\"table\":" << finding.table_index
-     << ",\"table_name\":" << JsonString(finding.table_name)
-     << ",\"column\":" << finding.column;
+  // Keys are emitted in the fixed order documented in finding_json.h;
+  // consumers and the golden-file test depend on it byte for byte.
+  std::string out;
+  StrAppend(&out, "{\"class\":",
+            JsonString(ErrorClassToString(finding.error_class)),
+            ",\"table\":", finding.table_index,
+            ",\"table_name\":", JsonString(finding.table_name),
+            ",\"column\":", finding.column);
   if (finding.column2 != Finding::kNoColumn) {
-    os << ",\"column2\":" << finding.column2;
+    StrAppend(&out, ",\"column2\":", finding.column2);
   }
-  os << ",\"rows\":[";
+  out += ",\"rows\":[";
   for (size_t i = 0; i < finding.rows.size(); ++i) {
-    if (i > 0) os << ',';
-    os << finding.rows[i];
+    if (i > 0) out += ',';
+    StrAppend(&out, finding.rows[i]);
   }
-  os << "],\"value\":" << JsonString(finding.value)
-     << ",\"score\":" << finding.score
-     << ",\"explanation\":" << JsonString(finding.explanation) << "}";
-  return os.str();
+  StrAppend(&out, "],\"value\":", JsonString(finding.value),
+            ",\"score\":", finding.score,
+            ",\"explanation\":", JsonString(finding.explanation), "}");
+  return out;
 }
 
 std::string FindingsToJson(const std::vector<Finding>& findings) {

@@ -13,6 +13,11 @@ namespace unidetect {
 /// \brief One finding as a JSON object, e.g.
 /// {"class":"outlier","table":3,"column":1,"rows":[7],"value":"8.716",
 ///  "score":0.0003,"explanation":"..."}.
+///
+/// Key order is part of the contract (tests/golden/findings.json pins
+/// it): class, table, table_name, column, column2 (FD findings only),
+/// rows, value, score, explanation. Scores format as "%.6g". New keys
+/// must be appended before "explanation", never inserted mid-object.
 std::string FindingToJson(const Finding& finding);
 
 /// \brief A ranked list as a JSON array (newline between elements).

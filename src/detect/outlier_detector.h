@@ -7,6 +7,8 @@
 
 namespace unidetect {
 
+class DetectorRegistry;
+
 /// \brief Flags the most outlying numeric value of a column when removing
 /// it makes the column's max-MAD drop surprisingly (small LR).
 class OutlierDetector : public Detector {
@@ -21,5 +23,8 @@ class OutlierDetector : public Detector {
  private:
   const Model* model_;
 };
+
+/// \brief Registers the outlier detector (enabled by default).
+void RegisterOutlierDetector(DetectorRegistry* registry);
 
 }  // namespace unidetect

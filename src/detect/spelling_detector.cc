@@ -1,6 +1,10 @@
 #include "detect/spelling_detector.h"
 
+#include <memory>
+
+#include "detect/detector_registry.h"
 #include "learn/candidates.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace unidetect {
@@ -36,6 +40,16 @@ void SpellingDetector::Detect(const Table& table,
                "'), LR=", lr);
     out->push_back(std::move(finding));
   }
+}
+
+void RegisterSpellingDetector(DetectorRegistry* registry) {
+  const Status st = registry->Register(
+      ErrorClass::kSpelling, /*enabled_by_default=*/true,
+      [](const DetectorContext& context) -> std::unique_ptr<Detector> {
+        return std::make_unique<SpellingDetector>(context.model,
+                                                  context.dictionary);
+      });
+  UNIDETECT_CHECK(st.ok());
 }
 
 }  // namespace unidetect

@@ -9,6 +9,8 @@
 
 namespace unidetect {
 
+class DetectorRegistry;
+
 /// \brief Flags the closest value pair of a column when removing one
 /// endpoint raises the column's MPD surprisingly.
 class SpellingDetector : public Detector {
@@ -28,5 +30,10 @@ class SpellingDetector : public Detector {
   const Model* model_;
   const Dictionary* dictionary_;
 };
+
+/// \brief Registers the spelling detector (enabled by default). The
+/// factory wires in the context's dictionary, so the +Dict variant
+/// follows UniDetectOptions::use_dictionary automatically.
+void RegisterSpellingDetector(DetectorRegistry* registry);
 
 }  // namespace unidetect

@@ -1,11 +1,9 @@
 #include "detect/unidetect.h"
 
-#include "autodetect/pmi_detector.h"
-#include "detect/fd_detector.h"
+#include <utility>
+
+#include "detect/detector_registry.h"
 #include "detect/fdr.h"
-#include "detect/outlier_detector.h"
-#include "detect/spelling_detector.h"
-#include "detect/uniqueness_detector.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -22,29 +20,19 @@ struct ProgressState {
 };
 }  // namespace
 
-UniDetect::UniDetect(const Model* model, UniDetectOptions options)
-    : model_(model), options_(options) {
+UniDetect::UniDetect(const Model* model, UniDetectOptions options,
+                     const DetectorRegistry* registry)
+    : model_(model), options_(std::move(options)) {
   if (options_.use_dictionary) {
     dictionary_ = std::make_unique<Dictionary>(Dictionary::FromTokenIndex(
         model_->token_index(), options_.dictionary_min_table_count));
   }
-  if (options_.detect_outliers) {
-    detectors_.push_back(std::make_unique<OutlierDetector>(model_));
-  }
-  if (options_.detect_spelling) {
-    detectors_.push_back(
-        std::make_unique<SpellingDetector>(model_, dictionary_.get()));
-  }
-  if (options_.detect_uniqueness) {
-    detectors_.push_back(std::make_unique<UniquenessDetector>(model_));
-  }
-  if (options_.detect_fd) {
-    detectors_.push_back(std::make_unique<FdDetector>(
-        model_, options_.max_fd_pairs_per_table));
-  }
-  if (options_.detect_patterns) {
-    detectors_.push_back(std::make_unique<PmiDetector>(
-        &model_->pattern_index(), options_.pattern_pmi_threshold));
+  const DetectorRegistry& reg =
+      registry != nullptr ? *registry : DetectorRegistry::Builtin();
+  const DetectorContext context{model_, dictionary_.get(), &options_};
+  for (ErrorClass cls : reg.Classes()) {
+    if (!options_.detects(cls)) continue;
+    detectors_.push_back(reg.Create(cls, context));
   }
 }
 

@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -15,20 +16,37 @@
 
 namespace unidetect {
 
+class DetectorRegistry;
+
+/// \brief Per-class default-enable flags from the built-in registry
+/// (DetectorRegistry::Builtin): the four paper classes on, pattern off.
+/// Defined in detector_registry.cc.
+std::array<bool, kNumErrorClasses> DefaultDetectorEnables();
+
 /// \brief Facade configuration.
 struct UniDetectOptions {
   /// Significance level alpha: findings with LR >= alpha are dropped.
   /// 1.0 keeps every finding with any surprise (useful for Precision@K
   /// sweeps where the consumer truncates the ranked list itself).
   double alpha = 0.05;
-  bool detect_outliers = true;
-  bool detect_spelling = true;
-  bool detect_uniqueness = true;
-  bool detect_fd = true;
-  /// Pattern-incompatibility detection (the Auto-Detect mechanism of
-  /// Section 3.5) over the model's pattern index. Off by default: the
-  /// paper treats it as an orthogonal error class.
-  bool detect_patterns = false;
+  /// Per-class enable flags, indexed by ErrorClass. Seeded from the
+  /// registry defaults rather than a bespoke boolean per class, so a
+  /// newly registered error class gets a flag without touching this
+  /// struct. Pattern detection (the Auto-Detect mechanism of Section
+  /// 3.5) is registered but off by default: the paper treats it as an
+  /// orthogonal error class.
+  std::array<bool, kNumErrorClasses> detect = DefaultDetectorEnables();
+
+  bool detects(ErrorClass cls) const {
+    return detect[static_cast<size_t>(cls)];
+  }
+  void set_detect(ErrorClass cls, bool enabled) {
+    detect[static_cast<size_t>(cls)] = enabled;
+  }
+  /// \brief Turns every class off (callers then re-enable selectively,
+  /// e.g. the eval harness isolating one class per run).
+  void DisableAllClasses() { detect.fill(false); }
+
   /// PMI threshold for pattern findings (more negative = stricter).
   double pattern_pmi_threshold = -2.0;
   /// When true, builds a dictionary from the model's token index and runs
@@ -50,11 +68,17 @@ struct UniDetectOptions {
   std::function<void(size_t done, size_t total)> progress;
 };
 
-/// \brief The unified error detector.
+/// \brief The unified error detector. Construction instantiates the
+/// enabled per-class detectors through a DetectorRegistry; the facade
+/// itself only runs them, filters by alpha, ranks, and (for corpus
+/// scans) applies FDR control.
 class UniDetect {
  public:
-  /// `model` must outlive the UniDetect instance.
-  UniDetect(const Model* model, UniDetectOptions options = {});
+  /// `model` must outlive the UniDetect instance. Detectors for the
+  /// enabled classes come from `registry` (the built-in registry when
+  /// null); `registry` is only consulted during construction.
+  UniDetect(const Model* model, UniDetectOptions options = {},
+            const DetectorRegistry* registry = nullptr);
 
   /// \brief All findings in one table, ranked most-confident first.
   std::vector<Finding> DetectTable(const Table& table) const;

@@ -7,6 +7,8 @@
 
 namespace unidetect {
 
+class DetectorRegistry;
+
 /// \brief Flags duplicate values in columns that the corpus evidence says
 /// are intended to be unique (ID-like subsets: mixed-alphanumeric type,
 /// rare tokens, leftmost position).
@@ -22,5 +24,8 @@ class UniquenessDetector : public Detector {
  private:
   const Model* model_;
 };
+
+/// \brief Registers the uniqueness detector (enabled by default).
+void RegisterUniquenessDetector(DetectorRegistry* registry);
 
 }  // namespace unidetect

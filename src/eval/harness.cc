@@ -74,10 +74,8 @@ PrecisionCurve RunUniDetect(const Experiment& experiment, ErrorClass cls,
                             const std::string& display_name) {
   UniDetectOptions options;
   options.alpha = 1.0;  // keep the full ranked list; Precision@K truncates
-  options.detect_outliers = cls == ErrorClass::kOutlier;
-  options.detect_spelling = cls == ErrorClass::kSpelling;
-  options.detect_uniqueness = cls == ErrorClass::kUniqueness;
-  options.detect_fd = cls == ErrorClass::kFd;
+  options.DisableAllClasses();  // per-class evaluation isolates one class
+  options.set_detect(cls, true);
   options.use_dictionary = use_dictionary;
   UniDetect detector(&experiment.model, options);
   const std::vector<Finding> ranked =

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <sstream>
 
+#include "model_format/model_snapshot.h"
+#include "util/binary_io.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace unidetect {
 
@@ -34,6 +36,12 @@ SurpriseDirection DirectionOf(ErrorClass c) {
 void Model::AddObservation(FeatureKey key, double theta1, double theta2) {
   UNIDETECT_CHECK(!finalized_);
   subsets_[key].Add(theta1, theta2);
+}
+
+void Model::InsertSubset(FeatureKey key, SubsetStats stats) {
+  UNIDETECT_CHECK(!finalized_);
+  const bool inserted = subsets_.emplace(key, std::move(stats)).second;
+  UNIDETECT_CHECK(inserted);
 }
 
 void Model::MergeObservations(const Model& shard) {
@@ -106,7 +114,7 @@ double Model::LikelihoodRatio(ErrorClass cls, FeatureKey key, double theta1,
 
 std::string Model::Serialize() const {
   std::ostringstream os;
-  os << "UniDetectModel v1\n";
+  os << kLegacyModelMagic << '\n';
   os << "options " << (options_.featurize.enabled ? 1 : 0) << ' '
      << static_cast<int>(options_.smoothing) << ' '
      << static_cast<int>(options_.denominator) << ' '
@@ -136,7 +144,7 @@ std::string Model::Serialize() const {
 Result<Model> Model::Deserialize(std::string_view text) {
   std::istringstream is{std::string(text)};
   std::string line;
-  if (!std::getline(is, line) || line != "UniDetectModel v1") {
+  if (!std::getline(is, line) || line != kLegacyModelMagic) {
     return Status::Corruption("Model: bad magic");
   }
 
@@ -225,20 +233,18 @@ Result<Model> Model::Deserialize(std::string_view text) {
 }
 
 Status Model::Save(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::IOError("cannot open " + path + " for writing");
-  const std::string text = Serialize();
-  os.write(text.data(), static_cast<std::streamsize>(text.size()));
-  if (!os) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  return WriteStringToFile(path, EncodeModelSnapshot(*this));
 }
 
 Result<Model> Model::Load(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::IOError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << is.rdbuf();
-  return Deserialize(buffer.str());
+  UNIDETECT_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  if (LooksLikeModelSnapshot(bytes)) return DecodeModelSnapshot(bytes);
+  // Legacy text sniff: the pre-snapshot format opened with its own magic
+  // line and stays readable so existing model files keep working.
+  if (StartsWith(bytes, kLegacyModelMagic)) return Deserialize(bytes);
+  return Status::Corruption("Model: " + path +
+                            " is neither a binary snapshot nor a legacy "
+                            "text model (bad magic)");
 }
 
 }  // namespace unidetect

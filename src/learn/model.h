@@ -7,8 +7,11 @@
 
 #pragma once
 
+#include <algorithm>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "autodetect/pmi_detector.h"
 #include "corpus/token_index.h"
@@ -71,6 +74,10 @@ struct ModelOptions {
 /// \brief Suspicious-tail direction of each error class's metric.
 SurpriseDirection DirectionOf(ErrorClass c);
 
+/// \brief Magic first line of the legacy text model format, used by the
+/// Load-time format sniff.
+inline constexpr std::string_view kLegacyModelMagic = "UniDetectModel v1";
+
 /// \brief Trained Uni-Detect model.
 class Model {
  public:
@@ -90,11 +97,28 @@ class Model {
   /// \brief Adds one training observation (build phase).
   void AddObservation(FeatureKey key, double theta1, double theta2);
 
+  /// \brief Installs a fully-built subset (snapshot decode path; build
+  /// phase only). The key must not already be present.
+  void InsertSubset(FeatureKey key, SubsetStats stats);
+
+  /// \brief Visits every (key, stats) pair in ascending key order — a
+  /// deterministic order independent of hash seed or standard library.
+  template <typename Fn>
+  void ForEachSubsetSorted(Fn&& fn) const {
+    std::vector<FeatureKey> keys;
+    keys.reserve(subsets_.size());
+    for (const auto& [key, stats] : subsets_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end(),
+              [](FeatureKey a, FeatureKey b) { return a.packed < b.packed; });
+    for (FeatureKey key : keys) fn(key, subsets_.at(key));
+  }
+
   /// \brief Merges subsets from a shard-local model (build phase).
   void MergeObservations(const Model& shard);
 
   /// \brief Sorts all subsets; required before queries.
   void Finalize();
+  bool finalized() const { return finalized_; }
 
   /// \brief Smoothed likelihood ratio of Eq. 12 for a candidate with
   /// metrics (theta1, theta2) in the subset selected by `key`.
@@ -115,9 +139,15 @@ class Model {
   /// \brief Observation count for one subset (0 if absent).
   uint64_t SubsetSupport(FeatureKey key) const;
 
-  /// \brief Persistence (single-file text format, versioned).
+  /// \brief Persistence. Save writes the versioned, checksummed binary
+  /// snapshot format (model_format/model_snapshot.h); Load sniffs the
+  /// magic bytes and reads either a binary snapshot or the legacy
+  /// "UniDetectModel v1" text format.
   Status Save(const std::string& path) const;
   static Result<Model> Load(const std::string& path);
+
+  /// \brief Legacy text format, kept readable (and writable, for format
+  /// migration tests and the text-vs-binary load benchmark).
   std::string Serialize() const;
   static Result<Model> Deserialize(std::string_view text);
 

@@ -36,7 +36,27 @@ void SubsetStats::Finalize() {
   }
   pres_ = std::move(pres);
   posts_ = std::move(posts);
+  BuildTree();
+  finalized_ = true;
+}
 
+Result<SubsetStats> SubsetStats::FromSortedArrays(std::vector<float> pres,
+                                                  std::vector<float> posts) {
+  if (pres.size() != posts.size()) {
+    return Status::Corruption("SubsetStats: pre/post array size mismatch");
+  }
+  if (!std::is_sorted(pres.begin(), pres.end())) {
+    return Status::Corruption("SubsetStats: pre values not sorted");
+  }
+  SubsetStats out;
+  out.pres_ = std::move(pres);
+  out.posts_ = std::move(posts);
+  out.BuildTree();
+  out.finalized_ = true;
+  return out;
+}
+
+void SubsetStats::BuildTree() {
   // Build the merge-sort tree bottom-up: level k sorts posts_ within
   // aligned blocks of 2^(k+1), ending with one fully-sorted block.
   tree_.clear();
@@ -58,7 +78,6 @@ void SubsetStats::Finalize() {
       prev = &tree_.back();
     }
   }
-  finalized_ = true;
 }
 
 namespace {

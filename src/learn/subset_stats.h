@@ -68,11 +68,27 @@ class SubsetStats {
   /// \brief Merges another (non-finalized or finalized) stats object.
   void Merge(const SubsetStats& other);
 
+  /// \brief Finalized observation arrays in pre-sorted order; consumed
+  /// by the binary snapshot codec (model_format/model_snapshot.cc).
+  const std::vector<float>& pres() const { return pres_; }
+  const std::vector<float>& posts() const { return posts_; }
+
+  /// \brief Rebuilds a finalized stats object from arrays already in
+  /// pre-sorted order (the binary snapshot payload). Rejects unsorted or
+  /// size-mismatched input as Corruption: re-sorting here could reorder
+  /// posts among tied pres and break the bit-identical
+  /// Save -> Load -> Save guarantee.
+  static Result<SubsetStats> FromSortedArrays(std::vector<float> pres,
+                                              std::vector<float> posts);
+
   /// \brief Text serialization: "n pre1 post1 pre2 post2 ...".
   void SerializeTo(std::string* out) const;
   static Result<SubsetStats> Deserialize(std::string_view text);
 
  private:
+  /// Builds the merge-sort tree over posts_ (pres_ must be sorted).
+  void BuildTree();
+
   /// Counts posts on the given side of `theta` (inclusive) within the
   /// prefix [0, prefix_len) of the pre-sorted observation order.
   uint64_t CountPostsInPrefix(size_t prefix_len, float theta,

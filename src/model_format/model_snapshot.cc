@@ -1,0 +1,303 @@
+#include "model_format/model_snapshot.h"
+
+#include <vector>
+
+#include "util/binary_io.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace unidetect {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 8 + 4 + 4;
+constexpr size_t kTableEntryBytes = 4 + 4 + 8 + 8;
+
+std::string EncodeOptionsPayload(const ModelOptions& options) {
+  std::string out;
+  AppendU8(&out, options.featurize.enabled ? 1 : 0);
+  AppendU32(&out, static_cast<uint32_t>(options.smoothing));
+  AppendU32(&out, static_cast<uint32_t>(options.denominator));
+  AppendU64(&out, options.epsilon.min_rows);
+  AppendF64(&out, options.epsilon.fraction);
+  AppendF64(&out, options.pseudocount);
+  AppendU64(&out, options.min_support);
+  AppendF64(&out, options.point_grid);
+  AppendU64(&out, options.min_column_rows);
+  AppendU64(&out, options.mpd.distance_cap);
+  AppendU64(&out, options.mpd.max_values);
+  return out;
+}
+
+Result<ModelOptions> DecodeOptionsPayload(std::string_view payload) {
+  BinaryReader reader(payload);
+  ModelOptions options;
+  uint8_t featurize = 0;
+  uint32_t smoothing = 0;
+  uint32_t denominator = 0;
+  uint64_t eps_min_rows = 0;
+  uint64_t min_support = 0;
+  uint64_t min_column_rows = 0;
+  uint64_t distance_cap = 0;
+  uint64_t max_values = 0;
+  if (!reader.ReadU8(&featurize) || !reader.ReadU32(&smoothing) ||
+      !reader.ReadU32(&denominator) || !reader.ReadU64(&eps_min_rows) ||
+      !reader.ReadF64(&options.epsilon.fraction) ||
+      !reader.ReadF64(&options.pseudocount) || !reader.ReadU64(&min_support) ||
+      !reader.ReadF64(&options.point_grid) ||
+      !reader.ReadU64(&min_column_rows) || !reader.ReadU64(&distance_cap) ||
+      !reader.ReadU64(&max_values)) {
+    return Status::Corruption("Model snapshot: options section truncated");
+  }
+  if (!reader.empty()) {
+    return Status::Corruption(
+        "Model snapshot: options section has trailing bytes");
+  }
+  if (smoothing > 1 || denominator > 1) {
+    return Status::Corruption(
+        "Model snapshot: options section enum out of range");
+  }
+  options.featurize.enabled = featurize != 0;
+  options.smoothing = static_cast<SmoothingMode>(smoothing);
+  options.denominator = static_cast<DenominatorMode>(denominator);
+  options.epsilon.min_rows = static_cast<size_t>(eps_min_rows);
+  options.min_support = min_support;
+  options.min_column_rows = static_cast<size_t>(min_column_rows);
+  options.mpd.distance_cap = static_cast<size_t>(distance_cap);
+  options.mpd.max_values = static_cast<size_t>(max_values);
+  return options;
+}
+
+std::string EncodeSubsetsPayload(const Model& model) {
+  std::string out;
+  AppendU64(&out, model.num_subsets());
+  model.ForEachSubsetSorted([&](FeatureKey key, const SubsetStats& stats) {
+    AppendU64(&out, key.packed);
+    AppendU64(&out, stats.size());
+    const std::vector<float>& pres = stats.pres();
+    const std::vector<float>& posts = stats.posts();
+    for (size_t i = 0; i < pres.size(); ++i) {
+      AppendF32(&out, pres[i]);
+      AppendF32(&out, posts[i]);
+    }
+  });
+  return out;
+}
+
+Status DecodeSubsetsPayload(std::string_view payload, Model* model) {
+  BinaryReader reader(payload);
+  uint64_t count = 0;
+  if (!reader.ReadU64(&count)) {
+    return Status::Corruption("Model snapshot: subsets section truncated");
+  }
+  uint64_t prev_key = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t key = 0;
+    uint64_t n = 0;
+    if (!reader.ReadU64(&key) || !reader.ReadU64(&n)) {
+      return Status::Corruption("Model snapshot: subsets section truncated");
+    }
+    if (i > 0 && key <= prev_key) {
+      return Status::Corruption(
+          "Model snapshot: subset keys not strictly ascending");
+    }
+    prev_key = key;
+    if (n > reader.remaining() / 8) {
+      return Status::Corruption(
+          "Model snapshot: subset observation list truncated");
+    }
+    std::vector<float> pres;
+    std::vector<float> posts;
+    pres.reserve(static_cast<size_t>(n));
+    posts.reserve(static_cast<size_t>(n));
+    for (uint64_t j = 0; j < n; ++j) {
+      float pre = 0;
+      float post = 0;
+      reader.ReadF32(&pre);  // size checked above; cannot fail
+      reader.ReadF32(&post);
+      pres.push_back(pre);
+      posts.push_back(post);
+    }
+    auto stats = SubsetStats::FromSortedArrays(std::move(pres),
+                                               std::move(posts));
+    if (!stats.ok()) return stats.status();
+    model->InsertSubset(FeatureKey{key}, std::move(stats).ValueOrDie());
+  }
+  if (!reader.empty()) {
+    return Status::Corruption(
+        "Model snapshot: subsets section has trailing bytes");
+  }
+  return Status::OK();
+}
+
+std::string SectionName(uint32_t id) {
+  switch (static_cast<SnapshotSection>(id)) {
+    case SnapshotSection::kOptions:
+      return "options";
+    case SnapshotSection::kSubsets:
+      return "subsets";
+    case SnapshotSection::kTokenIndex:
+      return "token index";
+    case SnapshotSection::kPatternIndex:
+      return "pattern index";
+  }
+  return StrCat("unknown(", id, ")");
+}
+
+}  // namespace
+
+bool LooksLikeModelSnapshot(std::string_view bytes) {
+  return StartsWith(bytes, kSnapshotMagic);
+}
+
+std::string EncodeModelSnapshot(const Model& model) {
+  UNIDETECT_CHECK(model.finalized());
+  struct Section {
+    SnapshotSection id;
+    std::string payload;
+  };
+  std::vector<Section> sections;
+  sections.push_back({SnapshotSection::kOptions,
+                      EncodeOptionsPayload(model.options())});
+  sections.push_back({SnapshotSection::kSubsets, EncodeSubsetsPayload(model)});
+  {
+    std::string payload;
+    model.token_index().AppendBinary(&payload);
+    sections.push_back({SnapshotSection::kTokenIndex, std::move(payload)});
+  }
+  {
+    std::string payload;
+    model.pattern_index().AppendBinary(&payload);
+    sections.push_back({SnapshotSection::kPatternIndex, std::move(payload)});
+  }
+
+  std::string out;
+  out.append(kSnapshotMagic);
+  AppendU32(&out, kSnapshotVersion);
+  AppendU32(&out, static_cast<uint32_t>(sections.size()));
+  uint64_t offset = kHeaderBytes + sections.size() * kTableEntryBytes;
+  for (const Section& section : sections) {
+    AppendU32(&out, static_cast<uint32_t>(section.id));
+    AppendU32(&out, Crc32(section.payload));
+    AppendU64(&out, offset);
+    AppendU64(&out, section.payload.size());
+    offset += section.payload.size();
+  }
+  for (const Section& section : sections) out.append(section.payload);
+  return out;
+}
+
+Result<Model> DecodeModelSnapshot(std::string_view bytes) {
+  BinaryReader reader(bytes);
+  std::string_view magic;
+  if (!reader.ReadBytes(kSnapshotMagic.size(), &magic) ||
+      magic != kSnapshotMagic) {
+    return Status::Corruption("Model snapshot: bad magic");
+  }
+  uint32_t version = 0;
+  uint32_t section_count = 0;
+  if (!reader.ReadU32(&version) || !reader.ReadU32(&section_count)) {
+    return Status::Corruption("Model snapshot: truncated header");
+  }
+  if (version == 0) {
+    return Status::Corruption("Model snapshot: format version 0 is invalid");
+  }
+  if (version > kSnapshotVersion) {
+    return Status::NotImplemented(
+        StrCat("Model snapshot: format version ", version,
+               " is newer than the supported version ", kSnapshotVersion,
+               "; upgrade the reader"));
+  }
+
+  struct Entry {
+    uint32_t id = 0;
+    std::string_view payload;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(section_count);
+  uint32_t prev_id = 0;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    uint32_t id = 0;
+    uint32_t crc = 0;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    if (!reader.ReadU32(&id) || !reader.ReadU32(&crc) ||
+        !reader.ReadU64(&offset) || !reader.ReadU64(&length)) {
+      return Status::Corruption("Model snapshot: truncated section table");
+    }
+    if (id <= prev_id) {
+      return Status::Corruption(
+          "Model snapshot: section ids not strictly ascending");
+    }
+    prev_id = id;
+    if (length == 0) {
+      return Status::Corruption(
+          StrCat("Model snapshot: zero-length ", SectionName(id), " section"));
+    }
+    if (offset > bytes.size() || length > bytes.size() - offset) {
+      return Status::Corruption(
+          StrCat("Model snapshot: ", SectionName(id),
+                 " section extends past end of file (truncated?)"));
+    }
+    const std::string_view payload =
+        bytes.substr(static_cast<size_t>(offset), static_cast<size_t>(length));
+    if (Crc32(payload) != crc) {
+      return Status::Corruption(StrCat("Model snapshot: checksum mismatch in ",
+                                       SectionName(id), " section"));
+    }
+    entries.push_back(Entry{id, payload});
+  }
+
+  auto find_section = [&](SnapshotSection id) -> const Entry* {
+    for (const Entry& entry : entries) {
+      if (entry.id == static_cast<uint32_t>(id)) return &entry;
+    }
+    return nullptr;
+  };
+  for (SnapshotSection required :
+       {SnapshotSection::kOptions, SnapshotSection::kSubsets,
+        SnapshotSection::kTokenIndex, SnapshotSection::kPatternIndex}) {
+    if (find_section(required) == nullptr) {
+      return Status::Corruption(
+          StrCat("Model snapshot: missing ",
+                 SectionName(static_cast<uint32_t>(required)), " section"));
+    }
+  }
+  // Unknown section ids are skipped: additive sections are readable by
+  // older readers; incompatible layout changes bump kSnapshotVersion.
+
+  auto options = DecodeOptionsPayload(find_section(SnapshotSection::kOptions)
+                                          ->payload);
+  if (!options.ok()) return options.status();
+  Model model(std::move(options).ValueOrDie());
+
+  UNIDETECT_RETURN_NOT_OK(DecodeSubsetsPayload(
+      find_section(SnapshotSection::kSubsets)->payload, &model));
+
+  {
+    BinaryReader section(find_section(SnapshotSection::kTokenIndex)->payload);
+    auto index = TokenIndex::FromBinary(&section);
+    if (!index.ok()) return index.status();
+    if (!section.empty()) {
+      return Status::Corruption(
+          "Model snapshot: token index section has trailing bytes");
+    }
+    *model.mutable_token_index() = std::move(index).ValueOrDie();
+  }
+  {
+    BinaryReader section(
+        find_section(SnapshotSection::kPatternIndex)->payload);
+    auto index = PatternIndex::FromBinary(&section);
+    if (!index.ok()) return index.status();
+    if (!section.empty()) {
+      return Status::Corruption(
+          "Model snapshot: pattern index section has trailing bytes");
+    }
+    *model.mutable_pattern_index() = std::move(index).ValueOrDie();
+  }
+
+  model.Finalize();
+  return model;
+}
+
+}  // namespace unidetect

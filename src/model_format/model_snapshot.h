@@ -1,0 +1,62 @@
+// The versioned binary model snapshot — the materialized artifact of the
+// offline component (Section 2.2.3: learning crunches T once; online
+// detection is a metric computation plus a lookup into this file).
+//
+// Wire layout (all integers little-endian, fixed width; DESIGN.md §10):
+//
+//   header          magic[8] = "UDSNAP\r\n"   (the \r\n catches text-mode
+//                   u32 format_version         line-ending mangling, like
+//                   u32 section_count          PNG's signature does)
+//   section table   section_count entries of
+//                   { u32 id, u32 crc32, u64 offset, u64 length }
+//                   in strictly ascending id order
+//   payloads        section bytes at the recorded offsets
+//
+// Each section's CRC-32 covers its payload bytes, so truncation and
+// bit-level corruption are detected before any payload is decoded.
+// Encoding is fully deterministic (sorted subsets, tokens, patterns):
+// Save -> Load -> Save produces identical bytes.
+//
+// Compatibility policy: readers reject snapshots whose format_version is
+// newer than kSnapshotVersion (the layout may have changed incompatibly)
+// and skip unknown section ids within a known version (additive
+// sections do not require a version bump). The legacy text model format
+// remains readable through Model::Load's magic sniff.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "learn/model.h"
+#include "util/result.h"
+
+namespace unidetect {
+
+inline constexpr std::string_view kSnapshotMagic{"UDSNAP\r\n", 8};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// \brief Section identifiers. Values are part of the wire format.
+enum class SnapshotSection : uint32_t {
+  kOptions = 1,       ///< ModelOptions, fixed-width fields
+  kSubsets = 2,       ///< per-FeatureKey (theta1, theta2) observations
+  kTokenIndex = 3,    ///< token prevalence index
+  kPatternIndex = 4,  ///< pattern co-occurrence index
+};
+
+/// \brief True when `bytes` starts with the snapshot magic (the cheap
+/// sniff Model::Load uses to pick binary vs legacy text decoding).
+bool LooksLikeModelSnapshot(std::string_view bytes);
+
+/// \brief Encodes a finalized model as one snapshot blob.
+std::string EncodeModelSnapshot(const Model& model);
+
+/// \brief Decodes a snapshot blob into a finalized, query-ready model.
+///
+/// Never returns a partial model: corrupt, truncated, or checksum-failed
+/// input yields Status::Corruption; input written by a newer format
+/// version yields Status::NotImplemented.
+Result<Model> DecodeModelSnapshot(std::string_view bytes);
+
+}  // namespace unidetect

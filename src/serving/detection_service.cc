@@ -1,0 +1,160 @@
+#include "serving/detection_service.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace unidetect {
+
+namespace {
+// Strips the corpus-progress observer: it is a serving-default knob that
+// makes no sense per request (and would let one request's callback run
+// on another snapshot's worker threads).
+UniDetectOptions SanitizeOverride(const UniDetectOptions& options) {
+  UniDetectOptions sanitized = options;
+  sanitized.progress = nullptr;
+  return sanitized;
+}
+}  // namespace
+
+DetectionService::DetectionService(std::shared_ptr<const Model> model,
+                                   UniDetectOptions options)
+    : options_(std::move(options)) {
+  MutexLock lock(&mu_);
+  engine_ = std::make_shared<const Engine>(std::move(model), options_,
+                                           /*generation_in=*/1);
+}
+
+Result<std::unique_ptr<DetectionService>> DetectionService::Create(
+    const std::string& model_path, UniDetectOptions options) {
+  UNIDETECT_ASSIGN_OR_RETURN(Model model, Model::Load(model_path));
+  return std::make_unique<DetectionService>(
+      std::make_shared<const Model>(std::move(model)), std::move(options));
+}
+
+Status DetectionService::Reload(const std::string& path) {
+  // Load and engine construction happen with no lock held: the current
+  // snapshot keeps serving while the replacement is prepared, and a
+  // failed load never disturbs it.
+  Result<Model> loaded = Model::Load(path);
+  if (!loaded.ok()) {
+    MutexLock lock(&stats_mu_);
+    ++failed_reloads_;
+    return loaded.status();
+  }
+  auto model =
+      std::make_shared<const Model>(std::move(loaded).ValueOrDie());
+  std::shared_ptr<const Engine> replacement;
+  {
+    MutexLock lock(&mu_);
+    replacement = std::make_shared<const Engine>(
+        std::move(model), options_, engine_->generation + 1);
+    // The old engine is released here; it stays alive until the last
+    // in-flight batch that pinned it drops its reference.
+    engine_ = replacement;
+  }
+  MutexLock lock(&stats_mu_);
+  ++reloads_;
+  return Status::OK();
+}
+
+std::shared_ptr<const DetectionService::Engine> DetectionService::Snapshot()
+    const {
+  MutexLock lock(&mu_);
+  return engine_;
+}
+
+DetectionService::BatchResult DetectionService::DetectBatch(
+    std::span<const Table> tables, const UniDetectOptions* override_options,
+    size_t num_threads) const {
+  const auto start = std::chrono::steady_clock::now();
+  const std::shared_ptr<const Engine> engine = Snapshot();
+
+  // A request with overrides gets its own one-shot facade against the
+  // pinned snapshot; the shared engine stays untouched.
+  std::optional<UniDetect> scoped;
+  const UniDetect* detector = &engine->detector;
+  if (override_options != nullptr) {
+    scoped.emplace(engine->model.get(), SanitizeOverride(*override_options));
+    detector = &*scoped;
+  }
+
+  BatchResult result;
+  result.generation = engine->generation;
+  result.per_table.resize(tables.size());
+  if (num_threads == 1 || tables.size() <= 1) {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      result.per_table[i] = detector->DetectTable(tables[i]);
+    }
+  } else {
+    // Same sharding discipline as UniDetect::DetectCorpus: per-table
+    // output slots keep the response independent of the thread count.
+    ThreadPool pool(num_threads);
+    ParallelFor(pool, tables.size(),
+                [&](size_t, size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) {
+                    result.per_table[i] = detector->DetectTable(tables[i]);
+                  }
+                });
+  }
+
+  uint64_t found = 0;
+  for (const auto& per_table : result.per_table) found += per_table.size();
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  const size_t bucket =
+      std::min<size_t>(std::bit_width(static_cast<uint64_t>(
+                           micros < 0 ? 0 : micros)),
+                       kLatencyBuckets - 1);
+  {
+    MutexLock lock(&stats_mu_);
+    ++requests_;
+    tables_ += tables.size();
+    findings_ += found;
+    ++latency_buckets_[bucket];
+  }
+  return result;
+}
+
+uint64_t DetectionService::generation() const {
+  return Snapshot()->generation;
+}
+
+ServiceStats DetectionService::Stats() const {
+  ServiceStats stats;
+  stats.generation = generation();
+  std::array<uint64_t, kLatencyBuckets> buckets;
+  {
+    MutexLock lock(&stats_mu_);
+    stats.requests = requests_;
+    stats.tables = tables_;
+    stats.findings = findings_;
+    stats.reloads = reloads_;
+    stats.failed_reloads = failed_reloads_;
+    buckets = latency_buckets_;
+  }
+  if (stats.requests > 0) {
+    auto percentile = [&](double q) {
+      const uint64_t rank = static_cast<uint64_t>(
+          q * static_cast<double>(stats.requests - 1)) + 1;
+      uint64_t seen = 0;
+      for (size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= rank) {
+          return static_cast<double>(uint64_t{1} << i);
+        }
+      }
+      return static_cast<double>(uint64_t{1} << (kLatencyBuckets - 1));
+    };
+    stats.latency_p50_us = percentile(0.50);
+    stats.latency_p99_us = percentile(0.99);
+  }
+  return stats;
+}
+
+}  // namespace unidetect

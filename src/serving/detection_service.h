@@ -1,0 +1,135 @@
+// DetectionService: the serving tier over the UniDetect engine.
+//
+// The service owns the model behind an immutable snapshot
+// (std::shared_ptr<const Engine>): every request pins the snapshot it
+// started with, Reload() builds a replacement off to the side and swaps
+// the pointer on success, and the old model drains naturally when the
+// last in-flight batch releases its reference. No request ever observes
+// a half-swapped model, and a failed reload leaves the service exactly
+// as it was.
+//
+// Detection results are deterministic: batches produce identical
+// findings at any thread count (same per-table-slot discipline as
+// UniDetect::DetectCorpus) and carry no wall-clock values. Latency is
+// observed only in ServiceStats, as a fixed power-of-two-microsecond
+// histogram from which p50/p99 upper bounds are derived.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "detect/finding.h"
+#include "detect/unidetect.h"
+#include "learn/model.h"
+#include "table/table.h"
+#include "util/mutex.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace unidetect {
+
+/// \brief A point-in-time copy of the service counters.
+struct ServiceStats {
+  uint64_t requests = 0;        ///< DetectBatch calls served.
+  uint64_t tables = 0;          ///< Tables scanned across all batches.
+  uint64_t findings = 0;        ///< Findings returned across all batches.
+  uint64_t reloads = 0;         ///< Successful model swaps.
+  uint64_t failed_reloads = 0;  ///< Reload attempts that changed nothing.
+  uint64_t generation = 0;      ///< Generation of the currently served model.
+  /// Per-request latency percentile upper bounds, in microseconds, read
+  /// off the power-of-two histogram (0 when no requests yet). Upper
+  /// bounds, not interpolations: p50 = 256 means half the requests took
+  /// under 256us.
+  double latency_p50_us = 0.0;
+  double latency_p99_us = 0.0;
+};
+
+/// \brief Serves detection requests over a hot-swappable model.
+class DetectionService {
+ public:
+  /// \brief One DetectBatch response: findings per input table (same
+  /// order and cardinality as the request), each ranked most-confident
+  /// first, plus the generation of the model snapshot that served it.
+  struct BatchResult {
+    std::vector<std::vector<Finding>> per_table;
+    uint64_t generation = 0;
+  };
+
+  /// Takes shared ownership of `model` (generation 1). `options` are the
+  /// serving defaults applied to every request without an override.
+  explicit DetectionService(std::shared_ptr<const Model> model,
+                            UniDetectOptions options = {});
+
+  /// \brief Builds a service from a model file (binary snapshot or
+  /// legacy text, sniffed by Model::Load).
+  static Result<std::unique_ptr<DetectionService>> Create(
+      const std::string& model_path, UniDetectOptions options = {});
+
+  DetectionService(const DetectionService&) = delete;
+  DetectionService& operator=(const DetectionService&) = delete;
+
+  /// \brief Atomically replaces the served model with one loaded from
+  /// `path`. The load runs outside the swap lock — the current model
+  /// keeps serving throughout — and the swap happens only on success;
+  /// on failure the service is untouched and the error is returned.
+  /// In-flight batches finish on the snapshot they started with.
+  Status Reload(const std::string& path);
+
+  /// \brief Scans `tables` and returns per-table ranked findings.
+  /// `num_threads` 0 means hardware concurrency; the response is
+  /// byte-identical at any thread count. `override_options`, when
+  /// non-null, replaces the serving defaults for this request only
+  /// (per-request progress callbacks are ignored).
+  BatchResult DetectBatch(
+      std::span<const Table> tables,
+      const UniDetectOptions* override_options = nullptr,
+      size_t num_threads = 1) const EXCLUDES(mu_, stats_mu_);
+
+  /// \brief Generation of the model currently serving (starts at 1,
+  /// +1 per successful Reload).
+  uint64_t generation() const EXCLUDES(mu_);
+
+  ServiceStats Stats() const EXCLUDES(mu_, stats_mu_);
+
+  /// Number of power-of-two latency buckets; bucket i counts requests
+  /// with latency in [2^(i-1), 2^i) microseconds (bucket 0: < 1us).
+  static constexpr size_t kLatencyBuckets = 40;
+
+ private:
+  // An immutable (model, engine) pair; requests pin one via shared_ptr.
+  struct Engine {
+    Engine(std::shared_ptr<const Model> model_in,
+           const UniDetectOptions& options, uint64_t generation_in)
+        : model(std::move(model_in)),
+          detector(model.get(), options),
+          generation(generation_in) {}
+
+    std::shared_ptr<const Model> model;
+    UniDetect detector;
+    uint64_t generation;
+  };
+
+  std::shared_ptr<const Engine> Snapshot() const EXCLUDES(mu_);
+
+  const UniDetectOptions options_;  // serving defaults; immutable
+
+  mutable Mutex mu_;
+  std::shared_ptr<const Engine> engine_ GUARDED_BY(mu_);
+
+  mutable Mutex stats_mu_;
+  mutable uint64_t requests_ GUARDED_BY(stats_mu_) = 0;
+  mutable uint64_t tables_ GUARDED_BY(stats_mu_) = 0;
+  mutable uint64_t findings_ GUARDED_BY(stats_mu_) = 0;
+  mutable uint64_t reloads_ GUARDED_BY(stats_mu_) = 0;
+  mutable uint64_t failed_reloads_ GUARDED_BY(stats_mu_) = 0;
+  mutable std::array<uint64_t, kLatencyBuckets> latency_buckets_
+      GUARDED_BY(stats_mu_) = {};
+};
+
+}  // namespace unidetect

@@ -1,0 +1,116 @@
+#include "util/binary_io.h"
+
+#include <array>
+#include <fstream>
+
+namespace unidetect {
+
+namespace {
+template <typename T>
+void AppendLittleEndian(std::string* out, T v) {
+  char bytes[sizeof(T)];
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out->append(bytes, sizeof(T));
+}
+
+template <typename T>
+bool ReadLittleEndian(std::string_view data, size_t* pos, T* out) {
+  if (data.size() - *pos < sizeof(T)) return false;
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<unsigned char>(data[*pos + i]))
+         << (8 * i);
+  }
+  *pos += sizeof(T);
+  *out = v;
+  return true;
+}
+}  // namespace
+
+void AppendU8(std::string* out, uint8_t v) { AppendLittleEndian(out, v); }
+void AppendU16(std::string* out, uint16_t v) { AppendLittleEndian(out, v); }
+void AppendU32(std::string* out, uint32_t v) { AppendLittleEndian(out, v); }
+void AppendU64(std::string* out, uint64_t v) { AppendLittleEndian(out, v); }
+
+void AppendLengthPrefixed(std::string* out, std::string_view bytes) {
+  AppendU32(out, static_cast<uint32_t>(bytes.size()));
+  out->append(bytes);
+}
+
+bool BinaryReader::ReadU8(uint8_t* out) {
+  return ReadLittleEndian(data_, &pos_, out);
+}
+bool BinaryReader::ReadU16(uint16_t* out) {
+  return ReadLittleEndian(data_, &pos_, out);
+}
+bool BinaryReader::ReadU32(uint32_t* out) {
+  return ReadLittleEndian(data_, &pos_, out);
+}
+bool BinaryReader::ReadU64(uint64_t* out) {
+  return ReadLittleEndian(data_, &pos_, out);
+}
+
+bool BinaryReader::ReadBytes(size_t n, std::string_view* out) {
+  if (remaining() < n) return false;
+  *out = data_.substr(pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool BinaryReader::ReadLengthPrefixed(std::string_view* out) {
+  uint32_t n = 0;
+  if (!ReadU32(&n)) return false;
+  if (remaining() < n) return false;
+  return ReadBytes(n, out);
+}
+
+namespace {
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : bytes) {
+    crc = kCrc32Table[(crc ^ static_cast<unsigned char>(ch)) & 0xff] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IOError("cannot determine size of " + path);
+  in.seekg(0, std::ios::beg);
+  std::string out(static_cast<size_t>(size), '\0');
+  in.read(out.data(), size);
+  if (in.gcount() != size) {
+    return Status::IOError("short read from " + path);
+  }
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace unidetect

@@ -1,8 +1,8 @@
 #include "util/csv.h"
 
 #include <fstream>
-#include <sstream>
 
+#include "util/binary_io.h"
 #include "util/string_util.h"
 
 namespace unidetect {
@@ -74,11 +74,10 @@ Result<CsvData> ParseCsv(std::string_view text, const CsvOptions& options) {
 
 Result<CsvData> ReadCsvFile(const std::string& path,
                             const CsvOptions& options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseCsv(buffer.str(), options);
+  // Single size-probed read; the old `ostringstream << rdbuf()` slurp
+  // copied every byte twice through the stream buffer.
+  UNIDETECT_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  return ParseCsv(text, options);
 }
 
 namespace {

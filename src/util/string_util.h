@@ -82,6 +82,7 @@ inline void AppendPiece(std::string* out, unsigned long v) {
 /// \brief Appends every piece to *out without intermediate allocations.
 template <typename... Pieces>
 void StrAppend(std::string* out, const Pieces&... pieces) {
+  (void)out;  // an empty pack expands to nothing
   (strcat_internal::AppendPiece(out, pieces), ...);
 }
 

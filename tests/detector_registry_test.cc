@@ -1,0 +1,73 @@
+#include "detect/detector_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/outlier_detector.h"
+#include "detect/unidetect.h"
+
+namespace unidetect {
+namespace {
+
+TEST(DetectorRegistryTest, BuiltinCoversEveryClass) {
+  const DetectorRegistry& registry = DetectorRegistry::Builtin();
+  const std::vector<ErrorClass> classes = registry.Classes();
+  ASSERT_EQ(classes.size(), static_cast<size_t>(kNumErrorClasses));
+  for (size_t i = 0; i < classes.size(); ++i) {
+    EXPECT_EQ(classes[i], static_cast<ErrorClass>(i));  // ascending order
+    EXPECT_TRUE(registry.Has(classes[i]));
+  }
+}
+
+TEST(DetectorRegistryTest, DefaultsMatchThePaper) {
+  const auto enables = DefaultDetectorEnables();
+  EXPECT_TRUE(enables[static_cast<size_t>(ErrorClass::kOutlier)]);
+  EXPECT_TRUE(enables[static_cast<size_t>(ErrorClass::kSpelling)]);
+  EXPECT_TRUE(enables[static_cast<size_t>(ErrorClass::kUniqueness)]);
+  EXPECT_TRUE(enables[static_cast<size_t>(ErrorClass::kFd)]);
+  EXPECT_FALSE(enables[static_cast<size_t>(ErrorClass::kPattern)]);
+}
+
+TEST(DetectorRegistryTest, DuplicateRegistrationIsAlreadyExists) {
+  DetectorRegistry registry;
+  auto factory = [](const DetectorContext&) -> std::unique_ptr<Detector> {
+    return nullptr;
+  };
+  ASSERT_TRUE(registry.Register(ErrorClass::kOutlier, true, factory).ok());
+  const Status again = registry.Register(ErrorClass::kOutlier, true, factory);
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.IsAlreadyExists());
+}
+
+TEST(DetectorRegistryTest, CreateProducesTheRegisteredClass) {
+  const DetectorRegistry& registry = DetectorRegistry::Builtin();
+  Model model;
+  model.Finalize();
+  UniDetectOptions options;
+  const DetectorContext context{&model, nullptr, &options};
+  for (ErrorClass cls : registry.Classes()) {
+    const auto detector = registry.Create(cls, context);
+    ASSERT_NE(detector, nullptr);
+    EXPECT_EQ(detector->error_class(), cls);
+  }
+  EXPECT_EQ(DetectorRegistry().Create(ErrorClass::kOutlier, context), nullptr);
+}
+
+TEST(DetectorRegistryTest, CustomRegistryRestrictsTheFacade) {
+  // A facade built over a partial registry runs only what it offers,
+  // whatever the options say.
+  DetectorRegistry registry;
+  RegisterOutlierDetector(&registry);
+  Model model;
+  model.Finalize();
+  UniDetectOptions options;
+  options.alpha = 1.0;
+  const UniDetect detector(&model, options, &registry);
+  // No crash, and nothing but outlier findings can ever be produced;
+  // with an empty model there are simply none.
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn(Column("c", {"1", "2", "900"})).ok());
+  EXPECT_TRUE(detector.DetectTable(table).empty());
+}
+
+}  // namespace
+}  // namespace unidetect

@@ -215,9 +215,9 @@ TEST(UniDetectFacadeTest, AlphaFilters) {
 TEST(UniDetectFacadeTest, ClassTogglesRespected) {
   UniDetectOptions options;
   options.alpha = 1.0;
-  options.detect_outliers = false;
-  options.detect_fd = false;
-  options.detect_uniqueness = false;
+  options.set_detect(ErrorClass::kOutlier, false);
+  options.set_detect(ErrorClass::kFd, false);
+  options.set_detect(ErrorClass::kUniqueness, false);
   UniDetect detector(&SharedModel(), options);
   for (const auto& finding : detector.DetectTable(PartsTable())) {
     EXPECT_EQ(finding.error_class, ErrorClass::kSpelling);

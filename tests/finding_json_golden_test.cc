@@ -1,0 +1,81 @@
+// Pins the Finding JSON wire format byte for byte against
+// tests/golden/findings.json. The key order documented in
+// finding_json.h is a contract with downstream consumers; a diff here
+// means that contract changed and the golden file (and every consumer)
+// must be updated deliberately.
+
+#include "detect/finding_json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/binary_io.h"
+
+namespace unidetect {
+namespace {
+
+std::vector<Finding> GoldenFindings() {
+  std::vector<Finding> findings;
+  {
+    Finding f;
+    f.error_class = ErrorClass::kOutlier;
+    f.table_index = 3;
+    f.table_name = "sales \"2024\"";
+    f.column = 1;
+    f.rows = {7};
+    f.value = "8.716";
+    f.score = 0.0003;
+    f.explanation = "max-MAD 8.1 -> 3.5, LR=0.0003";
+    findings.push_back(f);
+  }
+  {
+    Finding f;
+    f.error_class = ErrorClass::kFd;
+    f.table_index = 0;
+    f.table_name = "cities";
+    f.column = 2;
+    f.column2 = 4;
+    f.rows = {5, 9};
+    f.value = "Portland";
+    f.score = 0.0125;
+    f.explanation = "FD city -> state broken";
+    findings.push_back(f);
+  }
+  {
+    Finding f;
+    f.error_class = ErrorClass::kSpelling;
+    f.table_index = 12;
+    f.table_name = "roster";
+    f.column = 0;
+    f.rows = {2, 11};
+    f.value = "Doeling";
+    f.score = 0.00041;
+    f.explanation = "closest pair \"Doeling\"/\"Dowling\"";
+    findings.push_back(f);
+  }
+  {
+    // Default-constructed edge case: empty rows, empty strings, LR 1.
+    Finding f;
+    f.error_class = ErrorClass::kUniqueness;
+    f.table_index = 12;
+    f.table_name = "roster";
+    findings.push_back(f);
+  }
+  return findings;
+}
+
+TEST(FindingJsonGoldenTest, MatchesGoldenFile) {
+  auto golden =
+      ReadFileToString(std::string(UNIDETECT_GOLDEN_DIR) + "/findings.json");
+  ASSERT_TRUE(golden.ok()) << golden.status();
+  std::string expected = std::move(golden).ValueOrDie();
+  // Tolerate a trailing newline in the checked-in file; nothing else.
+  while (!expected.empty() && expected.back() == '\n') expected.pop_back();
+
+  EXPECT_EQ(FindingsToJson(GoldenFindings()), expected);
+}
+
+}  // namespace
+}  // namespace unidetect

@@ -55,7 +55,9 @@ TEST(GenerateTableTest, EveryArchetypeProducesConsistentMetadata) {
                   t.table.num_columns());
       }
       // Synthesizable implies an FD partner to synthesize from.
-      if (meta.synthesizable) EXPECT_GE(meta.fd_partner, 0);
+      if (meta.synthesizable) {
+        EXPECT_GE(meta.fd_partner, 0);
+      }
     }
   }
 }

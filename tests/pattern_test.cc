@@ -145,9 +145,8 @@ TEST(PatternEndToEndTest, TrainedModelFindsInjectedFormatErrors) {
 
   UniDetectOptions options;
   options.alpha = 1.0;
-  options.detect_outliers = options.detect_spelling = false;
-  options.detect_uniqueness = options.detect_fd = false;
-  options.detect_patterns = true;
+  options.DisableAllClasses();
+  options.set_detect(ErrorClass::kPattern, true);
   UniDetect detector(&model, options);
   const std::vector<Finding> findings = detector.DetectCorpus(test.corpus);
   ASSERT_GE(findings.size(), 5u);

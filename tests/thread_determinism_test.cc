@@ -23,7 +23,7 @@ TEST(ThreadDeterminismTest, OneVsFourThreadsByteIdentical) {
       trainer.Train(GenerateCorpus(WebCorpusSpec(400, 91)).corpus);
   UniDetectOptions options;
   options.alpha = 1.0;
-  options.detect_patterns = true;
+  options.set_detect(ErrorClass::kPattern, true);
   UniDetect detector(&model, options);
   const AnnotatedCorpus test = GenerateCorpus(WebCorpusSpec(120, 92));
 
