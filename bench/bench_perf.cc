@@ -5,9 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <memory>
 #include <string>
 
+#include "corpus/corpus_io.h"
 #include "corpus/data_pools.h"
 #include "corpus/generator.h"
 #include "detect/unidetect.h"
@@ -16,6 +18,7 @@
 #include "learn/trainer.h"
 #include "metrics/edit_distance.h"
 #include "metrics/metric_functions.h"
+#include "offline/offline_build.h"
 #include "serving/detection_service.h"
 #include "util/binary_io.h"
 #include "util/logging.h"
@@ -278,6 +281,67 @@ void BM_DetectBatch(benchmark::State& state) {
                           static_cast<int64_t>(batch->tables.size()));
 }
 BENCHMARK(BM_DetectBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Offline build pipeline (DESIGN.md section 11): end-to-end sharded
+// build at 1/2/4/8 shards (worker count matches shard count, so the
+// argument sweep measures scaling), plus the cost of the final
+// merge-all-partials fold on its own.
+const std::string& OfflineBenchCorpusDir() {
+  static const std::string* const dir = [] {
+    auto* d = new std::string(std::filesystem::temp_directory_path().string() +
+                              "/unidetect_bench_offline_corpus");
+    std::filesystem::remove_all(*d);
+    const Corpus corpus = GenerateCorpus(WebCorpusSpec(128, 41)).corpus;
+    UNIDETECT_CHECK(SaveCorpusToDirectory(corpus, *d).ok());
+    return d;
+  }();
+  return *dir;
+}
+
+void BM_OfflineBuild(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const std::string build_dir =
+      std::filesystem::temp_directory_path().string() +
+      "/unidetect_bench_offline_build";
+  OfflineBuildOptions options;
+  options.num_threads = shards;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(build_dir);
+    UNIDETECT_CHECK(PlanOfflineBuild({OfflineBenchCorpusDir()},
+                                     TrainerOptions{}, shards, build_dir)
+                        .ok());
+    state.ResumeTiming();
+    auto report = RunOfflineBuild(build_dir, options);
+    UNIDETECT_CHECK(report.ok() && report->completed);
+  }
+}
+BENCHMARK(BM_OfflineBuild)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OfflineMerge(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const std::string build_dir =
+      std::filesystem::temp_directory_path().string() +
+      "/unidetect_bench_offline_merge_" + std::to_string(shards);
+  std::filesystem::remove_all(build_dir);
+  UNIDETECT_CHECK(PlanOfflineBuild({OfflineBenchCorpusDir()}, TrainerOptions{},
+                                   shards, build_dir)
+                      .ok());
+  OfflineBuildOptions options;
+  options.num_threads = 4;
+  UNIDETECT_CHECK(RunOfflineBuild(build_dir, options).ok());
+  for (auto _ : state) {
+    auto merged = MergeOfflineBuild(build_dir);
+    UNIDETECT_CHECK(merged.ok());
+    benchmark::DoNotOptimize(merged->num_subsets());
+  }
+}
+BENCHMARK(BM_OfflineMerge)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace unidetect

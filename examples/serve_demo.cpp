@@ -1,19 +1,24 @@
 // serve_demo: the serving tier end to end — load a model snapshot into a
 // DetectionService, answer batched detection requests, hot-swap the
-// model with Reload() while requests keep flowing, and print the service
-// counters. Without a model path it trains a small model first (and
-// saves it as a binary snapshot) so the demo is self-contained.
+// model with Reload() while requests keep flowing, rebuild the model
+// through the sharded offline pipeline (plan -> build -> merge) and
+// hot-swap the merged snapshot in, and print the service counters.
+// Without a model path it trains a small model first (and saves it as a
+// binary snapshot) so the demo is self-contained.
 //
 //   $ ./build/examples/serve_demo [model_path] [num_request_tables]
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "corpus/corpus_io.h"
 #include "corpus/generator.h"
 #include "eval/injection.h"
 #include "learn/trainer.h"
+#include "offline/offline_build.h"
 #include "serving/detection_service.h"
 #include "util/logging.h"
 
@@ -81,6 +86,37 @@ int main(int argc, char** argv) {
   }
   std::printf("Reloaded -> generation %llu\n",
               static_cast<unsigned long long>((*service)->generation()));
+
+  // Production retrain path: the sharded offline pipeline (DESIGN.md
+  // section 11) crunches a corpus directory into per-shard partials,
+  // merges them into a snapshot, and the service hot-swaps it in. In
+  // deployment plan/build/merge run out-of-process (tools/offline_build
+  // plan|build|merge); the service only ever sees the merged file.
+  const std::string corpus_dir = path + ".corpus";
+  const std::string build_dir = path + ".offline";
+  std::filesystem::remove_all(corpus_dir);
+  std::filesystem::remove_all(build_dir);
+  Status offline = SaveCorpusToDirectory(
+      GenerateCorpus(WebCorpusSpec(200, 19)).corpus, corpus_dir);
+  if (offline.ok()) {
+    offline = PlanOfflineBuild({corpus_dir}, TrainerOptions{},
+                               /*num_shards=*/4, build_dir);
+  }
+  if (offline.ok()) {
+    OfflineBuildOptions build_options;
+    build_options.num_threads = 4;
+    offline = RunOfflineBuild(build_dir, build_options).status();
+  }
+  if (offline.ok()) offline = MergeOfflineBuildToFile(build_dir, path);
+  if (offline.ok()) offline = (*service)->Reload(path);
+  if (!offline.ok()) {
+    std::fprintf(stderr, "offline rebuild: %s\n",
+                 offline.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "Offline rebuild (4 shards) merged and reloaded -> generation %llu\n",
+      static_cast<unsigned long long>((*service)->generation()));
 
   const ServiceStats stats = (*service)->Stats();
   std::printf("Stats: %llu requests, %llu tables, %llu findings, "

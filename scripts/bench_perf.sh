@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Runs the hot-path microbenchmarks and records the numbers that back the
-# performance claims in BENCH_PR3.json at the repo root: the PR 1 pairs
+# performance claims in BENCH_PR4.json at the repo root: the PR 1 pairs
 # (single-pass MPD closest pair vs the three-scan reference,
-# merge-sort-tree LR counting vs the linear scan) plus the PR 3 pairs
+# merge-sort-tree LR counting vs the linear scan), the PR 3 pairs
 # (binary snapshot vs legacy text cold model load, DetectBatch
-# throughput at 1 vs 4 threads). Each optimized path and its baseline
-# live in the same binary, so one run captures both sides.
+# throughput at 1 vs 4 threads), and the PR 4 offline pipeline sweep
+# (BM_OfflineBuild at 1/2/4/8 shards, BM_OfflineMerge fold cost). Each
+# optimized path and its baseline live in the same binary, so one run
+# captures both sides.
 #
 # Usage: scripts/bench_perf.sh [extra benchmark args...]
 set -euo pipefail
@@ -16,15 +18,16 @@ if [[ ! -x build/bench/bench_perf ]]; then
   cmake --build build -j --target bench_perf
 fi
 
-# The perf-labelled ctest slice guards the numbers below: benchmarks are
-# only meaningful if the optimized paths agree with the references.
-ctest --test-dir build -L perf --output-on-failure
+# The perf- and offline-labelled ctest slices guard the numbers below:
+# benchmarks are only meaningful if the optimized paths agree with the
+# references and the sharded build is bit-identical to single-shot.
+ctest --test-dir build -L 'perf|offline' --output-on-failure
 
 build/bench/bench_perf \
-  --benchmark_filter='BM_(MpdProfile|MpdProfileReference|LrQuery|LrQueryLinear|BoundedEditDistance|EditDistance|LikelihoodRatioLookup|ModelLoadBinary|ModelLoadText|DetectBatch)' \
+  --benchmark_filter='BM_(MpdProfile|MpdProfileReference|LrQuery|LrQueryLinear|BoundedEditDistance|EditDistance|LikelihoodRatioLookup|ModelLoadBinary|ModelLoadText|DetectBatch|OfflineBuild|OfflineMerge)' \
   --benchmark_format=json \
-  --benchmark_out=BENCH_PR3.json \
+  --benchmark_out=BENCH_PR4.json \
   --benchmark_out_format=json \
   "$@"
 
-echo "Wrote $(pwd)/BENCH_PR3.json"
+echo "Wrote $(pwd)/BENCH_PR4.json"

@@ -2,7 +2,8 @@
 # Full local verification — the same preset matrix CI runs
 # (.github/workflows/ci.yml):
 #
-#   release     optimized build + full test suite
+#   release     optimized build + full test suite (the offline-labelled
+#               sharded-build pipeline slice runs first as a fast gate)
 #   asan-ubsan  address+UB sanitizer build + full test suite
 #   tsan        ThreadSanitizer build + the multithreaded
 #               DetectCorpus / ThreadPool / parallel-load tests and the
@@ -23,6 +24,9 @@ run_preset() {
 }
 
 run_preset release
+# Fast fail on the offline pipeline slice (sharded-vs-single-shot
+# equivalence, crash-resume) before the full suite.
+ctest --preset offline
 ctest --preset release
 
 run_preset asan-ubsan

@@ -63,8 +63,7 @@ Status SaveCorpusToDirectory(const Corpus& corpus, const std::string& dir) {
   return Status::OK();
 }
 
-Result<Corpus> LoadCorpusFromDirectory(const std::string& dir,
-                                       size_t num_threads) {
+Result<std::vector<std::string>> ListCsvFiles(const std::string& dir) {
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) {
     return Status::NotFound(dir + " is not a directory");
@@ -79,19 +78,26 @@ Result<Corpus> LoadCorpusFromDirectory(const std::string& dir,
     return Status::IOError("cannot list " + dir + ": " + ec.message());
   }
   std::sort(paths.begin(), paths.end());
+  return paths;
+}
 
-  auto parse_one = [](const std::string& path) -> Result<Table> {
-    auto csv = ReadCsvFile(path);
-    if (!csv.ok()) return csv.status();
-    return Table::FromCsv(*csv, fs::path(path).stem().string());
-  };
+Result<Table> LoadTableFromCsvFile(const std::string& path) {
+  auto csv = ReadCsvFile(path);
+  if (!csv.ok()) return csv.status();
+  return Table::FromCsv(*csv, fs::path(path).stem().string());
+}
+
+Result<Corpus> LoadCorpusFromDirectory(const std::string& dir,
+                                       size_t num_threads) {
+  UNIDETECT_ASSIGN_OR_RETURN(const std::vector<std::string> paths,
+                             ListCsvFiles(dir));
 
   // Per-path slots keep table order independent of shard timing.
   std::vector<std::optional<Table>> slots(paths.size());
   SkipLog skips;
   auto load_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      auto table = parse_one(paths[i]);
+      auto table = LoadTableFromCsvFile(paths[i]);
       if (table.ok()) {
         slots[i].emplace(std::move(table).ValueOrDie());
       } else {

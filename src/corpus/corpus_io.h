@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "corpus/corpus.h"
 #include "util/result.h"
@@ -16,6 +17,15 @@ namespace unidetect {
 /// \brief Writes every table as `<dir>/<index>_<table-name>.csv`.
 /// Creates the directory if needed; fails if any file cannot be written.
 Status SaveCorpusToDirectory(const Corpus& corpus, const std::string& dir);
+
+/// \brief Lists the `*.csv` files directly under `dir` in lexicographic
+/// order — the deterministic file order shared by LoadCorpusFromDirectory
+/// and the offline shard planner (src/offline/shard_plan.h).
+Result<std::vector<std::string>> ListCsvFiles(const std::string& dir);
+
+/// \brief Parses one CSV file as a table named after the file stem
+/// ("00000003_flights.csv" -> "00000003_flights").
+Result<Table> LoadTableFromCsvFile(const std::string& path);
 
 /// \brief Loads every `*.csv` file under `dir` (non-recursive) as one
 /// table each, in lexicographic filename order (deterministic). Files

@@ -51,6 +51,13 @@ void Model::MergeObservations(const Model& shard) {
   }
 }
 
+void Model::Merge(const Model& partial) {
+  UNIDETECT_CHECK(!finalized_);
+  token_index_.Merge(partial.token_index_);
+  pattern_index_.Merge(partial.pattern_index_);
+  MergeObservations(partial);
+}
+
 void Model::Finalize() {
   for (auto& [key, stats] : subsets_) stats.Finalize();
   finalized_ = true;

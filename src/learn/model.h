@@ -116,6 +116,18 @@ class Model {
   /// \brief Merges subsets from a shard-local model (build phase).
   void MergeObservations(const Model& shard);
 
+  /// \brief Merges a partial model — token index, pattern index, and
+  /// per-subset observations — into this build-phase model. The partial
+  /// may itself be finalized (e.g. decoded from a UDSNAP snapshot).
+  ///
+  /// Merge is associative and commutative up to Finalize(): every folded
+  /// quantity is additive and Finalize() canonically orders each subset
+  /// by (pre, post), so merging any permutation or grouping of partials
+  /// produces bit-identical Save() output. This is the one merge
+  /// implementation shared by Trainer::Train's in-process reduction and
+  /// the offline shard pipeline (src/offline/).
+  void Merge(const Model& partial);
+
   /// \brief Sorts all subsets; required before queries.
   void Finalize();
   bool finalized() const { return finalized_; }

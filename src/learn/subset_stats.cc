@@ -26,8 +26,15 @@ void SubsetStats::Finalize() {
   if (finalized_) return;
   std::vector<size_t> order(pres_.size());
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&](size_t a, size_t b) { return pres_[a] < pres_[b]; });
+  // Canonical (pre, post) order, not just pre order: breaking pre ties by
+  // post makes the finalized arrays a pure function of the observation
+  // *multiset*, so any shard count, thread count, or merge order yields
+  // bit-identical Save() output (the offline pipeline's determinism
+  // contract, DESIGN.md section 11).
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (pres_[a] != pres_[b]) return pres_[a] < pres_[b];
+    return posts_[a] < posts_[b];
+  });
   std::vector<float> pres(pres_.size());
   std::vector<float> posts(posts_.size());
   for (size_t i = 0; i < order.size(); ++i) {

@@ -1,7 +1,5 @@
 #include "learn/trainer.h"
 
-#include <algorithm>
-#include <mutex>
 #include <vector>
 
 #include "learn/candidates.h"
@@ -10,32 +8,29 @@
 
 namespace unidetect {
 
-namespace {
-
-// Records every class's observation for one table into `shard`.
-void CrunchTable(const Table& table, const TokenIndex& index,
-                 const ModelOptions& options, size_t max_fd_pairs,
-                 Model* shard) {
+void AddTableObservations(const Table& table, const TokenIndex& index,
+                          const ModelOptions& options, size_t max_fd_pairs,
+                          Model* out) {
   // Column-level classes.
   for (size_t c = 0; c < table.num_columns(); ++c) {
     const Column& column = table.column(c);
 
     const OutlierCandidate outlier = ExtractOutlierCandidate(column, options);
     if (outlier.valid) {
-      shard->AddObservation(outlier.key, outlier.theta1, outlier.theta2);
+      out->AddObservation(outlier.key, outlier.theta1, outlier.theta2);
     }
 
     const SpellingCandidate spelling =
         ExtractSpellingCandidate(column, options);
     if (spelling.valid) {
-      shard->AddObservation(spelling.key, spelling.theta1, spelling.theta2);
+      out->AddObservation(spelling.key, spelling.theta1, spelling.theta2);
     }
 
     const UniquenessCandidate uniqueness =
         ExtractUniquenessCandidate(column, c, index, options);
     if (uniqueness.valid) {
-      shard->AddObservation(uniqueness.key, uniqueness.theta1,
-                            uniqueness.theta2);
+      out->AddObservation(uniqueness.key, uniqueness.theta1,
+                          uniqueness.theta2);
     }
   }
 
@@ -47,51 +42,54 @@ void CrunchTable(const Table& table, const TokenIndex& index,
       ++pairs;
       const FdCandidate fd =
           ExtractFdCandidate(table.column(l), table.column(r), index, options);
-      if (fd.valid) shard->AddObservation(fd.key, fd.theta1, fd.theta2);
+      if (fd.valid) out->AddObservation(fd.key, fd.theta1, fd.theta2);
     }
   }
 }
-
-}  // namespace
 
 Model Trainer::Train(const Corpus& corpus) const {
   ThreadPool pool(options_.num_threads);
   const size_t n = corpus.tables.size();
 
-  // Pass 1: token prevalence index.
+  // Both passes reduce per-thread *partial models* with Model::Merge —
+  // the same associative/commutative fold the offline shard pipeline
+  // (src/offline/) applies to persisted shard snapshots, so the two
+  // paths cannot drift.
+
+  // Pass 1: token prevalence + pattern co-occurrence indexes.
   UNIDETECT_LOG(Info) << "training pass 1 (token index) over " << n
                       << " tables, " << pool.num_threads() << " threads";
-  std::vector<TokenIndex> index_shards(pool.num_threads());
-  std::vector<PatternIndex> pattern_shards(pool.num_threads());
+  std::vector<Model> index_partials;
+  index_partials.reserve(pool.num_threads());
+  for (size_t i = 0; i < pool.num_threads(); ++i) {
+    index_partials.emplace_back(options_.model);
+  }
   ParallelFor(pool, n, [&](size_t shard, size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      index_shards[shard].AddTable(corpus.tables[i]);
-      pattern_shards[shard].AddTable(corpus.tables[i]);
+      index_partials[shard].mutable_token_index()->AddTable(corpus.tables[i]);
+      index_partials[shard].mutable_pattern_index()->AddTable(
+          corpus.tables[i]);
     }
   });
   Model model(options_.model);
-  for (const auto& shard : index_shards) {
-    model.mutable_token_index()->Merge(shard);
-  }
-  for (const auto& shard : pattern_shards) {
-    model.mutable_pattern_index()->Merge(shard);
-  }
+  for (const Model& partial : index_partials) model.Merge(partial);
 
-  // Pass 2: per-class observations.
+  // Pass 2: per-class observations against the full merged index.
   UNIDETECT_LOG(Info) << "training pass 2 (metric observations)";
-  std::vector<Model> model_shards;
-  model_shards.reserve(pool.num_threads());
+  std::vector<Model> obs_partials;
+  obs_partials.reserve(pool.num_threads());
   for (size_t i = 0; i < pool.num_threads(); ++i) {
-    model_shards.emplace_back(options_.model);
+    obs_partials.emplace_back(options_.model);
   }
   const TokenIndex& index = model.token_index();
   ParallelFor(pool, n, [&](size_t shard, size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      CrunchTable(corpus.tables[i], index, options_.model,
-                  options_.max_fd_pairs_per_table, &model_shards[shard]);
+      AddTableObservations(corpus.tables[i], index, options_.model,
+                           options_.max_fd_pairs_per_table,
+                           &obs_partials[shard]);
     }
   });
-  for (const auto& shard : model_shards) model.MergeObservations(shard);
+  for (const Model& partial : obs_partials) model.Merge(partial);
 
   model.Finalize();
   UNIDETECT_LOG(Info) << "trained model: " << model.num_subsets()

@@ -10,9 +10,23 @@
 #include <cstddef>
 
 #include "corpus/corpus.h"
+#include "corpus/token_index.h"
 #include "learn/model.h"
+#include "table/table.h"
 
 namespace unidetect {
+
+/// \brief Records every error class's observation for one table into the
+/// build-phase partial model `out`. `index` must be the token prevalence
+/// index of the FULL corpus (featurization consults global prevalence),
+/// not just the shard the table came from.
+///
+/// This is the single per-table observation step shared by
+/// Trainer::Train's in-process pass 2 and the offline shard builder
+/// (src/offline/shard_builder.h).
+void AddTableObservations(const Table& table, const TokenIndex& index,
+                          const ModelOptions& options, size_t max_fd_pairs,
+                          Model* out);
 
 /// \brief Training configuration.
 struct TrainerOptions {

@@ -1,0 +1,101 @@
+#include "offline/build_journal.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/binary_io.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace unidetect {
+
+std::string_view BuildStageName(BuildStage stage) {
+  return stage == BuildStage::kIndex ? "index" : "obs";
+}
+
+namespace {
+
+bool ParseStage(std::string_view name, BuildStage* stage) {
+  if (name == "index") {
+    *stage = BuildStage::kIndex;
+    return true;
+  }
+  if (name == "obs") {
+    *stage = BuildStage::kObservations;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<BuildJournal> BuildJournal::Open(const std::string& path) {
+  BuildJournal journal;
+  journal.path_ = path;
+
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return journal;
+
+  UNIDETECT_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  journal.needs_leading_newline_ = !text.empty() && text.back() != '\n';
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != kJournalMagic) {
+    return Status::Corruption("BuildJournal: bad magic in " + path);
+  }
+  size_t line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string stage_name;
+    size_t shard = 0;
+    uint32_t crc = 0;
+    BuildStage stage{};
+    ls >> stage_name >> shard >> crc;
+    if (!ls || !ParseStage(stage_name, &stage)) {
+      // A torn final line is the expected residue of a crash mid-append;
+      // the entry it would have recorded is simply rebuilt.
+      UNIDETECT_LOG(Warning) << "BuildJournal: skipping malformed line "
+                             << line_number << " of " << path;
+      continue;
+    }
+    journal.entries_[{static_cast<int>(stage), shard}] = crc;
+  }
+  return journal;
+}
+
+Status BuildJournal::Record(BuildStage stage, size_t shard,
+                            uint32_t snapshot_crc32) {
+  std::error_code ec;
+  const bool fresh = !std::filesystem::exists(path_, ec);
+  std::ofstream out(path_, std::ios::app);
+  if (!out) {
+    return Status::IOError("BuildJournal: cannot open " + path_ +
+                           " for append");
+  }
+  if (fresh) out << kJournalMagic << '\n';
+  if (needs_leading_newline_) {
+    out << '\n';
+    needs_leading_newline_ = false;
+  }
+  out << BuildStageName(stage) << ' ' << shard << ' ' << snapshot_crc32
+      << '\n';
+  out.flush();
+  if (!out) {
+    return Status::IOError("BuildJournal: write to " + path_ + " failed");
+  }
+  entries_[{static_cast<int>(stage), shard}] = snapshot_crc32;
+  return Status::OK();
+}
+
+bool BuildJournal::Lookup(BuildStage stage, size_t shard,
+                          uint32_t* crc32) const {
+  auto it = entries_.find({static_cast<int>(stage), shard});
+  if (it == entries_.end()) return false;
+  *crc32 = it->second;
+  return true;
+}
+
+}  // namespace unidetect

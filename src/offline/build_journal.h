@@ -1,0 +1,67 @@
+// Append-only build journal (DESIGN.md section 11).
+//
+// Each completed (stage, shard) of an offline build appends one line
+// recording the CRC-32 of the partial snapshot that was written, flushed
+// before the builder moves on. A restarted build trusts an entry only
+// after re-hashing the snapshot file on disk, so a journal can never
+// vouch for bytes that were lost or torn by a crash; a torn trailing
+// line (crash mid-append) is skipped with a warning, never fatal.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/result.h"
+
+namespace unidetect {
+
+/// \brief Magic first line of the journal format.
+inline constexpr std::string_view kJournalMagic = "UDJOURNAL v1";
+
+/// \brief The two per-shard stages of an offline build. Stage 2 needs
+/// the merged index of every stage-1 partial, so the stages form a
+/// barrier, not a per-shard sequence.
+enum class BuildStage : int {
+  kIndex = 0,         ///< token + pattern index partial
+  kObservations = 1,  ///< metric observations against the merged index
+};
+
+/// \brief Stable on-disk name of a stage ("index" / "obs").
+std::string_view BuildStageName(BuildStage stage);
+
+/// \brief The append-only completion log of one build directory.
+///
+/// Not internally synchronized: callers serialize Record() (the build
+/// orchestrator appends under its stage mutex).
+class BuildJournal {
+ public:
+  /// \brief Loads `path` when present (skipping torn or malformed
+  /// lines), or starts an empty journal; either way later Record()
+  /// calls append to `path`, creating it on first use.
+  static Result<BuildJournal> Open(const std::string& path);
+
+  /// \brief Appends one completed-shard entry and flushes it to disk
+  /// before returning. A later entry for the same (stage, shard)
+  /// supersedes earlier ones (rebuilds after corruption).
+  Status Record(BuildStage stage, size_t shard, uint32_t snapshot_crc32);
+
+  /// \brief Last recorded snapshot CRC for (stage, shard).
+  bool Lookup(BuildStage stage, size_t shard, uint32_t* crc32) const;
+
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  std::string path_;
+  // std::map: deterministic iteration for any future dump/debug output.
+  std::map<std::pair<int, size_t>, uint32_t> entries_;
+  // Set when the loaded file did not end in '\n' (crash mid-append): the
+  // next Record must start a fresh line instead of gluing onto the torn
+  // one.
+  bool needs_leading_newline_ = false;
+};
+
+}  // namespace unidetect

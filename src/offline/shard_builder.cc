@@ -1,0 +1,28 @@
+#include "offline/shard_builder.h"
+
+#include "offline/streaming_reader.h"
+
+namespace unidetect {
+
+Result<Model> BuildIndexPartial(const Shard& shard,
+                                const ModelOptions& options) {
+  Model partial(options);
+  UNIDETECT_RETURN_NOT_OK(StreamShardTables(shard, [&](Table&& table) {
+    partial.mutable_token_index()->AddTable(table);
+    partial.mutable_pattern_index()->AddTable(table);
+  }));
+  return partial;
+}
+
+Result<Model> BuildObservationPartial(const Shard& shard,
+                                      const TokenIndex& merged_index,
+                                      const TrainerOptions& trainer) {
+  Model partial(trainer.model);
+  UNIDETECT_RETURN_NOT_OK(StreamShardTables(shard, [&](Table&& table) {
+    AddTableObservations(table, merged_index, trainer.model,
+                         trainer.max_fd_pairs_per_table, &partial);
+  }));
+  return partial;
+}
+
+}  // namespace unidetect

@@ -1,0 +1,37 @@
+// Per-shard partial-model builders (DESIGN.md section 11).
+//
+// Each builder streams one shard's tables (one table in memory at a
+// time) and produces a *partial* Model destined for a UDSNAP snapshot:
+//
+//   stage 1  BuildIndexPartial        only the token + pattern indexes
+//   stage 2  BuildObservationPartial  only the metric observations,
+//                                     featurized against the FULL merged
+//                                     index of every stage-1 partial
+//
+// Partials are ordinary models as far as persistence is concerned —
+// Model::Save/Load and the snapshot CRCs work unchanged — and
+// Model::Merge folds any set of them back together in any order.
+
+#pragma once
+
+#include "learn/model.h"
+#include "learn/trainer.h"
+#include "offline/shard_plan.h"
+#include "util/result.h"
+
+namespace unidetect {
+
+/// \brief Streams `shard` and returns a partial model carrying only its
+/// token prevalence and pattern co-occurrence indexes (no observations).
+Result<Model> BuildIndexPartial(const Shard& shard,
+                                const ModelOptions& options);
+
+/// \brief Streams `shard` and returns a partial model carrying only its
+/// metric observations. `merged_index` must be the token index merged
+/// over every shard of the plan (featurization consults full-corpus
+/// prevalence; a shard-local index would shift feature keys).
+Result<Model> BuildObservationPartial(const Shard& shard,
+                                      const TokenIndex& merged_index,
+                                      const TrainerOptions& trainer);
+
+}  // namespace unidetect

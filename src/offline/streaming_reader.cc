@@ -1,0 +1,42 @@
+#include "offline/streaming_reader.h"
+
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "util/binary_io.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace unidetect {
+
+Status StreamShardTables(const Shard& shard, const TableVisitor& visit) {
+  for (const ShardFile& file : shard.files) {
+    UNIDETECT_ASSIGN_OR_RETURN(const std::string bytes,
+                               ReadFileToString(file.path));
+    if (bytes.size() != file.bytes || Crc32(bytes) != file.crc32) {
+      return Status::Corruption(
+          StrCat("StreamShardTables: ", file.path,
+                 " changed since it was planned (size/checksum mismatch); "
+                 "re-run `offline_build plan` against the current inputs"));
+    }
+    auto csv = ParseCsv(bytes);
+    if (!csv.ok()) {
+      UNIDETECT_LOG(Warning) << "skipping " << file.path << ": "
+                             << csv.status().ToString();
+      continue;
+    }
+    auto table = Table::FromCsv(
+        *csv, std::filesystem::path(file.path).stem().string());
+    if (!table.ok()) {
+      UNIDETECT_LOG(Warning) << "skipping " << file.path << ": "
+                             << table.status().ToString();
+      continue;
+    }
+    visit(std::move(table).ValueOrDie());
+  }
+  return Status::OK();
+}
+
+}  // namespace unidetect

@@ -1,0 +1,35 @@
+// Streaming table reader for shard builds (DESIGN.md section 11).
+//
+// Visits the tables of a planned shard one at a time, so a builder holds
+// at most one parsed table in memory — unlike LoadCorpusFromDirectory,
+// which materializes an entire directory before training can start and
+// therefore caps corpus size at RAM.
+//
+// Skip semantics deliberately match LoadCorpusFromDirectory: a file that
+// fails to parse is logged and skipped, never fatal (a corpus crawl
+// always contains some junk), so an N-shard streamed build observes
+// exactly the tables a single-shot in-memory build observes. Checksum
+// mismatches are different: the planned CRC-32 pinned the input bytes,
+// so drift since planning aborts the stream with Corruption — silently
+// training on changed inputs would desynchronize shards planned at
+// different times.
+
+#pragma once
+
+#include <functional>
+
+#include "offline/shard_plan.h"
+#include "table/table.h"
+#include "util/result.h"
+
+namespace unidetect {
+
+/// \brief Receives each streamed table; tables arrive in planned file
+/// order.
+using TableVisitor = std::function<void(Table&&)>;
+
+/// \brief Streams the tables of one shard's planned files through
+/// `visit`, verifying each file's CRC-32 against the plan first.
+Status StreamShardTables(const Shard& shard, const TableVisitor& visit);
+
+}  // namespace unidetect

@@ -1,0 +1,146 @@
+// offline_build: CLI front-end for the sharded, resumable offline build
+// pipeline (src/offline/, DESIGN.md section 11).
+//
+//   $ offline_build plan <build_dir> --shards N <input_dir> [...]
+//   $ offline_build add-inputs <build_dir> --shards N <input_dir> [...]
+//   $ offline_build build <build_dir> [--threads N] [--stop-after K]
+//   $ offline_build resume <build_dir> [--threads N]
+//   $ offline_build merge <build_dir> <model_out>
+//   $ offline_build verify <build_dir> [--check-inputs]
+//
+// `build` and `resume` are the same operation — RunOfflineBuild always
+// skips journal-verified shards — the two names exist so operator intent
+// ("start this" vs "pick this back up") reads correctly in shell history.
+// `--stop-after K` builds at most K shard-stages then exits 3, which is
+// how the crash-resume tests and docs simulate preemption.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "learn/trainer.h"
+#include "offline/offline_build.h"
+#include "util/logging.h"
+
+using namespace unidetect;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  offline_build plan <build_dir> --shards N <input_dir> [...]\n"
+      "  offline_build add-inputs <build_dir> --shards N <input_dir> [...]\n"
+      "  offline_build build <build_dir> [--threads N] [--stop-after K]\n"
+      "  offline_build resume <build_dir> [--threads N]\n"
+      "  offline_build merge <build_dir> <model_out>\n"
+      "  offline_build verify <build_dir> [--check-inputs]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "offline_build: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// \brief Consumes `--flag <value>` at argv[*i] if present.
+bool ConsumeSizeFlag(const char* flag, char** argv, int argc, int* i,
+                     size_t* out) {
+  if (std::strcmp(argv[*i], flag) != 0) return false;
+  if (*i + 1 >= argc) return false;
+  *out = static_cast<size_t>(std::strtoull(argv[*i + 1], nullptr, 10));
+  *i += 2;
+  return true;
+}
+
+int Plan(int argc, char** argv, bool incremental) {
+  if (argc < 6) return Usage();
+  const std::string build_dir = argv[2];
+  size_t num_shards = 0;
+  std::vector<std::string> input_dirs;
+  for (int i = 3; i < argc;) {
+    if (ConsumeSizeFlag("--shards", argv, argc, &i, &num_shards)) continue;
+    input_dirs.push_back(argv[i++]);
+  }
+  if (num_shards == 0 || input_dirs.empty()) return Usage();
+  const Status status =
+      incremental
+          ? AddOfflineInputs(build_dir, input_dirs, num_shards)
+          : PlanOfflineBuild(input_dirs, TrainerOptions{}, num_shards,
+                             build_dir);
+  if (!status.ok()) return Fail(status);
+  std::printf("%s %s: %zu shard(s) over %zu input dir(s)\n",
+              incremental ? "Extended" : "Planned", build_dir.c_str(),
+              num_shards, input_dirs.size());
+  return 0;
+}
+
+int Build(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string build_dir = argv[2];
+  size_t stop_after = 0;
+  OfflineBuildOptions options;
+  for (int i = 3; i < argc;) {
+    if (ConsumeSizeFlag("--threads", argv, argc, &i, &options.num_threads)) {
+      continue;
+    }
+    if (ConsumeSizeFlag("--stop-after", argv, argc, &i, &stop_after)) continue;
+    return Usage();
+  }
+  if (options.num_threads == 0) options.num_threads = 1;
+  size_t started = 0;
+  if (stop_after > 0) {
+    options.keep_going = [&started, stop_after](BuildStage, size_t) {
+      return started++ < stop_after;
+    };
+  }
+  const auto report = RunOfflineBuild(build_dir, options);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("Built %zu, skipped %zu, rebuilt %zu shard-stage(s); %s\n",
+              report->built, report->skipped, report->rebuilt,
+              report->completed ? "build complete"
+                                : "stopped early (resume to continue)");
+  return report->completed ? 0 : 3;
+}
+
+int Merge(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const Status status = MergeOfflineBuildToFile(argv[2], argv[3]);
+  if (!status.ok()) return Fail(status);
+  std::printf("Merged %s -> %s\n", argv[2], argv[3]);
+  return 0;
+}
+
+int Verify(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const bool check_inputs =
+      argc > 3 && std::strcmp(argv[3], "--check-inputs") == 0;
+  const auto report = VerifyOfflineBuild(argv[2], check_inputs);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%zu shard(s): %zu index partial(s), %zu observation "
+              "partial(s) verified",
+              report->shards, report->index_done, report->obs_done);
+  if (check_inputs) std::printf("; %zu input file(s) re-hashed",
+                                report->inputs_checked);
+  std::printf("; %s\n", report->mergeable() ? "mergeable" : "incomplete");
+  return report->mergeable() ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  if (argc < 2) return Usage();
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "plan") == 0) return Plan(argc, argv, false);
+  if (std::strcmp(cmd, "add-inputs") == 0) return Plan(argc, argv, true);
+  if (std::strcmp(cmd, "build") == 0 || std::strcmp(cmd, "resume") == 0) {
+    return Build(argc, argv);
+  }
+  if (std::strcmp(cmd, "merge") == 0) return Merge(argc, argv);
+  if (std::strcmp(cmd, "verify") == 0) return Verify(argc, argv);
+  return Usage();
+}
