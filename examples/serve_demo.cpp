@@ -126,5 +126,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.findings),
               static_cast<unsigned long long>(stats.reloads),
               stats.latency_p50_us, stats.latency_p99_us);
+  std::printf("Reload latency: p50 < %.0fus, p99 < %.0fus\n",
+              stats.reload_latency_p50_us, stats.reload_latency_p99_us);
+  std::printf("Model storage: %llu resident bytes, %llu mapped bytes%s\n",
+              static_cast<unsigned long long>(stats.model_resident_bytes),
+              static_cast<unsigned long long>(stats.model_mapped_bytes),
+              stats.model_mapped_bytes > 0 ? " (zero-copy v2 snapshot)" : "");
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "corpus/corpus.h"
@@ -45,6 +46,27 @@ class PatternIndex {
   /// u64 size followed by key-sorted (length-prefixed key, u64 count).
   void AppendBinary(std::string* out) const;
   static Result<PatternIndex> FromBinary(BinaryReader* reader);
+
+  /// \brief Snapshot-v2 pool codec support (model_format/snapshot_v2.cc):
+  /// raw map access for the writer and direct-install decode helpers.
+  /// The Add* helpers return false on a duplicate key (corrupt input).
+  size_t num_patterns() const { return pattern_counts_.size(); }
+  size_t num_pairs() const { return pair_counts_.size(); }
+  template <typename Fn>
+  void ForEachPattern(Fn&& fn) const {
+    for (const auto& [pattern, count] : pattern_counts_) fn(pattern, count);
+  }
+  template <typename Fn>
+  void ForEachPair(Fn&& fn) const {
+    for (const auto& [pair, count] : pair_counts_) fn(pair, count);
+  }
+  void SetNumColumns(uint64_t n) { num_columns_ = n; }
+  bool AddPatternCount(std::string_view pattern, uint64_t count) {
+    return pattern_counts_.emplace(std::string(pattern), count).second;
+  }
+  bool AddPairCount(std::string_view pair_key, uint64_t count) {
+    return pair_counts_.emplace(std::string(pair_key), count).second;
+  }
 
   uint64_t num_columns() const { return num_columns_; }
   uint64_t PatternCount(const std::string& pattern) const;

@@ -62,6 +62,14 @@ class TokenIndex {
   void AppendBinary(std::string* out) const;
   static Result<TokenIndex> FromBinary(BinaryReader* reader);
 
+  /// \brief Snapshot-v2 decode helpers (model_format/snapshot_v2.cc):
+  /// install already case-folded entries directly. AddTokenCount returns
+  /// false on a duplicate token (corrupt input).
+  void SetNumTables(uint64_t n) { num_tables_ = n; }
+  bool AddTokenCount(std::string_view token, uint64_t count) {
+    return counts_.emplace(std::string(token), count).second;
+  }
+
  private:
   std::unordered_map<std::string, uint64_t> counts_;
   uint64_t num_tables_ = 0;

@@ -35,19 +35,34 @@ SurpriseDirection DirectionOf(ErrorClass c) {
 
 void Model::AddObservation(FeatureKey key, double theta1, double theta2) {
   UNIDETECT_CHECK(!finalized_);
-  subsets_[key].Add(theta1, theta2);
+  UNIDETECT_CHECK(subsets_sorted_.empty());
+  building_[key].Add(theta1, theta2);
 }
 
 void Model::InsertSubset(FeatureKey key, SubsetStats stats) {
   UNIDETECT_CHECK(!finalized_);
-  const bool inserted = subsets_.emplace(key, std::move(stats)).second;
+  UNIDETECT_CHECK(subsets_sorted_.empty());
+  const bool inserted = building_.emplace(key, std::move(stats)).second;
   UNIDETECT_CHECK(inserted);
+}
+
+void Model::InsertSubsetSorted(FeatureKey key, SubsetStats stats) {
+  UNIDETECT_CHECK(!finalized_);
+  UNIDETECT_CHECK(building_.empty());
+  UNIDETECT_CHECK(stats.finalized());
+  UNIDETECT_CHECK(subsets_sorted_.empty() ||
+                  subsets_sorted_.back().first.packed < key.packed);
+  subsets_sorted_.emplace_back(key, std::move(stats));
 }
 
 void Model::MergeObservations(const Model& shard) {
   UNIDETECT_CHECK(!finalized_);
-  for (const auto& [key, stats] : shard.subsets_) {
-    subsets_[key].Merge(stats);
+  UNIDETECT_CHECK(subsets_sorted_.empty());
+  for (const auto& [key, stats] : shard.building_) {
+    building_[key].Merge(stats);
+  }
+  for (const auto& [key, stats] : shard.subsets_sorted_) {
+    building_[key].Merge(stats);
   }
 }
 
@@ -59,19 +74,67 @@ void Model::Merge(const Model& partial) {
 }
 
 void Model::Finalize() {
-  for (auto& [key, stats] : subsets_) stats.Finalize();
+  if (finalized_) return;
+  if (!building_.empty()) {
+    subsets_sorted_.reserve(building_.size());
+    for (auto& [key, stats] : building_) {
+      subsets_sorted_.emplace_back(key, std::move(stats));
+    }
+    building_.clear();
+    std::sort(subsets_sorted_.begin(), subsets_sorted_.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.packed < b.first.packed;
+              });
+  }
+  // No-op for subsets already finalized (the snapshot decode paths).
+  for (auto& [key, stats] : subsets_sorted_) stats.Finalize();
   finalized_ = true;
+}
+
+const SubsetStats* Model::FindSubset(FeatureKey key) const {
+  if (!building_.empty()) {
+    auto it = building_.find(key);
+    return it == building_.end() ? nullptr : &it->second;
+  }
+  auto it = std::lower_bound(
+      subsets_sorted_.begin(), subsets_sorted_.end(), key.packed,
+      [](const std::pair<FeatureKey, SubsetStats>& entry, uint64_t packed) {
+        return entry.first.packed < packed;
+      });
+  if (it == subsets_sorted_.end() || it->first.packed != key.packed) {
+    return nullptr;
+  }
+  return &it->second;
 }
 
 uint64_t Model::num_observations() const {
   uint64_t total = 0;
-  for (const auto& [key, stats] : subsets_) total += stats.size();
+  for (const auto& [key, stats] : building_) total += stats.size();
+  for (const auto& [key, stats] : subsets_sorted_) total += stats.size();
   return total;
 }
 
 uint64_t Model::SubsetSupport(FeatureKey key) const {
-  auto it = subsets_.find(key);
-  return it == subsets_.end() ? 0 : it->second.size();
+  const SubsetStats* stats = FindSubset(key);
+  return stats == nullptr ? 0 : stats->size();
+}
+
+void Model::SetBacking(std::shared_ptr<const void> backing,
+                       uint64_t mapped_bytes) {
+  backing_ = std::move(backing);
+  mapped_bytes_ = mapped_bytes;
+}
+
+uint64_t Model::ApproxResidentBytes() const {
+  uint64_t total = subsets_sorted_.capacity() *
+                   sizeof(std::pair<FeatureKey, SubsetStats>);
+  for (const auto& [key, stats] : building_) {
+    total += sizeof(std::pair<FeatureKey, SubsetStats>) + stats.OwnedBytes();
+  }
+  for (const auto& [key, stats] : subsets_sorted_) {
+    total += stats.OwnedBytes();
+  }
+  return total;
 }
 
 double Model::LikelihoodRatio(ErrorClass cls, FeatureKey key, double theta1,
@@ -88,21 +151,20 @@ double Model::LikelihoodRatio(ErrorClass cls, FeatureKey key, double theta1,
     return 1.0;
   }
 
-  auto it = subsets_.find(key);
-  if (it == subsets_.end()) return 1.0;
-  const SubsetStats& stats = it->second;
-  if (stats.size() < options_.min_support) return 1.0;
+  const SubsetStats* stats = FindSubset(key);
+  if (stats == nullptr) return 1.0;
+  if (stats->size() < options_.min_support) return 1.0;
 
   uint64_t num = 0;
   uint64_t den = 0;
   if (options_.smoothing == SmoothingMode::kPoint) {
-    num = stats.CountPointPair(theta1, theta2, options_.point_grid);
-    den = stats.CountPointPre(theta2, options_.point_grid);
+    num = stats->CountPointPair(theta1, theta2, options_.point_grid);
+    den = stats->CountPointPre(theta2, options_.point_grid);
   } else {
-    num = stats.CountSurprising(dir, theta1, theta2);
+    num = stats->CountSurprising(dir, theta1, theta2);
     den = options_.denominator == DenominatorMode::kSuspiciousTail
-              ? stats.CountPreSuspiciousTail(dir, theta2)
-              : stats.CountPreCleanTail(dir, theta2);
+              ? stats->CountPreSuspiciousTail(dir, theta2)
+              : stats->CountPreCleanTail(dir, theta2);
   }
 
   // A thin denominator means the corpus has barely any columns that look
@@ -129,18 +191,12 @@ std::string Model::Serialize() const {
      << options_.pseudocount << ' ' << options_.min_support << ' '
      << options_.point_grid << ' ' << options_.min_column_rows << ' '
      << options_.mpd.distance_cap << ' ' << options_.mpd.max_values << '\n';
-  os << "subsets " << subsets_.size() << '\n';
-  // Deterministic output: sort keys.
-  std::vector<FeatureKey> keys;
-  keys.reserve(subsets_.size());
-  for (const auto& [key, stats] : subsets_) keys.push_back(key);
-  std::sort(keys.begin(), keys.end(),
-            [](FeatureKey a, FeatureKey b) { return a.packed < b.packed; });
-  for (FeatureKey key : keys) {
+  os << "subsets " << num_subsets() << '\n';
+  ForEachSubsetSorted([&](FeatureKey key, const SubsetStats& stats) {
     std::string stats_text;
-    subsets_.at(key).SerializeTo(&stats_text);
+    stats.SerializeTo(&stats_text);
     os << key.packed << ' ' << stats_text << '\n';
-  }
+  });
   const std::string index_text = token_index_.Serialize();
   os << "tokenindex " << index_text.size() << '\n' << index_text;
   const std::string pattern_text = pattern_index_.Serialize();
@@ -197,7 +253,10 @@ Result<Model> Model::Deserialize(std::string_view text) {
     auto stats = SubsetStats::Deserialize(
         std::string_view(line).substr(space + 1));
     if (!stats.ok()) return stats.status();
-    out.subsets_.emplace(key, std::move(stats).ValueOrDie());
+    if (out.building_.count(key) != 0) {
+      return Status::Corruption("Model: duplicate subset key");
+    }
+    out.building_.emplace(key, std::move(stats).ValueOrDie());
   }
   {
     if (!std::getline(is, line)) return Status::Corruption("Model: truncated");
@@ -235,7 +294,7 @@ Result<Model> Model::Deserialize(std::string_view text) {
     if (!pattern_index.ok()) return pattern_index.status();
     out.pattern_index_ = std::move(pattern_index).ValueOrDie();
   }
-  out.finalized_ = true;
+  out.Finalize();
   return out;
 }
 
@@ -244,14 +303,7 @@ Status Model::Save(const std::string& path) const {
 }
 
 Result<Model> Model::Load(const std::string& path) {
-  UNIDETECT_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
-  if (LooksLikeModelSnapshot(bytes)) return DecodeModelSnapshot(bytes);
-  // Legacy text sniff: the pre-snapshot format opened with its own magic
-  // line and stays readable so existing model files keep working.
-  if (StartsWith(bytes, kLegacyModelMagic)) return Deserialize(bytes);
-  return Status::Corruption("Model: " + path +
-                            " is neither a binary snapshot nor a legacy "
-                            "text model (bad magic)");
+  return LoadModelFromFile(path, SnapshotValidation::kFull);
 }
 
 }  // namespace unidetect

@@ -4,13 +4,24 @@
 // (theta1, theta2) observations needed to answer smoothed LR queries at
 // interactive speed. A Model is built by the Trainer and consumed by the
 // detectors; it can be saved to and loaded from a single file.
+//
+// Subset storage has two phases. During the build phase observations
+// accumulate in a hash map; Finalize() moves everything into one
+// FeatureKey-sorted vector and lookup becomes a binary search over that
+// contiguous array — the same access pattern the UDSNAP v2 snapshot
+// index serializes, so a model decoded zero-copy from a mapped snapshot
+// (model_format/snapshot_v2.h) and a freshly trained one answer queries
+// through identical code. A mapped model pins its file region alive via
+// `backing_`.
 
 #pragma once
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "autodetect/pmi_detector.h"
@@ -101,19 +112,30 @@ class Model {
   /// phase only). The key must not already be present.
   void InsertSubset(FeatureKey key, SubsetStats stats);
 
+  /// \brief Appends an already-finalized subset directly to the sorted
+  /// store (the v2 decode path, whose index is key-sorted on disk).
+  /// Keys must arrive in strictly ascending order and the hash-map build
+  /// store must be empty; Finalize() afterwards is then O(#subsets).
+  void InsertSubsetSorted(FeatureKey key, SubsetStats stats);
+
   /// \brief Visits every (key, stats) pair in ascending key order — a
   /// deterministic order independent of hash seed or standard library.
   template <typename Fn>
   void ForEachSubsetSorted(Fn&& fn) const {
+    if (building_.empty()) {
+      for (const auto& [key, stats] : subsets_sorted_) fn(key, stats);
+      return;
+    }
     std::vector<FeatureKey> keys;
-    keys.reserve(subsets_.size());
-    for (const auto& [key, stats] : subsets_) keys.push_back(key);
+    keys.reserve(building_.size());
+    for (const auto& [key, stats] : building_) keys.push_back(key);
     std::sort(keys.begin(), keys.end(),
               [](FeatureKey a, FeatureKey b) { return a.packed < b.packed; });
-    for (FeatureKey key : keys) fn(key, subsets_.at(key));
+    for (FeatureKey key : keys) fn(key, building_.at(key));
   }
 
-  /// \brief Merges subsets from a shard-local model (build phase).
+  /// \brief Merges subsets from a shard-local model (build phase). The
+  /// shard may be build-phase or finalized (e.g. loaded from a snapshot).
   void MergeObservations(const Model& shard);
 
   /// \brief Merges a partial model — token index, pattern index, and
@@ -128,9 +150,14 @@ class Model {
   /// the offline shard pipeline (src/offline/).
   void Merge(const Model& partial);
 
-  /// \brief Sorts all subsets; required before queries.
+  /// \brief Sorts all subsets into the contiguous key-ordered store;
+  /// required before queries.
   void Finalize();
   bool finalized() const { return finalized_; }
+
+  /// \brief The stats for `key`, or nullptr if absent. Binary search over
+  /// the sorted store once finalized; hash lookup during the build phase.
+  const SubsetStats* FindSubset(FeatureKey key) const;
 
   /// \brief Smoothed likelihood ratio of Eq. 12 for a candidate with
   /// metrics (theta1, theta2) in the subset selected by `key`.
@@ -143,7 +170,9 @@ class Model {
                          double theta2) const;
 
   /// \brief Number of feature subsets with observations.
-  size_t num_subsets() const { return subsets_.size(); }
+  size_t num_subsets() const {
+    return building_.size() + subsets_sorted_.size();
+  }
 
   /// \brief Total observations across subsets.
   uint64_t num_observations() const;
@@ -151,10 +180,24 @@ class Model {
   /// \brief Observation count for one subset (0 if absent).
   uint64_t SubsetSupport(FeatureKey key) const;
 
+  /// \brief Ties an external buffer's lifetime to this model — the mapped
+  /// snapshot region that borrowed SubsetStats spans point into. The last
+  /// Model (or Model copy) referencing the region unmaps it.
+  void SetBacking(std::shared_ptr<const void> backing, uint64_t mapped_bytes);
+
+  /// \brief Bytes of mapped (page-cache-shared) model storage; 0 for a
+  /// fully owned model.
+  uint64_t mapped_bytes() const { return mapped_bytes_; }
+
+  /// \brief Approximate private heap bytes held by subset storage; pairs
+  /// with mapped_bytes() as the serving tier's resident/mapped gauges.
+  uint64_t ApproxResidentBytes() const;
+
   /// \brief Persistence. Save writes the versioned, checksummed binary
   /// snapshot format (model_format/model_snapshot.h); Load sniffs the
-  /// magic bytes and reads either a binary snapshot or the legacy
-  /// "UniDetectModel v1" text format.
+  /// magic bytes and reads either a binary snapshot (v2 via zero-copy
+  /// mmap, v1 via owned decode) or the legacy "UniDetectModel v1" text
+  /// format.
   Status Save(const std::string& path) const;
   static Result<Model> Load(const std::string& path);
 
@@ -167,7 +210,15 @@ class Model {
   ModelOptions options_;
   TokenIndex token_index_;
   PatternIndex pattern_index_;
-  std::unordered_map<FeatureKey, SubsetStats, FeatureKeyHash> subsets_;
+  // Build-phase accumulation store. Finalize() drains it into
+  // subsets_sorted_; exactly one of the two containers is non-empty at
+  // any time.
+  std::unordered_map<FeatureKey, SubsetStats, FeatureKeyHash> building_;
+  // Key-ascending store queried by binary search after Finalize().
+  std::vector<std::pair<FeatureKey, SubsetStats>> subsets_sorted_;
+  // Keepalive for borrowed subset storage (the mapped snapshot region).
+  std::shared_ptr<const void> backing_;
+  uint64_t mapped_bytes_ = 0;
   bool finalized_ = false;
 };
 

@@ -10,21 +10,23 @@
 
 namespace unidetect {
 
-void SubsetStats::Add(double pre, double post) {
-  UNIDETECT_CHECK(!finalized_);
-  pres_.push_back(static_cast<float>(pre));
-  posts_.push_back(static_cast<float>(post));
+size_t SubsetStats::TreeLevelsFor(size_t n) {
+  if (n < kTreeMinSize) return 0;
+  size_t levels = 0;
+  for (size_t block = 2; block / 2 < n; block *= 2) ++levels;
+  return levels;
 }
 
-namespace {
-// Below this size the linear scan beats the tree (and the tree's memory
-// overhead buys nothing); counts are identical either way.
-constexpr size_t kTreeMinSize = 64;
-}  // namespace
+void SubsetStats::Add(double pre, double post) {
+  UNIDETECT_CHECK(!finalized_);
+  UNIDETECT_CHECK(!borrowed_);
+  pres_owned_.push_back(static_cast<float>(pre));
+  posts_owned_.push_back(static_cast<float>(post));
+}
 
 void SubsetStats::Finalize() {
   if (finalized_) return;
-  std::vector<size_t> order(pres_.size());
+  std::vector<size_t> order(pres_owned_.size());
   std::iota(order.begin(), order.end(), 0);
   // Canonical (pre, post) order, not just pre order: breaking pre ties by
   // post makes the finalized arrays a pure function of the observation
@@ -32,17 +34,17 @@ void SubsetStats::Finalize() {
   // bit-identical Save() output (the offline pipeline's determinism
   // contract, DESIGN.md section 11).
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (pres_[a] != pres_[b]) return pres_[a] < pres_[b];
-    return posts_[a] < posts_[b];
+    if (pres_owned_[a] != pres_owned_[b]) return pres_owned_[a] < pres_owned_[b];
+    return posts_owned_[a] < posts_owned_[b];
   });
-  std::vector<float> pres(pres_.size());
-  std::vector<float> posts(posts_.size());
+  std::vector<float> pres(pres_owned_.size());
+  std::vector<float> posts(posts_owned_.size());
   for (size_t i = 0; i < order.size(); ++i) {
-    pres[i] = pres_[order[i]];
-    posts[i] = posts_[order[i]];
+    pres[i] = pres_owned_[order[i]];
+    posts[i] = posts_owned_[order[i]];
   }
-  pres_ = std::move(pres);
-  posts_ = std::move(posts);
+  pres_owned_ = std::move(pres);
+  posts_owned_ = std::move(posts);
   BuildTree();
   finalized_ = true;
 }
@@ -56,46 +58,99 @@ Result<SubsetStats> SubsetStats::FromSortedArrays(std::vector<float> pres,
     return Status::Corruption("SubsetStats: pre values not sorted");
   }
   SubsetStats out;
-  out.pres_ = std::move(pres);
-  out.posts_ = std::move(posts);
+  out.pres_owned_ = std::move(pres);
+  out.posts_owned_ = std::move(posts);
   out.BuildTree();
   out.finalized_ = true;
   return out;
 }
 
-void SubsetStats::BuildTree() {
-  // Build the merge-sort tree bottom-up: level k sorts posts_ within
-  // aligned blocks of 2^(k+1), ending with one fully-sorted block.
-  tree_.clear();
-  const size_t n = posts_.size();
-  if (n >= kTreeMinSize) {
-    const std::vector<float>* prev = &posts_;
-    for (size_t block = 2; block / 2 < n; block *= 2) {
-      std::vector<float> level(n);
-      for (size_t start = 0; start < n; start += block) {
-        const size_t mid = std::min(start + block / 2, n);
-        const size_t end = std::min(start + block, n);
-        std::merge(prev->begin() + static_cast<std::ptrdiff_t>(start),
-                   prev->begin() + static_cast<std::ptrdiff_t>(mid),
-                   prev->begin() + static_cast<std::ptrdiff_t>(mid),
-                   prev->begin() + static_cast<std::ptrdiff_t>(end),
-                   level.begin() + static_cast<std::ptrdiff_t>(start));
-      }
-      tree_.push_back(std::move(level));
-      prev = &tree_.back();
-    }
+Result<SubsetStats> SubsetStats::FromSortedArraysWithTree(
+    std::vector<float> pres, std::vector<float> posts,
+    std::vector<float> tree) {
+  if (pres.size() != posts.size()) {
+    return Status::Corruption("SubsetStats: pre/post array size mismatch");
   }
+  if (!std::is_sorted(pres.begin(), pres.end())) {
+    return Status::Corruption("SubsetStats: pre values not sorted");
+  }
+  const size_t levels = TreeLevelsFor(pres.size());
+  if (tree.size() != levels * pres.size()) {
+    return Status::Corruption("SubsetStats: tree size mismatch");
+  }
+  SubsetStats out;
+  out.pres_owned_ = std::move(pres);
+  out.posts_owned_ = std::move(posts);
+  out.tree_owned_ = std::move(tree);
+  out.tree_levels_ = levels;
+  out.finalized_ = true;
+  return out;
+}
+
+Result<SubsetStats> SubsetStats::FromBorrowedSorted(
+    std::span<const float> pres, std::span<const float> posts,
+    std::span<const float> tree, bool validate_sorted) {
+  if (pres.size() != posts.size()) {
+    return Status::Corruption("SubsetStats: pre/post array size mismatch");
+  }
+  const size_t levels = TreeLevelsFor(pres.size());
+  if (tree.size() != levels * pres.size()) {
+    return Status::Corruption("SubsetStats: tree size mismatch");
+  }
+  if (validate_sorted && !std::is_sorted(pres.begin(), pres.end())) {
+    return Status::Corruption("SubsetStats: pre values not sorted");
+  }
+  SubsetStats out;
+  out.pres_view_ = pres;
+  out.posts_view_ = posts;
+  out.tree_view_ = tree;
+  out.tree_levels_ = levels;
+  out.borrowed_ = true;
+  out.finalized_ = true;
+  return out;
+}
+
+uint64_t SubsetStats::OwnedBytes() const {
+  return (pres_owned_.capacity() + posts_owned_.capacity() +
+          tree_owned_.capacity()) *
+         sizeof(float);
+}
+
+void SubsetStats::BuildTree() {
+  // Build the merge-sort tree bottom-up into one flat buffer: level k
+  // sorts posts within aligned blocks of 2^(k+1), ending with one fully
+  // sorted block. Skipping entirely below kTreeMinSize means tiny
+  // subsets never pay the allocation — on any load path.
+  tree_owned_.clear();
+  tree_levels_ = 0;
+  const size_t n = posts_owned_.size();
+  const size_t levels = TreeLevelsFor(n);
+  if (levels == 0) return;
+  tree_owned_.resize(levels * n);
+  const float* prev = posts_owned_.data();
+  size_t k = 0;
+  for (size_t block = 2; block / 2 < n; block *= 2, ++k) {
+    float* level = tree_owned_.data() + k * n;
+    for (size_t start = 0; start < n; start += block) {
+      const size_t mid = std::min(start + block / 2, n);
+      const size_t end = std::min(start + block, n);
+      std::merge(prev + start, prev + mid, prev + mid, prev + end,
+                 level + start);
+    }
+    prev = level;
+  }
+  tree_levels_ = levels;
 }
 
 namespace {
-// Index of the first element > theta (pres_ sorted ascending).
-size_t UpperBound(const std::vector<float>& v, double theta) {
+// Index of the first element > theta (span sorted ascending).
+size_t UpperBound(std::span<const float> v, double theta) {
   return static_cast<size_t>(
       std::upper_bound(v.begin(), v.end(), static_cast<float>(theta)) -
       v.begin());
 }
 // Index of the first element >= theta.
-size_t LowerBound(const std::vector<float>& v, double theta) {
+size_t LowerBound(std::span<const float> v, double theta) {
   return static_cast<size_t>(
       std::lower_bound(v.begin(), v.end(), static_cast<float>(theta)) -
       v.begin());
@@ -107,13 +162,16 @@ uint64_t SubsetStats::CountPostsInPrefix(size_t prefix_len, float theta,
   // Binary block decomposition of the prefix: taking block sizes largest
   // first keeps `pos` a multiple of every block size still to come, so
   // each counted block is complete and aligned within its tree level.
+  const std::span<const float> tree = tree_data();
+  const std::span<const float> posts_span = posts();
+  const size_t n = posts_span.size();
   uint64_t count = 0;
   size_t pos = 0;
-  for (size_t k = tree_.size(); k-- > 0;) {
+  for (size_t k = tree_levels_; k-- > 0;) {
     const size_t block = size_t{1} << (k + 1);
     if (prefix_len - pos < block) continue;
-    const auto begin = tree_[k].begin() + static_cast<std::ptrdiff_t>(pos);
-    const auto end = begin + static_cast<std::ptrdiff_t>(block);
+    const float* begin = tree.data() + k * n + pos;
+    const float* end = begin + block;
     if (count_geq) {
       count += static_cast<uint64_t>(end - std::lower_bound(begin, end, theta));
     } else {
@@ -122,7 +180,7 @@ uint64_t SubsetStats::CountPostsInPrefix(size_t prefix_len, float theta,
     pos += block;
   }
   if (pos < prefix_len) {  // at most one leaf-level element remains
-    const float post = posts_[pos];
+    const float post = posts_span[pos];
     if (count_geq ? post >= theta : post <= theta) ++count;
   }
   return count;
@@ -131,17 +189,18 @@ uint64_t SubsetStats::CountPostsInPrefix(size_t prefix_len, float theta,
 uint64_t SubsetStats::CountSurprising(SurpriseDirection dir, double theta1,
                                       double theta2) const {
   UNIDETECT_CHECK(finalized_);
-  if (tree_.empty()) return CountSurprisingLinear(dir, theta1, theta2);
+  if (tree_levels_ == 0) return CountSurprisingLinear(dir, theta1, theta2);
+  const std::span<const float> pres_span = pres();
   const float t2 = static_cast<float>(theta2);
   if (dir == SurpriseDirection::kHigherMoreSurprising) {
     // pre >= theta1 (suspicious side) and post <= theta2 (clean side):
     // a suffix of the pre-sorted order, counted as full-range minus prefix.
-    const size_t begin = LowerBound(pres_, theta1);
-    return CountPostsInPrefix(posts_.size(), t2, /*count_geq=*/false) -
+    const size_t begin = LowerBound(pres_span, theta1);
+    return CountPostsInPrefix(pres_span.size(), t2, /*count_geq=*/false) -
            CountPostsInPrefix(begin, t2, /*count_geq=*/false);
   }
   // pre <= theta1 and post >= theta2: a prefix of the pre-sorted order.
-  const size_t end = UpperBound(pres_, theta1);
+  const size_t end = UpperBound(pres_span, theta1);
   return CountPostsInPrefix(end, t2, /*count_geq=*/true);
 }
 
@@ -149,18 +208,20 @@ uint64_t SubsetStats::CountSurprisingLinear(SurpriseDirection dir,
                                             double theta1,
                                             double theta2) const {
   UNIDETECT_CHECK(finalized_);
+  const std::span<const float> pres_span = pres();
+  const std::span<const float> posts_span = posts();
   uint64_t count = 0;
   if (dir == SurpriseDirection::kHigherMoreSurprising) {
     // pre >= theta1 (suspicious side) and post <= theta2 (clean side).
-    const size_t begin = LowerBound(pres_, theta1);
-    for (size_t i = begin; i < posts_.size(); ++i) {
-      if (posts_[i] <= static_cast<float>(theta2)) ++count;
+    const size_t begin = LowerBound(pres_span, theta1);
+    for (size_t i = begin; i < posts_span.size(); ++i) {
+      if (posts_span[i] <= static_cast<float>(theta2)) ++count;
     }
   } else {
     // pre <= theta1 and post >= theta2.
-    const size_t end = UpperBound(pres_, theta1);
+    const size_t end = UpperBound(pres_span, theta1);
     for (size_t i = 0; i < end; ++i) {
-      if (posts_[i] >= static_cast<float>(theta2)) ++count;
+      if (posts_span[i] >= static_cast<float>(theta2)) ++count;
     }
   }
   return count;
@@ -169,19 +230,21 @@ uint64_t SubsetStats::CountSurprisingLinear(SurpriseDirection dir,
 uint64_t SubsetStats::CountPreSuspiciousTail(SurpriseDirection dir,
                                              double theta2) const {
   UNIDETECT_CHECK(finalized_);
+  const std::span<const float> pres_span = pres();
   if (dir == SurpriseDirection::kHigherMoreSurprising) {
-    return pres_.size() - LowerBound(pres_, theta2);  // pre >= theta2
+    return pres_span.size() - LowerBound(pres_span, theta2);  // pre >= theta2
   }
-  return UpperBound(pres_, theta2);  // pre <= theta2
+  return UpperBound(pres_span, theta2);  // pre <= theta2
 }
 
 uint64_t SubsetStats::CountPreCleanTail(SurpriseDirection dir,
                                         double theta2) const {
   UNIDETECT_CHECK(finalized_);
+  const std::span<const float> pres_span = pres();
   if (dir == SurpriseDirection::kHigherMoreSurprising) {
-    return UpperBound(pres_, theta2);  // pre <= theta2
+    return UpperBound(pres_span, theta2);  // pre <= theta2
   }
-  return pres_.size() - LowerBound(pres_, theta2);  // pre >= theta2
+  return pres_span.size() - LowerBound(pres_span, theta2);  // pre >= theta2
 }
 
 namespace {
@@ -194,11 +257,14 @@ float Quantize(double v, double grid) {
 uint64_t SubsetStats::CountPointPair(double theta1, double theta2,
                                      double grid) const {
   UNIDETECT_CHECK(finalized_);
+  const std::span<const float> pres_span = pres();
+  const std::span<const float> posts_span = posts();
   const float q1 = Quantize(theta1, grid);
   const float q2 = Quantize(theta2, grid);
   uint64_t count = 0;
-  for (size_t i = 0; i < pres_.size(); ++i) {
-    if (Quantize(pres_[i], grid) == q1 && Quantize(posts_[i], grid) == q2) {
+  for (size_t i = 0; i < pres_span.size(); ++i) {
+    if (Quantize(pres_span[i], grid) == q1 &&
+        Quantize(posts_span[i], grid) == q2) {
       ++count;
     }
   }
@@ -209,7 +275,7 @@ uint64_t SubsetStats::CountPointPre(double theta2, double grid) const {
   UNIDETECT_CHECK(finalized_);
   const float q2 = Quantize(theta2, grid);
   uint64_t count = 0;
-  for (float pre : pres_) {
+  for (float pre : pres()) {
     if (Quantize(pre, grid) == q2) ++count;
   }
   return count;
@@ -217,8 +283,12 @@ uint64_t SubsetStats::CountPointPre(double theta2, double grid) const {
 
 void SubsetStats::Merge(const SubsetStats& other) {
   UNIDETECT_CHECK(!finalized_);
-  pres_.insert(pres_.end(), other.pres_.begin(), other.pres_.end());
-  posts_.insert(posts_.end(), other.posts_.begin(), other.posts_.end());
+  UNIDETECT_CHECK(!borrowed_);
+  const std::span<const float> other_pres = other.pres();
+  const std::span<const float> other_posts = other.posts();
+  pres_owned_.insert(pres_owned_.end(), other_pres.begin(), other_pres.end());
+  posts_owned_.insert(posts_owned_.end(), other_posts.begin(),
+                      other_posts.end());
 }
 
 void SubsetStats::SerializeTo(std::string* out) const {
@@ -228,9 +298,11 @@ void SubsetStats::SerializeTo(std::string* out) const {
   // with UR 10/13 must still compare equal to a queried theta of 10/13
   // after the model is saved and reloaded).
   os.precision(std::numeric_limits<float>::max_digits10);
-  os << pres_.size();
-  for (size_t i = 0; i < pres_.size(); ++i) {
-    os << ' ' << pres_[i] << ' ' << posts_[i];
+  const std::span<const float> pres_span = pres();
+  const std::span<const float> posts_span = posts();
+  os << pres_span.size();
+  for (size_t i = 0; i < pres_span.size(); ++i) {
+    os << ' ' << pres_span[i] << ' ' << posts_span[i];
   }
   out->append(os.str());
 }
@@ -240,16 +312,16 @@ Result<SubsetStats> SubsetStats::Deserialize(std::string_view text) {
   size_t n = 0;
   if (!(is >> n)) return Status::Corruption("SubsetStats: missing count");
   SubsetStats out;
-  out.pres_.reserve(n);
-  out.posts_.reserve(n);
+  out.pres_owned_.reserve(n);
+  out.posts_owned_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     float pre = 0;
     float post = 0;
     if (!(is >> pre >> post)) {
       return Status::Corruption("SubsetStats: truncated pair list");
     }
-    out.pres_.push_back(pre);
-    out.posts_.push_back(post);
+    out.pres_owned_.push_back(pre);
+    out.posts_owned_.push_back(post);
   }
   out.Finalize();
   return out;

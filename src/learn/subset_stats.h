@@ -4,10 +4,18 @@
 // (theta1, theta2) = (m(D), m(D_O^P)) observation to the subset its
 // feature key selects. Online, the smoothed likelihood ratio of Eq. 12 is
 // two counting queries over these observations.
+//
+// Storage model (DESIGN.md section 12): every query runs over
+// span<const float> views. In the trainer / v1-decode path the spans
+// point at vectors the object owns; in the UDSNAP v2 mmap path they
+// borrow directly from the mapped snapshot (the Model's backing region
+// keeps the mapping alive), so loading a subset allocates nothing and
+// touches no observation bytes until a query faults the pages in.
 
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,14 +36,36 @@ enum class SurpriseDirection : int {
 /// \brief Immutable-after-Finalize store of (pre, post) metric pairs.
 class SubsetStats {
  public:
+  /// Below this size the linear scan beats the merge-sort tree (and the
+  /// tree's memory overhead buys nothing); counts are identical either
+  /// way. Neither Finalize() nor the snapshot writer materializes a tree
+  /// for subsets smaller than this.
+  static constexpr size_t kTreeMinSize = 64;
+
+  /// \brief Number of merge-sort-tree levels Finalize() builds for a
+  /// subset of `n` observations (0 below kTreeMinSize). Part of the v2
+  /// wire contract: the serialized tree section holds exactly
+  /// TreeLevelsFor(n) * n floats per subset.
+  static size_t TreeLevelsFor(size_t n);
+
   /// \brief Adds one observation (build phase only).
   void Add(double pre, double post);
 
   /// \brief Sorts observations; must be called before any query.
   void Finalize();
 
-  size_t size() const { return pres_.size(); }
+  size_t size() const {
+    return borrowed_ ? pres_view_.size() : pres_owned_.size();
+  }
   bool finalized() const { return finalized_; }
+
+  /// \brief True when observation storage borrows from an external
+  /// buffer (a mapped v2 snapshot) instead of owned vectors.
+  bool borrowed() const { return borrowed_; }
+
+  /// \brief Heap bytes owned by this object (0 for borrowed storage);
+  /// feeds the serving tier's model_resident_bytes gauge.
+  uint64_t OwnedBytes() const;
 
   /// \brief Numerator of Eq. 12: observations at least as surprising as
   /// (theta1, theta2) — pre on theta1's suspicious side AND post on
@@ -68,25 +98,58 @@ class SubsetStats {
   /// \brief Merges another (non-finalized or finalized) stats object.
   void Merge(const SubsetStats& other);
 
-  /// \brief Finalized observation arrays in pre-sorted order; consumed
-  /// by the binary snapshot codec (model_format/model_snapshot.cc).
-  const std::vector<float>& pres() const { return pres_; }
-  const std::vector<float>& posts() const { return posts_; }
+  /// \brief Finalized observation arrays in canonical (pre, post) order;
+  /// consumed by the snapshot codecs (model_format/).
+  std::span<const float> pres() const {
+    return borrowed_ ? pres_view_ : std::span<const float>(pres_owned_);
+  }
+  std::span<const float> posts() const {
+    return borrowed_ ? posts_view_ : std::span<const float>(posts_owned_);
+  }
+
+  /// \brief The merge-sort tree as one flat array: tree_levels() levels
+  /// of size() floats each, level k holding posts sorted within aligned
+  /// blocks of 2^(k+1). Empty below kTreeMinSize. The v2 writer
+  /// serializes this verbatim so Finalize() never runs at load time.
+  std::span<const float> tree_data() const {
+    return borrowed_ ? tree_view_ : std::span<const float>(tree_owned_);
+  }
+  size_t tree_levels() const { return tree_levels_; }
 
   /// \brief Rebuilds a finalized stats object from arrays already in
-  /// pre-sorted order (the binary snapshot payload). Rejects unsorted or
+  /// pre-sorted order (the v1 snapshot payload). Rejects unsorted or
   /// size-mismatched input as Corruption: re-sorting here could reorder
   /// posts among tied pres and break the bit-identical
-  /// Save -> Load -> Save guarantee.
+  /// Save -> Load -> Save guarantee. Rebuilds the tree (v1 files do not
+  /// carry one).
   static Result<SubsetStats> FromSortedArrays(std::vector<float> pres,
                                               std::vector<float> posts);
+
+  /// \brief Owned variant of the v2 decode path: installs a
+  /// pre-serialized flat tree instead of rebuilding it, so load never
+  /// re-runs the Finalize() sort/merge work. `tree` must hold exactly
+  /// TreeLevelsFor(pres.size()) * pres.size() floats.
+  static Result<SubsetStats> FromSortedArraysWithTree(
+      std::vector<float> pres, std::vector<float> posts,
+      std::vector<float> tree);
+
+  /// \brief Zero-copy v2 decode path: observation and tree storage stay
+  /// in the caller's buffer (a mapped snapshot section). The caller
+  /// guarantees the buffer outlives the object — in practice via the
+  /// owning Model's backing region. `validate_sorted` controls the O(n)
+  /// pre-order check (on for full snapshot validation, skipped in the
+  /// deferred serving mode whose structural checks are O(#subsets)).
+  static Result<SubsetStats> FromBorrowedSorted(std::span<const float> pres,
+                                                std::span<const float> posts,
+                                                std::span<const float> tree,
+                                                bool validate_sorted);
 
   /// \brief Text serialization: "n pre1 post1 pre2 post2 ...".
   void SerializeTo(std::string* out) const;
   static Result<SubsetStats> Deserialize(std::string_view text);
 
  private:
-  /// Builds the merge-sort tree over posts_ (pres_ must be sorted).
+  /// Builds the flat merge-sort tree over posts (pres must be sorted).
   void BuildTree();
 
   /// Counts posts on the given side of `theta` (inclusive) within the
@@ -94,14 +157,21 @@ class SubsetStats {
   uint64_t CountPostsInPrefix(size_t prefix_len, float theta,
                               bool count_geq) const;
 
-  // Parallel arrays sorted by pre after Finalize().
-  std::vector<float> pres_;
-  std::vector<float> posts_;
-  // Merge-sort tree over posts_ in pre-sorted order, built by Finalize()
-  // for subsets of at least kTreeMinSize observations. tree_[k] holds
-  // posts_ sorted within aligned blocks of 2^(k+1) elements; the top
-  // level is one fully-sorted block. ~n log n floats, O(n log n) build.
-  std::vector<std::vector<float>> tree_;
+  // Parallel arrays sorted by (pre, post) after Finalize(). Owned
+  // storage is used by the build/trainer/v1 paths; the *_view_ spans are
+  // populated only in borrowed mode.
+  std::vector<float> pres_owned_;
+  std::vector<float> posts_owned_;
+  // Flat merge-sort tree over posts in pre-sorted order, built by
+  // Finalize() for subsets of at least kTreeMinSize observations:
+  // tree_levels_ levels of size() floats each (~n log n floats total,
+  // O(n log n) build), one allocation.
+  std::vector<float> tree_owned_;
+  std::span<const float> pres_view_;
+  std::span<const float> posts_view_;
+  std::span<const float> tree_view_;
+  size_t tree_levels_ = 0;
+  bool borrowed_ = false;
   bool finalized_ = false;
 };
 

@@ -1,0 +1,28 @@
+// Internal helpers shared between the v1 (model_snapshot.cc) and v2
+// (snapshot_v2.cc) snapshot codecs. Not part of the public API.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "learn/model.h"
+#include "util/result.h"
+
+namespace unidetect {
+namespace snapshot_internal {
+
+inline constexpr size_t kHeaderBytes = 8 + 4 + 4;
+inline constexpr size_t kTableEntryBytes = 4 + 4 + 8 + 8;
+
+/// \brief The options payload is version-independent (section id 1 in
+/// both layouts).
+std::string EncodeOptionsPayload(const ModelOptions& options);
+Result<ModelOptions> DecodeOptionsPayload(std::string_view payload);
+
+/// \brief Human-readable section name for error messages.
+std::string SectionName(uint32_t id);
+
+}  // namespace snapshot_internal
+}  // namespace unidetect

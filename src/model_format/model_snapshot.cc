@@ -1,17 +1,19 @@
 #include "model_format/model_snapshot.h"
 
+#include <bit>
+#include <memory>
 #include <vector>
 
+#include "model_format/codec_internal.h"
+#include "model_format/snapshot_v2.h"
 #include "util/binary_io.h"
 #include "util/logging.h"
+#include "util/mmap_file.h"
 #include "util/string_util.h"
 
 namespace unidetect {
 
-namespace {
-
-constexpr size_t kHeaderBytes = 8 + 4 + 4;
-constexpr size_t kTableEntryBytes = 4 + 4 + 8 + 8;
+namespace snapshot_internal {
 
 std::string EncodeOptionsPayload(const ModelOptions& options) {
   std::string out;
@@ -68,14 +70,50 @@ Result<ModelOptions> DecodeOptionsPayload(std::string_view payload) {
   return options;
 }
 
+std::string SectionName(uint32_t id) {
+  switch (static_cast<SnapshotSection>(id)) {
+    case SnapshotSection::kOptions:
+      return "options";
+    case SnapshotSection::kSubsets:
+      return "subsets";
+    case SnapshotSection::kTokenIndex:
+      return "token index";
+    case SnapshotSection::kPatternIndex:
+      return "pattern index";
+    case SnapshotSection::kStringPool:
+      return "string pool";
+    case SnapshotSection::kSubsetIndex:
+      return "subset index";
+    case SnapshotSection::kObservations:
+      return "observations";
+    case SnapshotSection::kTreeLevels:
+      return "tree levels";
+    case SnapshotSection::kTokenIndex2:
+      return "token index";
+    case SnapshotSection::kPatternIndex2:
+      return "pattern index";
+  }
+  return StrCat("unknown(", id, ")");
+}
+
+}  // namespace snapshot_internal
+
+namespace {
+
+using snapshot_internal::DecodeOptionsPayload;
+using snapshot_internal::EncodeOptionsPayload;
+using snapshot_internal::kHeaderBytes;
+using snapshot_internal::kTableEntryBytes;
+using snapshot_internal::SectionName;
+
 std::string EncodeSubsetsPayload(const Model& model) {
   std::string out;
   AppendU64(&out, model.num_subsets());
   model.ForEachSubsetSorted([&](FeatureKey key, const SubsetStats& stats) {
     AppendU64(&out, key.packed);
     AppendU64(&out, stats.size());
-    const std::vector<float>& pres = stats.pres();
-    const std::vector<float>& posts = stats.posts();
+    const std::span<const float> pres = stats.pres();
+    const std::span<const float> posts = stats.posts();
     for (size_t i = 0; i < pres.size(); ++i) {
       AppendF32(&out, pres[i]);
       AppendF32(&out, posts[i]);
@@ -130,83 +168,15 @@ Status DecodeSubsetsPayload(std::string_view payload, Model* model) {
   return Status::OK();
 }
 
-std::string SectionName(uint32_t id) {
-  switch (static_cast<SnapshotSection>(id)) {
-    case SnapshotSection::kOptions:
-      return "options";
-    case SnapshotSection::kSubsets:
-      return "subsets";
-    case SnapshotSection::kTokenIndex:
-      return "token index";
-    case SnapshotSection::kPatternIndex:
-      return "pattern index";
-  }
-  return StrCat("unknown(", id, ")");
-}
-
-}  // namespace
-
-bool LooksLikeModelSnapshot(std::string_view bytes) {
-  return StartsWith(bytes, kSnapshotMagic);
-}
-
-std::string EncodeModelSnapshot(const Model& model) {
-  UNIDETECT_CHECK(model.finalized());
-  struct Section {
-    SnapshotSection id;
-    std::string payload;
-  };
-  std::vector<Section> sections;
-  sections.push_back({SnapshotSection::kOptions,
-                      EncodeOptionsPayload(model.options())});
-  sections.push_back({SnapshotSection::kSubsets, EncodeSubsetsPayload(model)});
-  {
-    std::string payload;
-    model.token_index().AppendBinary(&payload);
-    sections.push_back({SnapshotSection::kTokenIndex, std::move(payload)});
-  }
-  {
-    std::string payload;
-    model.pattern_index().AppendBinary(&payload);
-    sections.push_back({SnapshotSection::kPatternIndex, std::move(payload)});
-  }
-
-  std::string out;
-  out.append(kSnapshotMagic);
-  AppendU32(&out, kSnapshotVersion);
-  AppendU32(&out, static_cast<uint32_t>(sections.size()));
-  uint64_t offset = kHeaderBytes + sections.size() * kTableEntryBytes;
-  for (const Section& section : sections) {
-    AppendU32(&out, static_cast<uint32_t>(section.id));
-    AppendU32(&out, Crc32(section.payload));
-    AppendU64(&out, offset);
-    AppendU64(&out, section.payload.size());
-    offset += section.payload.size();
-  }
-  for (const Section& section : sections) out.append(section.payload);
-  return out;
-}
-
-Result<Model> DecodeModelSnapshot(std::string_view bytes) {
+Result<Model> DecodeModelSnapshotV1(std::string_view bytes) {
   BinaryReader reader(bytes);
   std::string_view magic;
-  if (!reader.ReadBytes(kSnapshotMagic.size(), &magic) ||
-      magic != kSnapshotMagic) {
-    return Status::Corruption("Model snapshot: bad magic");
-  }
+  reader.ReadBytes(kSnapshotMagic.size(), &magic);  // verified by caller
   uint32_t version = 0;
   uint32_t section_count = 0;
-  if (!reader.ReadU32(&version) || !reader.ReadU32(&section_count)) {
+  reader.ReadU32(&version);
+  if (!reader.ReadU32(&section_count)) {
     return Status::Corruption("Model snapshot: truncated header");
-  }
-  if (version == 0) {
-    return Status::Corruption("Model snapshot: format version 0 is invalid");
-  }
-  if (version > kSnapshotVersion) {
-    return Status::NotImplemented(
-        StrCat("Model snapshot: format version ", version,
-               " is newer than the supported version ", kSnapshotVersion,
-               "; upgrade the reader"));
   }
 
   struct Entry {
@@ -298,6 +268,112 @@ Result<Model> DecodeModelSnapshot(std::string_view bytes) {
 
   model.Finalize();
   return model;
+}
+
+}  // namespace
+
+bool LooksLikeModelSnapshot(std::string_view bytes) {
+  return StartsWith(bytes, kSnapshotMagic);
+}
+
+uint32_t SnapshotVersionOf(std::string_view bytes) {
+  if (!LooksLikeModelSnapshot(bytes) || bytes.size() < kHeaderBytes - 4) {
+    return 0;
+  }
+  BinaryReader reader(bytes.substr(kSnapshotMagic.size()));
+  uint32_t version = 0;
+  reader.ReadU32(&version);
+  return version;
+}
+
+std::string EncodeModelSnapshot(const Model& model) {
+  return EncodeModelSnapshotV2(model);
+}
+
+std::string EncodeModelSnapshotV1(const Model& model) {
+  UNIDETECT_CHECK(model.finalized());
+  struct Section {
+    SnapshotSection id;
+    std::string payload;
+  };
+  std::vector<Section> sections;
+  sections.push_back({SnapshotSection::kOptions,
+                      EncodeOptionsPayload(model.options())});
+  sections.push_back({SnapshotSection::kSubsets, EncodeSubsetsPayload(model)});
+  {
+    std::string payload;
+    model.token_index().AppendBinary(&payload);
+    sections.push_back({SnapshotSection::kTokenIndex, std::move(payload)});
+  }
+  {
+    std::string payload;
+    model.pattern_index().AppendBinary(&payload);
+    sections.push_back({SnapshotSection::kPatternIndex, std::move(payload)});
+  }
+
+  std::string out;
+  out.append(kSnapshotMagic);
+  AppendU32(&out, 1);  // the v1 layout always announces version 1
+  AppendU32(&out, static_cast<uint32_t>(sections.size()));
+  uint64_t offset = kHeaderBytes + sections.size() * kTableEntryBytes;
+  for (const Section& section : sections) {
+    AppendU32(&out, static_cast<uint32_t>(section.id));
+    AppendU32(&out, Crc32(section.payload));
+    AppendU64(&out, offset);
+    AppendU64(&out, section.payload.size());
+    offset += section.payload.size();
+  }
+  for (const Section& section : sections) out.append(section.payload);
+  return out;
+}
+
+Result<Model> DecodeModelSnapshot(std::string_view bytes,
+                                  SnapshotValidation validation) {
+  BinaryReader reader(bytes);
+  std::string_view magic;
+  if (!reader.ReadBytes(kSnapshotMagic.size(), &magic) ||
+      magic != kSnapshotMagic) {
+    return Status::Corruption("Model snapshot: bad magic");
+  }
+  uint32_t version = 0;
+  if (!reader.ReadU32(&version)) {
+    return Status::Corruption("Model snapshot: truncated header");
+  }
+  if (version == 0) {
+    return Status::Corruption("Model snapshot: format version 0 is invalid");
+  }
+  if (version > kSnapshotVersion) {
+    return Status::NotImplemented(
+        StrCat("Model snapshot: format version ", version,
+               " is newer than the supported version ", kSnapshotVersion,
+               "; upgrade the reader"));
+  }
+  if (version >= 2) return DecodeModelSnapshotV2(bytes, validation);
+  return DecodeModelSnapshotV1(bytes);
+}
+
+Result<Model> LoadModelFromFile(const std::string& path,
+                                SnapshotValidation validation) {
+  auto region_or = MmapRegion::Map(path);
+  if (!region_or.ok()) return region_or.status();
+  MmapRegion region = std::move(region_or).ValueOrDie();
+  const std::string_view bytes = region.bytes();
+  if (LooksLikeModelSnapshot(bytes)) {
+    if (SnapshotVersionOf(bytes) >= 2 &&
+        std::endian::native == std::endian::little) {
+      return ModelFromSnapshotRegion(
+          std::make_shared<MmapRegion>(std::move(region)), validation);
+    }
+    // v1 (or a big-endian host): owned decode; the mapping doubles as the
+    // read buffer and is dropped on return.
+    return DecodeModelSnapshot(bytes, validation);
+  }
+  // Legacy text sniff: the pre-snapshot format opened with its own magic
+  // line and stays readable so existing model files keep working.
+  if (StartsWith(bytes, kLegacyModelMagic)) return Model::Deserialize(bytes);
+  return Status::Corruption("Model: " + path +
+                            " is neither a binary snapshot nor a legacy "
+                            "text model (bad magic)");
 }
 
 }  // namespace unidetect

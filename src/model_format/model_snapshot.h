@@ -2,7 +2,8 @@
 // offline component (Section 2.2.3: learning crunches T once; online
 // detection is a metric computation plus a lookup into this file).
 //
-// Wire layout (all integers little-endian, fixed width; DESIGN.md §10):
+// Wire layout (all integers little-endian, fixed width; DESIGN.md §10
+// for the container, §12 for the v2 flat layout):
 //
 //   header          magic[8] = "UDSNAP\r\n"   (the \r\n catches text-mode
 //                   u32 format_version         line-ending mangling, like
@@ -17,11 +18,15 @@
 // Encoding is fully deterministic (sorted subsets, tokens, patterns):
 // Save -> Load -> Save produces identical bytes.
 //
-// Compatibility policy: readers reject snapshots whose format_version is
-// newer than kSnapshotVersion (the layout may have changed incompatibly)
-// and skip unknown section ids within a known version (additive
-// sections do not require a version bump). The legacy text model format
-// remains readable through Model::Load's magic sniff.
+// Version 2 (the default writer output, model_format/snapshot_v2.h) lays
+// every payload out flat and 64-byte aligned so a reader can mmap the
+// file and query it in place; version 1 (inline length-prefixed
+// payloads) remains fully readable. Compatibility policy: readers reject
+// snapshots whose format_version is newer than kSnapshotVersion (the
+// layout may have changed incompatibly) and skip unknown section ids
+// within a known version (additive sections do not require a version
+// bump). The legacy text model format remains readable through
+// Model::Load's magic sniff.
 
 #pragma once
 
@@ -30,33 +35,66 @@
 #include <string_view>
 
 #include "learn/model.h"
+#include "model_format/snapshot_validation.h"
 #include "util/result.h"
 
 namespace unidetect {
 
 inline constexpr std::string_view kSnapshotMagic{"UDSNAP\r\n", 8};
-inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 /// \brief Section identifiers. Values are part of the wire format.
+/// Ids 1-4 are the v1 layout; 5-10 are the v2 flat layout (a v2 file
+/// carries {1, 5..10}; id 1 is shared because the options payload is
+/// version-independent).
 enum class SnapshotSection : uint32_t {
-  kOptions = 1,       ///< ModelOptions, fixed-width fields
-  kSubsets = 2,       ///< per-FeatureKey (theta1, theta2) observations
-  kTokenIndex = 3,    ///< token prevalence index
-  kPatternIndex = 4,  ///< pattern co-occurrence index
+  kOptions = 1,        ///< ModelOptions, fixed-width fields (v1 and v2)
+  kSubsets = 2,        ///< v1: inline per-key (theta1, theta2) lists
+  kTokenIndex = 3,     ///< v1: token prevalence index
+  kPatternIndex = 4,   ///< v1: pattern co-occurrence index
+  kStringPool = 5,     ///< v2: interned bytes of all tokens/patterns
+  kSubsetIndex = 6,    ///< v2: key-sorted fixed-width subset directory
+  kObservations = 7,   ///< v2: contiguous f32 pres/posts arrays
+  kTreeLevels = 8,     ///< v2: flat per-subset merge-sort-tree levels
+  kTokenIndex2 = 9,    ///< v2: pool-ref token entries
+  kPatternIndex2 = 10, ///< v2: pool-ref pattern + pair entries
 };
 
 /// \brief True when `bytes` starts with the snapshot magic (the cheap
 /// sniff Model::Load uses to pick binary vs legacy text decoding).
 bool LooksLikeModelSnapshot(std::string_view bytes);
 
-/// \brief Encodes a finalized model as one snapshot blob.
+/// \brief The snapshot's format_version field, or 0 when `bytes` is not
+/// a snapshot (or too short to carry the header).
+uint32_t SnapshotVersionOf(std::string_view bytes);
+
+/// \brief Encodes a finalized model as one snapshot blob in the current
+/// default format (v2 flat layout).
 std::string EncodeModelSnapshot(const Model& model);
 
-/// \brief Decodes a snapshot blob into a finalized, query-ready model.
+/// \brief Encodes the legacy v1 layout. Kept as a writer so format-
+/// migration tests, tools/snapshot_convert, and the v1-vs-v2 benchmarks
+/// can produce v1 artifacts on demand.
+std::string EncodeModelSnapshotV1(const Model& model);
+
+/// \brief Decodes a snapshot blob (either version, dispatched on the
+/// header) into a finalized, query-ready model. Always copies into owned
+/// storage — in-memory buffers carry no alignment guarantee; the
+/// zero-copy path is LoadModelFromFile / ModelView over a mapped file.
 ///
 /// Never returns a partial model: corrupt, truncated, or checksum-failed
 /// input yields Status::Corruption; input written by a newer format
 /// version yields Status::NotImplemented.
-Result<Model> DecodeModelSnapshot(std::string_view bytes);
+Result<Model> DecodeModelSnapshot(
+    std::string_view bytes,
+    SnapshotValidation validation = SnapshotValidation::kFull);
+
+/// \brief Loads a model file of any supported format: v2 snapshots are
+/// mapped and decoded zero-copy (on little-endian hosts), v1 snapshots
+/// and legacy text models are decoded into owned storage via the magic
+/// sniff. Backs Model::Load and DetectionService::Reload.
+Result<Model> LoadModelFromFile(
+    const std::string& path,
+    SnapshotValidation validation = SnapshotValidation::kFull);
 
 }  // namespace unidetect

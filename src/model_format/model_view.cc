@@ -1,0 +1,17 @@
+#include "model_format/model_view.h"
+
+#include <utility>
+
+#include "model_format/model_snapshot.h"
+
+namespace unidetect {
+
+Result<ModelView> ModelView::Open(const std::string& path,
+                                  SnapshotValidation validation) {
+  auto model = LoadModelFromFile(path, validation);
+  if (!model.ok()) return model.status();
+  return ModelView(
+      std::make_shared<const Model>(std::move(model).ValueOrDie()));
+}
+
+}  // namespace unidetect

@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "model_format/model_view.h"
 #include "util/thread_pool.h"
 
 namespace unidetect {
@@ -19,6 +20,28 @@ UniDetectOptions SanitizeOverride(const UniDetectOptions& options) {
   sanitized.progress = nullptr;
   return sanitized;
 }
+
+size_t LatencyBucket(int64_t micros) {
+  return std::min<size_t>(
+      std::bit_width(static_cast<uint64_t>(micros < 0 ? 0 : micros)),
+      DetectionService::kLatencyBuckets - 1);
+}
+
+// Percentile upper bound read off a power-of-two histogram holding
+// `count` samples.
+double HistogramPercentile(
+    const std::array<uint64_t, DetectionService::kLatencyBuckets>& buckets,
+    uint64_t count, double q) {
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return static_cast<double>(uint64_t{1} << i);
+  }
+  return static_cast<double>(uint64_t{1}
+                             << (DetectionService::kLatencyBuckets - 1));
+}
 }  // namespace
 
 DetectionService::DetectionService(std::shared_ptr<const Model> model,
@@ -31,34 +54,41 @@ DetectionService::DetectionService(std::shared_ptr<const Model> model,
 
 Result<std::unique_ptr<DetectionService>> DetectionService::Create(
     const std::string& model_path, UniDetectOptions options) {
-  UNIDETECT_ASSIGN_OR_RETURN(Model model, Model::Load(model_path));
-  return std::make_unique<DetectionService>(
-      std::make_shared<const Model>(std::move(model)), std::move(options));
+  auto view = ModelView::Open(model_path);
+  if (!view.ok()) return view.status();
+  return std::make_unique<DetectionService>(view->shared_model(),
+                                            std::move(options));
 }
 
 Status DetectionService::Reload(const std::string& path) {
+  const auto start = std::chrono::steady_clock::now();
   // Load and engine construction happen with no lock held: the current
   // snapshot keeps serving while the replacement is prepared, and a
-  // failed load never disturbs it.
-  Result<Model> loaded = Model::Load(path);
-  if (!loaded.ok()) {
+  // failed load never disturbs it. ModelView's default deferred
+  // validation keeps a v2 open at O(index); the bulk payloads are never
+  // read until queries fault their pages in.
+  auto view = ModelView::Open(path);
+  if (!view.ok()) {
     MutexLock lock(&stats_mu_);
     ++failed_reloads_;
-    return loaded.status();
+    return view.status();
   }
-  auto model =
-      std::make_shared<const Model>(std::move(loaded).ValueOrDie());
   std::shared_ptr<const Engine> replacement;
   {
     MutexLock lock(&mu_);
     replacement = std::make_shared<const Engine>(
-        std::move(model), options_, engine_->generation + 1);
+        view->shared_model(), options_, engine_->generation + 1);
     // The old engine is released here; it stays alive until the last
-    // in-flight batch that pinned it drops its reference.
+    // in-flight batch that pinned it drops its reference (for a mapped
+    // model, that release is also the munmap).
     engine_ = replacement;
   }
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
   MutexLock lock(&stats_mu_);
   ++reloads_;
+  ++reload_latency_buckets_[LatencyBucket(micros)];
   return Status::OK();
 }
 
@@ -107,16 +137,12 @@ DetectionService::BatchResult DetectionService::DetectBatch(
   const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                           std::chrono::steady_clock::now() - start)
                           .count();
-  const size_t bucket =
-      std::min<size_t>(std::bit_width(static_cast<uint64_t>(
-                           micros < 0 ? 0 : micros)),
-                       kLatencyBuckets - 1);
   {
     MutexLock lock(&stats_mu_);
     ++requests_;
     tables_ += tables.size();
     findings_ += found;
-    ++latency_buckets_[bucket];
+    ++latency_buckets_[LatencyBucket(micros)];
   }
   return result;
 }
@@ -127,8 +153,14 @@ uint64_t DetectionService::generation() const {
 
 ServiceStats DetectionService::Stats() const {
   ServiceStats stats;
-  stats.generation = generation();
+  {
+    const std::shared_ptr<const Engine> engine = Snapshot();
+    stats.generation = engine->generation;
+    stats.model_resident_bytes = engine->model->ApproxResidentBytes();
+    stats.model_mapped_bytes = engine->model->mapped_bytes();
+  }
   std::array<uint64_t, kLatencyBuckets> buckets;
+  std::array<uint64_t, kLatencyBuckets> reload_buckets;
   {
     MutexLock lock(&stats_mu_);
     stats.requests = requests_;
@@ -137,22 +169,17 @@ ServiceStats DetectionService::Stats() const {
     stats.reloads = reloads_;
     stats.failed_reloads = failed_reloads_;
     buckets = latency_buckets_;
+    reload_buckets = reload_latency_buckets_;
   }
   if (stats.requests > 0) {
-    auto percentile = [&](double q) {
-      const uint64_t rank = static_cast<uint64_t>(
-          q * static_cast<double>(stats.requests - 1)) + 1;
-      uint64_t seen = 0;
-      for (size_t i = 0; i < buckets.size(); ++i) {
-        seen += buckets[i];
-        if (seen >= rank) {
-          return static_cast<double>(uint64_t{1} << i);
-        }
-      }
-      return static_cast<double>(uint64_t{1} << (kLatencyBuckets - 1));
-    };
-    stats.latency_p50_us = percentile(0.50);
-    stats.latency_p99_us = percentile(0.99);
+    stats.latency_p50_us = HistogramPercentile(buckets, stats.requests, 0.50);
+    stats.latency_p99_us = HistogramPercentile(buckets, stats.requests, 0.99);
+  }
+  if (stats.reloads > 0) {
+    stats.reload_latency_p50_us =
+        HistogramPercentile(reload_buckets, stats.reloads, 0.50);
+    stats.reload_latency_p99_us =
+        HistogramPercentile(reload_buckets, stats.reloads, 0.99);
   }
   return stats;
 }

@@ -48,6 +48,18 @@ struct ServiceStats {
   /// under 256us.
   double latency_p50_us = 0.0;
   double latency_p99_us = 0.0;
+  /// Successful-Reload latency percentile upper bounds (load + swap), in
+  /// microseconds, from their own power-of-two histogram. On the v2
+  /// mmap path this stays flat as models grow — the whole point of the
+  /// zero-copy snapshot layout.
+  double reload_latency_p50_us = 0.0;
+  double reload_latency_p99_us = 0.0;
+  /// Storage gauges of the currently served model: private heap bytes vs
+  /// file-backed mapped bytes (page-cache shared across processes). An
+  /// owned model reports mapped = 0; a mapped v2 model keeps resident
+  /// near zero.
+  uint64_t model_resident_bytes = 0;
+  uint64_t model_mapped_bytes = 0;
 };
 
 /// \brief Serves detection requests over a hot-swappable model.
@@ -66,8 +78,8 @@ class DetectionService {
   explicit DetectionService(std::shared_ptr<const Model> model,
                             UniDetectOptions options = {});
 
-  /// \brief Builds a service from a model file (binary snapshot or
-  /// legacy text, sniffed by Model::Load).
+  /// \brief Builds a service from a model file (any supported format,
+  /// opened through ModelView — v2 snapshots are mapped zero-copy).
   static Result<std::unique_ptr<DetectionService>> Create(
       const std::string& model_path, UniDetectOptions options = {});
 
@@ -78,7 +90,13 @@ class DetectionService {
   /// `path`. The load runs outside the swap lock — the current model
   /// keeps serving throughout — and the swap happens only on success;
   /// on failure the service is untouched and the error is returned.
-  /// In-flight batches finish on the snapshot they started with.
+  /// In-flight batches finish on the snapshot they started with; a
+  /// retired mapped model unmaps its region when the last such batch
+  /// drops its engine reference.
+  ///
+  /// v2 snapshots open in deferred-validation mode (structure and
+  /// metadata CRCs only), so reload cost is O(index), independent of
+  /// observation count.
   Status Reload(const std::string& path);
 
   /// \brief Scans `tables` and returns per-table ranked findings.
@@ -129,6 +147,8 @@ class DetectionService {
   mutable uint64_t reloads_ GUARDED_BY(stats_mu_) = 0;
   mutable uint64_t failed_reloads_ GUARDED_BY(stats_mu_) = 0;
   mutable std::array<uint64_t, kLatencyBuckets> latency_buckets_
+      GUARDED_BY(stats_mu_) = {};
+  mutable std::array<uint64_t, kLatencyBuckets> reload_latency_buckets_
       GUARDED_BY(stats_mu_) = {};
 };
 

@@ -111,6 +111,33 @@ TEST(DetectionServiceTest, ReloadSwapsGenerationAndFailureLeavesService) {
   EXPECT_EQ(stats.generation, 2u);
 }
 
+TEST(DetectionServiceTest, ReloadHistogramAndStorageGauges) {
+  auto model = TrainSharedModel(120, 53);
+  const std::string path = testing::TempDir() + "/service_gauges.model";
+  ASSERT_TRUE(model->Save(path).ok());
+
+  auto service = DetectionService::Create(path);
+  ASSERT_TRUE(service.ok()) << service.status();
+  {
+    const ServiceStats stats = (*service)->Stats();
+    // Save() wrote a v2 snapshot, so Create mapped it zero-copy: the
+    // gauges must show file-backed bytes and a small private footprint.
+    EXPECT_GT(stats.model_mapped_bytes, 0u);
+    EXPECT_LT(stats.model_resident_bytes, stats.model_mapped_bytes);
+    // No reloads yet: the reload percentiles stay at their zero state.
+    EXPECT_EQ(stats.reloads, 0u);
+    EXPECT_EQ(stats.reload_latency_p50_us, 0.0);
+    EXPECT_EQ(stats.reload_latency_p99_us, 0.0);
+  }
+
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE((*service)->Reload(path).ok());
+  const ServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.reloads, 3u);
+  EXPECT_GT(stats.reload_latency_p50_us, 0.0);
+  EXPECT_GE(stats.reload_latency_p99_us, stats.reload_latency_p50_us);
+  EXPECT_GT(stats.model_mapped_bytes, 0u);
+}
+
 TEST(DetectionServiceTest, StatsCountRequestsTablesAndFindings) {
   auto model = TrainSharedModel(120, 48);
   UniDetectOptions options;

@@ -59,6 +59,18 @@ TEST(DeterminismLintTest, BannedSourcesFlagged) {
   EXPECT_EQ(result.findings.size(), 7u);
 }
 
+TEST(DeterminismLintTest, PointerKeysOverMappedRegionsFlagged) {
+  // The zero-copy snapshot path hands out spans into a mapped region;
+  // keying anything on those addresses is run-to-run nondeterministic
+  // (ASLR moves the mapping). The fixture collects the shapes the v2
+  // reader must never grow.
+  LintResult result = LintFixture("bad_pointer_key_mapped.cc");
+  auto counts = CountByCheck(result);
+  EXPECT_EQ(counts["pointer-key"], 3);
+  EXPECT_EQ(result.findings.size(), 3u);
+  EXPECT_EQ(result.suppressed, 0);
+}
+
 TEST(DeterminismLintTest, MutableStateFlagged) {
   LintResult result = LintFixture("bad_mutable_state.cc");
   auto counts = CountByCheck(result);

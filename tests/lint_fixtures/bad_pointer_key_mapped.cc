@@ -1,0 +1,29 @@
+// Lint fixture: pointer-key findings (expected: 3) over mapped-region
+// base pointers. Not part of the build; scanned textually by
+// determinism_lint_test.
+//
+// The hazard this pins down: spans decoded zero-copy from a mapped
+// snapshot (util/mmap_file.h) are identified by addresses inside the
+// mapping, and mmap placement changes run to run (ASLR), so any
+// container ordered or hashed on those addresses iterates in a
+// different order every execution. MmapRegion deletes operator< for
+// exactly this reason; key on the subset's FeatureKey or the section
+// offset instead.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace fixture {
+
+struct MappedDirectory {
+  // pointer-key: subsets keyed by their mapped base address.
+  std::map<const float*, std::size_t> subset_by_base;
+  // pointer-key: ordered set of mapped section starts.
+  std::set<const std::byte*> section_starts;
+  // pointer-key: hashed mapping base -> reference count.
+  std::unordered_map<const void*, int> region_refs;
+};
+
+}  // namespace fixture

@@ -63,6 +63,50 @@ TEST(SubsetStatsTest, PointCountsQuantize) {
   EXPECT_EQ(stats.CountPointPre(1.3, 0.1), 1u);
 }
 
+TEST(SubsetStatsTest, SmallSubsetsBuildNoTree) {
+  // Below kTreeMinSize neither Finalize() nor any snapshot load path
+  // materializes the merge-sort tree: tree_owned_ stays unallocated
+  // (OwnedBytes counts only the observation arrays) and CountSurprising
+  // falls through to the linear scan with identical answers.
+  SubsetStats small;
+  Rng rng(91);
+  for (size_t i = 0; i + 1 < SubsetStats::kTreeMinSize; ++i) {
+    const double pre = rng.Uniform(0.0, 10.0);
+    small.Add(pre, rng.Uniform(0.0, pre));
+  }
+  small.Finalize();
+  ASSERT_LT(small.size(), SubsetStats::kTreeMinSize);
+  EXPECT_EQ(SubsetStats::TreeLevelsFor(small.size()), 0u);
+  EXPECT_EQ(small.tree_levels(), 0u);
+  EXPECT_TRUE(small.tree_data().empty());
+  // The decode paths (exact-capacity arrays) show the missing tree in
+  // the byte accounting: observations only, no tree storage.
+  auto decoded = SubsetStats::FromSortedArraysWithTree(
+      std::vector<float>(small.pres().begin(), small.pres().end()),
+      std::vector<float>(small.posts().begin(), small.posts().end()), {});
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->OwnedBytes(), 2 * small.size() * sizeof(float));
+  for (double theta1 : {0.5, 2.0, 5.0, 9.5}) {
+    EXPECT_EQ(small.CountSurprising(SurpriseDirection::kHigherMoreSurprising,
+                                    theta1, 1.0),
+              small.CountSurprisingLinear(
+                  SurpriseDirection::kHigherMoreSurprising, theta1, 1.0));
+  }
+
+  // One more observation crosses the threshold and the tree appears.
+  SubsetStats large;
+  Rng rng2(92);
+  for (size_t i = 0; i < SubsetStats::kTreeMinSize; ++i) {
+    const double pre = rng2.Uniform(0.0, 10.0);
+    large.Add(pre, rng2.Uniform(0.0, pre));
+  }
+  large.Finalize();
+  EXPECT_EQ(large.tree_levels(),
+            SubsetStats::TreeLevelsFor(SubsetStats::kTreeMinSize));
+  EXPECT_GT(large.tree_levels(), 0u);
+  EXPECT_EQ(large.tree_data().size(), large.tree_levels() * large.size());
+}
+
 TEST(SubsetStatsTest, MergeThenFinalize) {
   SubsetStats a;
   a.Add(1, 2);
