@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "corpus/corpus_io.h"
@@ -22,11 +23,13 @@
 #include "metrics/metric_functions.h"
 #include "model_format/model_snapshot.h"
 #include "model_format/model_view.h"
+#include "model_format/snapshot_v2.h"
 #include "offline/offline_build.h"
 #include "serving/detection_service.h"
 #include "util/binary_io.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace unidetect {
 namespace {
@@ -187,6 +190,50 @@ void BM_LrQueryLinear(benchmark::State& state) {
 }
 BENCHMARK(BM_LrQueryLinear)->Arg(100000);
 
+// The leaf scans inside CountSurprising with the SIMD path on (simd=1)
+// vs forced scalar (simd=0), over the same theta stream.
+// SubsetStatsSimdTest guards the bit-identical contract; this sweep
+// records the speedup the vector kernels buy on the query path. n=96
+// is leaf-dominated (every post swept, no block above kSimdLeafBlock
+// fits), n=100000 is tree-dominated (binary searches do the bulk, the
+// sweep covers only the sub-block leftover).
+const SubsetStats& BenchSubset(size_t n) {
+  static auto* const cache = new std::map<size_t, const SubsetStats*>();
+  auto it = cache->find(n);
+  if (it != cache->end()) return *it->second;
+  Rng rng(41);
+  auto* s = new SubsetStats();
+  for (size_t i = 0; i < n; ++i) {
+    s->Add(rng.Uniform(0, 1000), rng.Uniform(0, 1000));
+  }
+  s->Finalize();
+  return *cache->emplace(n, s).first->second;
+}
+
+void BM_CountSurprising(benchmark::State& state) {
+  const SubsetStats& stats = BenchSubset(static_cast<size_t>(state.range(0)));
+  simd::SetSimdEnabled(state.range(1) != 0);
+  Rng rng(43);
+  std::vector<double> thetas(256);
+  for (auto& t : thetas) t = rng.Uniform(0, 1000);
+  size_t i = 0;
+  for (auto _ : state) {
+    const double t1 = thetas[i % thetas.size()];
+    const double t2 = thetas[(i + 1) % thetas.size()];
+    ++i;
+    benchmark::DoNotOptimize(stats.CountSurprising(
+        SurpriseDirection::kLowerMoreSurprising, t1, t2));
+  }
+  state.SetLabel(simd::SimdLevelName(simd::ActiveSimdLevel()));
+  simd::SetSimdEnabled(true);
+}
+BENCHMARK(BM_CountSurprising)
+    ->ArgNames({"n", "simd"})
+    ->Args({96, 0})
+    ->Args({96, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
+
 void BM_DetectTable(benchmark::State& state) {
   const Model& model = SharedModel();
   Rng rng(13);
@@ -292,20 +339,25 @@ Model BuildSyntheticModel(uint64_t total_obs) {
   return model;
 }
 
-const std::string& BenchSnapshotPath(int64_t total_obs, uint32_t version) {
+const std::string& BenchSnapshotPath(int64_t total_obs, uint32_t version,
+                                     bool f16 = false) {
   static auto* const cache =
-      new std::map<std::pair<int64_t, uint32_t>, std::string>();
-  const auto key = std::make_pair(total_obs, version);
+      new std::map<std::tuple<int64_t, uint32_t, bool>, std::string>();
+  const auto key = std::make_tuple(total_obs, version, f16);
   auto it = cache->find(key);
   if (it != cache->end()) return it->second;
   const Model model = BuildSyntheticModel(static_cast<uint64_t>(total_obs));
   std::string path = std::filesystem::temp_directory_path().string() +
-                     "/unidetect_bench_v" + std::to_string(version) + "_" +
-                     std::to_string(total_obs) + ".model";
-  UNIDETECT_CHECK(
-      WriteStringToFile(path, version == 2 ? EncodeModelSnapshot(model)
-                                           : EncodeModelSnapshotV1(model))
-          .ok());
+                     "/unidetect_bench_v" + std::to_string(version) +
+                     (f16 ? "f16" : "") + "_" + std::to_string(total_obs) +
+                     ".model";
+  UNIDETECT_CHECK(!f16 || version == 2);
+  const std::string bytes =
+      version == 2
+          ? EncodeModelSnapshotV2(model, f16 ? ObservationEncoding::kF16
+                                             : ObservationEncoding::kF32)
+          : EncodeModelSnapshotV1(model);
+  UNIDETECT_CHECK(WriteStringToFile(path, bytes).ok());
   return cache->emplace(key, std::move(path)).first->second;
 }
 
@@ -366,10 +418,13 @@ BENCHMARK(BM_ReloadLatency)
 // LR lookup through a loaded model, owned v1 storage vs mapped v2
 // spans: the zero-copy layout must not tax the query hot path (within
 // 5% is the acceptance bound; the binary-searched sorted index and the
-// identical SubsetStats query code are why it holds).
+// identical SubsetStats query code are why it holds). The f16=1 leg
+// queries the half-precision observation sections in place — half the
+// resident bytes, widened lane-by-lane in the SIMD leaf scans.
 void BM_LrQueryLoadedModel(benchmark::State& state) {
-  const std::string& path = BenchSnapshotPath(
-      state.range(1), static_cast<uint32_t>(state.range(0)));
+  const std::string& path =
+      BenchSnapshotPath(state.range(1), static_cast<uint32_t>(state.range(0)),
+                        state.range(2) != 0);
   auto view = ModelView::Open(path);
   if (!view.ok()) {
     state.SkipWithError("open failed");
@@ -390,9 +445,10 @@ void BM_LrQueryLoadedModel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LrQueryLoadedModel)
-    ->ArgNames({"ver", "obs"})
-    ->Args({1, 1600000})
-    ->Args({2, 1600000});
+    ->ArgNames({"ver", "obs", "f16"})
+    ->Args({1, 1600000, 0})
+    ->Args({2, 1600000, 0})
+    ->Args({2, 1600000, 1});
 
 // Serving-tier batch throughput: tables/second through DetectionService
 // at 1 and 4 worker threads.
@@ -413,6 +469,33 @@ void BM_DetectBatch(benchmark::State& state) {
                           static_cast<int64_t>(batch->tables.size()));
 }
 BENCHMARK(BM_DetectBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The same batch through a service with the findings cache enabled: a
+// setup pass warms it, so every timed iteration is fingerprint + LRU
+// hit per table. Compare against the cold BM_DetectBatch numbers above
+// for the memoization win (acceptance bound: >= 10x at equal threads).
+void BM_DetectBatchWarmCache(benchmark::State& state) {
+  static const Corpus* const batch = [] {
+    return new Corpus(GenerateCorpus(WebCorpusSpec(64, 53)).corpus);
+  }();
+  UniDetectOptions options;
+  options.alpha = 1.0;
+  DetectionService service(
+      std::shared_ptr<const Model>(&SharedModel(), [](const Model*) {}),
+      options, /*findings_cache_bytes=*/64ull << 20);
+  benchmark::DoNotOptimize(service.DetectBatch(
+      batch->tables, nullptr, static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.DetectBatch(
+        batch->tables, nullptr, static_cast<size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch->tables.size()));
+}
+BENCHMARK(BM_DetectBatchWarmCache)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 // Offline build pipeline (DESIGN.md section 11): end-to-end sharded
 // build at 1/2/4/8 shards (worker count matches shard count, so the

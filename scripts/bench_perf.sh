@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Runs the hot-path microbenchmarks and records the numbers that back the
-# performance claims in BENCH_PR5.json at the repo root: the PR 1 pairs
+# performance claims in BENCH_PR6.json at the repo root: the PR 1 pairs
 # (single-pass MPD closest pair vs the three-scan reference,
 # merge-sort-tree LR counting vs the linear scan), the PR 3 pairs
 # (binary snapshot vs legacy text cold model load, DetectBatch
 # throughput at 1 vs 4 threads), the PR 4 offline pipeline sweep
-# (BM_OfflineBuild at 1/2/4/8 shards, BM_OfflineMerge fold cost), and
-# the PR 5 UDSNAP v2 pairs (BM_ModelLoadV2 and BM_ReloadLatency at
-# ver=1 vs ver=2 across observation counts, BM_LrQueryLoadedModel over
-# owned v1 vs mapped v2 storage). Each optimized path and its baseline
-# live in the same binary, so one run captures both sides.
+# (BM_OfflineBuild at 1/2/4/8 shards, BM_OfflineMerge fold cost), the
+# PR 5 UDSNAP v2 pairs (BM_ModelLoadV2 and BM_ReloadLatency at ver=1
+# vs ver=2 across observation counts, BM_LrQueryLoadedModel over owned
+# v1 vs mapped v2 storage), and the PR 6 pairs (BM_CountSurprising
+# with the SIMD kernels on vs forced scalar, BM_DetectBatchWarmCache
+# vs the cold BM_DetectBatch, BM_LrQueryLoadedModel over f16 vs f32
+# observation sections). Each optimized path and its baseline live in
+# the same binary, so one run captures both sides.
 #
 # Usage: scripts/bench_perf.sh [extra benchmark args...]
 set -euo pipefail
@@ -26,10 +29,10 @@ fi
 ctest --test-dir build -L 'perf|offline' --output-on-failure
 
 build/bench/bench_perf \
-  --benchmark_filter='BM_(MpdProfile|MpdProfileReference|LrQuery|LrQueryLinear|LrQueryLoadedModel|BoundedEditDistance|EditDistance|LikelihoodRatioLookup|ModelLoadBinary|ModelLoadText|ModelLoadV2|ReloadLatency|DetectBatch|OfflineBuild|OfflineMerge)' \
+  --benchmark_filter='BM_(MpdProfile|MpdProfileReference|LrQuery|LrQueryLinear|LrQueryLoadedModel|CountSurprising|BoundedEditDistance|EditDistance|LikelihoodRatioLookup|ModelLoadBinary|ModelLoadText|ModelLoadV2|ReloadLatency|DetectBatch|DetectBatchWarmCache|OfflineBuild|OfflineMerge)' \
   --benchmark_format=json \
-  --benchmark_out=BENCH_PR5.json \
+  --benchmark_out=BENCH_PR6.json \
   --benchmark_out_format=json \
   "$@"
 
-echo "Wrote $(pwd)/BENCH_PR5.json"
+echo "Wrote $(pwd)/BENCH_PR6.json"

@@ -3,7 +3,8 @@
 # (.github/workflows/ci.yml):
 #
 #   release     optimized build + full test suite (the offline-labelled
-#               sharded-build pipeline slice runs first as a fast gate)
+#               sharded-build pipeline slice runs first as a fast gate,
+#               then a UNIDETECT_DISABLE_SIMD=1 scalar-fallback slice)
 #   asan-ubsan  address+UB sanitizer build + full test suite
 #   tsan        ThreadSanitizer build + the multithreaded
 #               DetectCorpus / ThreadPool / parallel-load tests and the
@@ -28,6 +29,11 @@ run_preset release
 # equivalence, crash-resume) before the full suite.
 ctest --preset offline
 ctest --preset release
+# Scalar-fallback leg: UNIDETECT_DISABLE_SIMD forces every vector
+# kernel onto its scalar path; re-run the suites that exercise them so
+# the fallback stays green on machines without AVX2/NEON.
+UNIDETECT_DISABLE_SIMD=1 ctest --test-dir build-release --output-on-failure \
+  -R 'Simd|Dispersion|SubsetStats|Mpd|MetricFunctions|SnapshotV2|Detect'
 
 run_preset asan-ubsan
 ctest --preset asan-ubsan

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace unidetect {
 
@@ -110,10 +111,73 @@ Result<SubsetStats> SubsetStats::FromBorrowedSorted(
   return out;
 }
 
+Result<SubsetStats> SubsetStats::FromSortedHalfArraysWithTree(
+    std::vector<uint16_t> pres, std::vector<uint16_t> posts,
+    std::vector<uint16_t> tree) {
+  if (pres.size() != posts.size()) {
+    return Status::Corruption("SubsetStats: pre/post array size mismatch");
+  }
+  if (!std::is_sorted(pres.begin(), pres.end(), [](uint16_t a, uint16_t b) {
+        return simd::HalfToFloat(a) < simd::HalfToFloat(b);
+      })) {
+    return Status::Corruption("SubsetStats: f16 pre values not sorted");
+  }
+  const size_t levels = TreeLevelsFor(pres.size());
+  if (tree.size() != levels * pres.size()) {
+    return Status::Corruption("SubsetStats: f16 tree size mismatch");
+  }
+  SubsetStats out;
+  out.pres_half_owned_ = std::move(pres);
+  out.posts_half_owned_ = std::move(posts);
+  out.tree_half_owned_ = std::move(tree);
+  out.tree_levels_ = levels;
+  out.half_ = true;
+  out.finalized_ = true;
+  return out;
+}
+
+Result<SubsetStats> SubsetStats::FromBorrowedSortedHalf(
+    std::span<const uint16_t> pres, std::span<const uint16_t> posts,
+    std::span<const uint16_t> tree, bool validate_sorted) {
+  if (pres.size() != posts.size()) {
+    return Status::Corruption("SubsetStats: pre/post array size mismatch");
+  }
+  const size_t levels = TreeLevelsFor(pres.size());
+  if (tree.size() != levels * pres.size()) {
+    return Status::Corruption("SubsetStats: f16 tree size mismatch");
+  }
+  if (validate_sorted &&
+      !std::is_sorted(pres.begin(), pres.end(), [](uint16_t a, uint16_t b) {
+        return simd::HalfToFloat(a) < simd::HalfToFloat(b);
+      })) {
+    return Status::Corruption("SubsetStats: f16 pre values not sorted");
+  }
+  SubsetStats out;
+  out.pres_half_view_ = pres;
+  out.posts_half_view_ = posts;
+  out.tree_half_view_ = tree;
+  out.tree_levels_ = levels;
+  out.borrowed_ = true;
+  out.half_ = true;
+  out.finalized_ = true;
+  return out;
+}
+
 uint64_t SubsetStats::OwnedBytes() const {
   return (pres_owned_.capacity() + posts_owned_.capacity() +
           tree_owned_.capacity()) *
-         sizeof(float);
+             sizeof(float) +
+         (pres_half_owned_.capacity() + posts_half_owned_.capacity() +
+          tree_half_owned_.capacity()) *
+             sizeof(uint16_t);
+}
+
+float SubsetStats::PreAt(size_t i) const {
+  return half_ ? simd::HalfToFloat(pres_f16()[i]) : pres()[i];
+}
+
+float SubsetStats::PostAt(size_t i) const {
+  return half_ ? simd::HalfToFloat(posts_f16()[i]) : posts()[i];
 }
 
 void SubsetStats::BuildTree() {
@@ -155,33 +219,93 @@ size_t LowerBound(std::span<const float> v, double theta) {
       std::lower_bound(v.begin(), v.end(), static_cast<float>(theta)) -
       v.begin());
 }
+// f16 variants: the arrays hold binary16 bit patterns sorted by
+// dequantized value, so the searches compare through HalfToFloat.
+size_t UpperBoundHalf(std::span<const uint16_t> v, double theta) {
+  const float t = static_cast<float>(theta);
+  return static_cast<size_t>(
+      std::upper_bound(v.begin(), v.end(), t,
+                       [](float lhs, uint16_t rhs) {
+                         return lhs < simd::HalfToFloat(rhs);
+                       }) -
+      v.begin());
+}
+size_t LowerBoundHalf(std::span<const uint16_t> v, double theta) {
+  const float t = static_cast<float>(theta);
+  return static_cast<size_t>(
+      std::lower_bound(v.begin(), v.end(), t,
+                       [](uint16_t lhs, float rhs) {
+                         return simd::HalfToFloat(lhs) < rhs;
+                       }) -
+      v.begin());
+}
 }  // namespace
+
+size_t SubsetStats::LowerBoundPre(double theta) const {
+  return half_ ? LowerBoundHalf(pres_f16(), theta) : LowerBound(pres(), theta);
+}
+
+size_t SubsetStats::UpperBoundPre(double theta) const {
+  return half_ ? UpperBoundHalf(pres_f16(), theta) : UpperBound(pres(), theta);
+}
 
 uint64_t SubsetStats::CountPostsInPrefix(size_t prefix_len, float theta,
                                          bool count_geq) const {
   // Binary block decomposition of the prefix: taking block sizes largest
   // first keeps `pos` a multiple of every block size still to come, so
   // each counted block is complete and aligned within its tree level.
-  const std::span<const float> tree = tree_data();
-  const std::span<const float> posts_span = posts();
-  const size_t n = posts_span.size();
+  // The decomposition stops at kSimdLeafBlock: below that, binary
+  // searches on ever-smaller blocks cost more than one vector sweep over
+  // the (< 2 * kSimdLeafBlock) leftover posts, which the SIMD counting
+  // kernels answer with the same inclusive-bound semantics.
+  const size_t n = size();
   uint64_t count = 0;
   size_t pos = 0;
   for (size_t k = tree_levels_; k-- > 0;) {
     const size_t block = size_t{1} << (k + 1);
+    if (block <= kSimdLeafBlock) break;
     if (prefix_len - pos < block) continue;
-    const float* begin = tree.data() + k * n + pos;
-    const float* end = begin + block;
-    if (count_geq) {
-      count += static_cast<uint64_t>(end - std::lower_bound(begin, end, theta));
+    if (half_) {
+      const uint16_t* begin = tree_data_f16().data() + k * n + pos;
+      const uint16_t* end = begin + block;
+      if (count_geq) {
+        count += static_cast<uint64_t>(
+            end - std::lower_bound(begin, end, theta,
+                                   [](uint16_t lhs, float rhs) {
+                                     return simd::HalfToFloat(lhs) < rhs;
+                                   }));
+      } else {
+        count += static_cast<uint64_t>(
+            std::upper_bound(begin, end, theta,
+                             [](float lhs, uint16_t rhs) {
+                               return lhs < simd::HalfToFloat(rhs);
+                             }) -
+            begin);
+      }
     } else {
-      count += static_cast<uint64_t>(std::upper_bound(begin, end, theta) - begin);
+      const float* begin = tree_data().data() + k * n + pos;
+      const float* end = begin + block;
+      if (count_geq) {
+        count +=
+            static_cast<uint64_t>(end - std::lower_bound(begin, end, theta));
+      } else {
+        count +=
+            static_cast<uint64_t>(std::upper_bound(begin, end, theta) - begin);
+      }
     }
     pos += block;
   }
-  if (pos < prefix_len) {  // at most one leaf-level element remains
-    const float post = posts_span[pos];
-    if (count_geq ? post >= theta : post <= theta) ++count;
+  if (pos < prefix_len) {
+    const size_t rest = prefix_len - pos;
+    if (half_) {
+      const uint16_t* base = posts_f16().data() + pos;
+      count += count_geq ? simd::CountGreaterEqualF16(base, rest, theta)
+                         : simd::CountLessEqualF16(base, rest, theta);
+    } else {
+      const float* base = posts().data() + pos;
+      count += count_geq ? simd::CountGreaterEqualF32(base, rest, theta)
+                         : simd::CountLessEqualF32(base, rest, theta);
+    }
   }
   return count;
 }
@@ -189,18 +313,33 @@ uint64_t SubsetStats::CountPostsInPrefix(size_t prefix_len, float theta,
 uint64_t SubsetStats::CountSurprising(SurpriseDirection dir, double theta1,
                                       double theta2) const {
   UNIDETECT_CHECK(finalized_);
-  if (tree_levels_ == 0) return CountSurprisingLinear(dir, theta1, theta2);
-  const std::span<const float> pres_span = pres();
+  // Comparisons against a NaN theta2 are uniformly false, so nothing
+  // qualifies. The SIMD sweeps get this right lane by lane, but the
+  // binary-search block counting below would misclassify whole blocks
+  // (NaN is unordered, so lower_bound/upper_bound land at an arbitrary
+  // edge); short-circuit to match the linear reference exactly.
+  if (std::isnan(theta2)) return 0;
+  // With no tree (subsets below kTreeMinSize) the whole query is one
+  // bounded SIMD sweep over posts; CountPostsInPrefix degenerates to
+  // exactly that when tree_levels_ is 0, so both shapes share it.
   const float t2 = static_cast<float>(theta2);
   if (dir == SurpriseDirection::kHigherMoreSurprising) {
     // pre >= theta1 (suspicious side) and post <= theta2 (clean side):
     // a suffix of the pre-sorted order, counted as full-range minus prefix.
-    const size_t begin = LowerBound(pres_span, theta1);
-    return CountPostsInPrefix(pres_span.size(), t2, /*count_geq=*/false) -
+    const size_t begin = LowerBoundPre(theta1);
+    if (tree_levels_ == 0) {
+      // No tree: one direct sweep over the suffix instead of two prefix
+      // counts. Each element sees the same predicate either way.
+      const size_t rest = size() - begin;
+      return half_ ? simd::CountLessEqualF16(posts_f16().data() + begin, rest,
+                                             t2)
+                   : simd::CountLessEqualF32(posts().data() + begin, rest, t2);
+    }
+    return CountPostsInPrefix(size(), t2, /*count_geq=*/false) -
            CountPostsInPrefix(begin, t2, /*count_geq=*/false);
   }
   // pre <= theta1 and post >= theta2: a prefix of the pre-sorted order.
-  const size_t end = UpperBound(pres_span, theta1);
+  const size_t end = UpperBoundPre(theta1);
   return CountPostsInPrefix(end, t2, /*count_geq=*/true);
 }
 
@@ -208,20 +347,20 @@ uint64_t SubsetStats::CountSurprisingLinear(SurpriseDirection dir,
                                             double theta1,
                                             double theta2) const {
   UNIDETECT_CHECK(finalized_);
-  const std::span<const float> pres_span = pres();
-  const std::span<const float> posts_span = posts();
+  // Reference implementation: plain scalar loops, no SIMD, no tree.
+  const size_t n = size();
   uint64_t count = 0;
   if (dir == SurpriseDirection::kHigherMoreSurprising) {
     // pre >= theta1 (suspicious side) and post <= theta2 (clean side).
-    const size_t begin = LowerBound(pres_span, theta1);
-    for (size_t i = begin; i < posts_span.size(); ++i) {
-      if (posts_span[i] <= static_cast<float>(theta2)) ++count;
+    const size_t begin = LowerBoundPre(theta1);
+    for (size_t i = begin; i < n; ++i) {
+      if (PostAt(i) <= static_cast<float>(theta2)) ++count;
     }
   } else {
     // pre <= theta1 and post >= theta2.
-    const size_t end = UpperBound(pres_span, theta1);
+    const size_t end = UpperBoundPre(theta1);
     for (size_t i = 0; i < end; ++i) {
-      if (posts_span[i] >= static_cast<float>(theta2)) ++count;
+      if (PostAt(i) >= static_cast<float>(theta2)) ++count;
     }
   }
   return count;
@@ -230,21 +369,19 @@ uint64_t SubsetStats::CountSurprisingLinear(SurpriseDirection dir,
 uint64_t SubsetStats::CountPreSuspiciousTail(SurpriseDirection dir,
                                              double theta2) const {
   UNIDETECT_CHECK(finalized_);
-  const std::span<const float> pres_span = pres();
   if (dir == SurpriseDirection::kHigherMoreSurprising) {
-    return pres_span.size() - LowerBound(pres_span, theta2);  // pre >= theta2
+    return size() - LowerBoundPre(theta2);  // pre >= theta2
   }
-  return UpperBound(pres_span, theta2);  // pre <= theta2
+  return UpperBoundPre(theta2);  // pre <= theta2
 }
 
 uint64_t SubsetStats::CountPreCleanTail(SurpriseDirection dir,
                                         double theta2) const {
   UNIDETECT_CHECK(finalized_);
-  const std::span<const float> pres_span = pres();
   if (dir == SurpriseDirection::kHigherMoreSurprising) {
-    return UpperBound(pres_span, theta2);  // pre <= theta2
+    return UpperBoundPre(theta2);  // pre <= theta2
   }
-  return pres_span.size() - LowerBound(pres_span, theta2);  // pre >= theta2
+  return size() - LowerBoundPre(theta2);  // pre >= theta2
 }
 
 namespace {
@@ -257,14 +394,11 @@ float Quantize(double v, double grid) {
 uint64_t SubsetStats::CountPointPair(double theta1, double theta2,
                                      double grid) const {
   UNIDETECT_CHECK(finalized_);
-  const std::span<const float> pres_span = pres();
-  const std::span<const float> posts_span = posts();
   const float q1 = Quantize(theta1, grid);
   const float q2 = Quantize(theta2, grid);
   uint64_t count = 0;
-  for (size_t i = 0; i < pres_span.size(); ++i) {
-    if (Quantize(pres_span[i], grid) == q1 &&
-        Quantize(posts_span[i], grid) == q2) {
+  for (size_t i = 0; i < size(); ++i) {
+    if (Quantize(PreAt(i), grid) == q1 && Quantize(PostAt(i), grid) == q2) {
       ++count;
     }
   }
@@ -275,8 +409,8 @@ uint64_t SubsetStats::CountPointPre(double theta2, double grid) const {
   UNIDETECT_CHECK(finalized_);
   const float q2 = Quantize(theta2, grid);
   uint64_t count = 0;
-  for (float pre : pres()) {
-    if (Quantize(pre, grid) == q2) ++count;
+  for (size_t i = 0; i < size(); ++i) {
+    if (Quantize(PreAt(i), grid) == q2) ++count;
   }
   return count;
 }
@@ -284,11 +418,15 @@ uint64_t SubsetStats::CountPointPre(double theta2, double grid) const {
 void SubsetStats::Merge(const SubsetStats& other) {
   UNIDETECT_CHECK(!finalized_);
   UNIDETECT_CHECK(!borrowed_);
-  const std::span<const float> other_pres = other.pres();
-  const std::span<const float> other_posts = other.posts();
-  pres_owned_.insert(pres_owned_.end(), other_pres.begin(), other_pres.end());
-  posts_owned_.insert(posts_owned_.end(), other_posts.begin(),
-                      other_posts.end());
+  // Merging an f16 source dequantizes into the owned f32 build arrays:
+  // the merge target is a trainer-side accumulator, and widening is
+  // exact, so the merged multiset is the dequantized multiset.
+  pres_owned_.reserve(pres_owned_.size() + other.size());
+  posts_owned_.reserve(posts_owned_.size() + other.size());
+  for (size_t i = 0; i < other.size(); ++i) {
+    pres_owned_.push_back(other.PreAt(i));
+    posts_owned_.push_back(other.PostAt(i));
+  }
 }
 
 void SubsetStats::SerializeTo(std::string* out) const {
@@ -298,11 +436,9 @@ void SubsetStats::SerializeTo(std::string* out) const {
   // with UR 10/13 must still compare equal to a queried theta of 10/13
   // after the model is saved and reloaded).
   os.precision(std::numeric_limits<float>::max_digits10);
-  const std::span<const float> pres_span = pres();
-  const std::span<const float> posts_span = posts();
-  os << pres_span.size();
-  for (size_t i = 0; i < pres_span.size(); ++i) {
-    os << ' ' << pres_span[i] << ' ' << posts_span[i];
+  os << size();
+  for (size_t i = 0; i < size(); ++i) {
+    os << ' ' << PreAt(i) << ' ' << PostAt(i);
   }
   out->append(os.str());
 }

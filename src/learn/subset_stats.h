@@ -42,6 +42,13 @@ class SubsetStats {
   /// for subsets smaller than this.
   static constexpr size_t kTreeMinSize = 64;
 
+  /// Tree blocks at or below this size are not binary-searched during a
+  /// prefix count: the block decomposition stops here and the remaining
+  /// (< 2 * kSimdLeafBlock) observations are counted with one SIMD scan
+  /// over the contiguous posts array (util/simd.h). Query results are
+  /// unchanged — only the leaf strategy differs.
+  static constexpr size_t kSimdLeafBlock = 64;
+
   /// \brief Number of merge-sort-tree levels Finalize() builds for a
   /// subset of `n` observations (0 below kTreeMinSize). Part of the v2
   /// wire contract: the serialized tree section holds exactly
@@ -55,6 +62,9 @@ class SubsetStats {
   void Finalize();
 
   size_t size() const {
+    if (half_) {
+      return borrowed_ ? pres_half_view_.size() : pres_half_owned_.size();
+    }
     return borrowed_ ? pres_view_.size() : pres_owned_.size();
   }
   bool finalized() const { return finalized_; }
@@ -62,6 +72,12 @@ class SubsetStats {
   /// \brief True when observation storage borrows from an external
   /// buffer (a mapped v2 snapshot) instead of owned vectors.
   bool borrowed() const { return borrowed_; }
+
+  /// \brief True when observations are stored as IEEE 754 binary16 bit
+  /// patterns (the f16 snapshot variant, DESIGN.md §13). Queries run
+  /// over the dequantized values — widening to f32 is exact, so counts
+  /// and bounds match an f32 store holding the same dequantized array.
+  bool half() const { return half_; }
 
   /// \brief Heap bytes owned by this object (0 for borrowed storage);
   /// feeds the serving tier's model_resident_bytes gauge.
@@ -99,7 +115,8 @@ class SubsetStats {
   void Merge(const SubsetStats& other);
 
   /// \brief Finalized observation arrays in canonical (pre, post) order;
-  /// consumed by the snapshot codecs (model_format/).
+  /// consumed by the snapshot codecs (model_format/). Empty in half()
+  /// mode — codecs must branch to the *_f16() accessors there.
   std::span<const float> pres() const {
     return borrowed_ ? pres_view_ : std::span<const float>(pres_owned_);
   }
@@ -115,6 +132,29 @@ class SubsetStats {
     return borrowed_ ? tree_view_ : std::span<const float>(tree_owned_);
   }
   size_t tree_levels() const { return tree_levels_; }
+
+  /// \brief Half-precision counterparts of pres()/posts()/tree_data(),
+  /// non-empty only in half() mode. The v2 writer serializes these
+  /// verbatim into the f16 sections, so an f16 load -> save round trip
+  /// is bit-identical.
+  std::span<const uint16_t> pres_f16() const {
+    return borrowed_ ? pres_half_view_
+                     : std::span<const uint16_t>(pres_half_owned_);
+  }
+  std::span<const uint16_t> posts_f16() const {
+    return borrowed_ ? posts_half_view_
+                     : std::span<const uint16_t>(posts_half_owned_);
+  }
+  std::span<const uint16_t> tree_data_f16() const {
+    return borrowed_ ? tree_half_view_
+                     : std::span<const uint16_t>(tree_half_owned_);
+  }
+
+  /// \brief Observation values at index i of the canonical order,
+  /// dequantized when half(). For codec/serialization walks; queries use
+  /// the batched span paths.
+  float PreAt(size_t i) const;
+  float PostAt(size_t i) const;
 
   /// \brief Rebuilds a finalized stats object from arrays already in
   /// pre-sorted order (the v1 snapshot payload). Rejects unsorted or
@@ -144,6 +184,16 @@ class SubsetStats {
                                                 std::span<const float> tree,
                                                 bool validate_sorted);
 
+  /// \brief Half-precision decode paths (the f16 v2 section variant).
+  /// Arrays hold binary16 bit patterns; "sorted" means sorted by
+  /// dequantized value. Same tree-size contract as the f32 factories.
+  static Result<SubsetStats> FromSortedHalfArraysWithTree(
+      std::vector<uint16_t> pres, std::vector<uint16_t> posts,
+      std::vector<uint16_t> tree);
+  static Result<SubsetStats> FromBorrowedSortedHalf(
+      std::span<const uint16_t> pres, std::span<const uint16_t> posts,
+      std::span<const uint16_t> tree, bool validate_sorted);
+
   /// \brief Text serialization: "n pre1 post1 pre2 post2 ...".
   void SerializeTo(std::string* out) const;
   static Result<SubsetStats> Deserialize(std::string_view text);
@@ -153,13 +203,20 @@ class SubsetStats {
   void BuildTree();
 
   /// Counts posts on the given side of `theta` (inclusive) within the
-  /// prefix [0, prefix_len) of the pre-sorted observation order.
+  /// prefix [0, prefix_len) of the pre-sorted observation order: binary
+  /// block decomposition over the tree levels down to kSimdLeafBlock,
+  /// then one SIMD scan over the leftover posts.
   uint64_t CountPostsInPrefix(size_t prefix_len, float theta,
                               bool count_geq) const;
 
+  /// Binary-search bounds over the (dequantized, when half) pre array.
+  size_t LowerBoundPre(double theta) const;
+  size_t UpperBoundPre(double theta) const;
+
   // Parallel arrays sorted by (pre, post) after Finalize(). Owned
   // storage is used by the build/trainer/v1 paths; the *_view_ spans are
-  // populated only in borrowed mode.
+  // populated only in borrowed mode; the *_half_* fields replace their
+  // f32 counterparts in half mode.
   std::vector<float> pres_owned_;
   std::vector<float> posts_owned_;
   // Flat merge-sort tree over posts in pre-sorted order, built by
@@ -170,9 +227,16 @@ class SubsetStats {
   std::span<const float> pres_view_;
   std::span<const float> posts_view_;
   std::span<const float> tree_view_;
+  std::vector<uint16_t> pres_half_owned_;
+  std::vector<uint16_t> posts_half_owned_;
+  std::vector<uint16_t> tree_half_owned_;
+  std::span<const uint16_t> pres_half_view_;
+  std::span<const uint16_t> posts_half_view_;
+  std::span<const uint16_t> tree_half_view_;
   size_t tree_levels_ = 0;
   bool borrowed_ = false;
   bool finalized_ = false;
+  bool half_ = false;
 };
 
 }  // namespace unidetect

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/simd.h"
+
 namespace unidetect {
 
 double Mean(const std::vector<double>& values) {
@@ -79,6 +81,9 @@ double ScoreMad(double v, const std::vector<double>& values) {
 }
 
 namespace {
+// The original O(n^2) scan: re-derives the column statistics for every
+// element through the public per-value scorers. Kept verbatim as the
+// oracle for the hoisted + SIMD fast paths below (tests/simd_test.cc).
 MaxScore MaxScoreWith(const std::vector<double>& values,
                       double (*scorer)(double, const std::vector<double>&)) {
   MaxScore out;
@@ -93,13 +98,57 @@ MaxScore MaxScoreWith(const std::vector<double>& values,
   }
   return out;
 }
+
+// All scores share one (center, denom) pair, so the scan is the argmax
+// kernel over |v - center| / denom — the exact expression both scorers
+// evaluate, giving bit-identical scores to the reference.
+MaxScore ArgMaxWith(const std::vector<double>& values, double center,
+                    double denom) {
+  const simd::ArgMaxResult best =
+      simd::ArgMaxAbsDeviation(values.data(), values.size(), center, denom);
+  MaxScore out;
+  out.valid = true;
+  out.score = best.score;
+  out.index = best.index;
+  return out;
+}
+
+// A degenerate denominator scores every element 0, and the sequential
+// scan seeds on index 0 and never strictly improves.
+MaxScore AllZeroScores() {
+  MaxScore out;
+  out.valid = true;
+  return out;
+}
 }  // namespace
 
 MaxScore MaxMadScore(const std::vector<double>& values) {
-  return MaxScoreWith(values, &ScoreMad);
+  if (values.size() < 3) return MaxScore{};
+  // Hoist the column statistics out of the scan: ScoreMad recomputes
+  // median/MAD/IQR per element even though they only depend on the
+  // column, which made the original scan O(n^2 log n).
+  const double med = Median(std::vector<double>(values));
+  double mad = Mad(values);
+  if (mad <= 0.0) {
+    const double iqr = Iqr(std::vector<double>(values));
+    if (iqr <= 0.0) return AllZeroScores();
+    mad = iqr / 1.349;
+  }
+  return ArgMaxWith(values, med, mad);
 }
 
 MaxScore MaxSdScore(const std::vector<double>& values) {
+  if (values.size() < 3) return MaxScore{};
+  const double sd = StdDev(values);
+  if (sd <= 0.0) return AllZeroScores();
+  return ArgMaxWith(values, Mean(values), sd);
+}
+
+MaxScore MaxMadScoreReference(const std::vector<double>& values) {
+  return MaxScoreWith(values, &ScoreMad);
+}
+
+MaxScore MaxSdScoreReference(const std::vector<double>& values) {
   return MaxScoreWith(values, &ScoreSd);
 }
 

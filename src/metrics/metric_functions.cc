@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "metrics/edit_distance.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 
 namespace unidetect {
@@ -224,54 +225,107 @@ SinglePassResult SinglePassClosestPair(const std::vector<DistinctValue>& values,
     if (d < bucket.dist) bucket = {d, i, j};
   };
 
+  // Materialize lengths and signatures in scan (length-sorted) order so
+  // the SIMD prefilter reads contiguous arrays. Lengths clamp to int32;
+  // clamping can only weaken the prefilter (admit extra candidates), and
+  // every survivor still goes through the exact per-pair gates below.
+  std::vector<int32_t> ord_len(n);
+  std::vector<uint64_t> ord_sig(n);
+  for (size_t p = 0; p < n; ++p) {
+    ord_len[p] = static_cast<int32_t>(std::min(
+        len[order[p]], static_cast<size_t>(std::numeric_limits<int32_t>::max())));
+    ord_sig[p] = sig[order[p]];
+  }
+
+  const auto trackers_relevant = [&] {
+    // Largest distance any tracker still cares about: the best tracker
+    // needs exact values up to its current distance (ties included,
+    // for the lexicographic rule), the buckets up to one below theirs.
+    const size_t bucket_cap =
+        std::max({touch_i.dist, touch_j.dist, disjoint.dist});
+    return std::max(std::min(best.dist, cap),
+                    bucket_cap == 0 ? size_t{0} : bucket_cap - 1);
+  };
+
   for (size_t a = 0; a < n; ++a) {
     const size_t va = order[a];
-    for (size_t b = a + 1; b < n; ++b) {
-      const size_t vb = order[b];
-      // Largest distance any tracker still cares about: the best tracker
-      // needs exact values up to its current distance (ties included,
-      // for the lexicographic rule), the buckets up to one below theirs.
-      const size_t bucket_cap =
-          std::max({touch_i.dist, touch_j.dist, disjoint.dist});
-      const size_t relevant =
-          std::max(std::min(best.dist, cap),
-                   bucket_cap == 0 ? size_t{0} : bucket_cap - 1);
-      const size_t gap = len[vb] - len[va];
-      if (gap > relevant) break;  // later b's are even longer
-
-      const size_t i = std::min(va, vb);
-      const size_t j = std::max(va, vb);
-      PairTracker& bucket = bucket_of(i, j);
-      const size_t need =
-          std::max(std::min(best.dist, cap),
-                   bucket.dist == 0 ? size_t{0} : bucket.dist - 1);
-      if (gap > need) continue;
-      if (SignatureLowerBound(sig[va], sig[vb]) > need) continue;
-
-      const size_t d = BoundedEditDistance(values[va].value, values[vb].value,
-                                           need, &scratch);
-      if (d > need) continue;  // beyond every tracker's interest
-
-      if (d < best.dist ||
-          (d == best.dist &&
-           (i < best.i || (i == best.i && j < best.j)))) {
-        // Dethrone: the old best and the bucket argmins are the only
-        // candidates that can seed the buckets of the new best.
-        const ClosestPair old_best = best;
-        const PairTracker old[3] = {touch_i, touch_j, disjoint};
-        best = {d, i, j};
-        touch_i = {far};
-        touch_j = {far};
-        disjoint = {far};
-        if (old_best.dist < far) {
-          offer_to_bucket(old_best.i, old_best.j, old_best.dist);
+    const int32_t len_a = ord_len[a];
+    const uint64_t sig_a = ord_sig[a];
+    bool done_a = false;
+    size_t b = a + 1;
+    // Candidates are masked 64 at a time through the SIMD length/
+    // signature gates at the chunk-entry `relevant` bound, then only
+    // survivors run the exact scalar per-pair logic. Sound because
+    // `relevant` is non-increasing while no dethrone happens (buckets
+    // only shrink), so a chunk-entry bound over-approximates every
+    // later per-pair `need` in the chunk: masked-out pairs are exactly
+    // pairs the sequential scan would have skipped anyway. A dethrone
+    // resets the buckets (the bound can jump back up), so the rest of
+    // the chunk is re-masked from the pair after it.
+    while (b < n && !done_a) {
+      const size_t relevant_entry = trackers_relevant();
+      if (static_cast<size_t>(ord_len[b] - len_a) > relevant_entry) {
+        break;  // later b's are even longer
+      }
+      const size_t chunk = std::min<size_t>(64, n - b);
+      const int32_t bound = static_cast<int32_t>(std::min(
+          relevant_entry,
+          static_cast<size_t>(std::numeric_limits<int32_t>::max())));
+      uint64_t mask = simd::MpdPrefilterMask(ord_len.data() + b,
+                                             ord_sig.data() + b, chunk, len_a,
+                                             sig_a, bound);
+      size_t next_b = b + chunk;
+      while (mask != 0) {
+        const size_t bidx = b + static_cast<size_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        const size_t vb = order[bidx];
+        const size_t relevant = trackers_relevant();
+        const size_t gap = len[vb] - len[va];
+        if (gap > relevant) {
+          // Skipped candidates between survivors never update trackers,
+          // so `relevant` is unchanged since the previous evaluation and
+          // gap is non-decreasing: the sequential scan would have broken
+          // at or before this pair.
+          done_a = true;
+          break;
         }
-        for (const PairTracker& t : old) {
-          if (t.i != kNoPair) offer_to_bucket(t.i, t.j, t.dist);
+
+        const size_t i = std::min(va, vb);
+        const size_t j = std::max(va, vb);
+        PairTracker& bucket = bucket_of(i, j);
+        const size_t need =
+            std::max(std::min(best.dist, cap),
+                     bucket.dist == 0 ? size_t{0} : bucket.dist - 1);
+        if (gap > need) continue;
+        if (SignatureLowerBound(sig[va], sig[vb]) > need) continue;
+
+        const size_t d = BoundedEditDistance(values[va].value,
+                                             values[vb].value, need, &scratch);
+        if (d > need) continue;  // beyond every tracker's interest
+
+        if (d < best.dist ||
+            (d == best.dist &&
+             (i < best.i || (i == best.i && j < best.j)))) {
+          // Dethrone: the old best and the bucket argmins are the only
+          // candidates that can seed the buckets of the new best.
+          const ClosestPair old_best = best;
+          const PairTracker old[3] = {touch_i, touch_j, disjoint};
+          best = {d, i, j};
+          touch_i = {far};
+          touch_j = {far};
+          disjoint = {far};
+          if (old_best.dist < far) {
+            offer_to_bucket(old_best.i, old_best.j, old_best.dist);
+          }
+          for (const PairTracker& t : old) {
+            if (t.i != kNoPair) offer_to_bucket(t.i, t.j, t.dist);
+          }
+          next_b = bidx + 1;  // stale mask: re-filter the rest of the chunk
+          break;
         }
-      } else {
         offer_to_bucket(i, j, d);
       }
+      b = next_b;
     }
   }
 

@@ -92,6 +92,10 @@ std::string SectionName(uint32_t id) {
       return "token index";
     case SnapshotSection::kPatternIndex2:
       return "pattern index";
+    case SnapshotSection::kObservationsF16:
+      return "f16 observations";
+    case SnapshotSection::kTreeLevelsF16:
+      return "f16 tree levels";
   }
   return StrCat("unknown(", id, ")");
 }
@@ -112,11 +116,11 @@ std::string EncodeSubsetsPayload(const Model& model) {
   model.ForEachSubsetSorted([&](FeatureKey key, const SubsetStats& stats) {
     AppendU64(&out, key.packed);
     AppendU64(&out, stats.size());
-    const std::span<const float> pres = stats.pres();
-    const std::span<const float> posts = stats.posts();
-    for (size_t i = 0; i < pres.size(); ++i) {
-      AppendF32(&out, pres[i]);
-      AppendF32(&out, posts[i]);
+    // PreAt/PostAt dequantize when the stats are half-precision: v1 has
+    // no f16 encoding, so a downgrade widens (exactly) to f32.
+    for (size_t i = 0; i < stats.size(); ++i) {
+      AppendF32(&out, stats.PreAt(i));
+      AppendF32(&out, stats.PostAt(i));
     }
   });
   return out;

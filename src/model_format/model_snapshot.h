@@ -46,7 +46,10 @@ inline constexpr uint32_t kSnapshotVersion = 2;
 /// \brief Section identifiers. Values are part of the wire format.
 /// Ids 1-4 are the v1 layout; 5-10 are the v2 flat layout (a v2 file
 /// carries {1, 5..10}; id 1 is shared because the options payload is
-/// version-independent).
+/// version-independent). Ids 11-12 are the optional v2 half-precision
+/// observation variant: a v2 file carries EITHER the f32 sections {7, 8}
+/// or the f16 sections {11, 12}, never both — an additive encoding under
+/// the section-skip compatibility rule, so no version bump.
 enum class SnapshotSection : uint32_t {
   kOptions = 1,        ///< ModelOptions, fixed-width fields (v1 and v2)
   kSubsets = 2,        ///< v1: inline per-key (theta1, theta2) lists
@@ -58,6 +61,8 @@ enum class SnapshotSection : uint32_t {
   kTreeLevels = 8,     ///< v2: flat per-subset merge-sort-tree levels
   kTokenIndex2 = 9,    ///< v2: pool-ref token entries
   kPatternIndex2 = 10, ///< v2: pool-ref pattern + pair entries
+  kObservationsF16 = 11, ///< v2: binary16 pres/posts (replaces id 7)
+  kTreeLevelsF16 = 12,   ///< v2: binary16 tree levels (replaces id 8)
 };
 
 /// \brief True when `bytes` starts with the snapshot magic (the cheap

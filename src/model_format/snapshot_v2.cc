@@ -12,6 +12,7 @@
 #include "model_format/model_snapshot.h"
 #include "util/binary_io.h"
 #include "util/logging.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 
 namespace unidetect {
@@ -45,6 +46,46 @@ void AppendFloatSpan(std::string* out, std::span<const float> values) {
                 values.size() * sizeof(float));
   } else {
     for (float v : values) AppendF32(out, v);
+  }
+}
+
+void AppendHalfSpan(std::string* out, std::span<const uint16_t> values) {
+  if constexpr (kHostIsLittleEndian) {
+    out->append(reinterpret_cast<const char*>(values.data()),
+                values.size() * sizeof(uint16_t));
+  } else {
+    for (uint16_t v : values) AppendU16(out, v);
+  }
+}
+
+// f32 -> f16 quantization of a span (round-to-nearest-even, saturating;
+// monotone, so a sorted span quantizes to a sorted span).
+void AppendQuantizedSpan(std::string* out, std::span<const float> values) {
+  for (float v : values) AppendU16(out, simd::FloatToHalf(v));
+}
+
+// f16 -> f32 exact widening of a span.
+void AppendWidenedSpan(std::string* out, std::span<const uint16_t> values) {
+  for (uint16_t v : values) AppendF32(out, simd::HalfToFloat(v));
+}
+
+// One subset's observation or tree array into the bulk payload being
+// built, converting between storage widths as the target encoding asks.
+void AppendObsSpan(std::string* out, bool write_f16,
+                   std::span<const float> f32, std::span<const uint16_t> f16,
+                   bool source_half) {
+  if (write_f16) {
+    if (source_half) {
+      AppendHalfSpan(out, f16);  // verbatim: load -> save is bit-identical
+    } else {
+      AppendQuantizedSpan(out, f32);
+    }
+  } else {
+    if (source_half) {
+      AppendWidenedSpan(out, f16);
+    } else {
+      AppendFloatSpan(out, f32);
+    }
   }
 }
 
@@ -112,8 +153,9 @@ struct ParsedV2 {
   uint64_t subset_count = 0;
   uint64_t total_obs_floats = 0;
   uint64_t total_tree_floats = 0;
-  std::string_view obs_bytes;   // raw f32 bytes; empty when no observations
-  std::string_view tree_bytes;  // raw f32 bytes; empty when no trees
+  bool half = false;            // bulk sections are f16 (ids 11/12), not f32
+  std::string_view obs_bytes;   // raw f32 (or f16) bytes; empty when none
+  std::string_view tree_bytes;  // raw f32 (or f16) bytes; empty when none
   std::string_view token_payload;
   std::string_view pattern_payload;
 };
@@ -215,7 +257,10 @@ Status ParseV2(std::string_view bytes, SnapshotValidation validation,
     // checksumming them would make reload linear in observation count.
     if (validation == SnapshotValidation::kDeferPayload &&
         (entry.id == static_cast<uint32_t>(SnapshotSection::kObservations) ||
-         entry.id == static_cast<uint32_t>(SnapshotSection::kTreeLevels))) {
+         entry.id == static_cast<uint32_t>(SnapshotSection::kTreeLevels) ||
+         entry.id ==
+             static_cast<uint32_t>(SnapshotSection::kObservationsF16) ||
+         entry.id == static_cast<uint32_t>(SnapshotSection::kTreeLevelsF16))) {
       continue;
     }
     if (Crc32(entry.payload) != entry.crc) {
@@ -278,12 +323,29 @@ Status ParseV2(std::string_view bytes, SnapshotValidation validation,
   }
 
   // The bulk sections exist exactly when they have content (a zero-byte
-  // section is invalid by the container rules).
+  // section is invalid by the container rules). A file carries EITHER the
+  // f32 family {7, 8} or the f16 family {11, 12} — mixing widths within
+  // one snapshot is rejected.
+  const bool has_f32 =
+      find_section(SnapshotSection::kObservations) != nullptr ||
+      find_section(SnapshotSection::kTreeLevels) != nullptr;
+  const bool has_f16 =
+      find_section(SnapshotSection::kObservationsF16) != nullptr ||
+      find_section(SnapshotSection::kTreeLevelsF16) != nullptr;
+  if (has_f32 && has_f16) {
+    return Status::Corruption(
+        "Model snapshot: both f32 and f16 observation sections present");
+  }
+  out->half = has_f16;
+  const uint64_t elem_bytes =
+      out->half ? sizeof(uint16_t) : sizeof(float);
   for (const auto& [id, total, dest] :
-       {std::tuple{SnapshotSection::kObservations, out->total_obs_floats,
-                   &out->obs_bytes},
-        std::tuple{SnapshotSection::kTreeLevels, out->total_tree_floats,
-                   &out->tree_bytes}}) {
+       {std::tuple{out->half ? SnapshotSection::kObservationsF16
+                             : SnapshotSection::kObservations,
+                   out->total_obs_floats, &out->obs_bytes},
+        std::tuple{out->half ? SnapshotSection::kTreeLevelsF16
+                             : SnapshotSection::kTreeLevels,
+                   out->total_tree_floats, &out->tree_bytes}}) {
     const Entry* entry = find_section(id);
     if (total == 0) {
       if (entry != nullptr) {
@@ -298,7 +360,7 @@ Status ParseV2(std::string_view bytes, SnapshotValidation validation,
           StrCat("Model snapshot: missing ",
                  SectionName(static_cast<uint32_t>(id)), " section"));
     }
-    if (entry->payload.size() != total * sizeof(float)) {
+    if (entry->payload.size() != total * elem_bytes) {
       return Status::Corruption(
           StrCat("Model snapshot: ", SectionName(static_cast<uint32_t>(id)),
                  " section size does not match the subset index totals"));
@@ -324,18 +386,38 @@ std::vector<float> CopyFloats(const char* src, uint64_t n) {
   return out;
 }
 
+std::vector<uint16_t> CopyU16s(const char* src, uint64_t n) {
+  std::vector<uint16_t> out(static_cast<size_t>(n));
+  if constexpr (kHostIsLittleEndian) {
+    std::memcpy(out.data(), src, static_cast<size_t>(n) * sizeof(uint16_t));
+  } else {
+    BinaryReader reader(
+        std::string_view(src, static_cast<size_t>(n) * sizeof(uint16_t)));
+    for (uint64_t i = 0; i < n; ++i) reader.ReadU16(&out[i]);
+  }
+  return out;
+}
+
 Status DecodeSubsets(const ParsedV2& parsed, SnapshotValidation validation,
                      bool zero_copy, Model* model) {
   BinaryReader reader(parsed.index_entries);
-  // Mapped float base pointers: the mmap base is page-aligned and the
+  // Mapped element base pointers: the mmap base is page-aligned and the
   // section offsets are 64-aligned, so these casts are alignment-safe.
   const float* obs_floats =
-      zero_copy && !parsed.obs_bytes.empty()
+      zero_copy && !parsed.half && !parsed.obs_bytes.empty()
           ? reinterpret_cast<const float*>(parsed.obs_bytes.data())
           : nullptr;
   const float* tree_floats =
-      zero_copy && !parsed.tree_bytes.empty()
+      zero_copy && !parsed.half && !parsed.tree_bytes.empty()
           ? reinterpret_cast<const float*>(parsed.tree_bytes.data())
+          : nullptr;
+  const uint16_t* obs_halves =
+      zero_copy && parsed.half && !parsed.obs_bytes.empty()
+          ? reinterpret_cast<const uint16_t*>(parsed.obs_bytes.data())
+          : nullptr;
+  const uint16_t* tree_halves =
+      zero_copy && parsed.half && !parsed.tree_bytes.empty()
+          ? reinterpret_cast<const uint16_t*>(parsed.tree_bytes.data())
           : nullptr;
   uint64_t running_obs = 0;
   uint64_t running_tree = 0;
@@ -382,6 +464,18 @@ Status DecodeSubsets(const ParsedV2& parsed, SnapshotValidation validation,
           "Model snapshot: subset tree exceeds section total");
     }
     Result<SubsetStats> stats = [&]() -> Result<SubsetStats> {
+      const bool validate_sorted = validation == SnapshotValidation::kFull;
+      if (zero_copy && parsed.half) {
+        return SubsetStats::FromBorrowedSortedHalf(
+            std::span<const uint16_t>(obs_halves + obs_off,
+                                      static_cast<size_t>(count)),
+            std::span<const uint16_t>(obs_halves + obs_off + count,
+                                      static_cast<size_t>(count)),
+            std::span<const uint16_t>(
+                tree_count > 0 ? tree_halves + tree_off : nullptr,
+                static_cast<size_t>(tree_count)),
+            validate_sorted);
+      }
       if (zero_copy) {
         return SubsetStats::FromBorrowedSorted(
             std::span<const float>(obs_floats + obs_off,
@@ -391,9 +485,16 @@ Status DecodeSubsets(const ParsedV2& parsed, SnapshotValidation validation,
             std::span<const float>(
                 tree_count > 0 ? tree_floats + tree_off : nullptr,
                 static_cast<size_t>(tree_count)),
-            /*validate_sorted=*/validation == SnapshotValidation::kFull);
+            validate_sorted);
       }
       const char* obs_base = parsed.obs_bytes.data();
+      if (parsed.half) {
+        return SubsetStats::FromSortedHalfArraysWithTree(
+            CopyU16s(obs_base + obs_off * sizeof(uint16_t), count),
+            CopyU16s(obs_base + (obs_off + count) * sizeof(uint16_t), count),
+            CopyU16s(parsed.tree_bytes.data() + tree_off * sizeof(uint16_t),
+                     tree_count));
+      }
       return SubsetStats::FromSortedArraysWithTree(
           CopyFloats(obs_base + obs_off * sizeof(float), count),
           CopyFloats(obs_base + (obs_off + count) * sizeof(float), count),
@@ -501,8 +602,26 @@ Result<Model> BuildModelFromParsed(const ParsedV2& parsed,
 
 }  // namespace
 
-std::string EncodeModelSnapshotV2(const Model& model) {
+std::string EncodeModelSnapshotV2(const Model& model,
+                                  ObservationEncoding encoding) {
   UNIDETECT_CHECK(model.finalized());
+
+  // Pick the output width. kPreserve follows the model's own storage —
+  // which is uniform across subsets (a model is either a half-precision
+  // load or a full-precision build, never a mix), checked below.
+  bool any_half = false;
+  bool all_half = true;
+  model.ForEachSubsetSorted([&](FeatureKey, const SubsetStats& stats) {
+    if (stats.half()) {
+      any_half = true;
+    } else {
+      all_half = false;
+    }
+  });
+  UNIDETECT_CHECK(!any_half || all_half);
+  const bool write_f16 =
+      encoding == ObservationEncoding::kF16 ||
+      (encoding == ObservationEncoding::kPreserve && any_half);
 
   StringPool pool;
   model.token_index().ForEachToken(
@@ -532,9 +651,13 @@ std::string EncodeModelSnapshotV2(const Model& model) {
     AppendU64(&index_payload, total_tree_floats);
     AppendU32(&index_payload, static_cast<uint32_t>(levels));
     AppendU32(&index_payload, 0);  // reserved
-    AppendFloatSpan(&obs_payload, stats.pres());
-    AppendFloatSpan(&obs_payload, stats.posts());
-    AppendFloatSpan(&tree_payload, stats.tree_data());
+    const bool source_half = stats.half();
+    AppendObsSpan(&obs_payload, write_f16, stats.pres(), stats.pres_f16(),
+                  source_half);
+    AppendObsSpan(&obs_payload, write_f16, stats.posts(), stats.posts_f16(),
+                  source_half);
+    AppendObsSpan(&tree_payload, write_f16, stats.tree_data(),
+                  stats.tree_data_f16(), source_half);
     total_obs_floats += 2 * count;
     total_tree_floats += levels * count;
   });
@@ -584,14 +707,22 @@ std::string EncodeModelSnapshotV2(const Model& model) {
   sections.emplace_back(SnapshotSection::kOptions, &options_payload);
   sections.emplace_back(SnapshotSection::kStringPool, &pool_payload);
   sections.emplace_back(SnapshotSection::kSubsetIndex, &index_payload);
-  if (!obs_payload.empty()) {
+  if (!write_f16 && !obs_payload.empty()) {
     sections.emplace_back(SnapshotSection::kObservations, &obs_payload);
   }
-  if (!tree_payload.empty()) {
+  if (!write_f16 && !tree_payload.empty()) {
     sections.emplace_back(SnapshotSection::kTreeLevels, &tree_payload);
   }
   sections.emplace_back(SnapshotSection::kTokenIndex2, &token_payload);
   sections.emplace_back(SnapshotSection::kPatternIndex2, &pattern_payload);
+  // The f16 sections live above every f32-era id, keeping the table's
+  // strictly-ascending-id invariant without renumbering.
+  if (write_f16 && !obs_payload.empty()) {
+    sections.emplace_back(SnapshotSection::kObservationsF16, &obs_payload);
+  }
+  if (write_f16 && !tree_payload.empty()) {
+    sections.emplace_back(SnapshotSection::kTreeLevelsF16, &tree_payload);
+  }
 
   std::string out;
   out.append(kSnapshotMagic);

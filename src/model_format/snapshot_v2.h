@@ -54,8 +54,27 @@
 
 namespace unidetect {
 
+/// \brief Observation storage written by the v2 encoder.
+///
+/// kF16 stores observations and tree levels as IEEE 754 binary16
+/// (sections kObservationsF16/kTreeLevelsF16 instead of the f32
+/// sections), halving the bulk payload. Quantization rounds to nearest-
+/// even and is monotone, so sorted arrays stay sorted and the serialized
+/// tree remains a valid merge-sort tree of the quantized posts; queries
+/// then run over the dequantized (exactly widened) values. kPreserve —
+/// the default, used by Model::Save — keeps whatever storage the model
+/// already has, which makes an f16 load -> save round trip bit-identical.
+/// kF32 dequantizes an f16 model back to full f32 sections.
+enum class ObservationEncoding {
+  kPreserve,
+  kF32,
+  kF16,
+};
+
 /// \brief Encodes a finalized model in the v2 flat layout.
-std::string EncodeModelSnapshotV2(const Model& model);
+std::string EncodeModelSnapshotV2(
+    const Model& model,
+    ObservationEncoding encoding = ObservationEncoding::kPreserve);
 
 /// \brief Owned decode of a v2 blob: observation and tree floats are
 /// copied out of `bytes` (which therefore needs no particular alignment

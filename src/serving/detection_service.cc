@@ -45,19 +45,21 @@ double HistogramPercentile(
 }  // namespace
 
 DetectionService::DetectionService(std::shared_ptr<const Model> model,
-                                   UniDetectOptions options)
-    : options_(std::move(options)) {
+                                   UniDetectOptions options,
+                                   uint64_t findings_cache_bytes)
+    : options_(std::move(options)), cache_(findings_cache_bytes) {
   MutexLock lock(&mu_);
   engine_ = std::make_shared<const Engine>(std::move(model), options_,
                                            /*generation_in=*/1);
 }
 
 Result<std::unique_ptr<DetectionService>> DetectionService::Create(
-    const std::string& model_path, UniDetectOptions options) {
+    const std::string& model_path, UniDetectOptions options,
+    uint64_t findings_cache_bytes) {
   auto view = ModelView::Open(model_path);
   if (!view.ok()) return view.status();
-  return std::make_unique<DetectionService>(view->shared_model(),
-                                            std::move(options));
+  return std::make_unique<DetectionService>(
+      view->shared_model(), std::move(options), findings_cache_bytes);
 }
 
 Status DetectionService::Reload(const std::string& path) {
@@ -82,6 +84,14 @@ Status DetectionService::Reload(const std::string& path) {
     // in-flight batch that pinned it drops its reference (for a mapped
     // model, that release is also the munmap).
     engine_ = replacement;
+  }
+  {
+    // Invalidate memoized findings: they belong to the retired
+    // generation. (Keys also carry the generation, so a straggler batch
+    // still inserting old-generation entries can never poison lookups
+    // against the new model — those entries just age out.)
+    MutexLock lock(&cache_mu_);
+    cache_.Clear();
   }
   const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                           std::chrono::steady_clock::now() - start)
@@ -116,20 +126,55 @@ DetectionService::BatchResult DetectionService::DetectBatch(
   BatchResult result;
   result.generation = engine->generation;
   result.per_table.resize(tables.size());
-  if (num_threads == 1 || tables.size() <= 1) {
+
+  // Findings-cache probe: fingerprint every table against the pinned
+  // generation and effective options, answer hits from the cache, and
+  // narrow detection to the misses. Hit results are byte-identical to
+  // re-detection — DetectTable is a pure function of the key's inputs.
+  std::vector<Key128> keys;
+  std::vector<size_t> todo;  // table indices needing detection
+  const bool use_cache = cache_.enabled();
+  if (use_cache) {
+    const UniDetectOptions& effective = detector->options();
+    keys.resize(tables.size());
     for (size_t i = 0; i < tables.size(); ++i) {
+      keys[i] = FingerprintTable(tables[i], engine->generation, effective);
+    }
+    MutexLock lock(&cache_mu_);
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (auto cached = cache_.Lookup(keys[i])) {
+        result.per_table[i] = *std::move(cached);
+      } else {
+        todo.push_back(i);
+      }
+    }
+  } else {
+    todo.resize(tables.size());
+    for (size_t i = 0; i < tables.size(); ++i) todo[i] = i;
+  }
+
+  if (num_threads == 1 || todo.size() <= 1) {
+    for (const size_t i : todo) {
       result.per_table[i] = detector->DetectTable(tables[i]);
     }
   } else {
     // Same sharding discipline as UniDetect::DetectCorpus: per-table
     // output slots keep the response independent of the thread count.
     ThreadPool pool(num_threads);
-    ParallelFor(pool, tables.size(),
+    ParallelFor(pool, todo.size(),
                 [&](size_t, size_t begin, size_t end) {
-                  for (size_t i = begin; i < end; ++i) {
+                  for (size_t t = begin; t < end; ++t) {
+                    const size_t i = todo[t];
                     result.per_table[i] = detector->DetectTable(tables[i]);
                   }
                 });
+  }
+
+  if (use_cache && !todo.empty()) {
+    // Insert after the parallel section, in table order, so the LRU
+    // (and therefore eviction) order is independent of thread timing.
+    MutexLock lock(&cache_mu_);
+    for (const size_t i : todo) cache_.Insert(keys[i], result.per_table[i]);
   }
 
   uint64_t found = 0;
@@ -158,6 +203,19 @@ ServiceStats DetectionService::Stats() const {
     stats.generation = engine->generation;
     stats.model_resident_bytes = engine->model->ApproxResidentBytes();
     stats.model_mapped_bytes = engine->model->mapped_bytes();
+  }
+  {
+    MutexLock lock(&cache_mu_);
+    const FindingsCache::Stats cache = cache_.stats();
+    stats.cache_hits = cache.hits;
+    stats.cache_misses = cache.misses;
+    stats.cache_evictions = cache.evictions;
+    stats.cache_resident_bytes = cache.resident_bytes;
+    stats.cache_entries = cache.entries;
+    if (cache.hits + cache.misses > 0) {
+      stats.cache_hit_rate = static_cast<double>(cache.hits) /
+                             static_cast<double>(cache.hits + cache.misses);
+    }
   }
   std::array<uint64_t, kLatencyBuckets> buckets;
   std::array<uint64_t, kLatencyBuckets> reload_buckets;

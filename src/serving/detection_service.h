@@ -26,6 +26,7 @@
 #include "detect/finding.h"
 #include "detect/unidetect.h"
 #include "learn/model.h"
+#include "serving/findings_cache.h"
 #include "table/table.h"
 #include "util/mutex.h"
 #include "util/result.h"
@@ -60,6 +61,16 @@ struct ServiceStats {
   /// near zero.
   uint64_t model_resident_bytes = 0;
   uint64_t model_mapped_bytes = 0;
+  /// Findings-cache counters (all zero when the cache is disabled):
+  /// cumulative hits/misses/evictions since construction, current
+  /// approximate resident bytes, and hits / (hits + misses) (0 before
+  /// the first lookup).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_resident_bytes = 0;
+  uint64_t cache_entries = 0;
+  double cache_hit_rate = 0.0;
 };
 
 /// \brief Serves detection requests over a hot-swappable model.
@@ -75,13 +86,18 @@ class DetectionService {
 
   /// Takes shared ownership of `model` (generation 1). `options` are the
   /// serving defaults applied to every request without an override.
+  /// `findings_cache_bytes` bounds the fingerprint -> findings cache
+  /// (serving/findings_cache.h); 0 — the default, so cold-path behavior
+  /// and benchmarks are unchanged — disables it.
   explicit DetectionService(std::shared_ptr<const Model> model,
-                            UniDetectOptions options = {});
+                            UniDetectOptions options = {},
+                            uint64_t findings_cache_bytes = 0);
 
   /// \brief Builds a service from a model file (any supported format,
   /// opened through ModelView — v2 snapshots are mapped zero-copy).
   static Result<std::unique_ptr<DetectionService>> Create(
-      const std::string& model_path, UniDetectOptions options = {});
+      const std::string& model_path, UniDetectOptions options = {},
+      uint64_t findings_cache_bytes = 0);
 
   DetectionService(const DetectionService&) = delete;
   DetectionService& operator=(const DetectionService&) = delete;
@@ -139,6 +155,12 @@ class DetectionService {
 
   mutable Mutex mu_;
   std::shared_ptr<const Engine> engine_ GUARDED_BY(mu_);
+
+  // The findings cache sits behind its own mutex: lookups/inserts are
+  // short map-and-splice operations, and keeping them off stats_mu_ and
+  // mu_ means a cache hit never contends with a reload swap.
+  mutable Mutex cache_mu_;
+  mutable FindingsCache cache_ GUARDED_BY(cache_mu_);
 
   mutable Mutex stats_mu_;
   mutable uint64_t requests_ GUARDED_BY(stats_mu_) = 0;

@@ -1,0 +1,541 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define UNIDETECT_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define UNIDETECT_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace unidetect {
+namespace simd {
+
+namespace {
+
+// Process-wide dispatch state: the detected level is fixed at first use;
+// the enabled flag implements both the UNIDETECT_DISABLE_SIMD override
+// and SetSimdEnabled(). Deterministic for any fixed host + environment.
+std::atomic<int> g_detected_level{-1};  // NOLINT(determinism)
+std::atomic<bool> g_simd_enabled{true};  // NOLINT(determinism)
+
+int DetectLevel() {
+#if defined(UNIDETECT_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) {
+    return static_cast<int>(SimdLevel::kAvx2);
+  }
+#elif defined(UNIDETECT_SIMD_NEON)
+  return static_cast<int>(SimdLevel::kNeon);
+#endif
+  return static_cast<int>(SimdLevel::kScalar);
+}
+
+bool DisabledByEnv() {
+  const char* env = std::getenv("UNIDETECT_DISABLE_SIMD");
+  if (env == nullptr || *env == '\0') return false;
+  return !(env[0] == '0' && env[1] == '\0');
+}
+
+SimdLevel Level() {
+  int level = g_detected_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    if (DisabledByEnv()) g_simd_enabled.store(false);
+    level = DetectLevel();
+    g_detected_level.store(level);
+  }
+  if (!g_simd_enabled.load(std::memory_order_relaxed)) {
+    return SimdLevel::kScalar;
+  }
+  return static_cast<SimdLevel>(level);
+}
+
+#if defined(UNIDETECT_SIMD_X86)
+bool HasF16c() {
+  static const bool has = __builtin_cpu_supports("f16c");
+  return has;
+}
+#endif
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() { return Level(); }
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+void SetSimdEnabled(bool enabled) {
+  Level();  // pin the detected level before flipping the switch
+  g_simd_enabled.store(enabled);
+}
+
+// ---------------------------------------------------------------------------
+// Half <-> float conversions (software; exact widening, RNE narrowing).
+
+float HalfToFloat(uint16_t half) {
+  const uint32_t sign = static_cast<uint32_t>(half & 0x8000u) << 16;
+  const uint32_t exp = (half >> 10) & 0x1fu;
+  uint32_t mant = half & 0x3ffu;
+  uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal half: normalize into a regular float exponent.
+      uint32_t shift = 0;
+      while ((mant & 0x400u) == 0) {
+        mant <<= 1;
+        ++shift;
+      }
+      mant &= 0x3ffu;
+      bits = sign | ((113u - shift) << 23) | (mant << 13);
+    }
+  } else if (exp == 0x1fu) {
+    bits = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+uint16_t FloatToHalf(float value) {
+  const uint32_t bits = std::bit_cast<uint32_t>(value);
+  const uint16_t sign = static_cast<uint16_t>((bits >> 16) & 0x8000u);
+  const uint32_t exp32 = (bits >> 23) & 0xffu;
+  uint32_t mant = bits & 0x007fffffu;
+  if (exp32 == 0xffu) {  // inf / NaN
+    if (mant == 0) return static_cast<uint16_t>(sign | 0x7c00u);
+    return static_cast<uint16_t>(sign | 0x7c00u | 0x0200u | (mant >> 13));
+  }
+  const int32_t exp = static_cast<int32_t>(exp32) - 127 + 15;
+  if (exp >= 0x1f) return static_cast<uint16_t>(sign | 0x7c00u);  // overflow
+  if (exp <= 0) {
+    if (exp < -10) return sign;  // underflows to signed zero even with RNE
+    mant |= 0x00800000u;  // make the implicit bit explicit
+    const uint32_t shift = static_cast<uint32_t>(14 - exp);  // 14..24
+    uint32_t half_mant = mant >> shift;
+    const uint32_t rem = mant & ((1u << shift) - 1u);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u) != 0)) {
+      ++half_mant;  // a carry rolls into the exponent field, which is correct
+    }
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  uint32_t half = static_cast<uint32_t>(sign) |
+                  (static_cast<uint32_t>(exp) << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u) != 0)) {
+    ++half;  // mantissa/exponent carry chain; saturates into +/-inf
+  }
+  return static_cast<uint16_t>(half);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar references. These define the semantics; every vector kernel
+// below must match them bit for bit.
+
+uint64_t CountLessEqualF32Scalar(const float* v, size_t n, float theta) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (v[i] <= theta) ++count;
+  }
+  return count;
+}
+
+uint64_t CountGreaterEqualF32Scalar(const float* v, size_t n, float theta) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (v[i] >= theta) ++count;
+  }
+  return count;
+}
+
+uint64_t CountLessEqualF16Scalar(const uint16_t* v, size_t n, float theta) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (HalfToFloat(v[i]) <= theta) ++count;
+  }
+  return count;
+}
+
+uint64_t CountGreaterEqualF16Scalar(const uint16_t* v, size_t n, float theta) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (HalfToFloat(v[i]) >= theta) ++count;
+  }
+  return count;
+}
+
+ArgMaxResult ArgMaxAbsDeviationScalar(const double* v, size_t n,
+                                      double center, double denom) {
+  ArgMaxResult out{std::fabs(v[0] - center) / denom, 0};
+  for (size_t i = 1; i < n; ++i) {
+    const double s = std::fabs(v[i] - center) / denom;
+    if (s > out.score) {
+      out.score = s;
+      out.index = i;
+    }
+  }
+  return out;
+}
+
+namespace {
+size_t PopcountLowerBound(uint64_t sig_a, uint64_t sig_b) {
+  const auto a_only = static_cast<size_t>(std::popcount(sig_a & ~sig_b));
+  const auto b_only = static_cast<size_t>(std::popcount(sig_b & ~sig_a));
+  return a_only > b_only ? a_only : b_only;
+}
+}  // namespace
+
+uint64_t MpdPrefilterMaskScalar(const int32_t* lengths, const uint64_t* sigs,
+                                size_t count, int32_t len_a, uint64_t sig_a,
+                                int32_t bound) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (lengths[i] - len_a > bound) continue;
+    if (static_cast<int64_t>(PopcountLowerBound(sig_a, sigs[i])) >
+        static_cast<int64_t>(bound)) {
+      continue;
+    }
+    mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels. Compiled with per-function target attributes so the rest
+// of the translation unit (and the build) needs no -mavx2; only reached
+// after __builtin_cpu_supports says the host has the instructions.
+
+#if defined(UNIDETECT_SIMD_X86)
+
+__attribute__((target("avx2"))) uint64_t CountLessEqualF32Avx2(
+    const float* v, size_t n, float theta) {
+  const __m256 t = _mm256_set1_ps(theta);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(v + i);
+    // Ordered-quiet <= : false for NaN on either side, like scalar <=.
+    const __m256 le = _mm256_cmp_ps(x, t, _CMP_LE_OQ);
+    count += static_cast<uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_ps(le))));
+  }
+  for (; i < n; ++i) {
+    if (v[i] <= theta) ++count;
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) uint64_t CountGreaterEqualF32Avx2(
+    const float* v, size_t n, float theta) {
+  const __m256 t = _mm256_set1_ps(theta);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(v + i);
+    const __m256 ge = _mm256_cmp_ps(x, t, _CMP_GE_OQ);
+    count += static_cast<uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_ps(ge))));
+  }
+  for (; i < n; ++i) {
+    if (v[i] >= theta) ++count;
+  }
+  return count;
+}
+
+__attribute__((target("avx2,f16c"))) uint64_t CountLessEqualF16Avx2(
+    const uint16_t* v, size_t n, float theta) {
+  const __m256 t = _mm256_set1_ps(theta);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i halves =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    const __m256 x = _mm256_cvtph_ps(halves);  // exact widening
+    const __m256 le = _mm256_cmp_ps(x, t, _CMP_LE_OQ);
+    count += static_cast<uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_ps(le))));
+  }
+  for (; i < n; ++i) {
+    if (HalfToFloat(v[i]) <= theta) ++count;
+  }
+  return count;
+}
+
+__attribute__((target("avx2,f16c"))) uint64_t CountGreaterEqualF16Avx2(
+    const uint16_t* v, size_t n, float theta) {
+  const __m256 t = _mm256_set1_ps(theta);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i halves =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    const __m256 x = _mm256_cvtph_ps(halves);
+    const __m256 ge = _mm256_cmp_ps(x, t, _CMP_GE_OQ);
+    count += static_cast<uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_ps(ge))));
+  }
+  for (; i < n; ++i) {
+    if (HalfToFloat(v[i]) >= theta) ++count;
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) ArgMaxResult ArgMaxAbsDeviationAvx2(
+    const double* v, size_t n, double center, double denom) {
+  // Scores are |x| / denom with denom > 0, so every non-NaN score is
+  // >= 0 and -1.0 is a safe "no lane selected yet" sentinel. The scalar
+  // seed rule (index 0 wins outright when its score is NaN) is handled
+  // before the vector body.
+  const double s0 = std::fabs(v[0] - center) / denom;
+  if (std::isnan(s0)) return ArgMaxResult{s0, 0};
+
+  const __m256d c = _mm256_set1_pd(center);
+  const __m256d d = _mm256_set1_pd(denom);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  __m256d best_score = _mm256_set1_pd(-1.0);
+  __m256i best_index = _mm256_set1_epi64x(0);
+  __m256i index = _mm256_setr_epi64x(0, 1, 2, 3);
+  const __m256i step = _mm256_set1_epi64x(4);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(v + i);
+    const __m256d s =
+        _mm256_div_pd(_mm256_and_pd(_mm256_sub_pd(x, c), abs_mask), d);
+    // Strict > keeps the first (lowest-index) maximum within each lane's
+    // subsequence; NaN scores never pass an ordered compare.
+    const __m256d gt = _mm256_cmp_pd(s, best_score, _CMP_GT_OQ);
+    best_score = _mm256_blendv_pd(best_score, s, gt);
+    best_index = _mm256_castpd_si256(_mm256_blendv_pd(
+        _mm256_castsi256_pd(best_index), _mm256_castsi256_pd(index), gt));
+    index = _mm256_add_epi64(index, step);
+  }
+
+  alignas(32) double lane_score[4];
+  alignas(32) int64_t lane_index[4];
+  _mm256_store_pd(lane_score, best_score);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane_index), best_index);
+  // Cross-lane reduce in fixed order: larger score wins; equal scores go
+  // to the smaller index. That reproduces the scalar first-strict-
+  // improvement scan, whose winner is the smallest index attaining the
+  // global maximum.
+  ArgMaxResult out{s0, 0};
+  bool seeded = false;
+  for (int lane = 0; lane < 4; ++lane) {
+    if (lane_score[lane] < 0.0) continue;  // sentinel: lane never selected
+    const auto idx = static_cast<size_t>(lane_index[lane]);
+    if (!seeded || lane_score[lane] > out.score ||
+        (lane_score[lane] == out.score && idx < out.index)) {
+      out.score = lane_score[lane];
+      out.index = idx;
+      seeded = true;
+    }
+  }
+  for (; i < n; ++i) {
+    const double s = std::fabs(v[i] - center) / denom;
+    if (s > out.score) {
+      out.score = s;
+      out.index = i;
+    }
+  }
+  return out;
+}
+
+// pshufb nibble lookup table for per-byte popcount; _mm256_sad_epu8
+// folds the bytes of each 64-bit lane into that lane's count. A named
+// function (not a lambda inside the kernel) because closures do not
+// inherit the enclosing function's target attribute, and gcc refuses
+// to inline AVX2 intrinsics into a non-AVX2 closure body.
+__attribute__((target("avx2"))) inline __m256i Popcount64Lanes(__m256i x) {
+  const __m256i nibble_counts = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_nibble = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(x, low_nibble);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(x, 4), low_nibble);
+  const __m256i cnt =
+      _mm256_add_epi8(_mm256_shuffle_epi8(nibble_counts, lo),
+                      _mm256_shuffle_epi8(nibble_counts, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) uint64_t MpdPrefilterMaskAvx2(
+    const int32_t* lengths, const uint64_t* sigs, size_t count, int32_t len_a,
+    uint64_t sig_a, int32_t bound) {
+  const __m256i vlen_a = _mm256_set1_epi32(len_a);
+  const __m256i vbound32 = _mm256_set1_epi32(bound);
+  const __m256i vsig_a = _mm256_set1_epi64x(static_cast<int64_t>(sig_a));
+  const __m256i vbound64 = _mm256_set1_epi64x(bound);
+
+  uint64_t mask = 0;
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i len = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(lengths + i));
+    const __m256i gap = _mm256_sub_epi32(len, vlen_a);
+    const unsigned len_fail = static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(gap, vbound32))));
+
+    unsigned sig_fail = 0;
+    for (size_t half = 0; half < 2; ++half) {
+      const __m256i sig = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(sigs + i + half * 4));
+      const __m256i a_only = Popcount64Lanes(_mm256_andnot_si256(sig, vsig_a));
+      const __m256i b_only = Popcount64Lanes(_mm256_andnot_si256(vsig_a, sig));
+      const __m256i fail = _mm256_or_si256(
+          _mm256_cmpgt_epi64(a_only, vbound64),
+          _mm256_cmpgt_epi64(b_only, vbound64));
+      sig_fail |= static_cast<unsigned>(
+                      _mm256_movemask_pd(_mm256_castsi256_pd(fail)))
+                  << (half * 4);
+    }
+    mask |= static_cast<uint64_t>(~(len_fail | sig_fail) & 0xffu) << i;
+  }
+  for (; i < count; ++i) {
+    if (lengths[i] - len_a > bound) continue;
+    if (static_cast<int64_t>(PopcountLowerBound(sig_a, sigs[i])) >
+        static_cast<int64_t>(bound)) {
+      continue;
+    }
+    mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+#endif  // UNIDETECT_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON kernels (aarch64 baseline; no runtime detection needed). Only the
+// counting kernels are vectorized — the argmax and prefilter kernels
+// fall back to the scalar references, which the dispatch contract
+// permits because scalar IS the semantics.
+
+#if defined(UNIDETECT_SIMD_NEON)
+
+uint64_t CountLessEqualF32Neon(const float* v, size_t n, float theta) {
+  const float32x4_t t = vdupq_n_f32(theta);
+  uint64_t count = 0;
+  size_t i = 0;
+  uint32x4_t acc = vdupq_n_u32(0);
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t le = vcleq_f32(vld1q_f32(v + i), t);
+    acc = vsubq_u32(acc, le);  // lanes are 0 or 0xffffffff (== -1)
+    if ((i & 0x3ffc) == 0x3ffc) {  // drain before any u32 lane could wrap
+      count += vaddlvq_u32(acc);
+      acc = vdupq_n_u32(0);
+    }
+  }
+  count += vaddlvq_u32(acc);
+  for (; i < n; ++i) {
+    if (v[i] <= theta) ++count;
+  }
+  return count;
+}
+
+uint64_t CountGreaterEqualF32Neon(const float* v, size_t n, float theta) {
+  const float32x4_t t = vdupq_n_f32(theta);
+  uint64_t count = 0;
+  size_t i = 0;
+  uint32x4_t acc = vdupq_n_u32(0);
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t ge = vcgeq_f32(vld1q_f32(v + i), t);
+    acc = vsubq_u32(acc, ge);
+    if ((i & 0x3ffc) == 0x3ffc) {
+      count += vaddlvq_u32(acc);
+      acc = vdupq_n_u32(0);
+    }
+  }
+  count += vaddlvq_u32(acc);
+  for (; i < n; ++i) {
+    if (v[i] >= theta) ++count;
+  }
+  return count;
+}
+
+#endif  // UNIDETECT_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+
+uint64_t CountLessEqualF32(const float* v, size_t n, float theta) {
+#if defined(UNIDETECT_SIMD_X86)
+  if (Level() == SimdLevel::kAvx2) return CountLessEqualF32Avx2(v, n, theta);
+#elif defined(UNIDETECT_SIMD_NEON)
+  if (Level() == SimdLevel::kNeon) return CountLessEqualF32Neon(v, n, theta);
+#endif
+  return CountLessEqualF32Scalar(v, n, theta);
+}
+
+uint64_t CountGreaterEqualF32(const float* v, size_t n, float theta) {
+#if defined(UNIDETECT_SIMD_X86)
+  if (Level() == SimdLevel::kAvx2) {
+    return CountGreaterEqualF32Avx2(v, n, theta);
+  }
+#elif defined(UNIDETECT_SIMD_NEON)
+  if (Level() == SimdLevel::kNeon) {
+    return CountGreaterEqualF32Neon(v, n, theta);
+  }
+#endif
+  return CountGreaterEqualF32Scalar(v, n, theta);
+}
+
+uint64_t CountLessEqualF16(const uint16_t* v, size_t n, float theta) {
+#if defined(UNIDETECT_SIMD_X86)
+  if (Level() == SimdLevel::kAvx2 && HasF16c()) {
+    return CountLessEqualF16Avx2(v, n, theta);
+  }
+#endif
+  return CountLessEqualF16Scalar(v, n, theta);
+}
+
+uint64_t CountGreaterEqualF16(const uint16_t* v, size_t n, float theta) {
+#if defined(UNIDETECT_SIMD_X86)
+  if (Level() == SimdLevel::kAvx2 && HasF16c()) {
+    return CountGreaterEqualF16Avx2(v, n, theta);
+  }
+#endif
+  return CountGreaterEqualF16Scalar(v, n, theta);
+}
+
+ArgMaxResult ArgMaxAbsDeviation(const double* v, size_t n, double center,
+                                double denom) {
+#if defined(UNIDETECT_SIMD_X86)
+  // The vector body's -1 sentinel assumes non-negative scores, which
+  // requires denom > 0 (the dispersion callers guarantee it; anything
+  // else routes to the scalar reference).
+  if (Level() == SimdLevel::kAvx2 && n >= 8 && denom > 0.0) {
+    return ArgMaxAbsDeviationAvx2(v, n, center, denom);
+  }
+#endif
+  return ArgMaxAbsDeviationScalar(v, n, center, denom);
+}
+
+uint64_t MpdPrefilterMask(const int32_t* lengths, const uint64_t* sigs,
+                          size_t count, int32_t len_a, uint64_t sig_a,
+                          int32_t bound) {
+#if defined(UNIDETECT_SIMD_X86)
+  if (Level() == SimdLevel::kAvx2) {
+    return MpdPrefilterMaskAvx2(lengths, sigs, count, len_a, sig_a, bound);
+  }
+#endif
+  return MpdPrefilterMaskScalar(lengths, sigs, count, len_a, sig_a, bound);
+}
+
+}  // namespace simd
+}  // namespace unidetect

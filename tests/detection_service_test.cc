@@ -207,5 +207,120 @@ TEST(DetectionServiceTest, ReloadRacesDetectBatchSafely) {
   EXPECT_EQ(stats.reloads, 8u);
 }
 
+// ---------------------------------------------------------------------------
+// Findings cache (serving/findings_cache.h). The tsan preset runs these
+// too — cache probe/insert happen on the DetectBatch path under races.
+
+TEST(DetectionServiceCacheTest, WarmHitsReturnIdenticalFindings) {
+  auto model = TrainSharedModel(200, 61);
+  UniDetectOptions options;
+  options.alpha = 1.0;
+  DetectionService service(model, options, /*findings_cache_bytes=*/8 << 20);
+  const AnnotatedCorpus test = GenerateCorpus(WebCorpusSpec(20, 62));
+
+  const auto cold = service.DetectBatch(test.corpus.tables);
+  {
+    const ServiceStats stats = service.Stats();
+    EXPECT_EQ(stats.cache_hits, 0u);
+    EXPECT_EQ(stats.cache_misses, test.corpus.tables.size());
+    EXPECT_EQ(stats.cache_entries, test.corpus.tables.size());
+    EXPECT_GT(stats.cache_resident_bytes, 0u);
+    EXPECT_EQ(stats.cache_hit_rate, 0.0);
+  }
+
+  // Second pass: every table is answered from the cache, bit-identically,
+  // in both the serial and the parallel driver.
+  const auto warm = service.DetectBatch(test.corpus.tables);
+  EXPECT_EQ(AllFindingsJson(cold), AllFindingsJson(warm));
+  const auto warm_parallel =
+      service.DetectBatch(test.corpus.tables, nullptr, /*num_threads=*/4);
+  EXPECT_EQ(AllFindingsJson(cold), AllFindingsJson(warm_parallel));
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, 2 * test.corpus.tables.size());
+  EXPECT_EQ(stats.cache_misses, test.corpus.tables.size());
+  EXPECT_NEAR(stats.cache_hit_rate, 2.0 / 3.0, 1e-12);
+}
+
+TEST(DetectionServiceCacheTest, OverrideOptionsKeySeparately) {
+  auto model = TrainSharedModel(200, 63);
+  UniDetectOptions options;
+  options.alpha = 1.0;
+  DetectionService service(model, options, /*findings_cache_bytes=*/8 << 20);
+  const AnnotatedCorpus test = GenerateCorpus(WebCorpusSpec(12, 64));
+
+  const auto base = service.DetectBatch(test.corpus.tables);
+  UniDetectOptions strict;
+  strict.alpha = 1e-12;
+  // The override batch must not hit the default-key entries (different
+  // effective options -> different fingerprints), nor poison them.
+  const auto overridden = service.DetectBatch(test.corpus.tables, &strict);
+  EXPECT_NE(AllFindingsJson(base), AllFindingsJson(overridden));
+  const auto base_again = service.DetectBatch(test.corpus.tables);
+  EXPECT_EQ(AllFindingsJson(base), AllFindingsJson(base_again));
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, test.corpus.tables.size());
+  EXPECT_EQ(stats.cache_misses, 2 * test.corpus.tables.size());
+}
+
+TEST(DetectionServiceCacheTest, ReloadInvalidates) {
+  auto model = TrainSharedModel(120, 65);
+  UniDetectOptions options;
+  options.alpha = 1.0;
+  DetectionService service(model, options, /*findings_cache_bytes=*/8 << 20);
+  const AnnotatedCorpus test = GenerateCorpus(WebCorpusSpec(10, 66));
+  const std::string path = testing::TempDir() + "/service_cache.model";
+  ASSERT_TRUE(model->Save(path).ok());
+
+  const auto before = service.DetectBatch(test.corpus.tables);
+  ASSERT_TRUE(service.Reload(path).ok());
+  EXPECT_EQ(service.Stats().cache_entries, 0u);
+
+  // Same model bytes, new generation: everything re-detects (all misses)
+  // and the findings come out identical.
+  const auto after = service.DetectBatch(test.corpus.tables);
+  EXPECT_EQ(AllFindingsJson(before), AllFindingsJson(after));
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 2 * test.corpus.tables.size());
+}
+
+TEST(DetectionServiceCacheTest, ByteBoundEvictsDeterministically) {
+  auto model = TrainSharedModel(120, 67);
+  UniDetectOptions options;
+  options.alpha = 1.0;
+  // A bound small enough that the batch must evict: each entry costs at
+  // least 128 bookkeeping bytes.
+  DetectionService service(model, options, /*findings_cache_bytes=*/1024);
+  const AnnotatedCorpus test = GenerateCorpus(WebCorpusSpec(30, 68));
+
+  const auto first = service.DetectBatch(test.corpus.tables);
+  {
+    const ServiceStats stats = service.Stats();
+    EXPECT_LE(stats.cache_resident_bytes, 1024u);
+    // Either entries were evicted to fit or were too large to insert at
+    // all; both ways the population stays under the table count. (The
+    // exact LRU eviction order is pinned by findings_cache_test.cc.)
+    EXPECT_LT(stats.cache_entries, test.corpus.tables.size());
+  }
+  // Capacity pressure changes hit rates, never results.
+  const auto second = service.DetectBatch(test.corpus.tables);
+  EXPECT_EQ(AllFindingsJson(first), AllFindingsJson(second));
+}
+
+TEST(DetectionServiceCacheTest, DisabledByDefault) {
+  auto model = TrainSharedModel(120, 69);
+  UniDetectOptions options;
+  options.alpha = 1.0;
+  DetectionService service(model, options);
+  const AnnotatedCorpus test = GenerateCorpus(WebCorpusSpec(5, 70));
+  (void)service.DetectBatch(test.corpus.tables);
+  (void)service.DetectBatch(test.corpus.tables);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_EQ(stats.cache_entries, 0u);
+  EXPECT_EQ(stats.cache_resident_bytes, 0u);
+}
+
 }  // namespace
 }  // namespace unidetect

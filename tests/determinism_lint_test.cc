@@ -71,6 +71,18 @@ TEST(DeterminismLintTest, PointerKeysOverMappedRegionsFlagged) {
   EXPECT_EQ(result.suppressed, 0);
 }
 
+TEST(DeterminismLintTest, PointerKeyedCachesFlagged) {
+  // The serving tier memoizes findings; this fixture collects the
+  // pointer-keyed cache shapes (request address, column address, LRU
+  // node address) that the linter must keep rejecting — the real cache
+  // keys on content fingerprints and evicts in LRU list order.
+  LintResult result = LintFixture("bad_pointer_key_cache.cc");
+  auto counts = CountByCheck(result);
+  EXPECT_EQ(counts["pointer-key"], 3);
+  EXPECT_EQ(result.findings.size(), 3u);
+  EXPECT_EQ(result.suppressed, 0);
+}
+
 TEST(DeterminismLintTest, MutableStateFlagged) {
   LintResult result = LintFixture("bad_mutable_state.cc");
   auto counts = CountByCheck(result);

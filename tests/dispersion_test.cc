@@ -3,6 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+#include "util/simd.h"
 
 namespace unidetect {
 namespace {
@@ -76,6 +82,59 @@ TEST(DispersionTest, MaxMadFindsTheOutlier) {
 TEST(DispersionTest, MaxScoreInvalidForTinyColumns) {
   EXPECT_FALSE(MaxMadScore({1, 2}).valid);
   EXPECT_FALSE(MaxSdScore({}).valid);
+}
+
+TEST(DispersionTest, MaxScoresMatchReferenceWithSimdOnAndOff) {
+  // The SIMD argmax rewrite of MaxMadScore / MaxSdScore must reproduce
+  // the per-element reference scan bit for bit — including NaN inputs,
+  // exact ties, zero-dispersion columns, and the IQR fallback — with the
+  // vector path forced on and off.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<std::vector<double>> columns = {
+      {10, 11, 12, 10.5, 11.5, 9000},
+      {5, 5, 5, 5, 5, 5, 5, 5, 5},                    // zero MAD and SD
+      {5, 5, 5, 5, 5, 1, 2, 3, 9},                    // IQR fallback
+      {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13},    // > one lane
+      {-4, 4, -4, 4, -4, 4, -4, 4, -4},               // exact ties
+      {nan, 1, 2, 3, 4, 5, 6, 7, 8},                  // NaN leading
+      {1, 2, nan, 4, 5, nan, 7, 8, 9, 10, 11, nan},   // NaN interior
+  };
+  for (const auto& values : columns) {
+    const MaxScore mad_want = MaxMadScoreReference(values);
+    const MaxScore sd_want = MaxSdScoreReference(values);
+    for (bool enabled : {true, false}) {
+      simd::SetSimdEnabled(enabled);
+      const MaxScore mad = MaxMadScore(values);
+      const MaxScore sd = MaxSdScore(values);
+      EXPECT_EQ(mad.valid, mad_want.valid);
+      EXPECT_EQ(mad.index, mad_want.index);
+      EXPECT_EQ(sd.valid, sd_want.valid);
+      EXPECT_EQ(sd.index, sd_want.index);
+      auto same_bits = [](double a, double b) {
+        return std::memcmp(&a, &b, sizeof(a)) == 0;
+      };
+      EXPECT_TRUE(same_bits(mad.score, mad_want.score)) << mad.score;
+      EXPECT_TRUE(same_bits(sd.score, sd_want.score)) << sd.score;
+    }
+    simd::SetSimdEnabled(true);
+  }
+}
+
+TEST(DispersionTest, MaxScoresMatchReferenceOnRandomColumns) {
+  Rng rng(0xD15B);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = 3 + rng.NextBounded(200);
+    std::vector<double> values(n);
+    for (double& v : values) v = rng.Normal(100.0, 25.0);
+    const MaxScore mad_want = MaxMadScoreReference(values);
+    const MaxScore sd_want = MaxSdScoreReference(values);
+    const MaxScore mad = MaxMadScore(values);
+    const MaxScore sd = MaxSdScore(values);
+    EXPECT_EQ(mad.index, mad_want.index);
+    EXPECT_DOUBLE_EQ(mad.score, mad_want.score);
+    EXPECT_EQ(sd.index, sd_want.index);
+    EXPECT_DOUBLE_EQ(sd.score, sd_want.score);
+  }
 }
 
 TEST(DispersionTest, SkewnessSigns) {

@@ -1,0 +1,42 @@
+// Lint fixture: pointer-key findings (expected: 3) over a findings-cache
+// shape. Not part of the build; scanned textually by
+// determinism_lint_test.
+//
+// The hazard this pins down: a memoization cache keyed on the address of
+// the request object (the Table, a Column, or the cache's own node)
+// looks correct under test — the same pointer hits — but its iteration
+// and therefore its eviction order follow allocation addresses, which
+// differ run to run (ASLR, allocator state). The real cache
+// (serving/findings_cache.h) keys on a content fingerprint (Key128) and
+// evicts in LRU list order for exactly this reason.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Table;
+struct Column;
+struct Finding;
+
+struct PointerKeyedFindingsCache {
+  // pointer-key: results memoized by the request table's address.
+  std::unordered_map<const Table*, std::vector<Finding>> by_table;
+  // pointer-key: per-column scores keyed by column address; ordered
+  // iteration walks allocation order, so eviction scans do too.
+  std::map<const Column*, double> column_scores;
+
+  struct Entry {
+    std::uint64_t key;
+    std::vector<Finding> findings;
+  };
+  std::list<Entry> lru;
+  // pointer-key: index into the LRU by node address instead of by the
+  // entry's content key.
+  std::unordered_map<const Entry*, std::list<Entry>::iterator> index;
+};
+
+}  // namespace fixture

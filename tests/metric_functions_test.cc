@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace unidetect {
 namespace {
@@ -276,6 +277,37 @@ TEST(MpdEquivalenceTest, TieOnMinimumPicksFirstPair) {
   EXPECT_EQ(fast.mpd, 1u);
   EXPECT_EQ(fast.value_a, "gamma");
   EXPECT_EQ(fast.value_b, "gamme");
+}
+
+TEST(MpdEquivalenceTest, SimdPrefilterMatchesReferenceWithSimdOnAndOff) {
+  // The chunked SIMD prefilter (util/simd.h MpdPrefilterMask) must leave
+  // every profile field identical to the reference with the vector path
+  // forced on and off — including dethrone-heavy columns (many
+  // progressively closer pairs, which re-mask mid-chunk) and columns
+  // larger than one 64-candidate chunk.
+  Rng rng(0xE017);
+  for (int trial = 0; trial < 12; ++trial) {
+    const size_t n = 70 + rng.NextBounded(80);  // > one prefilter chunk
+    std::vector<std::string> cells;
+    for (size_t i = 0; i < n; ++i) {
+      // Near-duplicates around a handful of stems create repeated
+      // dethrones as the scan tightens the best distance.
+      std::string s = "stem" + std::to_string(rng.NextBounded(6)) +
+                      rng.AlphaString(1 + rng.NextBounded(6));
+      if (rng.NextBounded(3) == 0) s[rng.NextBounded(s.size())] = 'q';
+      cells.push_back(std::move(s));
+    }
+    const Column column("c", cells);
+    MpdOptions options;
+    options.distance_cap = trial % 2 == 0 ? 20 : 3;
+    for (bool enabled : {true, false}) {
+      simd::SetSimdEnabled(enabled);
+      ExpectSameMpdProfile(column, options,
+                           "trial=" + std::to_string(trial) +
+                               " simd=" + std::to_string(enabled));
+    }
+    simd::SetSimdEnabled(true);
+  }
 }
 
 TEST(MpdEquivalenceTest, LongStringsUseBandedFallback) {

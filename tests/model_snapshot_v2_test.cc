@@ -246,6 +246,90 @@ TEST(SnapshotV2Test, LargeSubsetsLoadSerializedTreeVerbatim) {
   }
 }
 
+TEST(SnapshotV2Test, F16EncodingEmitsHalfSectionsAtHalfTheBulkBytes) {
+  const std::string f32 = EncodeModelSnapshot(LargeModel());
+  const std::string f16 =
+      EncodeModelSnapshotV2(LargeModel(), ObservationEncoding::kF16);
+  // The f16 variant swaps the bulk sections for their binary16 twins and
+  // carries exactly half the observation payload bytes.
+  EXPECT_FALSE(FindSection(f16, SnapshotSection::kObservations).found);
+  EXPECT_FALSE(FindSection(f16, SnapshotSection::kTreeLevels).found);
+  const Section obs16 = FindSection(f16, SnapshotSection::kObservationsF16);
+  const Section tree16 = FindSection(f16, SnapshotSection::kTreeLevelsF16);
+  ASSERT_TRUE(obs16.found);
+  ASSERT_TRUE(tree16.found);
+  EXPECT_EQ(obs16.length * 2,
+            FindSection(f32, SnapshotSection::kObservations).length);
+  EXPECT_EQ(tree16.length * 2,
+            FindSection(f32, SnapshotSection::kTreeLevels).length);
+  EXPECT_LT(f16.size(), f32.size());
+}
+
+TEST(SnapshotV2Test, F16DecodeMatchesDequantizedF32Queries) {
+  const std::string f16 =
+      EncodeModelSnapshotV2(LargeModel(), ObservationEncoding::kF16);
+  auto half = DecodeModelSnapshot(f16);
+  ASSERT_TRUE(half.ok()) << half.status();
+  const SubsetStats* stats = half->FindSubset(FeatureKey{3});
+  ASSERT_NE(stats, nullptr);
+  EXPECT_TRUE(stats->half());
+
+  // --f32 dequantization: the widened model answers every query exactly
+  // like the half store (widening binary16 -> f32 is exact).
+  const std::string widened =
+      EncodeModelSnapshotV2(*half, ObservationEncoding::kF32);
+  ASSERT_TRUE(FindSection(widened, SnapshotSection::kObservations).found);
+  auto wide = DecodeModelSnapshot(widened);
+  ASSERT_TRUE(wide.ok()) << wide.status();
+  const SubsetStats* wide_stats = wide->FindSubset(FeatureKey{3});
+  ASSERT_NE(wide_stats, nullptr);
+  EXPECT_FALSE(wide_stats->half());
+  ExpectIdenticalQueries(*half, *wide);
+}
+
+TEST(SnapshotV2Test, F16MappedLoadIsZeroCopyAndResaveIsBitIdentical) {
+  const std::string path_a = testing::TempDir() + "/v2_f16_a.model";
+  const std::string path_b = testing::TempDir() + "/v2_f16_b.model";
+  const std::string f16 =
+      EncodeModelSnapshotV2(LargeModel(), ObservationEncoding::kF16);
+  ASSERT_TRUE(WriteStringToFile(path_a, f16).ok());
+
+  auto mapped = Model::Load(path_a);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_EQ(mapped->mapped_bytes(), f16.size());
+  const SubsetStats* stats = mapped->FindSubset(FeatureKey{3});
+  ASSERT_NE(stats, nullptr);
+  EXPECT_TRUE(stats->half());
+  EXPECT_TRUE(stats->borrowed());
+  EXPECT_EQ(stats->OwnedBytes(), 0u);
+
+  // Borrowed (mapped) and owned decodes answer identically.
+  auto owned = DecodeModelSnapshot(f16);
+  ASSERT_TRUE(owned.ok()) << owned.status();
+  ExpectIdenticalQueries(*owned, *mapped);
+
+  // kPreserve keeps the half storage: save -> load -> save is
+  // bit-identical, the same canonical-packing promise the f32 path has.
+  ASSERT_TRUE(mapped->Save(path_b).ok());
+  auto bytes_b = ReadFileToString(path_b);
+  ASSERT_TRUE(bytes_b.ok());
+  EXPECT_TRUE(f16 == *bytes_b);
+}
+
+TEST(SnapshotV2Test, F16MissingTreeSectionFailsLoudly) {
+  // Strip the f16 tree section id to an unknown one: the subset index
+  // still promises tree floats, so the parse must fail rather than skip.
+  std::string f16 =
+      EncodeModelSnapshotV2(LargeModel(), ObservationEncoding::kF16);
+  const Section tree16 = FindSection(f16, SnapshotSection::kTreeLevelsF16);
+  ASSERT_TRUE(tree16.found);
+  const uint32_t unknown_id = 13;
+  f16[tree16.table_pos] = static_cast<char>(unknown_id);
+  auto decoded = DecodeModelSnapshot(f16);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
 TEST(SnapshotV2Test, EmptyModelAndEmptyPoolRoundTrip) {
   // No observations, no tokens, no patterns: the bulk sections are
   // absent, the pool holds zero strings, and the file still round-trips

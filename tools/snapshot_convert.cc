@@ -1,10 +1,14 @@
 // snapshot_convert: migrates model artifacts between on-disk formats.
 //
-//   $ snapshot_convert <model_in> [--to v1|v2] [--out <path>] [--check]
+//   $ snapshot_convert <model_in> [--to v1|v2] [--f16|--f32]
+//                      [--out <path>] [--check]
 //
 // Reads any supported format (UDSNAP v1/v2 or the legacy text model)
 // with full validation, re-encodes it in the requested format (default:
-// v2, the current writer default), and writes the result. Without
+// v2, the current writer default), and writes the result. `--f16`
+// quantizes the v2 observation/tree payloads to binary16 (halving the
+// bulk bytes); `--f32` dequantizes an f16 snapshot back to full
+// precision; neither flag preserves the input's storage width. Without
 // `--out` the artifact is upgraded in place — via a temp file + rename
 // so a crash mid-write never leaves a torn snapshot behind. `--check`
 // re-decodes the written bytes and, for a v2 output, verifies that
@@ -17,6 +21,7 @@
 
 #include "learn/model.h"
 #include "model_format/model_snapshot.h"
+#include "model_format/snapshot_v2.h"
 #include "util/binary_io.h"
 #include "util/logging.h"
 
@@ -27,7 +32,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: snapshot_convert <model_in> [--to v1|v2] "
-               "[--out <path>] [--check]\n");
+               "[--f16|--f32] [--out <path>] [--check]\n");
   return 2;
 }
 
@@ -57,6 +62,7 @@ int main(int argc, char** argv) {
   std::string out_path = in_path;
   uint32_t to_version = 2;
   bool check = false;
+  ObservationEncoding encoding = ObservationEncoding::kPreserve;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--to") == 0 && i + 1 < argc) {
       const std::string v = argv[++i];
@@ -67,6 +73,10 @@ int main(int argc, char** argv) {
       } else {
         return Usage();
       }
+    } else if (std::strcmp(argv[i], "--f16") == 0) {
+      encoding = ObservationEncoding::kF16;
+    } else if (std::strcmp(argv[i], "--f32") == 0) {
+      encoding = ObservationEncoding::kF32;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--check") == 0) {
@@ -74,6 +84,12 @@ int main(int argc, char** argv) {
     } else {
       return Usage();
     }
+  }
+  if (to_version == 1 && encoding == ObservationEncoding::kF16) {
+    std::fprintf(stderr,
+                 "snapshot_convert: --f16 requires the v2 layout "
+                 "(v1 stores full-precision observations only)\n");
+    return 2;
   }
 
   auto original = ReadFileToString(in_path);
@@ -86,13 +102,17 @@ int main(int argc, char** argv) {
   if (!model.ok()) return Fail(model.status());
 
   const std::string encoded = to_version == 2
-                                  ? EncodeModelSnapshot(*model)
+                                  ? EncodeModelSnapshotV2(*model, encoding)
                                   : EncodeModelSnapshotV1(*model);
 
   if (check) {
     auto redecoded = DecodeModelSnapshot(encoded, SnapshotValidation::kFull);
     if (!redecoded.ok()) return Fail(redecoded.status());
-    if (to_version == 2 && EncodeModelSnapshot(*redecoded) != encoded) {
+    // kPreserve re-encodes the decoded model in whatever width the file
+    // carries, so this round trip is exact for f16 and f32 outputs alike.
+    if (to_version == 2 &&
+        EncodeModelSnapshotV2(*redecoded,
+                              ObservationEncoding::kPreserve) != encoded) {
       return Fail(Status::Corruption(
           "snapshot_convert: v2 re-encode is not bit-identical"));
     }
