@@ -9,7 +9,9 @@
 #   tsan        ThreadSanitizer build + the multithreaded
 #               DetectCorpus / ThreadPool / parallel-load tests and the
 #               DetectionService Reload-under-DetectBatch race
-#   lint        -Wall -Wextra -Werror build + determinism lint gate
+#   lint        -Wall -Wextra -Werror build + the unidetect_lint gate
+#               (all passes: determinism, unsafe-bytes,
+#               checked-arithmetic; report in build-lint/lint_report.json)
 #   tidy        clang-tidy over every TU (skipped if clang-tidy missing)
 #   format      clang-format --dry-run (skipped if clang-format missing)
 #
@@ -26,8 +28,10 @@ run_preset() {
 
 run_preset release
 # Fast fail on the offline pipeline slice (sharded-vs-single-shot
-# equivalence, crash-resume) before the full suite.
+# equivalence, crash-resume) before the full suite, then the seeded
+# snapshot fuzz smoke (never-crash contract on mutated snapshots).
 ctest --preset offline
+ctest --preset fuzz
 ctest --preset release
 # Scalar-fallback leg: UNIDETECT_DISABLE_SIMD forces every vector
 # kernel onto its scalar path; re-run the suites that exercise them so

@@ -7,6 +7,8 @@
 #include "model_format/codec_internal.h"
 #include "model_format/snapshot_v2.h"
 #include "util/binary_io.h"
+#include "util/bounded_reader.h"
+#include "util/checked.h"
 #include "util/logging.h"
 #include "util/mmap_file.h"
 #include "util/string_util.h"
@@ -62,11 +64,21 @@ Result<ModelOptions> DecodeOptionsPayload(std::string_view payload) {
   options.featurize.enabled = featurize != 0;
   options.smoothing = static_cast<SmoothingMode>(smoothing);
   options.denominator = static_cast<DenominatorMode>(denominator);
-  options.epsilon.min_rows = static_cast<size_t>(eps_min_rows);
+  // The u64 wire fields narrow to size_t checked: on 32-bit hosts a
+  // crafted value must not silently truncate into a different config.
+  UNIDETECT_ASSIGN_OR_RETURN(
+      options.epsilon.min_rows,
+      CheckedCast<size_t>(eps_min_rows, "options epsilon min_rows"));
   options.min_support = min_support;
-  options.min_column_rows = static_cast<size_t>(min_column_rows);
-  options.mpd.distance_cap = static_cast<size_t>(distance_cap);
-  options.mpd.max_values = static_cast<size_t>(max_values);
+  UNIDETECT_ASSIGN_OR_RETURN(
+      options.min_column_rows,
+      CheckedCast<size_t>(min_column_rows, "options min_column_rows"));
+  UNIDETECT_ASSIGN_OR_RETURN(
+      options.mpd.distance_cap,
+      CheckedCast<size_t>(distance_cap, "options mpd distance_cap"));
+  UNIDETECT_ASSIGN_OR_RETURN(
+      options.mpd.max_values,
+      CheckedCast<size_t>(max_values, "options mpd max_values"));
   return options;
 }
 
@@ -148,10 +160,13 @@ Status DecodeSubsetsPayload(std::string_view payload, Model* model) {
       return Status::Corruption(
           "Model snapshot: subset observation list truncated");
     }
+    UNIDETECT_ASSIGN_OR_RETURN(
+        const size_t n_values,
+        CheckedCast<size_t>(n, "subset observation count"));
     std::vector<float> pres;
     std::vector<float> posts;
-    pres.reserve(static_cast<size_t>(n));
-    posts.reserve(static_cast<size_t>(n));
+    pres.reserve(n_values);
+    posts.reserve(n_values);
     for (uint64_t j = 0; j < n; ++j) {
       float pre = 0;
       float post = 0;
@@ -187,8 +202,19 @@ Result<Model> DecodeModelSnapshotV1(std::string_view bytes) {
     uint32_t id = 0;
     std::string_view payload;
   };
+  // Table size validated against the file BEFORE the reserve: a crafted
+  // section_count must not drive a huge allocation (std::bad_alloc is a
+  // crash, not a typed Corruption).
+  UNIDETECT_ASSIGN_OR_RETURN(
+      const uint64_t table_bytes,
+      CheckedMul<uint64_t>(section_count, snapshot_internal::kTableEntryBytes,
+                           "snapshot section table"));
+  if (table_bytes > reader.remaining()) {
+    return Status::Corruption("Model snapshot: truncated section table");
+  }
   std::vector<Entry> entries;
   entries.reserve(section_count);
+  const BoundedReader file(bytes, "Model snapshot");
   uint32_t prev_id = 0;
   for (uint32_t i = 0; i < section_count; ++i) {
     uint32_t id = 0;
@@ -208,13 +234,18 @@ Result<Model> DecodeModelSnapshotV1(std::string_view bytes) {
       return Status::Corruption(
           StrCat("Model snapshot: zero-length ", SectionName(id), " section"));
     }
-    if (offset > bytes.size() || length > bytes.size() - offset) {
+    // offset + length is overflow-checked before the bounds compare so a
+    // crafted pair of huge u64s cannot wrap into an in-bounds range.
+    UNIDETECT_ASSIGN_OR_RETURN(
+        const uint64_t section_end,
+        CheckedAdd<uint64_t>(offset, length, "snapshot section extent"));
+    if (section_end > bytes.size()) {
       return Status::Corruption(
           StrCat("Model snapshot: ", SectionName(id),
                  " section extends past end of file (truncated?)"));
     }
-    const std::string_view payload =
-        bytes.substr(static_cast<size_t>(offset), static_cast<size_t>(length));
+    UNIDETECT_ASSIGN_OR_RETURN(const std::string_view payload,
+                               file.SubSpan(offset, length));
     if (Crc32(payload) != crc) {
       return Status::Corruption(StrCat("Model snapshot: checksum mismatch in ",
                                        SectionName(id), " section"));

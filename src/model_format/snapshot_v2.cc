@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <cstring>
 #include <span>
 #include <tuple>
 #include <utility>
@@ -11,6 +10,8 @@
 #include "model_format/codec_internal.h"
 #include "model_format/model_snapshot.h"
 #include "util/binary_io.h"
+#include "util/bounded_reader.h"
+#include "util/checked.h"
 #include "util/logging.h"
 #include "util/simd.h"
 #include "util/string_util.h"
@@ -42,6 +43,10 @@ uint64_t Align64(uint64_t offset) {
 // little-endian host the in-memory array already is those bytes.
 void AppendFloatSpan(std::string* out, std::span<const float> values) {
   if constexpr (kHostIsLittleEndian) {
+    // Trusted in-memory source: `values` is the model's own array on the
+    // encode path, not wire bytes, and the copy length comes from the
+    // span itself.
+    // NOLINTNEXTLINE(unsafe-bytes)
     out->append(reinterpret_cast<const char*>(values.data()),
                 values.size() * sizeof(float));
   } else {
@@ -51,6 +56,8 @@ void AppendFloatSpan(std::string* out, std::span<const float> values) {
 
 void AppendHalfSpan(std::string* out, std::span<const uint16_t> values) {
   if constexpr (kHostIsLittleEndian) {
+    // Trusted in-memory source: same as AppendFloatSpan above.
+    // NOLINTNEXTLINE(unsafe-bytes)
     out->append(reinterpret_cast<const char*>(values.data()),
                 values.size() * sizeof(uint16_t));
   } else {
@@ -191,8 +198,19 @@ Status ParseV2(std::string_view bytes, SnapshotValidation validation,
     uint32_t crc = 0;
     std::string_view payload;
   };
+  // The table size is validated against the file BEFORE the reserve: a
+  // crafted section_count must not drive a multi-gigabyte allocation
+  // (std::bad_alloc is a crash, not a typed Corruption).
+  UNIDETECT_ASSIGN_OR_RETURN(
+      const uint64_t table_bytes,
+      CheckedMul<uint64_t>(section_count, kTableEntryBytes,
+                           "snapshot section table"));
+  if (table_bytes > reader.remaining()) {
+    return Status::Corruption("Model snapshot: truncated section table");
+  }
   std::vector<Entry> entries;
   entries.reserve(section_count);
+  const BoundedReader file(bytes, "Model snapshot");
   uint32_t prev_id = 0;
   // Canonical packing: payloads are contiguous in table order, each
   // offset rounded up to a 64-byte boundary with zero padding between,
@@ -200,8 +218,7 @@ Status ParseV2(std::string_view bytes, SnapshotValidation validation,
   // outside every CRC, so the explicit zero check is what catches
   // corruption there; the exact-end rule is what makes any truncation a
   // bounds failure.
-  uint64_t expected_end =
-      kHeaderBytes + static_cast<uint64_t>(section_count) * kTableEntryBytes;
+  uint64_t expected_end = kHeaderBytes + table_bytes;
   for (uint32_t i = 0; i < section_count; ++i) {
     uint32_t id = 0;
     uint32_t crc = 0;
@@ -220,7 +237,13 @@ Status ParseV2(std::string_view bytes, SnapshotValidation validation,
       return Status::Corruption(
           StrCat("Model snapshot: zero-length ", SectionName(id), " section"));
     }
-    if (offset > bytes.size() || length > bytes.size() - offset) {
+    // The section end is computed overflow-checked BEFORE the bounds
+    // compare: a crafted offset/length pair near 2^64 must not wrap the
+    // sum below the file size.
+    UNIDETECT_ASSIGN_OR_RETURN(
+        const uint64_t section_end,
+        CheckedAdd<uint64_t>(offset, length, "snapshot section extent"));
+    if (section_end > bytes.size()) {
       return Status::Corruption(
           StrCat("Model snapshot: ", SectionName(id),
                  " section extends past end of file (truncated?)"));
@@ -241,11 +264,10 @@ Status ParseV2(std::string_view bytes, SnapshotValidation validation,
             "Model snapshot: nonzero padding between sections");
       }
     }
-    expected_end = offset + length;
-    entries.push_back(Entry{
-        id, crc,
-        bytes.substr(static_cast<size_t>(offset),
-                     static_cast<size_t>(length))});
+    expected_end = section_end;
+    UNIDETECT_ASSIGN_OR_RETURN(const std::string_view payload,
+                               file.SubSpan(offset, length));
+    entries.push_back(Entry{id, crc, payload});
   }
   if (expected_end != bytes.size()) {
     return Status::Corruption(
@@ -312,10 +334,11 @@ Status ParseV2(std::string_view bytes, SnapshotValidation validation,
         !index_reader.ReadU64(&out->total_tree_floats)) {
       return Status::Corruption("Model snapshot: truncated subset index");
     }
-    // Division-first guard: a corrupt count cannot overflow the product.
-    if (out->subset_count > index_reader.remaining() / kSubsetEntryBytes ||
-        index_reader.remaining() !=
-            out->subset_count * kSubsetEntryBytes) {
+    UNIDETECT_ASSIGN_OR_RETURN(
+        const uint64_t index_bytes,
+        CheckedMul<uint64_t>(out->subset_count, kSubsetEntryBytes,
+                             "snapshot subset index"));
+    if (index_reader.remaining() != index_bytes) {
       return Status::Corruption(
           "Model snapshot: subset index size does not match its count");
     }
@@ -360,7 +383,13 @@ Status ParseV2(std::string_view bytes, SnapshotValidation validation,
           StrCat("Model snapshot: missing ",
                  SectionName(static_cast<uint32_t>(id)), " section"));
     }
-    if (entry->payload.size() != total * elem_bytes) {
+    // Overflow-checked: a total near 2^64 must not wrap total * elem
+    // down to the (small) actual section size and then back huge
+    // per-subset spans out of the mapped file.
+    UNIDETECT_ASSIGN_OR_RETURN(
+        const uint64_t total_bytes,
+        CheckedMul<uint64_t>(total, elem_bytes, "snapshot bulk section"));
+    if (entry->payload.size() != total_bytes) {
       return Status::Corruption(
           StrCat("Model snapshot: ", SectionName(static_cast<uint32_t>(id)),
                  " section size does not match the subset index totals"));
@@ -374,51 +403,16 @@ Status ParseV2(std::string_view bytes, SnapshotValidation validation,
   return Status::OK();
 }
 
-std::vector<float> CopyFloats(const char* src, uint64_t n) {
-  std::vector<float> out(static_cast<size_t>(n));
-  if constexpr (kHostIsLittleEndian) {
-    std::memcpy(out.data(), src, static_cast<size_t>(n) * sizeof(float));
-  } else {
-    BinaryReader reader(
-        std::string_view(src, static_cast<size_t>(n) * sizeof(float)));
-    for (uint64_t i = 0; i < n; ++i) reader.ReadF32(&out[i]);
-  }
-  return out;
-}
-
-std::vector<uint16_t> CopyU16s(const char* src, uint64_t n) {
-  std::vector<uint16_t> out(static_cast<size_t>(n));
-  if constexpr (kHostIsLittleEndian) {
-    std::memcpy(out.data(), src, static_cast<size_t>(n) * sizeof(uint16_t));
-  } else {
-    BinaryReader reader(
-        std::string_view(src, static_cast<size_t>(n) * sizeof(uint16_t)));
-    for (uint64_t i = 0; i < n; ++i) reader.ReadU16(&out[i]);
-  }
-  return out;
-}
-
 Status DecodeSubsets(const ParsedV2& parsed, SnapshotValidation validation,
                      bool zero_copy, Model* model) {
   BinaryReader reader(parsed.index_entries);
-  // Mapped element base pointers: the mmap base is page-aligned and the
-  // section offsets are 64-aligned, so these casts are alignment-safe.
-  const float* obs_floats =
-      zero_copy && !parsed.half && !parsed.obs_bytes.empty()
-          ? reinterpret_cast<const float*>(parsed.obs_bytes.data())
-          : nullptr;
-  const float* tree_floats =
-      zero_copy && !parsed.half && !parsed.tree_bytes.empty()
-          ? reinterpret_cast<const float*>(parsed.tree_bytes.data())
-          : nullptr;
-  const uint16_t* obs_halves =
-      zero_copy && parsed.half && !parsed.obs_bytes.empty()
-          ? reinterpret_cast<const uint16_t*>(parsed.obs_bytes.data())
-          : nullptr;
-  const uint16_t* tree_halves =
-      zero_copy && parsed.half && !parsed.tree_bytes.empty()
-          ? reinterpret_cast<const uint16_t*>(parsed.tree_bytes.data())
-          : nullptr;
+  // Every span below is carved from the bulk sections through
+  // BoundedReader, which overflow-checks offset-plus-count and (on the
+  // zero-copy path) verifies overlay alignment — the mmap base is
+  // page-aligned and the section offsets 64-aligned, so alignment holds
+  // for well-formed files.
+  const BoundedReader obs_reader(parsed.obs_bytes, "observations section");
+  const BoundedReader tree_reader(parsed.tree_bytes, "tree section");
   uint64_t running_obs = 0;
   uint64_t running_tree = 0;
   uint64_t prev_key = 0;
@@ -447,8 +441,9 @@ Status DecodeSubsets(const ParsedV2& parsed, SnapshotValidation validation,
     // Canonical packing: offsets are the running sums and the tree shape
     // is the one Finalize() would build. This pins a unique encoding for
     // every model (bit-identical re-encode) and bounds every span.
-    const uint64_t expected_levels = SubsetStats::TreeLevelsFor(
-        static_cast<size_t>(count));
+    UNIDETECT_ASSIGN_OR_RETURN(const size_t count_sz,
+                               CheckedCast<size_t>(count, "subset count"));
+    const uint64_t expected_levels = SubsetStats::TreeLevelsFor(count_sz);
     if (obs_off != running_obs || tree_off != running_tree ||
         tree_levels != expected_levels) {
       return Status::Corruption(
@@ -458,53 +453,79 @@ Status DecodeSubsets(const ParsedV2& parsed, SnapshotValidation validation,
       return Status::Corruption(
           "Model snapshot: subset observations exceed section total");
     }
-    const uint64_t tree_count = expected_levels * count;
+    UNIDETECT_ASSIGN_OR_RETURN(
+        const uint64_t tree_count,
+        CheckedMul<uint64_t>(expected_levels, count, "subset tree size"));
     if (tree_count > parsed.total_tree_floats - running_tree) {
       return Status::Corruption(
           "Model snapshot: subset tree exceeds section total");
     }
+    // The pres array sits at obs_off, the posts array right after it.
+    UNIDETECT_ASSIGN_OR_RETURN(
+        const uint64_t posts_off,
+        CheckedAdd<uint64_t>(obs_off, count, "subset observations extent"));
     Result<SubsetStats> stats = [&]() -> Result<SubsetStats> {
       const bool validate_sorted = validation == SnapshotValidation::kFull;
       if (zero_copy && parsed.half) {
-        return SubsetStats::FromBorrowedSortedHalf(
-            std::span<const uint16_t>(obs_halves + obs_off,
-                                      static_cast<size_t>(count)),
-            std::span<const uint16_t>(obs_halves + obs_off + count,
-                                      static_cast<size_t>(count)),
-            std::span<const uint16_t>(
-                tree_count > 0 ? tree_halves + tree_off : nullptr,
-                static_cast<size_t>(tree_count)),
-            validate_sorted);
+        UNIDETECT_ASSIGN_OR_RETURN(
+            const std::span<const uint16_t> pres,
+            obs_reader.Overlay<uint16_t>(obs_off, count));
+        UNIDETECT_ASSIGN_OR_RETURN(
+            const std::span<const uint16_t> posts,
+            obs_reader.Overlay<uint16_t>(posts_off, count));
+        UNIDETECT_ASSIGN_OR_RETURN(
+            const std::span<const uint16_t> tree,
+            tree_reader.Overlay<uint16_t>(tree_off, tree_count));
+        return SubsetStats::FromBorrowedSortedHalf(pres, posts, tree,
+                                                   validate_sorted);
       }
       if (zero_copy) {
-        return SubsetStats::FromBorrowedSorted(
-            std::span<const float>(obs_floats + obs_off,
-                                   static_cast<size_t>(count)),
-            std::span<const float>(obs_floats + obs_off + count,
-                                   static_cast<size_t>(count)),
-            std::span<const float>(
-                tree_count > 0 ? tree_floats + tree_off : nullptr,
-                static_cast<size_t>(tree_count)),
-            validate_sorted);
+        UNIDETECT_ASSIGN_OR_RETURN(const std::span<const float> pres,
+                                   obs_reader.Overlay<float>(obs_off, count));
+        UNIDETECT_ASSIGN_OR_RETURN(
+            const std::span<const float> posts,
+            obs_reader.Overlay<float>(posts_off, count));
+        UNIDETECT_ASSIGN_OR_RETURN(
+            const std::span<const float> tree,
+            tree_reader.Overlay<float>(tree_off, tree_count));
+        return SubsetStats::FromBorrowedSorted(pres, posts, tree,
+                                               validate_sorted);
       }
-      const char* obs_base = parsed.obs_bytes.data();
       if (parsed.half) {
+        UNIDETECT_ASSIGN_OR_RETURN(
+            std::vector<uint16_t> pres,
+            obs_reader.CopyArray<uint16_t>(obs_off, count));
+        UNIDETECT_ASSIGN_OR_RETURN(
+            std::vector<uint16_t> posts,
+            obs_reader.CopyArray<uint16_t>(posts_off, count));
+        UNIDETECT_ASSIGN_OR_RETURN(
+            std::vector<uint16_t> tree,
+            tree_reader.CopyArray<uint16_t>(tree_off, tree_count));
         return SubsetStats::FromSortedHalfArraysWithTree(
-            CopyU16s(obs_base + obs_off * sizeof(uint16_t), count),
-            CopyU16s(obs_base + (obs_off + count) * sizeof(uint16_t), count),
-            CopyU16s(parsed.tree_bytes.data() + tree_off * sizeof(uint16_t),
-                     tree_count));
+            std::move(pres), std::move(posts), std::move(tree));
       }
+      UNIDETECT_ASSIGN_OR_RETURN(std::vector<float> pres,
+                                 obs_reader.CopyArray<float>(obs_off, count));
+      UNIDETECT_ASSIGN_OR_RETURN(
+          std::vector<float> posts,
+          obs_reader.CopyArray<float>(posts_off, count));
+      UNIDETECT_ASSIGN_OR_RETURN(
+          std::vector<float> tree,
+          tree_reader.CopyArray<float>(tree_off, tree_count));
       return SubsetStats::FromSortedArraysWithTree(
-          CopyFloats(obs_base + obs_off * sizeof(float), count),
-          CopyFloats(obs_base + (obs_off + count) * sizeof(float), count),
-          CopyFloats(parsed.tree_bytes.data() + tree_off * sizeof(float),
-                     tree_count));
+          std::move(pres), std::move(posts), std::move(tree));
     }();
     if (!stats.ok()) return stats.status();
     model->InsertSubsetSorted(FeatureKey{key}, std::move(stats).ValueOrDie());
-    running_obs += 2 * count;
-    running_tree += tree_count;
+    UNIDETECT_ASSIGN_OR_RETURN(
+        const uint64_t obs_pair,
+        CheckedMul<uint64_t>(count, 2, "subset observation pair"));
+    UNIDETECT_ASSIGN_OR_RETURN(
+        running_obs,
+        CheckedAdd<uint64_t>(running_obs, obs_pair, "observations total"));
+    UNIDETECT_ASSIGN_OR_RETURN(
+        running_tree,
+        CheckedAdd<uint64_t>(running_tree, tree_count, "tree total"));
   }
   if (running_obs != parsed.total_obs_floats ||
       running_tree != parsed.total_tree_floats) {
@@ -528,9 +549,14 @@ Status DecodeTokenIndexV2(const ParsedV2& parsed, Model* model) {
   BinaryReader reader(parsed.token_payload);
   uint64_t num_tables = 0;
   uint64_t num_tokens = 0;
-  if (!reader.ReadU64(&num_tables) || !reader.ReadU64(&num_tokens) ||
-      num_tokens > reader.remaining() / kPoolRefEntryBytes ||
-      reader.remaining() != num_tokens * kPoolRefEntryBytes) {
+  if (!reader.ReadU64(&num_tables) || !reader.ReadU64(&num_tokens)) {
+    return Status::Corruption(
+        "Model snapshot: token index section size mismatch");
+  }
+  UNIDETECT_ASSIGN_OR_RETURN(
+      const uint64_t token_entry_bytes,
+      CheckedMul<uint64_t>(num_tokens, kPoolRefEntryBytes, "token index"));
+  if (reader.remaining() != token_entry_bytes) {
     return Status::Corruption(
         "Model snapshot: token index section size mismatch");
   }
@@ -558,17 +584,23 @@ Status DecodePatternIndexV2(const ParsedV2& parsed, Model* model) {
   uint64_t num_patterns = 0;
   uint64_t num_pairs = 0;
   if (!reader.ReadU64(&num_columns) || !reader.ReadU64(&num_patterns) ||
-      !reader.ReadU64(&num_pairs) ||
-      num_patterns > reader.remaining() / kPoolRefEntryBytes ||
-      num_pairs > reader.remaining() / kPoolRefEntryBytes ||
-      reader.remaining() !=
-          (num_patterns + num_pairs) * kPoolRefEntryBytes) {
+      !reader.ReadU64(&num_pairs)) {
+    return Status::Corruption(
+        "Model snapshot: pattern index section size mismatch");
+  }
+  UNIDETECT_ASSIGN_OR_RETURN(
+      const uint64_t num_keys,
+      CheckedAdd<uint64_t>(num_patterns, num_pairs, "pattern index count"));
+  UNIDETECT_ASSIGN_OR_RETURN(
+      const uint64_t pattern_entry_bytes,
+      CheckedMul<uint64_t>(num_keys, kPoolRefEntryBytes, "pattern index"));
+  if (reader.remaining() != pattern_entry_bytes) {
     return Status::Corruption(
         "Model snapshot: pattern index section size mismatch");
   }
   PatternIndex* index = model->mutable_pattern_index();
   index->SetNumColumns(num_columns);
-  for (uint64_t i = 0; i < num_patterns + num_pairs; ++i) {
+  for (uint64_t i = 0; i < num_keys; ++i) {
     uint32_t off = 0;
     uint32_t len = 0;
     uint64_t count = 0;

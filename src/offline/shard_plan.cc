@@ -196,6 +196,12 @@ Result<ShardPlan> ParseShardPlan(std::string_view text) {
     if (tag != "inputs" || !ls) {
       return Status::Corruption("ShardPlan: bad inputs line");
     }
+    // Every entry occupies at least one manifest line, so any declared
+    // count larger than the text itself is a lie; rejecting it here
+    // keeps crafted counts from driving allocations below.
+    if (num_inputs > text.size()) {
+      return Status::Corruption("ShardPlan: input count exceeds manifest");
+    }
   }
   for (size_t i = 0; i < num_inputs; ++i) {
     if (!std::getline(is, line)) {
@@ -219,6 +225,9 @@ Result<ShardPlan> ParseShardPlan(std::string_view text) {
     if (tag != "shards" || !ls) {
       return Status::Corruption("ShardPlan: bad shards line");
     }
+    if (num_shards > text.size()) {
+      return Status::Corruption("ShardPlan: shard count exceeds manifest");
+    }
   }
   plan.shards.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
@@ -233,6 +242,9 @@ Result<ShardPlan> ParseShardPlan(std::string_view text) {
       ls >> tag >> index >> num_shard_files;
       if (tag != "shard" || !ls || index != s) {
         return Status::Corruption("ShardPlan: malformed shard header");
+      }
+      if (num_shard_files > text.size()) {
+        return Status::Corruption("ShardPlan: file count exceeds manifest");
       }
     }
     Shard shard;

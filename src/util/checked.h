@@ -1,0 +1,69 @@
+// Overflow-checked integer arithmetic for wire-derived values.
+//
+// Lengths, offsets and counts decoded from untrusted bytes must never
+// meet raw `+`, `*` or a narrowing cast: a crafted u64 can wrap
+// `offset + length` below the buffer size or truncate through size_t to
+// a small in-bounds lie. These helpers return Result<T> so the overflow
+// is a typed Corruption on the normal error path, not undefined
+// behavior. The checked-arithmetic lint pass (tools/lint) enforces
+// their use: CheckedAdd/CheckedMul calls contain no operator tokens, so
+// refactored decoders pass the lint with no escapes.
+//
+// All helpers are branch-cheap (__builtin_*_overflow compiles to a
+// flags check) and safe to use on the Reload hot path.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace unidetect {
+
+/// \brief `a + b`, or Corruption when the sum does not fit T.
+template <typename T>
+Result<T> CheckedAdd(T a, T b, const char* what = "sum") {
+  static_assert(std::is_unsigned_v<T>, "checked arithmetic is unsigned");
+  T out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return Status::Corruption(StrCat("integer overflow in ", what, ": ", a,
+                                     " + ", b, " exceeds ",
+                                     std::numeric_limits<T>::max()));
+  }
+  return out;
+}
+
+/// \brief `a * b`, or Corruption when the product does not fit T.
+template <typename T>
+Result<T> CheckedMul(T a, T b, const char* what = "product") {
+  static_assert(std::is_unsigned_v<T>, "checked arithmetic is unsigned");
+  T out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return Status::Corruption(StrCat("integer overflow in ", what, ": ", a,
+                                     " * ", b, " exceeds ",
+                                     std::numeric_limits<T>::max()));
+  }
+  return out;
+}
+
+/// \brief Narrows `value` to To, or Corruption when it does not fit.
+/// The usual callers narrow u64 wire offsets to size_t on 32-bit-safe
+/// paths and u64 counts to u32 table indices.
+template <typename To, typename From>
+Result<To> CheckedCast(From value, const char* what = "value") {
+  static_assert(std::is_unsigned_v<From> && std::is_unsigned_v<To>,
+                "checked casts are unsigned");
+  if (value > std::numeric_limits<To>::max()) {
+    return Status::Corruption(StrCat("integer overflow in ", what, ": ",
+                                     value, " exceeds ",
+                                     std::numeric_limits<To>::max()));
+  }
+  return static_cast<To>(value);
+}
+
+}  // namespace unidetect

@@ -264,8 +264,10 @@ __attribute__((target("avx2,f16c"))) uint64_t CountLessEqualF16Avx2(
   uint64_t count = 0;
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    const __m128i halves =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    // SIMD lane load from a trusted in-memory array; the loop bound keeps
+    // the 16-byte read inside [v, v + n).
+    const __m128i halves = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(v + i));  // NOLINT(unsafe-bytes)
     const __m256 x = _mm256_cvtph_ps(halves);  // exact widening
     const __m256 le = _mm256_cmp_ps(x, t, _CMP_LE_OQ);
     count += static_cast<uint64_t>(
@@ -283,8 +285,10 @@ __attribute__((target("avx2,f16c"))) uint64_t CountGreaterEqualF16Avx2(
   uint64_t count = 0;
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    const __m128i halves =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    // SIMD lane load from a trusted in-memory array; the loop bound keeps
+    // the 16-byte read inside [v, v + n).
+    const __m128i halves = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(v + i));  // NOLINT(unsafe-bytes)
     const __m256 x = _mm256_cvtph_ps(halves);
     const __m256 ge = _mm256_cmp_ps(x, t, _CMP_GE_OQ);
     count += static_cast<uint64_t>(
@@ -330,7 +334,9 @@ __attribute__((target("avx2"))) ArgMaxResult ArgMaxAbsDeviationAvx2(
   alignas(32) double lane_score[4];
   alignas(32) int64_t lane_index[4];
   _mm256_store_pd(lane_score, best_score);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(lane_index), best_index);
+  // Spill to a local alignas(32) array; trusted in-memory destination.
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane_index),  // NOLINT(unsafe-bytes)
+                     best_index);
   // Cross-lane reduce in fixed order: larger score wins; equal scores go
   // to the smaller index. That reproduces the scalar first-strict-
   // improvement scan, whose winner is the smallest index attaining the
@@ -386,16 +392,21 @@ __attribute__((target("avx2"))) uint64_t MpdPrefilterMaskAvx2(
   uint64_t mask = 0;
   size_t i = 0;
   for (; i + 8 <= count; i += 8) {
+    // SIMD lane load from a trusted in-memory array; the loop bound keeps
+    // the 32-byte read inside [lengths, lengths + count).
     const __m256i len = _mm256_loadu_si256(
-        reinterpret_cast<const __m256i*>(lengths + i));
+        reinterpret_cast<const __m256i*>(lengths + i));  // NOLINT(unsafe-bytes)
     const __m256i gap = _mm256_sub_epi32(len, vlen_a);
     const unsigned len_fail = static_cast<unsigned>(_mm256_movemask_ps(
         _mm256_castsi256_ps(_mm256_cmpgt_epi32(gap, vbound32))));
 
     unsigned sig_fail = 0;
     for (size_t half = 0; half < 2; ++half) {
+      // Trusted in-memory signature array; i + half * 4 + 4 <= count
+      // u64 signatures by the outer loop bound.
       const __m256i sig = _mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(sigs + i + half * 4));
+          reinterpret_cast<const __m256i*>(  // NOLINT(unsafe-bytes)
+              sigs + i + half * 4));
       const __m256i a_only = Popcount64Lanes(_mm256_andnot_si256(sig, vsig_a));
       const __m256i b_only = Popcount64Lanes(_mm256_andnot_si256(vsig_a, sig));
       const __m256i fail = _mm256_or_si256(

@@ -1,5 +1,5 @@
 // Lint fixture: banned-source (5) and pointer-key (2) findings.
-// Not part of the build; scanned textually by determinism_lint_test.
+// Not part of the build; scanned textually by lint_passes_test.
 
 #include <cstdlib>
 #include <ctime>

@@ -1,5 +1,5 @@
 // Lint fixture: mutable-global (2) and mutable-static (1) findings.
-// Not part of the build; scanned textually by determinism_lint_test.
+// Not part of the build; scanned textually by lint_passes_test.
 
 #include <atomic>
 #include <mutex>

@@ -1,6 +1,6 @@
 // Lint fixture: pointer-key findings (expected: 3) over a findings-cache
 // shape. Not part of the build; scanned textually by
-// determinism_lint_test.
+// lint_passes_test.
 //
 // The hazard this pins down: a memoization cache keyed on the address of
 // the request object (the Table, a Column, or the cache's own node)

@@ -1,6 +1,6 @@
 // Lint fixture: pointer-key findings (expected: 3) over mapped-region
 // base pointers. Not part of the build; scanned textually by
-// determinism_lint_test.
+// lint_passes_test.
 //
 // The hazard this pins down: spans decoded zero-copy from a mapped
 // snapshot (util/mmap_file.h) are identified by addresses inside the

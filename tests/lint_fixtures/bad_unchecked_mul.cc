@@ -1,0 +1,34 @@
+// Lint fixture: unchecked arithmetic on wire-derived integers
+// (expected: 1 unchecked-add, 2 unchecked-mul, 1 narrowing-cast). Not
+// part of the build; scanned textually by lint_passes_test.
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Reader {
+  bool ReadU32(uint32_t* out);
+  bool ReadU64(uint64_t* out);
+};
+
+bool ParseTable(Reader& reader) {
+  uint32_t count = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  if (!reader.ReadU32(&count) || !reader.ReadU64(&offset) ||
+      !reader.ReadU64(&length)) {
+    return false;
+  }
+  const uint64_t table_bytes = count * 24;       // wraps on crafted count
+  const uint64_t end = offset + length;          // wraps on crafted pair
+  const size_t n = static_cast<size_t>(length);  // truncates on 32-bit
+  uint64_t copy = length;                        // taint propagates
+  const uint64_t doubled = copy * 2;
+  (void)table_bytes;
+  (void)end;
+  (void)n;
+  (void)doubled;
+  return true;
+}
+
+}  // namespace fixture

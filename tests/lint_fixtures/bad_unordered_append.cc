@@ -1,5 +1,5 @@
 // Lint fixture: unordered-iteration findings (expected: 3).
-// Not part of the build; scanned textually by determinism_lint_test.
+// Not part of the build; scanned textually by lint_passes_test.
 
 #include <string>
 #include <unordered_map>

@@ -1,0 +1,30 @@
+// Lint fixture: raw byte reinterpretation outside the safe-cursor
+// modules (expected: 2 wire-reinterpret, 2 wire-pointer-arith,
+// 1 wire-memcpy). Not part of the build; scanned textually by
+// lint_passes_test.
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace fixture {
+
+// An overlay read straight off a mapped snapshot: the canonical shape
+// the unsafe-bytes pass exists to reject.
+float FirstFloat(std::string_view bytes) {
+  const float* values = reinterpret_cast<const float*>(bytes.data());
+  return values[0];
+}
+
+uint32_t WalkTable(std::string_view bytes, size_t i) {
+  const uint32_t* table = reinterpret_cast<const uint32_t*>(bytes.data());
+  return *(table + i);
+}
+
+uint64_t CopyOut(std::string_view bytes) {
+  uint64_t value = 0;
+  std::memcpy(&value, bytes.data(), sizeof(value));
+  return value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Lint fixture: the approved shape — wire-derived integers flow through
+// checked helpers, and the bounds-check idioms the taint pass must keep
+// unflagged (expected: no findings). Not part of the build; scanned
+// textually by lint_passes_test.
+
+#include <cstdint>
+#include <string_view>
+
+namespace fixture {
+
+struct Reader {
+  bool ReadU64(uint64_t* out);
+};
+
+uint64_t CheckedAdd64(uint64_t a, uint64_t b);
+uint64_t CheckedMul64(uint64_t a, uint64_t b);
+
+bool ParseSection(Reader& reader, std::string_view bytes) {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  if (!reader.ReadU64(&offset) || !reader.ReadU64(&length)) return false;
+  // Comparisons and subtraction stay unflagged: this is how bounds
+  // checks are written, and they cannot wrap upward.
+  if (offset > bytes.size() || length > bytes.size() - offset) return false;
+  // Checked helpers contain no operator tokens, so routing the tainted
+  // values through them passes the lint with no escapes.
+  const uint64_t end = CheckedAdd64(offset, length);
+  const uint64_t padded = CheckedMul64(length, 2);
+  return end <= bytes.size() && padded >= length;
+}
+
+}  // namespace fixture

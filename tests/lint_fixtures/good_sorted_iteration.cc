@@ -1,5 +1,5 @@
 // Lint fixture: known-good patterns the determinism linter must accept.
-// Not part of the build; scanned textually by determinism_lint_test.
+// Not part of the build; scanned textually by lint_passes_test.
 
 #include <algorithm>
 #include <atomic>

@@ -1,0 +1,318 @@
+// Tests for the multi-pass linter, pinned against the fixture files in
+// tests/lint_fixtures/ (exact finding counts, per-pass selection, and
+// per-pass NOLINT suppression semantics).
+
+#include "lint/lint.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace unidetect {
+namespace lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(UNIDETECT_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = FixturePath(name);
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+LintResult LintFixture(const std::string& name) {
+  return LintSource(FixturePath(name), ReadFixture(name));
+}
+
+LintResult LintFixtureWithPasses(const std::string& name,
+                                 const std::vector<std::string>& passes) {
+  return LintSource(FixturePath(name), ReadFixture(name), passes,
+                    OptionsForPath(FixturePath(name)));
+}
+
+std::map<std::string, int> CountByCheck(const LintResult& result) {
+  std::map<std::string, int> counts;
+  for (const auto& finding : result.findings) ++counts[finding.check];
+  return counts;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(LintRegistryTest, PassNamesAndOrder) {
+  const std::vector<std::string>& names = PassNames();
+  ASSERT_EQ(names.size(), 3u);
+  // Determinism first: the original single-pass behavior is the prefix.
+  EXPECT_EQ(names[0], "determinism");
+  EXPECT_EQ(names[1], "unsafe-bytes");
+  EXPECT_EQ(names[2], "checked-arithmetic");
+  for (const std::string& name : names) EXPECT_TRUE(IsPassName(name));
+  EXPECT_FALSE(IsPassName("no-such-pass"));
+  EXPECT_FALSE(IsPassName(""));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism pass (ported from the single-pass linter; counts pinned)
+
+TEST(DeterminismPassTest, CleanFixtureHasNoFindings) {
+  LintResult result = LintFixture("good_sorted_iteration.cc");
+  EXPECT_TRUE(result.findings.empty())
+      << result.findings.size() << " unexpected findings, first: "
+      << (result.findings.empty() ? "" : result.findings[0].message);
+  EXPECT_EQ(result.suppressed, 0);
+}
+
+TEST(DeterminismPassTest, UnorderedAppendsFlagged) {
+  LintResult result = LintFixture("bad_unordered_append.cc");
+  ASSERT_EQ(result.findings.size(), 3u);
+  for (const auto& finding : result.findings) {
+    EXPECT_EQ(finding.pass, "determinism");
+    EXPECT_EQ(finding.check, "unordered-iteration");
+  }
+  EXPECT_EQ(result.suppressed, 0);
+}
+
+TEST(DeterminismPassTest, BannedSourcesFlagged) {
+  LintResult result = LintFixture("bad_banned_sources.cc");
+  auto counts = CountByCheck(result);
+  EXPECT_EQ(counts["banned-source"], 5);
+  EXPECT_EQ(counts["pointer-key"], 2);
+  EXPECT_EQ(result.findings.size(), 7u);
+}
+
+TEST(DeterminismPassTest, PointerKeysOverMappedRegionsFlagged) {
+  // The zero-copy snapshot path hands out spans into a mapped region;
+  // keying anything on those addresses is run-to-run nondeterministic
+  // (ASLR moves the mapping). The fixture collects the shapes the v2
+  // reader must never grow.
+  LintResult result = LintFixture("bad_pointer_key_mapped.cc");
+  auto counts = CountByCheck(result);
+  EXPECT_EQ(counts["pointer-key"], 3);
+  EXPECT_EQ(result.findings.size(), 3u);
+  EXPECT_EQ(result.suppressed, 0);
+}
+
+TEST(DeterminismPassTest, PointerKeyedCachesFlagged) {
+  // The serving tier memoizes findings; this fixture collects the
+  // pointer-keyed cache shapes (request address, column address, LRU
+  // node address) that the linter must keep rejecting — the real cache
+  // keys on content fingerprints and evicts in LRU list order.
+  LintResult result = LintFixture("bad_pointer_key_cache.cc");
+  auto counts = CountByCheck(result);
+  EXPECT_EQ(counts["pointer-key"], 3);
+  EXPECT_EQ(result.findings.size(), 3u);
+  EXPECT_EQ(result.suppressed, 0);
+}
+
+TEST(DeterminismPassTest, MutableStateFlagged) {
+  LintResult result = LintFixture("bad_mutable_state.cc");
+  auto counts = CountByCheck(result);
+  EXPECT_EQ(counts["mutable-global"], 2);
+  EXPECT_EQ(counts["mutable-static"], 1);
+  EXPECT_EQ(result.findings.size(), 3u);
+}
+
+TEST(DeterminismPassTest, NolintSuppressesFindings) {
+  LintResult result = LintFixture("nolint_suppression.cc");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].check, "mutable-global");
+  EXPECT_EQ(result.suppressed, 2);
+}
+
+TEST(DeterminismPassTest, FindingsAreSortedAndCarryLines) {
+  LintResult result = LintFixture("bad_mutable_state.cc");
+  ASSERT_EQ(result.findings.size(), 3u);
+  for (size_t i = 1; i < result.findings.size(); ++i) {
+    EXPECT_LE(result.findings[i - 1].line, result.findings[i].line);
+  }
+  for (const auto& finding : result.findings) {
+    EXPECT_GT(finding.line, 0);
+    EXPECT_NE(finding.file.find("bad_mutable_state.cc"), std::string::npos);
+  }
+}
+
+TEST(DeterminismPassTest, RandomOwnerFileMayUseEngines) {
+  const std::string source = "void Seed() { std::mt19937 gen; (void)gen; }\n";
+  EXPECT_TRUE(LintSource("src/util/random.cc", source).findings.empty());
+  EXPECT_EQ(LintSource("src/detect/foo.cc", source).findings.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Unsafe-bytes pass
+
+TEST(UnsafeBytesPassTest, WireReinterpretFixtureFlagged) {
+  LintResult result = LintFixture("bad_wire_reinterpret.cc");
+  auto counts = CountByCheck(result);
+  EXPECT_EQ(counts["wire-reinterpret"], 2);
+  EXPECT_EQ(counts["wire-pointer-arith"], 2);
+  EXPECT_EQ(counts["wire-memcpy"], 1);
+  EXPECT_EQ(result.findings.size(), 5u);
+  for (const auto& finding : result.findings) {
+    EXPECT_EQ(finding.pass, "unsafe-bytes");
+  }
+}
+
+TEST(UnsafeBytesPassTest, SafeCursorModulesAreAllowlisted) {
+  // The same hostile shapes are legal inside the audited safe-cursor
+  // modules — that is where they are supposed to live.
+  const std::string source = ReadFixture("bad_wire_reinterpret.cc");
+  EXPECT_TRUE(
+      LintSource("src/util/bounded_reader.h", source).findings.empty());
+  EXPECT_TRUE(LintSource("src/util/binary_io.h", source).findings.empty());
+  EXPECT_TRUE(LintSource("src/util/binary_io.cc", source).findings.empty());
+}
+
+TEST(UnsafeBytesPassTest, NolintWithPassNameSuppresses) {
+  const std::string source =
+      "void Load(const char* p) {\n"
+      "  // trusted in-memory source. NOLINTNEXTLINE(unsafe-bytes)\n"
+      "  const float* f = reinterpret_cast<const float*>(p);\n"
+      "  (void)f;\n"
+      "}\n";
+  LintResult result = LintSource("src/detect/foo.cc", source);
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(result.suppressed, 1);
+}
+
+TEST(UnsafeBytesPassTest, BareNolintSuppressesNothing) {
+  const std::string source =
+      "void Load(const char* p) {\n"
+      "  const float* f = reinterpret_cast<const float*>(p);  // NOLINT\n"
+      "  (void)f;\n"
+      "}\n";
+  LintResult result = LintSource("src/detect/foo.cc", source);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].check, "wire-reinterpret");
+  EXPECT_EQ(result.suppressed, 0);
+}
+
+TEST(UnsafeBytesPassTest, NolintForOtherPassDoesNotSuppress) {
+  const std::string source =
+      "void Load(const char* p) {\n"
+      "  // NOLINTNEXTLINE(determinism)\n"
+      "  const float* f = reinterpret_cast<const float*>(p);\n"
+      "  (void)f;\n"
+      "}\n";
+  LintResult result = LintSource("src/detect/foo.cc", source);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].pass, "unsafe-bytes");
+}
+
+// ---------------------------------------------------------------------------
+// Checked-arithmetic pass
+
+TEST(CheckedArithmeticPassTest, UncheckedMulFixtureFlagged) {
+  LintResult result = LintFixture("bad_unchecked_mul.cc");
+  auto counts = CountByCheck(result);
+  EXPECT_EQ(counts["unchecked-mul"], 2);  // one direct, one propagated
+  EXPECT_EQ(counts["unchecked-add"], 1);
+  EXPECT_EQ(counts["narrowing-cast"], 1);
+  EXPECT_EQ(result.findings.size(), 4u);
+  for (const auto& finding : result.findings) {
+    EXPECT_EQ(finding.pass, "checked-arithmetic");
+  }
+}
+
+TEST(CheckedArithmeticPassTest, CheckedHelpersPassClean) {
+  LintResult result = LintFixture("good_bounded_reader.cc");
+  EXPECT_TRUE(result.findings.empty())
+      << result.findings.size() << " unexpected findings, first: "
+      << (result.findings.empty() ? "" : result.findings[0].message);
+  EXPECT_EQ(result.suppressed, 0);
+}
+
+TEST(CheckedArithmeticPassTest, TaintDiesWithItsScope) {
+  // `offset` is wire-tainted inside Parse; the unrelated helper below
+  // reuses the name for trusted arithmetic and must stay clean.
+  const std::string source =
+      "bool Parse(Reader& r) {\n"
+      "  uint64_t offset = 0;\n"
+      "  if (!r.ReadU64(&offset)) return false;\n"
+      "  return offset > 0;\n"
+      "}\n"
+      "uint64_t Align(uint64_t offset) { return offset + 63; }\n";
+  LintResult result = LintSource("src/detect/foo.cc", source);
+  EXPECT_TRUE(result.findings.empty())
+      << (result.findings.empty() ? "" : result.findings[0].message);
+}
+
+TEST(CheckedArithmeticPassTest, AssignOrReturnResultIsTainted) {
+  const std::string source =
+      "Status Parse(Reader& r) {\n"
+      "  UNIDETECT_ASSIGN_OR_RETURN(const uint64_t count, r.ReadCount());\n"
+      "  uint64_t bytes = count * 8;\n"
+      "  (void)bytes;\n"
+      "  return Status::Ok();\n"
+      "}\n";
+  LintResult result = LintSource("src/detect/foo.cc", source);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].check, "unchecked-mul");
+}
+
+TEST(CheckedArithmeticPassTest, DeclarationParametersAreNotSources) {
+  // `ReadCsvFile(const std::string& path, ...)` is a declaration: the
+  // `&` is a reference parameter, not an out-param at a call site.
+  const std::string source =
+      "Status ReadCsvFile(const std::string& path, Table* out);\n"
+      "std::string Join(const std::string& path) { return path + \"/x\"; }\n";
+  LintResult result = LintSource("src/detect/foo.cc", source);
+  EXPECT_TRUE(result.findings.empty())
+      << (result.findings.empty() ? "" : result.findings[0].message);
+}
+
+// ---------------------------------------------------------------------------
+// Pass selection
+
+TEST(PassSelectionTest, DeterminismOnlyKeepsOldBehavior) {
+  // `--passes=determinism` reproduces the original single-pass linter:
+  // the unchecked-arithmetic fixture has no determinism findings.
+  LintResult result =
+      LintFixtureWithPasses("bad_unchecked_mul.cc", {"determinism"});
+  EXPECT_TRUE(result.findings.empty());
+  LintResult old = LintFixtureWithPasses("bad_mutable_state.cc",
+                                         {"determinism"});
+  EXPECT_EQ(old.findings.size(), 3u);
+}
+
+TEST(PassSelectionTest, SingleNewPassRunsAlone) {
+  LintResult result =
+      LintFixtureWithPasses("bad_wire_reinterpret.cc", {"unsafe-bytes"});
+  EXPECT_EQ(result.findings.size(), 5u);
+  LintResult none = LintFixtureWithPasses("bad_wire_reinterpret.cc",
+                                          {"checked-arithmetic"});
+  EXPECT_TRUE(none.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Report
+
+TEST(ReportJsonTest, ShapeCarriesPassesAndFindings) {
+  LintResult result = LintFixture("nolint_suppression.cc");
+  const std::string json = ReportJson(1, {}, result);
+  EXPECT_NE(json.find("\"files_scanned\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"passes\":[\"determinism\",\"unsafe-bytes\","
+                      "\"checked-arithmetic\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"pass\":\"determinism\""), std::string::npos);
+  EXPECT_NE(json.find("\"check\":\"mutable-global\""), std::string::npos);
+}
+
+TEST(ReportJsonTest, SelectedPassesAreListed) {
+  LintResult empty;
+  const std::string json = ReportJson(0, {"unsafe-bytes"}, empty);
+  EXPECT_NE(json.find("\"passes\":[\"unsafe-bytes\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"findings\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace unidetect

@@ -409,6 +409,42 @@ TEST(SnapshotV2Test, MisalignedSectionOffsetIsCorruption) {
   }
 }
 
+TEST(SnapshotV2Test, OverflowingSectionExtentIsCorruption) {
+  // A crafted (offset, length) pair near 2^64: the sum wraps to a small
+  // value, so a naive `offset + length <= size` bounds compare passes
+  // and the decoder hands out a span far past the mapped region. The
+  // extent must be computed overflow-checked and rejected as typed
+  // Corruption before any bounds compare.
+  const std::string pristine = EncodeModelSnapshot(LargeModel());
+  const Section pool = FindSection(pristine, SnapshotSection::kStringPool);
+  ASSERT_TRUE(pool.found);
+  const uint64_t hostile_offsets[] = {0xFFFFFFFFFFFFFFF0ull,
+                                      0x8000000000000000ull};
+  for (const uint64_t offset : hostile_offsets) {
+    std::string mutated = pristine;
+    std::string patched;
+    AppendU64(&patched, offset);
+    AppendU64(&patched, 0x40);  // offset + length wraps past 2^64
+    mutated.replace(pool.table_pos + 8, 16, patched);
+    auto decoded = DecodeModelSnapshot(mutated);
+    ASSERT_FALSE(decoded.ok()) << "offset " << offset << " decoded";
+    EXPECT_TRUE(decoded.status().IsCorruption()) << decoded.status();
+  }
+}
+
+TEST(SnapshotV2Test, HugeSectionCountIsCorruptionNotBadAlloc) {
+  // section_count drives an entries.reserve(); a 2^32-1 count must be
+  // rejected against the actual file size before the allocation, not
+  // after a multi-GB std::bad_alloc.
+  std::string mutated = EncodeModelSnapshot(LargeModel());
+  std::string patched;
+  AppendU32(&patched, 0xFFFFFFFFu);
+  mutated.replace(kSnapshotMagic.size() + 4, 4, patched);
+  auto decoded = DecodeModelSnapshot(mutated);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption()) << decoded.status();
+}
+
 TEST(SnapshotV2Test, CorruptFilesFailTypedThroughTheMmapLoader) {
   // The robustness sweeps above run in memory; this one drives the real
   // serving path — Model::Load over a mapped file — and must come back

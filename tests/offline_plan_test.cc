@@ -109,6 +109,28 @@ TEST(ShardPlanTest, ParseRejectsGarbage) {
   EXPECT_FALSE(ParseShardPlan("UDPLAN v2\n").ok());
 }
 
+TEST(ShardPlanTest, ParseRejectsCountsLargerThanManifest) {
+  // Declared entry counts drive reserve() calls; a crafted manifest
+  // claiming billions of shards must fail typed before the allocation,
+  // not with std::bad_alloc. Every entry needs at least one line of
+  // text, so any count beyond the manifest size is a lie.
+  const std::string dir = WriteCorpusDir("offline_plan_huge", 2, 9);
+  auto plan = PlanShards({dir}, TrainerOptions{}, 2);
+  ASSERT_TRUE(plan.ok());
+  const std::string text = SerializeShardPlan(*plan);
+  for (const char* field : {"inputs ", "shards "}) {
+    const size_t pos = text.find(field);
+    ASSERT_NE(pos, std::string::npos) << field;
+    std::string mutated = text;
+    const size_t value_pos = pos + std::string(field).size();
+    mutated.replace(value_pos, mutated.find('\n', value_pos) - value_pos,
+                    "99999999999999999");
+    auto parsed = ParseShardPlan(mutated);
+    ASSERT_FALSE(parsed.ok()) << field;
+    EXPECT_TRUE(parsed.status().IsCorruption()) << parsed.status();
+  }
+}
+
 TEST(BuildJournalTest, RecordLookupReopen) {
   const std::string path = FreshDir("offline_journal") + "/journal.txt";
   std::filesystem::create_directories(

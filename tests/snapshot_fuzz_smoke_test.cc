@@ -1,0 +1,191 @@
+// Bounded-time deterministic fuzz smoke for the snapshot decoders: the
+// loader's contract is that arbitrary bytes produce Status::Corruption
+// (or NotImplemented for newer versions) or a valid model — never a
+// crash, a bad_alloc from a crafted count, or an out-of-bounds read.
+// Seeded mutations keep every run identical; seeds that once crashed the
+// decoder are frozen as golden fixtures (tests/golden/fuzz_*.udsnap) and
+// replayed here as regression tests. Labelled "fuzz" in ctest so CI can
+// run the slice alone.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "learn/model.h"
+#include "model_format/model_snapshot.h"
+#include "model_format/snapshot_v2.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace unidetect {
+namespace {
+
+Model BuildModel() {
+  ModelOptions options;
+  options.min_support = 1;
+  Model model(options);
+  Rng rng(61);
+  for (uint64_t subset = 0; subset < 4; ++subset) {
+    const FeatureKey key{subset * 17 + 3};
+    for (size_t i = 0; i < 40; ++i) {
+      const double pre = rng.Uniform(0.0, 10.0);
+      model.AddObservation(key, pre, rng.Uniform(0.0, pre));
+    }
+  }
+  const AnnotatedCorpus corpus = GenerateCorpus(WebCorpusSpec(6, 67));
+  for (const auto& table : corpus.corpus.tables) {
+    model.mutable_token_index()->AddTable(table);
+    model.mutable_pattern_index()->AddTable(table);
+  }
+  model.Finalize();
+  return model;
+}
+
+// The decode contract under fuzzing: success or a typed error, nothing
+// else. Any crash (SIGSEGV/SIGBUS from an OOB read, std::bad_alloc from
+// an unvalidated count, an assert) fails the whole binary, which is the
+// point of the smoke.
+void ExpectDecodesOrRejects(const std::string& bytes) {
+  for (SnapshotValidation validation :
+       {SnapshotValidation::kFull, SnapshotValidation::kDeferPayload}) {
+    auto decoded = DecodeModelSnapshot(bytes, validation);
+    if (!decoded.ok()) {
+      EXPECT_TRUE(decoded.status().IsCorruption() ||
+                  decoded.status().IsNotImplemented())
+          << "unexpected status class: " << decoded.status();
+    }
+  }
+}
+
+// One seeded mutation of `base`. The mutation menu is weighted toward
+// the decoder's attack surface: the header, the section table's u64
+// offset/length fields (including near-2^64 values that only an
+// overflow-checked bounds compare rejects), and truncation.
+std::string Mutate(const std::string& base, Rng& rng) {
+  std::string bytes = base;
+  switch (rng.NextBounded(6)) {
+    case 0: {  // single bit flip anywhere
+      const size_t pos = static_cast<size_t>(rng.NextBounded(bytes.size()));
+      bytes[pos] = static_cast<char>(bytes[pos] ^ (1 << rng.NextBounded(8)));
+      break;
+    }
+    case 1: {  // short random overwrite
+      const size_t pos = static_cast<size_t>(rng.NextBounded(bytes.size()));
+      const size_t len =
+          std::min(bytes.size() - pos, size_t{1} + rng.NextBounded(8));
+      for (size_t i = 0; i < len; ++i) {
+        bytes[pos + i] = static_cast<char>(rng.NextBounded(256));
+      }
+      break;
+    }
+    case 2: {  // perturb a section-table u64 with a hostile value
+      if (bytes.size() < 16 + 24) break;
+      const uint64_t entry = rng.NextBounded((bytes.size() - 16) / 24);
+      // offset field at +8, length field at +16 within the entry.
+      const size_t pos = 16 + static_cast<size_t>(entry) * 24 +
+                         (rng.NextBounded(2) ? 8 : 16);
+      static constexpr uint64_t kHostile[] = {
+          0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFF0ull, 0x8000000000000000ull,
+          0x100000000ull, 0ull};
+      const uint64_t value =
+          kHostile[rng.NextBounded(std::size(kHostile))];
+      if (pos + 8 <= bytes.size()) std::memcpy(&bytes[pos], &value, 8);
+      break;
+    }
+    case 3: {  // truncate
+      bytes.resize(static_cast<size_t>(rng.NextBounded(bytes.size())));
+      break;
+    }
+    case 4: {  // huge section_count (the historical bad_alloc shape)
+      if (bytes.size() < 16) break;
+      const uint32_t counts[] = {0xFFFFFFFFu, 0x10000000u, 0u,
+                                 0xAAAAAAAAu};
+      const uint32_t value = counts[rng.NextBounded(std::size(counts))];
+      std::memcpy(&bytes[12], &value, 4);
+      break;
+    }
+    default: {  // swap two section-table entries (breaks id ordering)
+      if (bytes.size() < 16 + 2 * 24) break;
+      const uint64_t entries = (bytes.size() - 16) / 24;
+      if (entries < 2) break;
+      const size_t a = 16 + static_cast<size_t>(rng.NextBounded(entries)) * 24;
+      const size_t b = 16 + static_cast<size_t>(rng.NextBounded(entries)) * 24;
+      if (a + 24 <= bytes.size() && b + 24 <= bytes.size()) {
+        char tmp[24];
+        std::memcpy(tmp, &bytes[a], 24);
+        std::memcpy(&bytes[a], &bytes[b], 24);
+        std::memcpy(&bytes[b], tmp, 24);
+      }
+      break;
+    }
+  }
+  return bytes;
+}
+
+void RunSmoke(const std::string& base, uint64_t seed, int rounds) {
+  ASSERT_FALSE(base.empty());
+  // Sanity: the unmutated snapshot decodes in both validation modes.
+  for (SnapshotValidation validation :
+       {SnapshotValidation::kFull, SnapshotValidation::kDeferPayload}) {
+    auto decoded = DecodeModelSnapshot(base, validation);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+  }
+  Rng rng(seed);
+  for (int i = 0; i < rounds; ++i) {
+    ExpectDecodesOrRejects(Mutate(base, rng));
+  }
+}
+
+TEST(SnapshotFuzzSmokeTest, MutatedF32SnapshotsNeverCrash) {
+  RunSmoke(EncodeModelSnapshotV2(BuildModel(), ObservationEncoding::kF32),
+           /*seed=*/1001, /*rounds=*/300);
+}
+
+TEST(SnapshotFuzzSmokeTest, MutatedF16SnapshotsNeverCrash) {
+  RunSmoke(EncodeModelSnapshotV2(BuildModel(), ObservationEncoding::kF16),
+           /*seed=*/2002, /*rounds=*/300);
+}
+
+TEST(SnapshotFuzzSmokeTest, MutatedV1SnapshotsNeverCrash) {
+  RunSmoke(EncodeModelSnapshotV1(BuildModel()), /*seed=*/3003,
+           /*rounds=*/300);
+}
+
+// Replays every frozen crasher. Each fixture is a full input file that
+// once took the decoder down (e.g. a 16-byte header whose section_count
+// of 2^32-1 drove a multi-GB reserve) and must now produce a typed
+// error.
+TEST(SnapshotFuzzSmokeTest, GoldenCrashersStayFixed) {
+  const std::filesystem::path golden(UNIDETECT_GOLDEN_DIR);
+  int replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(golden)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("fuzz_", 0) != 0) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+    SCOPED_TRACE(name);
+    for (SnapshotValidation validation :
+         {SnapshotValidation::kFull, SnapshotValidation::kDeferPayload}) {
+      auto decoded = DecodeModelSnapshot(bytes, validation);
+      ASSERT_FALSE(decoded.ok()) << name << " decoded successfully";
+      EXPECT_TRUE(decoded.status().IsCorruption())
+          << name << ": " << decoded.status();
+    }
+    ++replayed;
+  }
+  // The suite must fail loudly if the fixtures go missing.
+  EXPECT_GE(replayed, 3);
+}
+
+}  // namespace
+}  // namespace unidetect

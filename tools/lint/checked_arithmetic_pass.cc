@@ -1,0 +1,284 @@
+// The checked-arithmetic pass: a scoped, file-local taint analysis over
+// integers read off the wire. A length, offset or count decoded from
+// untrusted bytes can be crafted so that `offset + length` wraps or
+// `count * sizeof(T)` overflows, defeating a later bounds compare; the
+// project rule is that such values flow through CheckedAdd / CheckedMul
+// / CheckedCast (util/checked.h), which contain no raw operator tokens
+// and therefore pass this lint with no special-casing.
+//
+// Taint sources (token patterns, matched in one forward scan):
+//   Read*(&name)                         cursor reads into an out-param:
+//                                        ReadU32(&count), ReadU64(&off);
+//                                        member chains taint the final
+//                                        name (&out->count taints count).
+//   UNIDETECT_ASSIGN_OR_RETURN(T name,   Result-typed reads: when the
+//       <expr containing Read*>)         expression mentions a Read*
+//                                        call, the declared name is
+//                                        tainted.
+//
+// Propagation: `lhs = tainted ;` taints lhs (simple assignment only —
+// this is a lexical heuristic, not dataflow).
+//
+// Scoping: taint dies with its brace scope. A name tainted inside one
+// function does not poison an unrelated function (or an earlier helper)
+// that reuses the identifier; C++'s declare-before-use order makes a
+// single forward scan sufficient.
+//
+// Checks on tainted identifiers:
+//   unchecked-add        tainted operand of binary `+` or `+=`.
+//   unchecked-mul        tainted operand of binary `*` or `*=` (the `*`
+//                        disambiguated from deref/pointer-decl by its
+//                        neighbors).
+//   narrowing-cast       static_cast<narrow>(tainted) where narrow is a
+//                        type that can truncate a u64 length: size_t,
+//                        uint32_t, int, unsigned, ptrdiff_t, ...
+//
+// Comparisons, subtraction and division are deliberately unflagged:
+// `a > limit`, `remaining() / kEntryBytes` are how bounds checks are
+// written, and they cannot wrap upward.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/passes.h"
+
+namespace unidetect {
+namespace lint {
+
+namespace {
+
+bool StartsWith(const std::string& s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+// Types through which a u64 wire length silently truncates.
+bool IsNarrowType(const std::string& name) {
+  static const std::unordered_set<std::string> kNarrow = {
+      "size_t",   "uint32_t", "uint16_t", "uint8_t", "int32_t", "int16_t",
+      "int8_t",   "int",      "unsigned", "short",   "char",    "long",
+      "ptrdiff_t", "ssize_t"};
+  return kNarrow.count(name) > 0;
+}
+
+struct TaintAnalyzer {
+  const std::vector<Tok>& t;
+  const PassContext& context;
+  std::vector<Finding>* findings;
+
+  // name -> brace depth at which the taint was introduced. Entries are
+  // dropped when the scan leaves that depth.
+  std::unordered_map<std::string, int> tainted;
+  int depth = 0;
+
+  void Emit(int line, const char* check, std::string message) {
+    findings->push_back({context.file, line, kCheckedArithmeticPass, check,
+                         std::move(message)});
+  }
+
+  bool Tainted(size_t i) const {
+    return IsIdent(t, i) && tainted.count(t[i].text) > 0;
+  }
+
+  void Taint(const std::string& name) {
+    // Re-tainting at an outer depth widens the lifetime; keep the
+    // shallower depth.
+    auto [it, inserted] = tainted.emplace(name, depth);
+    if (!inserted && depth < it->second) it->second = depth;
+  }
+
+  void LeaveScope() {
+    for (auto it = tainted.begin(); it != tainted.end();) {
+      if (it->second > depth) {
+        it = tainted.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // -- taint sources -----------------------------------------------------
+
+  /// Handles `Read*( ... &name ... )`: taints every `&`-passed
+  /// identifier, following member chains to their final component. The
+  /// `&` must sit in argument position (after `(` or `,`) so that
+  /// reference *parameters* in a `ReadFoo(const T& x)` declaration are
+  /// not mistaken for out-params.
+  void TaintReadOutParams(size_t call_open) {
+    int paren = 0;
+    for (size_t j = call_open; j < t.size(); ++j) {
+      const std::string& x = t[j].text;
+      if (x == "(") ++paren;
+      else if (x == ")") {
+        if (--paren == 0) return;
+      } else if (x == ";" || x == "{") {
+        return;
+      } else if (x == "&" && IsIdent(t, j + 1) && j > 0 &&
+                 (t[j - 1].text == "(" || t[j - 1].text == ",")) {
+        size_t k = j + 1;
+        while ((TokIs(t, k + 1, ".") || TokIs(t, k + 1, "->")) &&
+               IsIdent(t, k + 2)) {
+          k += 2;
+        }
+        Taint(t[k].text);
+      }
+    }
+  }
+
+  /// Handles `UNIDETECT_ASSIGN_OR_RETURN(decl..., expr)`: when the
+  /// expression mentions an identifier starting with "Read", the
+  /// declared name (last identifier before the first top-level comma)
+  /// is tainted.
+  void TaintAssignOrReturn(size_t macro_ident) {
+    if (!TokIs(t, macro_ident + 1, "(")) return;
+    int paren = 0;
+    size_t comma = 0;
+    size_t close = 0;
+    for (size_t j = macro_ident + 1; j < t.size(); ++j) {
+      const std::string& x = t[j].text;
+      if (x == "(") ++paren;
+      else if (x == ")") {
+        if (--paren == 0) {
+          close = j;
+          break;
+        }
+      } else if (x == "," && paren == 1 && comma == 0) {
+        comma = j;
+      }
+    }
+    if (comma == 0 || close == 0) return;
+    bool reads_wire = false;
+    for (size_t j = comma + 1; j < close; ++j) {
+      if (IsIdent(t, j) && StartsWith(t[j].text, "Read")) {
+        reads_wire = true;
+        break;
+      }
+    }
+    if (reads_wire && IsIdent(t, comma - 1)) Taint(t[comma - 1].text);
+  }
+
+  // -- operand classification --------------------------------------------
+
+  /// True when the `*` at `i` is a binary multiply rather than a
+  /// dereference or pointer declarator: both neighbors look like value
+  /// operands.
+  bool IsBinaryMul(size_t i) const {
+    if (i == 0 || i + 1 >= t.size()) return false;
+    const Tok& prev = t[i - 1];
+    const Tok& next = t[i + 1];
+    const bool prev_value = prev.kind == TokKind::kIdent ||
+                            prev.kind == TokKind::kNumber ||
+                            prev.text == ")" || prev.text == "]";
+    const bool next_value = next.kind == TokKind::kIdent ||
+                            next.kind == TokKind::kNumber ||
+                            next.text == "(";
+    return prev_value && next_value;
+  }
+
+  /// True when the `+` at `i` is a binary add (not unary sign; `++` is
+  /// already folded by the lexer).
+  bool IsBinaryAdd(size_t i) const {
+    if (i == 0 || i + 1 >= t.size()) return false;
+    const Tok& prev = t[i - 1];
+    return prev.kind == TokKind::kIdent || prev.kind == TokKind::kNumber ||
+           prev.text == ")" || prev.text == "]";
+  }
+
+  // -- the scan ----------------------------------------------------------
+
+  void Run() {
+    for (size_t i = 0; i < t.size(); ++i) {
+      const std::string& x = t[i].text;
+      if (x == "{") {
+        ++depth;
+        continue;
+      }
+      if (x == "}") {
+        if (depth > 0) --depth;
+        LeaveScope();
+        continue;
+      }
+      if (t[i].kind == TokKind::kIdent) {
+        if (StartsWith(x, "Read") && TokIs(t, i + 1, "(")) {
+          TaintReadOutParams(i + 1);
+        } else if (x == "UNIDETECT_ASSIGN_OR_RETURN") {
+          TaintAssignOrReturn(i);
+        } else if (x == "static_cast" && TokIs(t, i + 1, "<")) {
+          CheckNarrowingCast(i);
+        }
+        // Propagation: `lhs = tainted` (simple assignment, same
+        // statement).
+        if (TokIs(t, i + 1, "=") && IsIdent(t, i + 2) &&
+            tainted.count(t[i + 2].text) &&
+            (TokIs(t, i + 3, ";") || TokIs(t, i + 3, ",") ||
+             TokIs(t, i + 3, ")"))) {
+          Taint(x);
+        }
+        continue;
+      }
+      if (x == "+" && IsBinaryAdd(i) && (Tainted(i - 1) || Tainted(i + 1))) {
+        const std::string& name =
+            Tainted(i - 1) ? t[i - 1].text : t[i + 1].text;
+        Emit(t[i].line, "unchecked-add",
+             "unchecked '+' on wire-derived '" + name + "'; a crafted "
+             "value can wrap the sum past a later bounds compare — use "
+             "CheckedAdd (util/checked.h)");
+      } else if (x == "+=" && (Tainted(i - 1) || Tainted(i + 1))) {
+        const std::string& name =
+            Tainted(i - 1) ? t[i - 1].text : t[i + 1].text;
+        Emit(t[i].line, "unchecked-add",
+             "unchecked '+=' involving wire-derived '" + name +
+                 "'; use CheckedAdd (util/checked.h)");
+      } else if (x == "*" && IsBinaryMul(i) &&
+                 (Tainted(i - 1) || Tainted(i + 1))) {
+        const std::string& name =
+            Tainted(i - 1) ? t[i - 1].text : t[i + 1].text;
+        Emit(t[i].line, "unchecked-mul",
+             "unchecked '*' on wire-derived '" + name + "'; count-times-"
+             "element-size products overflow on crafted counts — use "
+             "CheckedMul (util/checked.h)");
+      } else if (x == "*=" && (Tainted(i - 1) || Tainted(i + 1))) {
+        const std::string& name =
+            Tainted(i - 1) ? t[i - 1].text : t[i + 1].text;
+        Emit(t[i].line, "unchecked-mul",
+             "unchecked '*=' involving wire-derived '" + name +
+                 "'; use CheckedMul (util/checked.h)");
+      }
+    }
+  }
+
+  void CheckNarrowingCast(size_t i) {
+    size_t after = SkipAngles(t, i + 1);
+    if (after == i + 1) return;
+    bool narrow = false;
+    for (size_t j = i + 2; j + 1 < after; ++j) {
+      if (IsIdent(t, j) && IsNarrowType(t[j].text)) narrow = true;
+    }
+    if (!narrow) return;
+    // static_cast<T>(ident): flag when ident is tainted. Casts of
+    // expressions are covered by the arithmetic checks on the
+    // expression itself.
+    if (TokIs(t, after, "(") && Tainted(after + 1) &&
+        TokIs(t, after + 2, ")")) {
+      Emit(t[i].line, "narrowing-cast",
+           "narrowing static_cast of wire-derived '" + t[after + 1].text +
+               "'; truncation forges a small in-bounds value from a "
+               "huge one — use CheckedCast (util/checked.h)");
+    }
+  }
+};
+
+}  // namespace
+
+void RunCheckedArithmeticPass(const Lexed& lexed, const PassContext& context,
+                              std::vector<Finding>* findings) {
+  if (context.options.trusted_cursor_module) return;
+  TaintAnalyzer analyzer{lexed.toks, context, findings, {}, 0};
+  analyzer.Run();
+}
+
+}  // namespace lint
+}  // namespace unidetect

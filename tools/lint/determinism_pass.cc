@@ -1,262 +1,29 @@
-#include "lint/determinism_lint.h"
+// The determinism pass: the nondeterminism bug classes that break
+// Uni-Detect's byte-identical ranking contract (DESIGN.md section 9).
+//
+// Checks:
+//   unordered-iteration  iteration over an unordered container whose
+//                        body appends to a string/stream/vector, with no
+//                        subsequent sort in the enclosing block.
+//   banned-source        std::rand/srand/time(nullptr)/... and the
+//                        <random> engines outside src/util/random.*.
+//   pointer-key          ordering or hashing keyed on pointer values
+//                        (map<T*, ...>, set<T*>, hash<T*>, less<T*>).
+//   mutable-global       non-const namespace-scope variables and
+//   mutable-static       `static` locals, unless const/constexpr, a
+//                        synchronization type, or NOLINT'ed.
 
-#include <algorithm>
-#include <array>
-#include <cstddef>
-#include <cstdio>
-#include <set>
 #include <string>
 #include <unordered_set>
 #include <vector>
+
+#include "lint/lexer.h"
+#include "lint/passes.h"
 
 namespace unidetect {
 namespace lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-enum class TokKind { kIdent, kNumber, kPunct, kString };
-
-struct Tok {
-  TokKind kind;
-  std::string text;
-  int line;
-};
-
-struct Lexed {
-  std::vector<Tok> toks;
-  // Lines on which findings are suppressed (NOLINT(determinism) on the
-  // line itself or NOLINTNEXTLINE(determinism) on the line above).
-  std::set<int> nolint_lines;
-};
-
-bool IsIdentStart(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
-}
-bool IsIdentChar(char c) { return IsIdentStart(c) || (c >= '0' && c <= '9'); }
-bool IsDigit(char c) { return c >= '0' && c <= '9'; }
-
-// Records NOLINT markers found inside a comment span.
-void ScanCommentForNolint(std::string_view comment, int line, Lexed* out) {
-  constexpr std::string_view kNext = "NOLINTNEXTLINE(determinism)";
-  constexpr std::string_view kHere = "NOLINT(determinism)";
-  int cur_line = line;
-  for (size_t i = 0; i < comment.size(); ++i) {
-    if (comment[i] == '\n') ++cur_line;
-    if (comment.compare(i, kNext.size(), kNext) == 0) {
-      out->nolint_lines.insert(cur_line + 1);
-    } else if (comment.compare(i, kHere.size(), kHere) == 0) {
-      out->nolint_lines.insert(cur_line);
-    }
-  }
-}
-
-Lexed Tokenize(std::string_view src) {
-  Lexed out;
-  static const std::array<std::string_view, 13> kTwoCharOps = {
-      "<<", ">>", "+=", "-=", "->", "::", "==", "!=",
-      "<=", ">=", "&&", "||", "++"};
-  size_t i = 0;
-  int line = 1;
-  bool at_line_start = true;
-  const size_t n = src.size();
-  while (i < n) {
-    char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      at_line_start = true;
-      continue;
-    }
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: consume the (possibly continued) line.
-    if (c == '#' && at_line_start) {
-      while (i < n) {
-        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
-          i += 2;
-          ++line;
-          continue;
-        }
-        if (src[i] == '\n') break;
-        ++i;
-      }
-      continue;
-    }
-    at_line_start = false;
-    // Line comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      size_t end = src.find('\n', i);
-      if (end == std::string_view::npos) end = n;
-      ScanCommentForNolint(src.substr(i, end - i), line, &out);
-      i = end;
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      size_t end = src.find("*/", i + 2);
-      if (end == std::string_view::npos) end = n;
-      std::string_view body = src.substr(i, end - i);
-      ScanCommentForNolint(body, line, &out);
-      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
-      i = (end == n) ? n : end + 2;
-      continue;
-    }
-    // String literal (with minimal raw-string support).
-    if (c == '"') {
-      bool raw = false;
-      if (!out.toks.empty() && out.toks.back().kind == TokKind::kIdent) {
-        const std::string& prev = out.toks.back().text;
-        if (prev == "R" || prev == "u8R" || prev == "uR" || prev == "UR" ||
-            prev == "LR") {
-          raw = true;
-          out.toks.pop_back();
-        }
-      }
-      size_t start = i;
-      if (raw) {
-        size_t open = src.find('(', i);
-        std::string delim =
-            ")" + std::string(src.substr(i + 1, open - i - 1)) + "\"";
-        size_t end = src.find(delim, open);
-        if (end == std::string_view::npos) end = n;
-        else end += delim.size();
-        std::string_view body = src.substr(start, end - start);
-        line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
-        out.toks.push_back({TokKind::kString, "\"\"", line});
-        i = end;
-      } else {
-        ++i;
-        while (i < n && src[i] != '"') {
-          if (src[i] == '\\' && i + 1 < n) ++i;
-          ++i;
-        }
-        if (i < n) ++i;
-        out.toks.push_back({TokKind::kString, "\"\"", line});
-      }
-      continue;
-    }
-    // Char literal.
-    if (c == '\'') {
-      ++i;
-      while (i < n && src[i] != '\'') {
-        if (src[i] == '\\' && i + 1 < n) ++i;
-        ++i;
-      }
-      if (i < n) ++i;
-      out.toks.push_back({TokKind::kString, "''", line});
-      continue;
-    }
-    // Number.
-    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(src[i + 1]))) {
-      size_t start = i;
-      while (i < n && (IsIdentChar(src[i]) || src[i] == '.' ||
-                       src[i] == '\'' ||
-                       ((src[i] == '+' || src[i] == '-') && i > start &&
-                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
-                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
-        ++i;
-      }
-      out.toks.push_back(
-          {TokKind::kNumber, std::string(src.substr(start, i - start)), line});
-      continue;
-    }
-    // Identifier.
-    if (IsIdentStart(c)) {
-      size_t start = i;
-      while (i < n && IsIdentChar(src[i])) ++i;
-      out.toks.push_back(
-          {TokKind::kIdent, std::string(src.substr(start, i - start)), line});
-      continue;
-    }
-    // Punctuation: longest-match two-char operators first.
-    if (i + 1 < n) {
-      std::string_view two = src.substr(i, 2);
-      bool matched = false;
-      for (std::string_view op : kTwoCharOps) {
-        if (two == op) {
-          out.toks.push_back({TokKind::kPunct, std::string(op), line});
-          i += 2;
-          matched = true;
-          break;
-        }
-      }
-      if (matched) continue;
-    }
-    out.toks.push_back({TokKind::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Analysis helpers
-// ---------------------------------------------------------------------------
-
-bool TokIs(const std::vector<Tok>& t, size_t i, std::string_view text) {
-  return i < t.size() && t[i].text == text;
-}
-
-bool IsIdent(const std::vector<Tok>& t, size_t i) {
-  return i < t.size() && t[i].kind == TokKind::kIdent;
-}
-
-/// Skips a balanced template-argument list. `i` must index the `<`.
-/// Returns the index just past the matching `>`, or `i` if this does not
-/// look like a template argument list (statement end reached first).
-size_t SkipAngles(const std::vector<Tok>& t, size_t i) {
-  int depth = 0;
-  const size_t limit = std::min(t.size(), i + 400);
-  for (size_t j = i; j < limit; ++j) {
-    const std::string& x = t[j].text;
-    if (x == "<") {
-      ++depth;
-    } else if (x == ">") {
-      if (--depth == 0) return j + 1;
-    } else if (x == ">>") {
-      depth -= 2;
-      if (depth <= 0) return j + 1;
-    } else if (x == ";" || x == "{" || x == "}") {
-      return i;  // comparison, not a template
-    }
-  }
-  return i;
-}
-
-/// First template argument of the list opened at `i` (the `<`); empty if
-/// none. Used for pointer-keyed container detection.
-std::vector<const Tok*> FirstTemplateArg(const std::vector<Tok>& t, size_t i) {
-  std::vector<const Tok*> arg;
-  int angle = 0;
-  int paren = 0;
-  const size_t limit = std::min(t.size(), i + 400);
-  for (size_t j = i; j < limit; ++j) {
-    const std::string& x = t[j].text;
-    if (x == "<") {
-      if (++angle == 1) continue;
-    } else if (x == ">" || x == ">>") {
-      if (angle == 1) return arg;
-      angle -= (x == ">>") ? 2 : 1;
-      if (angle <= 0) return arg;
-    } else if (x == "(") {
-      ++paren;
-    } else if (x == ")") {
-      if (--paren < 0) return {};
-    } else if (x == "," && angle == 1 && paren == 0) {
-      return arg;
-    } else if (x == ";" || x == "{" || x == "}") {
-      return {};  // not a template argument list after all
-    }
-    if (angle >= 1) arg.push_back(&t[j]);
-    if (arg.size() > 100) return arg;
-  }
-  return {};
-}
 
 const std::unordered_set<std::string>& SyncTypeAllowlist() {
   static const std::unordered_set<std::string> kAllow = {
@@ -277,7 +44,8 @@ struct Analyzer {
   std::unordered_set<std::string> string_names;
 
   void Emit(int line, const char* check, std::string message) {
-    findings->push_back({file, line, check, std::move(message)});
+    findings->push_back(
+        {file, line, kDeterminismPass, check, std::move(message)});
   }
 
   // -- declared-name collection ------------------------------------------
@@ -616,82 +384,16 @@ struct Analyzer {
   }
 };
 
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 }  // namespace
 
-Options OptionsForPath(std::string_view path) {
-  Options options;
-  if (path.find("util/random.") != std::string_view::npos) {
-    options.allow_random_primitives = true;
-  }
-  return options;
-}
-
-LintResult LintSource(std::string_view path, std::string_view source,
-                      const Options& options) {
-  Lexed lexed = Tokenize(source);
-  std::vector<Finding> raw;
-  Analyzer analyzer{lexed.toks, std::string(path), options, &raw, {}, {}};
+void RunDeterminismPass(const Lexed& lexed, const PassContext& context,
+                        std::vector<Finding>* findings) {
+  Analyzer analyzer{lexed.toks, context.file, context.options, findings,
+                    {},         {}};
   analyzer.CollectDeclaredNames();
   analyzer.CheckUnorderedIteration();
   analyzer.CheckBannedSources();
   analyzer.CheckMutableState();
-
-  LintResult result;
-  for (auto& finding : raw) {
-    if (lexed.nolint_lines.count(finding.line)) {
-      ++result.suppressed;
-    } else {
-      result.findings.push_back(std::move(finding));
-    }
-  }
-  std::sort(result.findings.begin(), result.findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return a.check < b.check;
-            });
-  return result;
-}
-
-LintResult LintSource(std::string_view path, std::string_view source) {
-  return LintSource(path, source, OptionsForPath(path));
-}
-
-std::string ReportJson(size_t files_scanned, const LintResult& merged) {
-  std::string out = "{\"files_scanned\":" + std::to_string(files_scanned) +
-                    ",\"suppressed\":" + std::to_string(merged.suppressed) +
-                    ",\"findings\":[";
-  for (size_t i = 0; i < merged.findings.size(); ++i) {
-    const Finding& f = merged.findings[i];
-    if (i > 0) out += ",";
-    out += "{\"file\":\"" + JsonEscape(f.file) + "\",\"line\":" +
-           std::to_string(f.line) + ",\"check\":\"" + JsonEscape(f.check) +
-           "\",\"message\":\"" + JsonEscape(f.message) + "\"}";
-  }
-  out += "]}\n";
-  return out;
 }
 
 }  // namespace lint

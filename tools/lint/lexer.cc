@@ -1,0 +1,257 @@
+#include "lint/lexer.h"
+
+#include <algorithm>
+#include <array>
+
+namespace unidetect {
+namespace lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool IsIdentChar(char c) { return IsIdentStart(c) || (c >= '0' && c <= '9'); }
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+// A pass name in a NOLINT list: lowercase identifiers joined by '-'.
+bool IsPassNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-' ||
+         c == '_';
+}
+
+// Parses the "(a, b)" list that follows a NOLINT marker at comment[i]
+// and records each named pass for `line`.
+void RecordNolintList(std::string_view comment, size_t i, int line,
+                      Lexed* out) {
+  if (i >= comment.size() || comment[i] != '(') return;
+  ++i;
+  while (i < comment.size() && comment[i] != ')') {
+    while (i < comment.size() && (comment[i] == ' ' || comment[i] == ',')) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < comment.size() && IsPassNameChar(comment[i])) ++i;
+    if (i > start) {
+      out->nolint[line].insert(std::string(comment.substr(start, i - start)));
+    }
+    if (i == start) break;  // unexpected character; stop parsing the list
+  }
+}
+
+// Records NOLINT markers found inside a comment span.
+void ScanCommentForNolint(std::string_view comment, int line, Lexed* out) {
+  constexpr std::string_view kNext = "NOLINTNEXTLINE";
+  constexpr std::string_view kHere = "NOLINT";
+  int cur_line = line;
+  for (size_t i = 0; i < comment.size(); ++i) {
+    if (comment[i] == '\n') ++cur_line;
+    if (comment.compare(i, kNext.size(), kNext) == 0) {
+      RecordNolintList(comment, i + kNext.size(), cur_line + 1, out);
+      i += kNext.size() - 1;
+    } else if (comment.compare(i, kHere.size(), kHere) == 0) {
+      RecordNolintList(comment, i + kHere.size(), cur_line, out);
+      i += kHere.size() - 1;
+    }
+  }
+}
+
+}  // namespace
+
+Lexed Tokenize(std::string_view src) {
+  Lexed out;
+  static const std::array<std::string_view, 13> kTwoCharOps = {
+      "<<", ">>", "+=", "-=", "->", "::", "==", "!=",
+      "<=", ">=", "&&", "||", "++"};
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+  const size_t n = src.size();
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: consume the (possibly continued) line.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      ScanCommentForNolint(src.substr(i, end - i), line, &out);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      size_t end = src.find("*/", i + 2);
+      if (end == std::string_view::npos) end = n;
+      std::string_view body = src.substr(i, end - i);
+      ScanCommentForNolint(body, line, &out);
+      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      i = (end == n) ? n : end + 2;
+      continue;
+    }
+    // String literal (with minimal raw-string support).
+    if (c == '"') {
+      bool raw = false;
+      if (!out.toks.empty() && out.toks.back().kind == TokKind::kIdent) {
+        const std::string& prev = out.toks.back().text;
+        if (prev == "R" || prev == "u8R" || prev == "uR" || prev == "UR" ||
+            prev == "LR") {
+          raw = true;
+          out.toks.pop_back();
+        }
+      }
+      size_t start = i;
+      if (raw) {
+        size_t open = src.find('(', i);
+        std::string delim =
+            ")" + std::string(src.substr(i + 1, open - i - 1)) + "\"";
+        size_t end = src.find(delim, open);
+        if (end == std::string_view::npos) end = n;
+        else end += delim.size();
+        std::string_view body = src.substr(start, end - start);
+        line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+        out.toks.push_back({TokKind::kString, "\"\"", line});
+        i = end;
+      } else {
+        ++i;
+        while (i < n && src[i] != '"') {
+          if (src[i] == '\\' && i + 1 < n) ++i;
+          ++i;
+        }
+        if (i < n) ++i;
+        out.toks.push_back({TokKind::kString, "\"\"", line});
+      }
+      continue;
+    }
+    // Char literal.
+    if (c == '\'') {
+      ++i;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n) ++i;
+      out.toks.push_back({TokKind::kString, "''", line});
+      continue;
+    }
+    // Number.
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(src[i + 1]))) {
+      size_t start = i;
+      while (i < n && (IsIdentChar(src[i]) || src[i] == '.' ||
+                       src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.toks.push_back(
+          {TokKind::kNumber, std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+    // Identifier.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      out.toks.push_back(
+          {TokKind::kIdent, std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+    // Punctuation: longest-match two-char operators first.
+    if (i + 1 < n) {
+      std::string_view two = src.substr(i, 2);
+      bool matched = false;
+      for (std::string_view op : kTwoCharOps) {
+        if (two == op) {
+          out.toks.push_back({TokKind::kPunct, std::string(op), line});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+    out.toks.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+bool TokIs(const std::vector<Tok>& t, size_t i, std::string_view text) {
+  return i < t.size() && t[i].text == text;
+}
+
+bool IsIdent(const std::vector<Tok>& t, size_t i) {
+  return i < t.size() && t[i].kind == TokKind::kIdent;
+}
+
+size_t SkipAngles(const std::vector<Tok>& t, size_t i) {
+  int depth = 0;
+  const size_t limit = std::min(t.size(), i + 400);
+  for (size_t j = i; j < limit; ++j) {
+    const std::string& x = t[j].text;
+    if (x == "<") {
+      ++depth;
+    } else if (x == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (x == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (x == ";" || x == "{" || x == "}") {
+      return i;  // comparison, not a template
+    }
+  }
+  return i;
+}
+
+std::vector<const Tok*> FirstTemplateArg(const std::vector<Tok>& t, size_t i) {
+  std::vector<const Tok*> arg;
+  int angle = 0;
+  int paren = 0;
+  const size_t limit = std::min(t.size(), i + 400);
+  for (size_t j = i; j < limit; ++j) {
+    const std::string& x = t[j].text;
+    if (x == "<") {
+      if (++angle == 1) continue;
+    } else if (x == ">" || x == ">>") {
+      if (angle == 1) return arg;
+      angle -= (x == ">>") ? 2 : 1;
+      if (angle <= 0) return arg;
+    } else if (x == "(") {
+      ++paren;
+    } else if (x == ")") {
+      if (--paren < 0) return {};
+    } else if (x == "," && angle == 1 && paren == 0) {
+      return arg;
+    } else if (x == ";" || x == "{" || x == "}") {
+      return {};  // not a template argument list after all
+    }
+    if (angle >= 1) arg.push_back(&t[j]);
+    if (arg.size() > 100) return arg;
+  }
+  return {};
+}
+
+}  // namespace lint
+}  // namespace unidetect

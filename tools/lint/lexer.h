@@ -1,0 +1,66 @@
+// Shared token stream for every lint pass (tools/lint/).
+//
+// One tokenizer feeds all passes: a file is lexed exactly once and each
+// registered pass walks the same token vector. The lexer is a
+// heuristic C++ lexer — it understands comments, string/char literals
+// (including raw strings), preprocessor lines, numbers, identifiers and
+// two-character operators — which is all the token-level passes need.
+// It deliberately does not preprocess or parse; passes are pattern
+// matchers over tokens, not semantic analyses (DESIGN.md section 14).
+//
+// NOLINT escapes are collected here, per pass: `// NOLINT(<pass>)` on a
+// line suppresses that pass's findings on the same line, and
+// `// NOLINTNEXTLINE(<pass>)` suppresses them on the following line.
+// Several passes may be named comma-separated: `NOLINT(determinism,
+// unsafe-bytes)`. The pass name is required — a bare NOLINT suppresses
+// nothing — so every escape names the invariant it waives.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unidetect {
+namespace lint {
+
+enum class TokKind { kIdent, kNumber, kPunct, kString };
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Lexed {
+  std::vector<Tok> toks;
+  // line -> pass names suppressed on that line (NOLINT(<pass>) on the
+  // line itself or NOLINTNEXTLINE(<pass>) on the line above).
+  std::map<int, std::set<std::string>> nolint;
+
+  bool Suppressed(int line, std::string_view pass) const {
+    auto it = nolint.find(line);
+    return it != nolint.end() && it->second.count(std::string(pass)) > 0;
+  }
+};
+
+Lexed Tokenize(std::string_view src);
+
+// -- token helpers shared by the passes ---------------------------------
+
+bool TokIs(const std::vector<Tok>& t, size_t i, std::string_view text);
+bool IsIdent(const std::vector<Tok>& t, size_t i);
+
+/// Skips a balanced template-argument list. `i` must index the `<`.
+/// Returns the index just past the matching `>`, or `i` if this does not
+/// look like a template argument list (statement end reached first).
+size_t SkipAngles(const std::vector<Tok>& t, size_t i);
+
+/// First template argument of the list opened at `i` (the `<`); empty if
+/// none. Used for pointer-keyed container detection.
+std::vector<const Tok*> FirstTemplateArg(const std::vector<Tok>& t, size_t i);
+
+}  // namespace lint
+}  // namespace unidetect

@@ -1,0 +1,149 @@
+// Pass registry and driver-facing API of the lint library. Tokenizes a
+// translation unit once, runs the selected passes over the shared token
+// stream, applies per-pass NOLINT suppression, and merges findings into
+// a deterministic (file, line, pass, check) order.
+
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "lint/lexer.h"
+#include "lint/passes.h"
+
+namespace unidetect {
+namespace lint {
+
+namespace {
+
+using PassFn = void (*)(const Lexed&, const PassContext&,
+                        std::vector<Finding>*);
+
+struct PassEntry {
+  const char* name;
+  PassFn run;
+};
+
+// Execution order is also report order; keep determinism first so the
+// original single-pass behavior is the prefix of the new one.
+constexpr PassEntry kRegistry[] = {
+    {kDeterminismPass, RunDeterminismPass},
+    {kUnsafeBytesPass, RunUnsafeBytesPass},
+    {kCheckedArithmeticPass, RunCheckedArithmeticPass},
+};
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Options OptionsForPath(std::string_view path) {
+  Options options;
+  if (path.find("util/random.") != std::string_view::npos) {
+    options.allow_random_primitives = true;
+  }
+  if (path.find("util/bounded_reader.h") != std::string_view::npos ||
+      path.find("util/binary_io.") != std::string_view::npos) {
+    options.trusted_cursor_module = true;
+  }
+  return options;
+}
+
+const std::vector<std::string>& PassNames() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const PassEntry& entry : kRegistry) names.push_back(entry.name);
+    return names;
+  }();
+  return kNames;
+}
+
+bool IsPassName(std::string_view name) {
+  for (const PassEntry& entry : kRegistry) {
+    if (name == entry.name) return true;
+  }
+  return false;
+}
+
+LintResult LintSource(std::string_view path, std::string_view source,
+                      const std::vector<std::string>& passes,
+                      const Options& options) {
+  Lexed lexed = Tokenize(source);
+  PassContext context{std::string(path), options};
+  std::vector<Finding> raw;
+  for (const PassEntry& entry : kRegistry) {
+    if (!passes.empty() &&
+        std::find(passes.begin(), passes.end(), entry.name) == passes.end()) {
+      continue;
+    }
+    entry.run(lexed, context, &raw);
+  }
+
+  LintResult result;
+  for (auto& finding : raw) {
+    if (lexed.Suppressed(finding.line, finding.pass)) {
+      ++result.suppressed;
+    } else {
+      result.findings.push_back(std::move(finding));
+    }
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.pass != b.pass) return a.pass < b.pass;
+              return a.check < b.check;
+            });
+  return result;
+}
+
+LintResult LintSource(std::string_view path, std::string_view source) {
+  return LintSource(path, source, {}, OptionsForPath(path));
+}
+
+std::string ReportJson(size_t files_scanned,
+                       const std::vector<std::string>& passes,
+                       const LintResult& merged) {
+  std::string out = "{\"files_scanned\":" + std::to_string(files_scanned) +
+                    ",\"passes\":[";
+  const std::vector<std::string>& listed =
+      passes.empty() ? PassNames() : passes;
+  for (size_t i = 0; i < listed.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(listed[i]) + "\"";
+  }
+  out += "],\"suppressed\":" + std::to_string(merged.suppressed) +
+         ",\"findings\":[";
+  for (size_t i = 0; i < merged.findings.size(); ++i) {
+    const Finding& f = merged.findings[i];
+    if (i > 0) out += ",";
+    out += "{\"file\":\"" + JsonEscape(f.file) + "\",\"line\":" +
+           std::to_string(f.line) + ",\"pass\":\"" + JsonEscape(f.pass) +
+           "\",\"check\":\"" + JsonEscape(f.check) + "\",\"message\":\"" +
+           JsonEscape(f.message) + "\"}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace lint
+}  // namespace unidetect

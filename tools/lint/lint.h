@@ -1,0 +1,90 @@
+// Multi-pass static analyzer for the invariants the test suite cannot
+// see (DESIGN.md sections 9 and 14). One shared tokenizer (lexer.h)
+// feeds a registry of passes; each pass is a token-level pattern matcher
+// that enforces one project invariant:
+//
+//   determinism          the byte-identical-ranking contract: iteration
+//                        over unordered containers that appends to
+//                        ordered output, banned randomness sources,
+//                        pointer-keyed containers, mutable globals.
+//   unsafe-bytes         the untrusted-bytes taint rule: every byte
+//                        parsed from disk or the network is hostile, so
+//                        reinterpret_cast, memcpy and raw pointer
+//                        arithmetic over wire buffers are confined to
+//                        the allowlisted safe-cursor modules
+//                        (util/bounded_reader.h, util/binary_io.*).
+//   checked-arithmetic   the overflow rule on wire-derived integers:
+//                        lengths/offsets/counts read off the wire must
+//                        flow through CheckedAdd/CheckedMul/CheckedCast
+//                        (util/checked.h), never raw `+`/`*` or
+//                        narrowing casts.
+//
+// Escape hatch, per pass: `// NOLINT(<pass>)` on the reported line or
+// `// NOLINTNEXTLINE(<pass>)` on the line above, always with a
+// justification comment. A bare NOLINT suppresses nothing.
+//
+// The library is dependency-free (it does not link the code it lints);
+// the `unidetect_lint` driver walks directories, selects passes with
+// `--passes=`, prints findings, and writes a machine-readable JSON
+// report.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unidetect {
+namespace lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string pass;   // registry name, the NOLINT key
+  std::string check;  // specific rule within the pass
+  std::string message;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;
+  int suppressed = 0;  // findings silenced by NOLINT(<pass>)
+};
+
+struct Options {
+  /// The <random> primitives are allowed inside the one file that is
+  /// supposed to own them (src/util/random.*).
+  bool allow_random_primitives = false;
+  /// The safe-cursor modules (util/bounded_reader.h, util/binary_io.*)
+  /// own byte reinterpretation and cursor arithmetic; the unsafe-bytes
+  /// and checked-arithmetic passes do not run over them.
+  bool trusted_cursor_module = false;
+};
+
+/// \brief Per-path defaults: sets allow_random_primitives for
+/// "util/random." paths and trusted_cursor_module for the safe-cursor
+/// modules.
+Options OptionsForPath(std::string_view path);
+
+/// \brief Registered pass names, in execution order.
+const std::vector<std::string>& PassNames();
+
+/// \brief True when `name` is a registered pass.
+bool IsPassName(std::string_view name);
+
+/// \brief Lints one translation unit held in memory with the selected
+/// passes (every registered pass when `passes` is empty).
+LintResult LintSource(std::string_view path, std::string_view source,
+                      const std::vector<std::string>& passes,
+                      const Options& options);
+
+/// \brief Convenience: all passes with OptionsForPath(path).
+LintResult LintSource(std::string_view path, std::string_view source);
+
+/// \brief Serializes findings as a JSON report:
+/// {"files_scanned":N,"passes":[...],"suppressed":M,"findings":[{...}]}.
+std::string ReportJson(size_t files_scanned,
+                       const std::vector<std::string>& passes,
+                       const LintResult& merged);
+
+}  // namespace lint
+}  // namespace unidetect

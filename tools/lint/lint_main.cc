@@ -1,7 +1,10 @@
-// Driver for the determinism linter.
+// Driver for the unidetect multi-pass linter.
 //
-// Usage: determinism_lint [--json REPORT] PATH...
+// Usage: unidetect_lint [--passes=a,b] [--json REPORT] PATH...
 //   PATH       a .cc/.h file or a directory walked recursively
+//   --passes   comma-separated pass names to run (default: all).
+//              `--passes=determinism` reproduces the original
+//              determinism_lint behavior.
 //   --json     also write the machine-readable report to REPORT
 //
 // Exit code: 0 when clean, 1 when findings remain after NOLINT
@@ -15,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "lint/determinism_lint.h"
+#include "lint/lint.h"
 
 namespace {
 
@@ -42,33 +45,64 @@ bool CollectFiles(const std::string& arg, std::vector<std::string>* files) {
     files->push_back(arg);
     return true;
   }
-  std::cerr << "determinism_lint: no such file or directory: " << arg
-            << "\n";
+  std::cerr << "unidetect_lint: no such file or directory: " << arg << "\n";
   return false;
+}
+
+bool ParsePassList(const std::string& spec, std::vector<std::string>* passes) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string name = spec.substr(start, comma - start);
+    if (!name.empty()) {
+      if (!unidetect::lint::IsPassName(name)) {
+        std::cerr << "unidetect_lint: unknown pass '" << name
+                  << "'; known passes:";
+        for (const std::string& known : unidetect::lint::PassNames()) {
+          std::cerr << " " << known;
+        }
+        std::cerr << "\n";
+        return false;
+      }
+      passes->push_back(name);
+    }
+    start = comma + 1;
+  }
+  if (passes->empty()) {
+    std::cerr << "unidetect_lint: --passes needs at least one pass name\n";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::vector<std::string> passes;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       if (i + 1 >= argc) {
-        std::cerr << "determinism_lint: --json needs a path\n";
+        std::cerr << "unidetect_lint: --json needs a path\n";
         return 2;
       }
       json_path = argv[++i];
+    } else if (arg.rfind("--passes=", 0) == 0) {
+      if (!ParsePassList(arg.substr(9), &passes)) return 2;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: determinism_lint [--json REPORT] PATH...\n";
+      std::cout << "usage: unidetect_lint [--passes=a,b] [--json REPORT] "
+                   "PATH...\n";
       return 0;
     } else {
       if (!CollectFiles(arg, &files)) return 2;
     }
   }
   if (files.empty()) {
-    std::cerr << "usage: determinism_lint [--json REPORT] PATH...\n";
+    std::cerr << "usage: unidetect_lint [--passes=a,b] [--json REPORT] "
+                 "PATH...\n";
     return 2;
   }
   std::sort(files.begin(), files.end());
@@ -77,12 +111,13 @@ int main(int argc, char** argv) {
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
-      std::cerr << "determinism_lint: cannot read " << file << "\n";
+      std::cerr << "unidetect_lint: cannot read " << file << "\n";
       return 2;
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    auto result = unidetect::lint::LintSource(file, buffer.str());
+    auto result = unidetect::lint::LintSource(
+        file, buffer.str(), passes, unidetect::lint::OptionsForPath(file));
     merged.suppressed += result.suppressed;
     for (auto& finding : result.findings) {
       merged.findings.push_back(std::move(finding));
@@ -90,20 +125,20 @@ int main(int argc, char** argv) {
   }
 
   for (const auto& f : merged.findings) {
-    std::cerr << f.file << ":" << f.line << ": [" << f.check << "] "
-              << f.message << "\n";
+    std::cerr << f.file << ":" << f.line << ": [" << f.pass << "/" << f.check
+              << "] " << f.message << "\n";
   }
   const std::string report =
-      unidetect::lint::ReportJson(files.size(), merged);
+      unidetect::lint::ReportJson(files.size(), passes, merged);
   if (!json_path.empty()) {
     std::ofstream out(json_path, std::ios::binary);
     if (!out) {
-      std::cerr << "determinism_lint: cannot write " << json_path << "\n";
+      std::cerr << "unidetect_lint: cannot write " << json_path << "\n";
       return 2;
     }
     out << report;
   }
-  std::cerr << "determinism_lint: " << files.size() << " files, "
+  std::cerr << "unidetect_lint: " << files.size() << " files, "
             << merged.findings.size() << " findings, " << merged.suppressed
             << " suppressed\n";
   return merged.findings.empty() ? 0 : 1;

@@ -1,0 +1,36 @@
+// Internal pass interface of the lint library. Each pass is a free
+// function over the shared token stream; lint.cc owns the registry that
+// maps pass names to these functions and applies NOLINT suppression to
+// whatever they emit (passes emit unconditionally).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/lint.h"
+
+namespace unidetect {
+namespace lint {
+
+struct PassContext {
+  std::string file;
+  Options options;
+};
+
+// Pass names are the NOLINT keys; keep them in sync with lint.cc's
+// registry and the documentation in lint.h.
+inline constexpr const char* kDeterminismPass = "determinism";
+inline constexpr const char* kUnsafeBytesPass = "unsafe-bytes";
+inline constexpr const char* kCheckedArithmeticPass = "checked-arithmetic";
+
+void RunDeterminismPass(const Lexed& lexed, const PassContext& context,
+                        std::vector<Finding>* findings);
+void RunUnsafeBytesPass(const Lexed& lexed, const PassContext& context,
+                        std::vector<Finding>* findings);
+void RunCheckedArithmeticPass(const Lexed& lexed, const PassContext& context,
+                              std::vector<Finding>* findings);
+
+}  // namespace lint
+}  // namespace unidetect

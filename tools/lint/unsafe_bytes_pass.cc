@@ -1,0 +1,108 @@
+// The unsafe-bytes pass: confines raw byte reinterpretation to the
+// safe-cursor modules. Every byte that reaches a decoder came off disk
+// or the wire and is hostile until validated (DESIGN.md section 14), so
+// outside util/bounded_reader.h and util/binary_io.* this pass flags:
+//
+//   wire-reinterpret     any reinterpret_cast. Type-punning a wire
+//                        buffer without a bounds+alignment check is the
+//                        canonical overlay-read bug; casts with trusted
+//                        in-memory sources (SIMD lane loads, encoder
+//                        appends) take NOLINT(unsafe-bytes) plus a
+//                        justification.
+//   wire-memcpy          memcpy/memmove calls. Copies out of a wire
+//                        buffer belong behind BoundedReader::CopyArray,
+//                        which pairs the copy with its bounds check.
+//   wire-pointer-arith   indexing or offsetting an identifier that was
+//                        initialized from a reinterpret_cast. A wire
+//                        overlay needs the cast to exist at all, so
+//                        flagging the cast plus arithmetic on its result
+//                        covers overlay walking; plain `.data() + n` on
+//                        owned containers (SIMD kernels, from_chars) is
+//                        deliberately NOT flagged — wire offsets feeding
+//                        such arithmetic are caught by the
+//                        checked-arithmetic taint pass instead.
+//
+// The pass is deliberately coarse: it does not try to prove a source is
+// untrusted, it asserts that untrusted-capable primitives live in one
+// audited place. False positives are expected to be rare and explicit
+// (NOLINT with a reason), not silently tolerated.
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/passes.h"
+
+namespace unidetect {
+namespace lint {
+
+namespace {
+
+// Identifiers on the left of `= reinterpret_cast<...>` — later pointer
+// arithmetic on these is flagged even without a visible `.data()`.
+std::unordered_set<std::string> CollectReinterpretedNames(
+    const std::vector<Tok>& t) {
+  std::unordered_set<std::string> names;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(IsIdent(t, i) && t[i].text == "reinterpret_cast")) continue;
+    // Walk left past `=`, collecting the assigned identifier.
+    if (i >= 2 && TokIs(t, i - 1, "=") && IsIdent(t, i - 2)) {
+      names.insert(t[i - 2].text);
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+void RunUnsafeBytesPass(const Lexed& lexed, const PassContext& context,
+                        std::vector<Finding>* findings) {
+  if (context.options.trusted_cursor_module) return;
+  const std::vector<Tok>& t = lexed.toks;
+  auto emit = [&](int line, const char* check, std::string message) {
+    findings->push_back(
+        {context.file, line, kUnsafeBytesPass, check, std::move(message)});
+  };
+
+  const std::unordered_set<std::string> reinterpreted =
+      CollectReinterpretedNames(t);
+
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdent(t, i)) continue;
+    const std::string& name = t[i].text;
+
+    if (name == "reinterpret_cast") {
+      emit(t[i].line, "wire-reinterpret",
+           "reinterpret_cast outside the safe-cursor modules; route wire "
+           "bytes through BoundedReader::Overlay / CopyArray "
+           "(util/bounded_reader.h) or NOLINT(unsafe-bytes) with a "
+           "justification for trusted in-memory sources");
+      continue;
+    }
+
+    if (name == "memcpy" || name == "memmove") {
+      // Only calls; `&memcpy` or declarations are not interesting and do
+      // not occur in this codebase anyway.
+      if (!TokIs(t, i + 1, "(")) continue;
+      emit(t[i].line, "wire-memcpy",
+           "raw " + name + " outside the safe-cursor modules; copies out "
+           "of wire buffers belong behind BoundedReader::CopyArray, which "
+           "pairs the copy with its bounds check");
+      continue;
+    }
+
+    // Arithmetic on a pointer that came from a reinterpret_cast.
+    if (reinterpreted.count(name) &&
+        (TokIs(t, i + 1, "+") || TokIs(t, i + 1, "+=") ||
+         TokIs(t, i + 1, "["))) {
+      emit(t[i].line, "wire-pointer-arith",
+           "arithmetic on '" + name + "', a reinterpret_cast-derived "
+           "pointer; index through a bounds-checked span instead");
+      continue;
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace unidetect
