@@ -17,13 +17,16 @@
 #include "corpus/generator.h"
 #include "detect/unidetect.h"
 #include "learn/candidates.h"
+#include "learn/model_stack.h"
 #include "learn/subset_stats.h"
 #include "learn/trainer.h"
 #include "metrics/edit_distance.h"
 #include "metrics/metric_functions.h"
+#include "model_format/delta_snapshot.h"
 #include "model_format/model_snapshot.h"
 #include "model_format/model_view.h"
 #include "model_format/snapshot_v2.h"
+#include "offline/compactor.h"
 #include "offline/offline_build.h"
 #include "serving/detection_service.h"
 #include "util/binary_io.h"
@@ -557,6 +560,132 @@ void BM_OfflineMerge(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OfflineMerge)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// Layered base+delta serving (DESIGN.md section 15). Fixtures: one
+// synthetic base and a chain of small deltas linked by artifact id, so
+// the benches exercise exactly the manifest checks ApplyDelta runs in
+// production.
+
+struct DeltaChainFixture {
+  std::string base_path;
+  std::vector<std::string> delta_paths;
+};
+
+const DeltaChainFixture& BenchDeltaChain(size_t num_deltas) {
+  static auto* const cache = new std::map<size_t, DeltaChainFixture>();
+  auto it = cache->find(num_deltas);
+  if (it != cache->end()) return it->second;
+  const std::string tmp = std::filesystem::temp_directory_path().string();
+  DeltaChainFixture f;
+  const std::string base_bytes =
+      EncodeModelSnapshotV2(BuildSyntheticModel(400000));
+  f.base_path = tmp + "/unidetect_bench_delta_base.udsnap";
+  UNIDETECT_CHECK(WriteStringToFile(f.base_path, base_bytes).ok());
+  const uint64_t base_id = *SnapshotArtifactId(base_bytes);
+  uint64_t parent_id = base_id;
+  const Model delta_model = BuildSyntheticModel(20000);
+  for (size_t i = 0; i < num_deltas; ++i) {
+    DeltaManifest manifest;
+    manifest.base_id = base_id;
+    manifest.parent_id = parent_id;
+    manifest.depth = i + 1;
+    const std::string bytes = EncodeModelSnapshotV2(
+        delta_model, ObservationEncoding::kF32, &manifest);
+    const std::string path = tmp + "/unidetect_bench_delta_" +
+                             std::to_string(num_deltas) + "_" +
+                             std::to_string(i) + ".udsnap";
+    UNIDETECT_CHECK(WriteStringToFile(path, bytes).ok());
+    parent_id = *SnapshotArtifactId(bytes);
+    f.delta_paths.push_back(path);
+  }
+  return cache->emplace(num_deltas, std::move(f)).first->second;
+}
+
+// Incremental publish latency: DetectionService::ApplyDelta end to end
+// (identity read, manifest chain validation, mmap open, engine
+// construction, pointer swap). The acceptance bound: within ~10x of the
+// BM_ReloadLatency v2 floor — a delta publish is a Reload plus one
+// chain check, never a full-model decode.
+void BM_ApplyDelta(benchmark::State& state) {
+  const DeltaChainFixture& f = BenchDeltaChain(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto service = DetectionService::Create(f.base_path);
+    UNIDETECT_CHECK(service.ok());
+    state.ResumeTiming();
+    UNIDETECT_CHECK((*service)->ApplyDelta(f.delta_paths[0]).ok());
+  }
+}
+BENCHMARK(BM_ApplyDelta)->Unit(benchmark::kMicrosecond);
+
+// LR query through a K-layer stack: the read-side overlay sums counts
+// across layers, so cost should grow linearly in resident layers and
+// K=0 must match the flat-model numbers (the stack adds one indirection,
+// not a merge).
+void BM_LrQueryLayered(benchmark::State& state) {
+  static auto* const layer_cache =
+      new std::map<int64_t, std::shared_ptr<const ModelStack>>();
+  auto it = layer_cache->find(state.range(0));
+  if (it == layer_cache->end()) {
+    std::vector<std::shared_ptr<const Model>> layers;
+    layers.push_back(
+        std::make_shared<const Model>(BuildSyntheticModel(400000)));
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      layers.push_back(
+          std::make_shared<const Model>(BuildSyntheticModel(20000)));
+    }
+    it = layer_cache
+             ->emplace(state.range(0),
+                       std::make_shared<const ModelStack>(std::move(layers)))
+             .first;
+  }
+  const ModelStack& stack = *it->second;
+  Rng rng(43);
+  std::vector<double> thetas(256);
+  for (auto& t : thetas) t = rng.Uniform(0, 1000);
+  size_t i = 0;
+  for (auto _ : state) {
+    const double t2 = thetas[i % thetas.size()];
+    const double t1 = t2 / 2;
+    const FeatureKey key{static_cast<uint64_t>(i % 16)};
+    ++i;
+    benchmark::DoNotOptimize(
+        stack.LikelihoodRatio(ErrorClass::kSpelling, key, t1, t2));
+  }
+}
+BENCHMARK(BM_LrQueryLayered)
+    ->ArgName("K")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(5)
+    ->Unit(benchmark::kMicrosecond);
+
+// Full compaction cycle: fold base+deltas with Model::Merge, encode,
+// write, CAS-swap the service onto the fresh base (Compactor::
+// CompactOnce). Dominated by the fold + encode, so it amortizes across
+// however many deltas accumulated since the last cycle.
+void BM_Compact(benchmark::State& state) {
+  const DeltaChainFixture& f =
+      BenchDeltaChain(static_cast<size_t>(state.range(0)));
+  CompactorOptions options;
+  options.output_path = std::filesystem::temp_directory_path().string() +
+                        "/unidetect_bench_compacted.udsnap";
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto service = DetectionService::Create(f.base_path);
+    UNIDETECT_CHECK(service.ok());
+    for (const std::string& path : f.delta_paths) {
+      UNIDETECT_CHECK((*service)->ApplyDelta(path).ok());
+    }
+    Compactor compactor(service->get(), options);
+    state.ResumeTiming();
+    auto compacted = compactor.CompactOnce();
+    UNIDETECT_CHECK(compacted.ok() && *compacted);
+  }
+}
+BENCHMARK(BM_Compact)->ArgName("K")->Arg(2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace unidetect

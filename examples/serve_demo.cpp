@@ -3,8 +3,10 @@
 // detection requests (the repeated batch is served from the cache),
 // hot-swap the model with Reload() while requests keep flowing, rebuild
 // the model through the sharded offline pipeline (plan -> build ->
-// merge) and hot-swap the merged snapshot in, and print the service
-// counters including the cache hit/miss/eviction numbers.
+// merge) and hot-swap the merged snapshot in, publish an incremental
+// delta with ApplyDelta() and fold it away with the compactor, and
+// print the service counters including the cache hit/miss/eviction
+// numbers and the delta-chain gauges.
 // Without a model path it trains a small model first (and saves it as a
 // binary snapshot) so the demo is self-contained.
 //
@@ -20,6 +22,8 @@
 #include "corpus/generator.h"
 #include "eval/injection.h"
 #include "learn/trainer.h"
+#include "offline/compactor.h"
+#include "offline/delta_build.h"
 #include "offline/offline_build.h"
 #include "serving/detection_service.h"
 #include "util/logging.h"
@@ -132,6 +136,63 @@ int main(int argc, char** argv) {
       "Offline rebuild (4 shards) merged and reloaded -> generation %llu\n",
       static_cast<unsigned long long>((*service)->generation()));
 
+  // Incremental learning (DESIGN.md section 15): when new shards arrive,
+  // train a small delta over only them, publish it with ApplyDelta (a
+  // chain-hash check plus a pointer swap — microseconds, not a rebuild),
+  // then fold the chain back into a fresh base with the compactor.
+  const std::string delta_dir = path + ".delta_corpus";
+  const std::string delta_path = path + ".delta1.udsnap";
+  std::filesystem::remove_all(delta_dir);
+  Status delta_status = SaveCorpusToDirectory(
+      GenerateCorpus(WebCorpusSpec(40, 23)).corpus, delta_dir);
+  if (delta_status.ok()) {
+    DeltaBuildSpec spec;
+    spec.base_path = path;
+    spec.input_dirs = {delta_dir};
+    spec.out_path = delta_path;
+    delta_status = BuildDeltaSnapshot(spec).status();
+  }
+  if (delta_status.ok()) delta_status = (*service)->ApplyDelta(delta_path);
+  if (!delta_status.ok()) {
+    std::fprintf(stderr, "delta: %s\n", delta_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("Delta trained over 40 new tables and applied -> "
+              "generation %llu, %zu layers\n",
+              static_cast<unsigned long long>((*service)->generation()),
+              (*service)->Layers().paths.size());
+
+  // The layered service answers byte-identically to the merged fold;
+  // the warm cache entries from the pre-delta generation self-invalidate
+  // (the generation is part of the cache key), so this batch re-detects.
+  const DetectionService::BatchResult layered =
+      (*service)->DetectBatch(requests.corpus.tables, nullptr,
+                              /*num_threads=*/0);
+  size_t layered_total = 0;
+  for (const auto& findings : layered.per_table) {
+    layered_total += findings.size();
+  }
+  std::printf("Batch over base+delta -> %zu findings (generation %llu)\n",
+              layered_total,
+              static_cast<unsigned long long>(layered.generation));
+
+  // Compact: fold base+delta into a fresh base (bit-identical to the
+  // offline Model::Merge fold) and swap it in via the generation CAS.
+  // In deployment Compactor::Start() runs this loop in the background.
+  CompactorOptions compact_options;
+  compact_options.output_path = path + ".compacted.udsnap";
+  Compactor compactor(service->get(), compact_options);
+  const auto compacted = compactor.CompactOnce();
+  if (!compacted.ok()) {
+    std::fprintf(stderr, "compact: %s\n",
+                 compacted.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Compacted %s -> generation %llu, back to %zu layer(s)\n",
+              compact_options.output_path.c_str(),
+              static_cast<unsigned long long>((*service)->generation()),
+              (*service)->Layers().paths.size());
+
   const ServiceStats stats = (*service)->Stats();
   std::printf("Stats: %llu requests, %llu tables, %llu findings, "
               "%llu reloads, p50 < %.0fus, p99 < %.0fus\n",
@@ -154,5 +215,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.cache_entries),
               static_cast<unsigned long long>(stats.cache_resident_bytes),
               static_cast<unsigned long long>(stats.cache_evictions));
+  std::printf("Delta chain: %llu resident delta layers, %llu delta bytes, "
+              "%llu deltas applied, %llu compactions\n",
+              static_cast<unsigned long long>(stats.delta_layers),
+              static_cast<unsigned long long>(stats.delta_resident_bytes),
+              static_cast<unsigned long long>(stats.applied_deltas),
+              static_cast<unsigned long long>(stats.compactions));
   return 0;
 }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the hot-path microbenchmarks and records the numbers that back the
-# performance claims in BENCH_PR6.json at the repo root: the PR 1 pairs
+# performance claims in BENCH_PR8.json at the repo root: the PR 1 pairs
 # (single-pass MPD closest pair vs the three-scan reference,
 # merge-sort-tree LR counting vs the linear scan), the PR 3 pairs
 # (binary snapshot vs legacy text cold model load, DetectBatch
@@ -11,7 +11,10 @@
 # v1 vs mapped v2 storage), and the PR 6 pairs (BM_CountSurprising
 # with the SIMD kernels on vs forced scalar, BM_DetectBatchWarmCache
 # vs the cold BM_DetectBatch, BM_LrQueryLoadedModel over f16 vs f32
-# observation sections). Each optimized path and its baseline live in
+# observation sections), and the PR 8 layered-serving sweep
+# (BM_ApplyDelta incremental publish vs the BM_ReloadLatency v2 floor,
+# BM_LrQueryLayered at K = 0/1/2/5 resident delta layers, BM_Compact
+# fold-and-swap cost). Each optimized path and its baseline live in
 # the same binary, so one run captures both sides.
 #
 # Usage: scripts/bench_perf.sh [extra benchmark args...]
@@ -29,10 +32,10 @@ fi
 ctest --test-dir build -L 'perf|offline' --output-on-failure
 
 build/bench/bench_perf \
-  --benchmark_filter='BM_(MpdProfile|MpdProfileReference|LrQuery|LrQueryLinear|LrQueryLoadedModel|CountSurprising|BoundedEditDistance|EditDistance|LikelihoodRatioLookup|ModelLoadBinary|ModelLoadText|ModelLoadV2|ReloadLatency|DetectBatch|DetectBatchWarmCache|OfflineBuild|OfflineMerge)' \
+  --benchmark_filter='BM_(MpdProfile|MpdProfileReference|LrQuery|LrQueryLinear|LrQueryLoadedModel|LrQueryLayered|CountSurprising|BoundedEditDistance|EditDistance|LikelihoodRatioLookup|ModelLoadBinary|ModelLoadText|ModelLoadV2|ReloadLatency|ApplyDelta|Compact|DetectBatch|DetectBatchWarmCache|OfflineBuild|OfflineMerge)' \
   --benchmark_format=json \
-  --benchmark_out=BENCH_PR6.json \
+  --benchmark_out=BENCH_PR8.json \
   --benchmark_out_format=json \
   "$@"
 
-echo "Wrote $(pwd)/BENCH_PR6.json"
+echo "Wrote $(pwd)/BENCH_PR8.json"

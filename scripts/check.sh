@@ -8,7 +8,8 @@
 #   asan-ubsan  address+UB sanitizer build + full test suite
 #   tsan        ThreadSanitizer build + the multithreaded
 #               DetectCorpus / ThreadPool / parallel-load tests and the
-#               DetectionService Reload-under-DetectBatch race
+#               DetectionService Reload/ApplyDelta-under-DetectBatch
+#               races plus the background compactor loop
 #   lint        -Wall -Wextra -Werror build + the unidetect_lint gate
 #               (all passes: determinism, unsafe-bytes,
 #               checked-arithmetic; report in build-lint/lint_report.json)
@@ -29,9 +30,14 @@ run_preset() {
 run_preset release
 # Fast fail on the offline pipeline slice (sharded-vs-single-shot
 # equivalence, crash-resume) before the full suite, then the seeded
-# snapshot fuzz smoke (never-crash contract on mutated snapshots).
+# snapshot fuzz smoke (never-crash contract on mutated snapshots), then
+# the delta equivalence suite (base+K deltas byte-identical to the
+# Model::Merge fold at every K, through the stack, the service, and the
+# compactor).
 ctest --preset offline
 ctest --preset fuzz
+ctest --test-dir build-release --output-on-failure \
+  -R 'ModelStack|DeltaSnapshot|ApplyDelta|Compactor'
 ctest --preset release
 # Scalar-fallback leg: UNIDETECT_DISABLE_SIMD forces every vector
 # kernel onto its scalar path; re-run the suites that exercise them so

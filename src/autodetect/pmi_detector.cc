@@ -182,12 +182,41 @@ uint64_t PatternIndex::CoOccurrenceCount(const std::string& a,
 }
 
 double PatternIndex::Pmi(const std::string& a, const std::string& b) const {
-  if (num_columns_ == 0) return 0.0;
+  return PatternPrevalence(*this).Pmi(a, b);
+}
+
+uint64_t PatternPrevalence::num_columns() const {
+  uint64_t total = 0;
+  for (const PatternIndex* layer : layers_) total += layer->num_columns();
+  return total;
+}
+
+uint64_t PatternPrevalence::PatternCount(const std::string& pattern) const {
+  uint64_t total = 0;
+  for (const PatternIndex* layer : layers_) total += layer->PatternCount(pattern);
+  return total;
+}
+
+uint64_t PatternPrevalence::CoOccurrenceCount(const std::string& a,
+                                              const std::string& b) const {
+  uint64_t total = 0;
+  for (const PatternIndex* layer : layers_) {
+    total += layer->CoOccurrenceCount(a, b);
+  }
+  return total;
+}
+
+double PatternPrevalence::Pmi(const std::string& a,
+                              const std::string& b) const {
+  // Integer counts are summed over layers *before* any conversion to
+  // double, so the layered answer is byte-identical to the merged one.
+  const uint64_t columns = num_columns();
+  if (columns == 0) return 0.0;
   const double n_a = static_cast<double>(PatternCount(a));
   const double n_b = static_cast<double>(PatternCount(b));
   if (n_a <= 0.0 || n_b <= 0.0) return 0.0;  // unseen: no evidence
   const double n_ab = static_cast<double>(CoOccurrenceCount(a, b)) + 0.5;
-  const double n = static_cast<double>(num_columns_);
+  const double n = static_cast<double>(columns);
   return std::log(n_ab * n / (n_a * n_b));
 }
 
@@ -225,14 +254,14 @@ void PmiDetector::Detect(const Table& table, std::vector<Finding>* out) const {
       // Only clear minorities are error candidates.
       if (rows.size() * 5 > dominant_rows) continue;
       double pmi = 0.0;
-      if (index_->PatternCount(pattern) == 0) {
+      if (index_.PatternCount(pattern) == 0) {
         // A pattern the corpus has never seen, inside a column whose
         // dominant pattern is well established, is maximally alien; the
         // more established the dominant, the more surprising.
         pmi = -std::log(
-            1.0 + static_cast<double>(index_->PatternCount(*dominant)));
+            1.0 + static_cast<double>(index_.PatternCount(*dominant)));
       } else {
-        pmi = index_->Pmi(*dominant, pattern);
+        pmi = index_.Pmi(*dominant, pattern);
         if (pmi == 0.0) continue;  // dominant itself unseen: no evidence
       }
       if (pmi >= pmi_threshold_) continue;
@@ -260,7 +289,7 @@ void RegisterPatternDetector(DetectorRegistry* registry) {
       ErrorClass::kPattern, /*enabled_by_default=*/false,
       [](const DetectorContext& context) -> std::unique_ptr<Detector> {
         return std::make_unique<PmiDetector>(
-            &context.model->pattern_index(),
+            context.model->pattern_prevalence(),
             context.options->pattern_pmi_threshold);
       });
   UNIDETECT_CHECK(st.ok());

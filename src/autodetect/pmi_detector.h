@@ -12,6 +12,8 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "corpus/corpus.h"
 #include "detect/detector.h"
@@ -75,6 +77,8 @@ class PatternIndex {
 
   /// \brief PMI(a, b) = log(n_ab * N / (n_a * n_b)) with +0.5 smoothing
   /// on the co-occurrence count; strongly negative = incompatible.
+  /// Delegates to a single-layer PatternPrevalence so the layered and
+  /// flat query paths share one arithmetic.
   double Pmi(const std::string& a, const std::string& b) const;
 
  private:
@@ -85,22 +89,54 @@ class PatternIndex {
   uint64_t num_columns_ = 0;
 };
 
+/// \brief Read-side overlay over one or more PatternIndex layers (base
+/// snapshot plus applied deltas — learn/model_stack.h). Every count is
+/// additive across layers, and the PMI formula runs over the *summed*
+/// integer counts, so a layered view answers byte-identically to the
+/// Model::Merge fold of its layers. Layers are borrowed and must
+/// outlive the view.
+class PatternPrevalence {
+ public:
+  /// Single-layer view (implicit: an index is its own prevalence).
+  PatternPrevalence(const PatternIndex& index)  // NOLINT(google-explicit-*)
+      : layers_{&index} {}
+
+  /// Layered view, base first. Sums are commutative, so layer order
+  /// never changes an answer.
+  explicit PatternPrevalence(std::vector<const PatternIndex*> layers)
+      : layers_(std::move(layers)) {}
+
+  size_t num_layers() const { return layers_.size(); }
+
+  uint64_t num_columns() const;
+  uint64_t PatternCount(const std::string& pattern) const;
+  uint64_t CoOccurrenceCount(const std::string& a, const std::string& b) const;
+
+  /// \brief The PMI of PatternIndex::Pmi, computed over summed counts.
+  double Pmi(const std::string& a, const std::string& b) const;
+
+ private:
+  std::vector<const PatternIndex*> layers_;
+};
+
 /// \brief Flags columns mixing pattern pairs with strongly negative PMI
 /// ("2001-Jan-01" among "2001-01-01"s). The minority pattern's rows are
 /// the suspected cells.
 class PmiDetector : public Detector {
  public:
-  /// `index` must outlive the detector; pairs with PMI above
-  /// `pmi_threshold` are considered compatible.
-  explicit PmiDetector(const PatternIndex* index, double pmi_threshold = -2.0)
-      : index_(index), pmi_threshold_(pmi_threshold) {}
+  /// The layers behind `index` must outlive the detector; pairs with
+  /// PMI above `pmi_threshold` are considered compatible. A plain
+  /// `&pattern_index` still works through PatternPrevalence's implicit
+  /// single-layer conversion.
+  explicit PmiDetector(PatternPrevalence index, double pmi_threshold = -2.0)
+      : index_(std::move(index)), pmi_threshold_(pmi_threshold) {}
 
   ErrorClass error_class() const override { return ErrorClass::kPattern; }
 
   void Detect(const Table& table, std::vector<Finding>* out) const override;
 
  private:
-  const PatternIndex* index_;
+  PatternPrevalence index_;
   double pmi_threshold_;
 };
 

@@ -24,14 +24,16 @@
 namespace unidetect {
 
 class Dictionary;
-class Model;
+class ModelStack;
 struct UniDetectOptions;
 
 /// \brief Everything a detector factory may consult at construction
 /// time. Pointers are non-owning; `dictionary` is null unless the
-/// facade built one (UniDetectOptions::use_dictionary).
+/// facade built one (UniDetectOptions::use_dictionary). `model` is the
+/// layered serving stack (learn/model_stack.h) — a single flat Model
+/// reaches detectors as a one-layer stack via ModelStack::Borrow.
 struct DetectorContext {
-  const Model* model = nullptr;
+  const ModelStack* model = nullptr;
   const Dictionary* dictionary = nullptr;
   const UniDetectOptions* options = nullptr;
 };

@@ -18,8 +18,13 @@ bool IsAlphabetic(std::string_view token) {
 
 Dictionary Dictionary::FromTokenIndex(const TokenIndex& index,
                                       uint64_t min_table_count) {
+  return FromTokenPrevalence(TokenPrevalence(index), min_table_count);
+}
+
+Dictionary Dictionary::FromTokenPrevalence(const TokenPrevalence& prevalence,
+                                           uint64_t min_table_count) {
   Dictionary dict;
-  index.ForEachToken([&](std::string_view token, uint64_t count) {
+  prevalence.ForEachMergedToken([&](std::string_view token, uint64_t count) {
     if (count >= min_table_count && token.size() >= 3 &&
         IsAlphabetic(token)) {
       dict.words_.insert(std::string(token));

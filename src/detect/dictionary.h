@@ -29,6 +29,12 @@ class Dictionary {
   static Dictionary FromTokenIndex(const TokenIndex& index,
                                    uint64_t min_table_count = 20);
 
+  /// \brief Same, over a (possibly layered) prevalence view — counts are
+  /// summed across layers before the threshold test, so a base+deltas
+  /// stack admits exactly the words its Model::Merge fold would.
+  static Dictionary FromTokenPrevalence(const TokenPrevalence& prevalence,
+                                        uint64_t min_table_count = 20);
+
   /// \brief Adds one word explicitly (tests, custom word lists).
   void AddWord(std::string_view word);
 

@@ -19,7 +19,8 @@ void FdDetector::Detect(const Table& table, std::vector<Finding>* out) const {
       if (pairs >= max_pairs_per_table_) return;
       ++pairs;
       const FdCandidate cand = ExtractFdCandidate(
-          table.column(l), table.column(r), model_->token_index(), options);
+          table.column(l), table.column(r), model_->token_prevalence(),
+          options);
       if (!cand.valid || cand.dropped_rows.empty()) continue;
       // Same reasoning as the uniqueness detector: an FD candidate is
       // only credible when dropping the suspected rows makes the

@@ -5,7 +5,7 @@
 #include <cstddef>
 
 #include "detect/detector.h"
-#include "learn/model.h"
+#include "learn/model_stack.h"
 
 namespace unidetect {
 
@@ -16,7 +16,7 @@ class DetectorRegistry;
 class FdDetector : public Detector {
  public:
   /// `model` must outlive the detector.
-  explicit FdDetector(const Model* model, size_t max_pairs_per_table = 30)
+  explicit FdDetector(const ModelStack* model, size_t max_pairs_per_table = 30)
       : model_(model), max_pairs_per_table_(max_pairs_per_table) {}
 
   ErrorClass error_class() const override { return ErrorClass::kFd; }
@@ -24,7 +24,7 @@ class FdDetector : public Detector {
   void Detect(const Table& table, std::vector<Finding>* out) const override;
 
  private:
-  const Model* model_;
+  const ModelStack* model_;
   size_t max_pairs_per_table_;
 };
 

@@ -3,7 +3,7 @@
 #pragma once
 
 #include "detect/detector.h"
-#include "learn/model.h"
+#include "learn/model_stack.h"
 
 namespace unidetect {
 
@@ -14,14 +14,14 @@ class DetectorRegistry;
 class OutlierDetector : public Detector {
  public:
   /// `model` must outlive the detector.
-  explicit OutlierDetector(const Model* model) : model_(model) {}
+  explicit OutlierDetector(const ModelStack* model) : model_(model) {}
 
   ErrorClass error_class() const override { return ErrorClass::kOutlier; }
 
   void Detect(const Table& table, std::vector<Finding>* out) const override;
 
  private:
-  const Model* model_;
+  const ModelStack* model_;
 };
 
 /// \brief Registers the outlier detector (enabled by default).

@@ -5,7 +5,7 @@
 
 #include "detect/detector.h"
 #include "detect/dictionary.h"
-#include "learn/model.h"
+#include "learn/model_stack.h"
 
 namespace unidetect {
 
@@ -18,7 +18,7 @@ class SpellingDetector : public Detector {
   /// `model` (and `dictionary`, if given) must outlive the detector.
   /// With a dictionary, findings whose pair values are both entirely
   /// made of known words are suppressed (the UNIDETECT+Dict variant).
-  explicit SpellingDetector(const Model* model,
+  explicit SpellingDetector(const ModelStack* model,
                             const Dictionary* dictionary = nullptr)
       : model_(model), dictionary_(dictionary) {}
 
@@ -27,7 +27,7 @@ class SpellingDetector : public Detector {
   void Detect(const Table& table, std::vector<Finding>* out) const override;
 
  private:
-  const Model* model_;
+  const ModelStack* model_;
   const Dictionary* dictionary_;
 };
 

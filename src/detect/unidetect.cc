@@ -22,14 +22,20 @@ struct ProgressState {
 
 UniDetect::UniDetect(const Model* model, UniDetectOptions options,
                      const DetectorRegistry* registry)
-    : model_(model), options_(std::move(options)) {
+    : UniDetect(std::make_shared<const ModelStack>(ModelStack::Borrow(model)),
+                std::move(options), registry) {}
+
+UniDetect::UniDetect(std::shared_ptr<const ModelStack> stack,
+                     UniDetectOptions options, const DetectorRegistry* registry)
+    : stack_(std::move(stack)), options_(std::move(options)) {
   if (options_.use_dictionary) {
-    dictionary_ = std::make_unique<Dictionary>(Dictionary::FromTokenIndex(
-        model_->token_index(), options_.dictionary_min_table_count));
+    dictionary_ =
+        std::make_unique<Dictionary>(Dictionary::FromTokenPrevalence(
+            stack_->token_prevalence(), options_.dictionary_min_table_count));
   }
   const DetectorRegistry& reg =
       registry != nullptr ? *registry : DetectorRegistry::Builtin();
-  const DetectorContext context{model_, dictionary_.get(), &options_};
+  const DetectorContext context{stack_.get(), dictionary_.get(), &options_};
   for (ErrorClass cls : reg.Classes()) {
     if (!options_.detects(cls)) continue;
     detectors_.push_back(reg.Create(cls, context));

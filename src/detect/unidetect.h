@@ -13,6 +13,7 @@
 #include "detect/detector.h"
 #include "detect/dictionary.h"
 #include "learn/model.h"
+#include "learn/model_stack.h"
 
 namespace unidetect {
 
@@ -74,10 +75,20 @@ struct UniDetectOptions {
 /// scans) applies FDR control.
 class UniDetect {
  public:
-  /// `model` must outlive the UniDetect instance. Detectors for the
+  /// `model` must outlive the UniDetect instance (wrapped in a
+  /// single-layer borrowed ModelStack internally). Detectors for the
   /// enabled classes come from `registry` (the built-in registry when
   /// null); `registry` is only consulted during construction.
   UniDetect(const Model* model, UniDetectOptions options = {},
+            const DetectorRegistry* registry = nullptr);
+
+  /// \brief Layered construction: detects against `stack` (base plus
+  /// applied deltas). The shared_ptr keeps every layer's snapshot
+  /// backing mapped for the detector's lifetime; answers are
+  /// byte-identical to detecting against the Model::Merge fold of the
+  /// stack's layers.
+  UniDetect(std::shared_ptr<const ModelStack> stack,
+            UniDetectOptions options = {},
             const DetectorRegistry* registry = nullptr);
 
   /// \brief All findings in one table, ranked most-confident first.
@@ -94,7 +105,10 @@ class UniDetect {
   const Dictionary* dictionary() const { return dictionary_.get(); }
 
  private:
-  const Model* model_;
+  // shared_ptr gives the stack a stable address across moves of this
+  // facade (detectors hold raw pointers into it) and keeps delta layers
+  // alive while any detector can still query them.
+  std::shared_ptr<const ModelStack> stack_;
   UniDetectOptions options_;
   std::unique_ptr<Dictionary> dictionary_;
   std::vector<std::unique_ptr<Detector>> detectors_;

@@ -15,7 +15,7 @@ void UniquenessDetector::Detect(const Table& table,
   for (size_t c = 0; c < table.num_columns(); ++c) {
     const Column& column = table.column(c);
     const UniquenessCandidate cand = ExtractUniquenessCandidate(
-        column, c, model_->token_index(), options);
+        column, c, model_->token_prevalence(), options);
     if (!cand.valid || cand.dropped_rows.empty()) continue;
     // A uniqueness violation is only meaningful when removing the
     // suspected duplicates restores an exact uniqueness constraint

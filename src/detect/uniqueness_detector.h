@@ -3,7 +3,7 @@
 #pragma once
 
 #include "detect/detector.h"
-#include "learn/model.h"
+#include "learn/model_stack.h"
 
 namespace unidetect {
 
@@ -15,14 +15,14 @@ class DetectorRegistry;
 class UniquenessDetector : public Detector {
  public:
   /// `model` must outlive the detector.
-  explicit UniquenessDetector(const Model* model) : model_(model) {}
+  explicit UniquenessDetector(const ModelStack* model) : model_(model) {}
 
   ErrorClass error_class() const override { return ErrorClass::kUniqueness; }
 
   void Detect(const Table& table, std::vector<Finding>* out) const override;
 
  private:
-  const Model* model_;
+  const ModelStack* model_;
 };
 
 /// \brief Registers the uniqueness detector (enabled by default).

@@ -73,7 +73,7 @@ FeatureKey SpellingFeatures(const Column& column, const MpdProfile& profile,
 }
 
 FeatureKey UniquenessFeatures(const Column& column, size_t column_position,
-                              const TokenIndex& index,
+                              const TokenPrevalence& index,
                               const FeaturizeOptions& options) {
   KeyBuilder kb(ErrorClass::kUniqueness);
   if (!options.enabled) return kb.Build();
@@ -85,7 +85,7 @@ FeatureKey UniquenessFeatures(const Column& column, size_t column_position,
 }
 
 FeatureKey FdFeatures(const Column& lhs, const Column& rhs,
-                      const TokenIndex& index,
+                      const TokenPrevalence& index,
                       const FeaturizeOptions& options) {
   KeyBuilder kb(ErrorClass::kFd);
   if (!options.enabled) return kb.Build();

@@ -72,14 +72,16 @@ FeatureKey SpellingFeatures(const Column& column, const MpdProfile& profile,
                             const FeaturizeOptions& options);
 
 /// \brief Key for uniqueness analysis (Section 3.3). `column_position` is
-/// the column's index from the left; `index` supplies Prev(C).
+/// the column's index from the left; `index` supplies Prev(C) (a plain
+/// TokenIndex binds via TokenPrevalence's implicit conversion; layered
+/// serving passes the stack's merged view).
 FeatureKey UniquenessFeatures(const Column& column, size_t column_position,
-                              const TokenIndex& index,
+                              const TokenPrevalence& index,
                               const FeaturizeOptions& options);
 
 /// \brief Key for FD analysis (Section 3.4) over the (lhs, rhs) pair.
 FeatureKey FdFeatures(const Column& lhs, const Column& rhs,
-                      const TokenIndex& index,
+                      const TokenPrevalence& index,
                       const FeaturizeOptions& options);
 
 /// \brief Debug rendering of a key ("class=uniqueness type=3 rows=2 ...").

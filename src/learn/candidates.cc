@@ -50,7 +50,7 @@ SpellingCandidate ExtractSpellingCandidate(const Column& column,
 
 UniquenessCandidate ExtractUniquenessCandidate(const Column& column,
                                                size_t column_position,
-                                               const TokenIndex& index,
+                                               const TokenPrevalence& index,
                                                const ModelOptions& options) {
   UniquenessCandidate out;
   if (column.size() < options.min_column_rows) return out;
@@ -77,7 +77,7 @@ UniquenessCandidate ExtractUniquenessCandidate(const Column& column,
 }
 
 FdCandidate ExtractFdCandidate(const Column& lhs, const Column& rhs,
-                               const TokenIndex& index,
+                               const TokenPrevalence& index,
                                const ModelOptions& options) {
   FdCandidate out;
   if (lhs.size() < options.min_column_rows) return out;

@@ -62,7 +62,7 @@ struct UniquenessCandidate {
 
 UniquenessCandidate ExtractUniquenessCandidate(const Column& column,
                                                size_t column_position,
-                                               const TokenIndex& index,
+                                               const TokenPrevalence& index,
                                                const ModelOptions& options);
 
 /// \brief FD candidate (Section 3.4) for the ordered pair (lhs -> rhs):
@@ -78,7 +78,7 @@ struct FdCandidate {
 };
 
 FdCandidate ExtractFdCandidate(const Column& lhs, const Column& rhs,
-                               const TokenIndex& index,
+                               const TokenPrevalence& index,
                                const ModelOptions& options);
 
 }  // namespace unidetect

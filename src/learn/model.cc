@@ -137,6 +137,24 @@ uint64_t Model::ApproxResidentBytes() const {
   return total;
 }
 
+namespace lr_internal {
+
+void AccumulateLrCounts(const SubsetStats& stats, const ModelOptions& options,
+                        SurpriseDirection dir, double theta1, double theta2,
+                        uint64_t* num, uint64_t* den) {
+  if (options.smoothing == SmoothingMode::kPoint) {
+    *num += stats.CountPointPair(theta1, theta2, options.point_grid);
+    *den += stats.CountPointPre(theta2, options.point_grid);
+  } else {
+    *num += stats.CountSurprising(dir, theta1, theta2);
+    *den += options.denominator == DenominatorMode::kSuspiciousTail
+                ? stats.CountPreSuspiciousTail(dir, theta2)
+                : stats.CountPreCleanTail(dir, theta2);
+  }
+}
+
+}  // namespace lr_internal
+
 double Model::LikelihoodRatio(ErrorClass cls, FeatureKey key, double theta1,
                               double theta2) const {
   UNIDETECT_CHECK(finalized_);
@@ -144,12 +162,7 @@ double Model::LikelihoodRatio(ErrorClass cls, FeatureKey key, double theta1,
 
   // A perturbation that does not move the metric toward "clean" carries
   // no surprise whatsoever.
-  if (dir == SurpriseDirection::kHigherMoreSurprising && theta2 >= theta1) {
-    return 1.0;
-  }
-  if (dir == SurpriseDirection::kLowerMoreSurprising && theta2 <= theta1) {
-    return 1.0;
-  }
+  if (lr_internal::PerturbationNotCleaner(dir, theta1, theta2)) return 1.0;
 
   const SubsetStats* stats = FindSubset(key);
   if (stats == nullptr) return 1.0;
@@ -157,25 +170,15 @@ double Model::LikelihoodRatio(ErrorClass cls, FeatureKey key, double theta1,
 
   uint64_t num = 0;
   uint64_t den = 0;
-  if (options_.smoothing == SmoothingMode::kPoint) {
-    num = stats->CountPointPair(theta1, theta2, options_.point_grid);
-    den = stats->CountPointPre(theta2, options_.point_grid);
-  } else {
-    num = stats->CountSurprising(dir, theta1, theta2);
-    den = options_.denominator == DenominatorMode::kSuspiciousTail
-              ? stats->CountPreSuspiciousTail(dir, theta2)
-              : stats->CountPreCleanTail(dir, theta2);
-  }
+  lr_internal::AccumulateLrCounts(*stats, options_, dir, theta1, theta2, &num,
+                                  &den);
 
   // A thin denominator means the corpus has barely any columns that look
   // like the *perturbed* table; the ratio would be dominated by
   // pseudocounts and read as (spurious) surprise. No evidence, no call.
   if (den < options_.min_support) return 1.0;
 
-  const double pc = options_.pseudocount;
-  const double lr = (static_cast<double>(num) + pc) /
-                    (static_cast<double>(den) + 2.0 * pc);
-  return std::min(lr, 1.0);
+  return lr_internal::SmoothedLrFromCounts(num, den, options_);
 }
 
 // ---------------------------------------------------------------------------

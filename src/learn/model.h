@@ -85,6 +85,41 @@ struct ModelOptions {
 /// \brief Suspicious-tail direction of each error class's metric.
 SurpriseDirection DirectionOf(ErrorClass c);
 
+/// \brief The Eq. 12 likelihood-ratio arithmetic, factored so that the
+/// flat path (Model::LikelihoodRatio) and the layered path
+/// (ModelStack::LikelihoodRatio, learn/model_stack.h) run literally the
+/// same instructions. Counts accumulate as integers per layer and are
+/// summed before the single floating-point division, which is what makes
+/// a base+deltas stack answer byte-identically to the Model::Merge fold.
+namespace lr_internal {
+
+/// \brief True when the perturbation did not move the metric toward
+/// "clean" for `dir` — such a candidate carries no surprise (LR = 1).
+inline bool PerturbationNotCleaner(SurpriseDirection dir, double theta1,
+                                   double theta2) {
+  if (dir == SurpriseDirection::kHigherMoreSurprising) return theta2 >= theta1;
+  return theta2 <= theta1;
+}
+
+/// \brief Adds one layer's numerator/denominator counts for a
+/// (theta1, theta2) query to `*num` / `*den`.
+void AccumulateLrCounts(const SubsetStats& stats, const ModelOptions& options,
+                        SurpriseDirection dir, double theta1, double theta2,
+                        uint64_t* num, uint64_t* den);
+
+/// \brief The smoothed ratio over the (possibly layer-summed) counts:
+/// min((num + pc) / (den + 2pc), 1). Every double op of the query
+/// happens here, after all integer summation.
+inline double SmoothedLrFromCounts(uint64_t num, uint64_t den,
+                                   const ModelOptions& options) {
+  const double pc = options.pseudocount;
+  const double lr = (static_cast<double>(num) + pc) /
+                    (static_cast<double>(den) + 2.0 * pc);
+  return std::min(lr, 1.0);
+}
+
+}  // namespace lr_internal
+
 /// \brief Magic first line of the legacy text model format, used by the
 /// Load-time format sniff.
 inline constexpr std::string_view kLegacyModelMagic = "UniDetectModel v1";

@@ -1,0 +1,97 @@
+#include "learn/model_stack.h"
+
+#include "util/logging.h"
+
+namespace unidetect {
+
+namespace {
+
+std::vector<const TokenIndex*> TokenLayers(
+    const std::vector<std::shared_ptr<const Model>>& layers) {
+  std::vector<const TokenIndex*> out;
+  out.reserve(layers.size());
+  for (const auto& layer : layers) out.push_back(&layer->token_index());
+  return out;
+}
+
+std::vector<const PatternIndex*> PatternLayers(
+    const std::vector<std::shared_ptr<const Model>>& layers) {
+  std::vector<const PatternIndex*> out;
+  out.reserve(layers.size());
+  for (const auto& layer : layers) out.push_back(&layer->pattern_index());
+  return out;
+}
+
+}  // namespace
+
+ModelStack::ModelStack(std::vector<std::shared_ptr<const Model>> layers)
+    : layers_(std::move(layers)),
+      token_prevalence_(TokenLayers(layers_)),
+      pattern_prevalence_(PatternLayers(layers_)) {
+  UNIDETECT_CHECK(!layers_.empty());
+  for (const auto& layer : layers_) {
+    UNIDETECT_CHECK(layer != nullptr);
+    // Queries binary-search each layer's sorted store; a build-phase
+    // layer would silently answer from the wrong container.
+    UNIDETECT_CHECK(layer->finalized());
+  }
+}
+
+ModelStack ModelStack::Borrow(const Model* model) {
+  UNIDETECT_CHECK(model != nullptr);
+  // Aliasing shared_ptr with an empty control block: non-owning, and
+  // cheap to copy alongside the owned layers above it.
+  return ModelStack({std::shared_ptr<const Model>(
+      std::shared_ptr<const void>(), model)});
+}
+
+ModelStack ModelStack::WithDelta(std::shared_ptr<const Model> delta) const {
+  std::vector<std::shared_ptr<const Model>> layers = layers_;
+  layers.push_back(std::move(delta));
+  return ModelStack(std::move(layers));
+}
+
+double ModelStack::LikelihoodRatio(ErrorClass cls, FeatureKey key,
+                                   double theta1, double theta2) const {
+  const SurpriseDirection dir = DirectionOf(cls);
+
+  // Same early-out as the flat path: a perturbation that does not move
+  // the metric toward "clean" carries no surprise.
+  if (lr_internal::PerturbationNotCleaner(dir, theta1, theta2)) return 1.0;
+
+  const ModelOptions& opts = options();
+  uint64_t support = 0;
+  uint64_t num = 0;
+  uint64_t den = 0;
+  bool found = false;
+  for (const auto& layer : layers_) {
+    const SubsetStats* stats = layer->FindSubset(key);
+    if (stats == nullptr) continue;
+    found = true;
+    support += stats->size();
+    lr_internal::AccumulateLrCounts(*stats, opts, dir, theta1, theta2, &num,
+                                    &den);
+  }
+  // Gate order mirrors Model::LikelihoodRatio exactly; the counts
+  // accumulated above are simply unused when a gate fires, so gating
+  // after the single pass cannot change any answer.
+  if (!found) return 1.0;
+  if (support < opts.min_support) return 1.0;
+  if (den < opts.min_support) return 1.0;
+
+  return lr_internal::SmoothedLrFromCounts(num, den, opts);
+}
+
+uint64_t ModelStack::SubsetSupport(FeatureKey key) const {
+  uint64_t total = 0;
+  for (const auto& layer : layers_) total += layer->SubsetSupport(key);
+  return total;
+}
+
+uint64_t ModelStack::num_observations() const {
+  uint64_t total = 0;
+  for (const auto& layer : layers_) total += layer->num_observations();
+  return total;
+}
+
+}  // namespace unidetect

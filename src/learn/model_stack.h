@@ -1,0 +1,91 @@
+// ModelStack: the layered read path over base + delta snapshots.
+//
+// An LSM-style serving arrangement (ROADMAP item 2): layer 0 is the
+// immutable mmap'd base model, layers 1..K are small delta models built
+// by `offline_build delta` from only the new corpus shards. Queries run
+// against the stack as if the layers had been folded by Model::Merge —
+// and answer *byte-identically* to that fold, because every statistic
+// the detectors consume is an additive integer count (tail counts,
+// subset support, token table counts, pattern co-occurrence counts)
+// that is summed across layers before the shared floating-point
+// arithmetic in lr_internal / TokenPrevalence / PatternPrevalence runs
+// once over the sums. Model::Merge stays the write-side fold (the
+// compactor's correctness oracle, src/offline/compactor.h); this class
+// is the read-side overlay.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "learn/model.h"
+
+namespace unidetect {
+
+/// \brief An immutable ordered list of finalized Model layers queried
+/// as one logical model.
+///
+/// Layers are held by shared_ptr, so a stack (and any detector wired to
+/// it) keeps every layer's backing snapshot region mapped. The stack
+/// itself is cheap to copy — WithDelta() builds the next serving stack
+/// by copying K pointers, never touching model payloads.
+class ModelStack {
+ public:
+  /// All layers must be finalized; layer 0 is the base whose
+  /// ModelOptions govern every query (the serving tier rejects deltas
+  /// trained under different options before they get here).
+  explicit ModelStack(std::vector<std::shared_ptr<const Model>> layers);
+
+  /// \brief A single-layer stack borrowing `model` without ownership —
+  /// the legacy `UniDetect(const Model*)` path. `model` must outlive
+  /// the stack.
+  static ModelStack Borrow(const Model* model);
+
+  /// \brief A new stack with `delta` appended as the topmost layer.
+  ModelStack WithDelta(std::shared_ptr<const Model> delta) const;
+
+  size_t num_layers() const { return layers_.size(); }
+  const Model& layer(size_t i) const { return *layers_[i]; }
+  const std::shared_ptr<const Model>& layer_ptr(size_t i) const {
+    return layers_[i];
+  }
+  const Model& base() const { return *layers_.front(); }
+
+  /// \brief Query-time conventions: always the base layer's.
+  const ModelOptions& options() const { return base().options(); }
+
+  /// \brief Layer-summed token prevalence (detect/dictionary and the
+  /// uniqueness/FD featurizers consume this view).
+  const TokenPrevalence& token_prevalence() const { return token_prevalence_; }
+
+  /// \brief Layer-summed pattern co-occurrence (the PMI detector).
+  const PatternPrevalence& pattern_prevalence() const {
+    return pattern_prevalence_;
+  }
+
+  /// \brief Eq. 12 smoothed likelihood ratio over the layered counts.
+  /// Byte-identical to Model::LikelihoodRatio on the Merge fold of the
+  /// layers: integer numerator/denominator counts and subset support
+  /// are summed across layers, then fed through the same lr_internal
+  /// arithmetic the flat path uses.
+  double LikelihoodRatio(ErrorClass cls, FeatureKey key, double theta1,
+                         double theta2) const;
+
+  /// \brief Observation count for one subset, summed over layers.
+  uint64_t SubsetSupport(FeatureKey key) const;
+
+  /// \brief Total observations across layers.
+  uint64_t num_observations() const;
+
+ private:
+  std::vector<std::shared_ptr<const Model>> layers_;
+  // Views over the layers' indexes; the shared_ptrs above keep the
+  // pointed-at indexes alive for the views' lifetime.
+  TokenPrevalence token_prevalence_;
+  PatternPrevalence pattern_prevalence_;
+};
+
+}  // namespace unidetect

@@ -11,6 +11,11 @@ namespace unidetect {
 void AddTableObservations(const Table& table, const TokenIndex& index,
                           const ModelOptions& options, size_t max_fd_pairs,
                           Model* out) {
+  // One single-layer view up front; the extractors take the layered
+  // TokenPrevalence interface (serving queries stacks, training always
+  // featurizes against one full-corpus index).
+  const TokenPrevalence prevalence(index);
+
   // Column-level classes.
   for (size_t c = 0; c < table.num_columns(); ++c) {
     const Column& column = table.column(c);
@@ -27,7 +32,7 @@ void AddTableObservations(const Table& table, const TokenIndex& index,
     }
 
     const UniquenessCandidate uniqueness =
-        ExtractUniquenessCandidate(column, c, index, options);
+        ExtractUniquenessCandidate(column, c, prevalence, options);
     if (uniqueness.valid) {
       out->AddObservation(uniqueness.key, uniqueness.theta1,
                           uniqueness.theta2);
@@ -40,8 +45,9 @@ void AddTableObservations(const Table& table, const TokenIndex& index,
     for (size_t r = 0; r < table.num_columns() && pairs < max_fd_pairs; ++r) {
       if (l == r) continue;
       ++pairs;
-      const FdCandidate fd =
-          ExtractFdCandidate(table.column(l), table.column(r), index, options);
+      const FdCandidate fd = ExtractFdCandidate(table.column(l),
+                                                table.column(r), prevalence,
+                                                options);
       if (fd.valid) out->AddObservation(fd.key, fd.theta1, fd.theta2);
     }
   }

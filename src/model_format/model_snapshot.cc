@@ -108,6 +108,8 @@ std::string SectionName(uint32_t id) {
       return "f16 observations";
     case SnapshotSection::kTreeLevelsF16:
       return "f16 tree levels";
+    case SnapshotSection::kDeltaManifest:
+      return "delta manifest";
   }
   return StrCat("unknown(", id, ")");
 }

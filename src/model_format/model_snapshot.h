@@ -49,7 +49,11 @@ inline constexpr uint32_t kSnapshotVersion = 2;
 /// version-independent). Ids 11-12 are the optional v2 half-precision
 /// observation variant: a v2 file carries EITHER the f32 sections {7, 8}
 /// or the f16 sections {11, 12}, never both — an additive encoding under
-/// the section-skip compatibility rule, so no version bump.
+/// the section-skip compatibility rule, so no version bump. Id 13 marks
+/// a *delta* artifact (model_format/delta_snapshot.h): a small v2 model
+/// chained to its base snapshot by content hash. Old readers skip it
+/// (after CRC-checking it) and decode the delta as a plain model —
+/// intentional, since a delta IS a model over the incremental shards.
 enum class SnapshotSection : uint32_t {
   kOptions = 1,        ///< ModelOptions, fixed-width fields (v1 and v2)
   kSubsets = 2,        ///< v1: inline per-key (theta1, theta2) lists
@@ -63,6 +67,7 @@ enum class SnapshotSection : uint32_t {
   kPatternIndex2 = 10, ///< v2: pool-ref pattern + pair entries
   kObservationsF16 = 11, ///< v2: binary16 pres/posts (replaces id 7)
   kTreeLevelsF16 = 12,   ///< v2: binary16 tree levels (replaces id 8)
+  kDeltaManifest = 13,   ///< v2: delta chain manifest (delta_snapshot.h)
 };
 
 /// \brief True when `bytes` starts with the snapshot magic (the cheap

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "model_format/codec_internal.h"
+#include "model_format/delta_snapshot.h"
 #include "model_format/model_snapshot.h"
 #include "util/binary_io.h"
 #include "util/bounded_reader.h"
@@ -635,7 +636,8 @@ Result<Model> BuildModelFromParsed(const ParsedV2& parsed,
 }  // namespace
 
 std::string EncodeModelSnapshotV2(const Model& model,
-                                  ObservationEncoding encoding) {
+                                  ObservationEncoding encoding,
+                                  const DeltaManifest* manifest) {
   UNIDETECT_CHECK(model.finalized());
 
   // Pick the output width. kPreserve follows the model's own storage —
@@ -754,6 +756,13 @@ std::string EncodeModelSnapshotV2(const Model& model,
   }
   if (write_f16 && !tree_payload.empty()) {
     sections.emplace_back(SnapshotSection::kTreeLevelsF16, &tree_payload);
+  }
+  // The delta manifest's id (13) sits above every other section id, so
+  // appending it last keeps the table strictly ascending.
+  std::string manifest_payload;
+  if (manifest != nullptr) {
+    manifest_payload = EncodeDeltaManifestPayload(*manifest);
+    sections.emplace_back(SnapshotSection::kDeltaManifest, &manifest_payload);
   }
 
   std::string out;

@@ -54,6 +54,8 @@
 
 namespace unidetect {
 
+struct DeltaManifest;
+
 /// \brief Observation storage written by the v2 encoder.
 ///
 /// kF16 stores observations and tree levels as IEEE 754 binary16
@@ -71,10 +73,14 @@ enum class ObservationEncoding {
   kF16,
 };
 
-/// \brief Encodes a finalized model in the v2 flat layout.
+/// \brief Encodes a finalized model in the v2 flat layout. A non-null
+/// `manifest` additionally writes the kDeltaManifest section, marking
+/// the output as a *delta* artifact chained to its base snapshot
+/// (model_format/delta_snapshot.h).
 std::string EncodeModelSnapshotV2(
     const Model& model,
-    ObservationEncoding encoding = ObservationEncoding::kPreserve);
+    ObservationEncoding encoding = ObservationEncoding::kPreserve,
+    const DeltaManifest* manifest = nullptr);
 
 /// \brief Owned decode of a v2 blob: observation and tree floats are
 /// copied out of `bytes` (which therefore needs no particular alignment

@@ -1,0 +1,123 @@
+#include "offline/compactor.h"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "learn/model.h"
+#include "model_format/model_snapshot.h"
+#include "model_format/snapshot_v2.h"
+#include "util/binary_io.h"
+#include "util/string_util.h"
+
+namespace unidetect {
+
+namespace {
+
+/// \brief The fold itself: every layer file re-read with full
+/// validation (the compactor doubles as a chain auditor) and merged in
+/// chain order. Bit-identical to any other Model::Merge grouping of the
+/// same layers — Merge is associative and commutative up to Finalize.
+Result<std::string> FoldChain(const std::vector<std::string>& paths) {
+  UNIDETECT_ASSIGN_OR_RETURN(
+      const Model base,
+      LoadModelFromFile(paths[0], SnapshotValidation::kFull));
+  Model merged(base.options());
+  merged.Merge(base);
+  for (size_t i = 1; i < paths.size(); ++i) {
+    UNIDETECT_ASSIGN_OR_RETURN(
+        const Model delta,
+        LoadModelFromFile(paths[i], SnapshotValidation::kFull));
+    merged.Merge(delta);
+  }
+  merged.Finalize();
+  return EncodeModelSnapshotV2(merged);
+}
+
+}  // namespace
+
+Result<bool> Compactor::CompactOnce() {
+  const DetectionService::LayerSet chain = service_->Layers();
+  if (chain.ids.size() <= 1 ||
+      chain.ids.size() - 1 < options_.trigger_delta_layers) {
+    return false;
+  }
+  for (const std::string& path : chain.paths) {
+    if (path.empty()) {
+      return Status::InvalidArgument(
+          "compactor: a served layer has no backing file (in-memory "
+          "model); only file-backed chains can be compacted");
+    }
+  }
+  {
+    MutexLock lock(&mu_);
+    ++stats_.attempts;
+  }
+  auto outcome = [&]() -> Result<bool> {
+    UNIDETECT_ASSIGN_OR_RETURN(const std::string encoded,
+                               FoldChain(chain.paths));
+    const std::string tmp_path = options_.output_path + ".tmp";
+    UNIDETECT_RETURN_NOT_OK(WriteStringToFile(tmp_path, encoded));
+    if (std::rename(tmp_path.c_str(), options_.output_path.c_str()) != 0) {
+      return Status::IOError(StrCat("compactor: rename to ",
+                                    options_.output_path, " failed"));
+    }
+    // Compare-and-swap against the generation the fold was computed
+    // from: if a delta landed meanwhile, the fold is stale — drop it
+    // (the file is a pure function of still-on-disk layers, so nothing
+    // is lost) and let the next pass fold the grown chain.
+    const Status swap =
+        service_->ReloadIfGeneration(options_.output_path, chain.generation);
+    if (swap.IsAlreadyExists()) return false;
+    UNIDETECT_RETURN_NOT_OK(swap);
+    return true;
+  }();
+  MutexLock lock(&mu_);
+  if (!outcome.ok()) {
+    ++stats_.failures;
+  } else if (*outcome) {
+    ++stats_.compactions;
+  } else {
+    ++stats_.lost_races;
+  }
+  return outcome;
+}
+
+void Compactor::Start() {
+  {
+    MutexLock lock(&mu_);
+    stop_ = false;
+  }
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Compactor::Stop() {
+  {
+    MutexLock lock(&mu_);
+    stop_ = true;
+    cv_.NotifyAll();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void Compactor::Loop() {
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (stop_) return;
+      cv_.WaitFor(mu_, options_.poll_interval);
+      if (stop_) return;
+    }
+    // Errors are recorded in stats_.failures and retried next tick —
+    // a transient IO failure must not kill the background loop.
+    (void)CompactOnce();
+  }
+}
+
+CompactorStats Compactor::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace unidetect

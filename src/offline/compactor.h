@@ -1,0 +1,98 @@
+// Background compactor: folds a served base+delta chain back into a
+// single fresh base — the LSM-style "merge the memtable stack" step of
+// DESIGN.md §15.
+//
+// Compaction protocol:
+//
+//   1. Snapshot the served chain (DetectionService::Layers): the layer
+//      paths, artifact ids, and the generation they were captured at.
+//   2. Load every layer from disk with FULL validation and fold them
+//      with Model::Merge in chain order — the same write-side fold the
+//      offline pipeline uses, and the correctness oracle the layered
+//      read path is property-tested against. The compacted artifact is
+//      therefore bit-identical to what a single-shot merge would write.
+//   3. Write the compacted base via temp file + rename.
+//   4. ReloadIfGeneration(output, captured generation): the swap lands
+//      only if the chain has not moved since step 1. A concurrent
+//      ApplyDelta wins the race — the compactor simply observes the
+//      grown chain on its next pass and re-folds. Nothing is ever lost:
+//      the compacted file is a pure function of layers that remain on
+//      disk.
+//
+// The compactor never mutates layer artifacts, so a crashed or stopped
+// compactor leaves serving untouched.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "serving/detection_service.h"
+#include "util/mutex.h"
+#include "util/result.h"
+#include "util/thread_annotations.h"
+
+namespace unidetect {
+
+struct CompactorOptions {
+  /// Where the compacted base snapshot is written (temp + rename).
+  std::string output_path;
+  /// Compact only when at least this many delta layers are stacked.
+  size_t trigger_delta_layers = 1;
+  /// Background poll period between chain inspections.
+  std::chrono::milliseconds poll_interval{50};
+};
+
+/// \brief Counters of one compactor's lifetime (monotonic).
+struct CompactorStats {
+  uint64_t attempts = 0;    ///< folds started (chain met the trigger)
+  uint64_t compactions = 0; ///< folds that swapped in successfully
+  uint64_t lost_races = 0;  ///< folds beaten by a concurrent swap
+  uint64_t failures = 0;    ///< folds that errored (load/write/reload)
+};
+
+/// \brief Folds a DetectionService's delta chain into fresh bases,
+/// either on demand (CompactOnce) or from a background thread
+/// (Start/Stop). The service must outlive the compactor.
+class Compactor {
+ public:
+  Compactor(DetectionService* service, CompactorOptions options)
+      : service_(service), options_(std::move(options)) {}
+  ~Compactor() { Stop(); }
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  /// \brief One full inspect-fold-swap pass. Returns true when a
+  /// compacted base was swapped in; false when there was nothing to do
+  /// (chain below trigger) or a concurrent swap won the race. Errors
+  /// (unreadable layers, in-memory base, write failures) are returned
+  /// and leave serving untouched.
+  Result<bool> CompactOnce() EXCLUDES(mu_);
+
+  /// \brief Starts the background poll loop (idempotent).
+  void Start();
+
+  /// \brief Stops and joins the background thread (idempotent; also run
+  /// by the destructor).
+  void Stop();
+
+  CompactorStats stats() const EXCLUDES(mu_);
+
+ private:
+  void Loop();
+
+  DetectionService* const service_;
+  const CompactorOptions options_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  CompactorStats stats_ GUARDED_BY(mu_);
+  // Started/joined only from the owner's thread (Start/Stop/dtor).
+  std::thread thread_;
+};
+
+}  // namespace unidetect

@@ -6,7 +6,10 @@
 #include <optional>
 #include <utility>
 
+#include "model_format/codec_internal.h"
+#include "model_format/delta_snapshot.h"
 #include "model_format/model_view.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace unidetect {
@@ -42,48 +45,124 @@ double HistogramPercentile(
   return static_cast<double>(uint64_t{1}
                              << (DetectionService::kLatencyBuckets - 1));
 }
+
+// Resolves what the artifact at `path` is before loading it. Legacy text
+// models are not UDSNAP containers — they have no identity and load as
+// id-less bases (Corruption here is therefore not an error; a truly
+// corrupt snapshot fails the subsequent ModelView::Open instead).
+struct ArtifactKind {
+  uint64_t artifact_id = 0;
+  std::optional<DeltaManifest> manifest;
+};
+
+Result<ArtifactKind> ResolveArtifact(const std::string& path) {
+  ArtifactKind kind;
+  auto identity = ReadSnapshotIdentity(path);
+  if (identity.ok()) {
+    kind.artifact_id = identity->artifact_id;
+    kind.manifest = identity->manifest;
+  } else if (!identity.status().IsCorruption()) {
+    return identity.status();
+  }
+  return kind;
+}
 }  // namespace
 
 DetectionService::DetectionService(std::shared_ptr<const Model> model,
                                    UniDetectOptions options,
                                    uint64_t findings_cache_bytes)
+    : DetectionService(std::move(model), /*base_path=*/std::string(),
+                       /*base_id=*/0, std::move(options),
+                       findings_cache_bytes) {}
+
+DetectionService::DetectionService(std::shared_ptr<const Model> base,
+                                   std::string base_path, uint64_t base_id,
+                                   UniDetectOptions options,
+                                   uint64_t findings_cache_bytes)
     : options_(std::move(options)), cache_(findings_cache_bytes) {
+  auto stack = std::make_shared<const ModelStack>(
+      std::vector<std::shared_ptr<const Model>>{std::move(base)});
   MutexLock lock(&mu_);
-  engine_ = std::make_shared<const Engine>(std::move(model), options_,
-                                           /*generation_in=*/1);
+  engine_ = std::make_shared<const Engine>(
+      std::move(stack), std::vector<std::string>{std::move(base_path)},
+      std::vector<uint64_t>{base_id}, options_, /*generation_in=*/1);
 }
 
 Result<std::unique_ptr<DetectionService>> DetectionService::Create(
     const std::string& model_path, UniDetectOptions options,
     uint64_t findings_cache_bytes) {
+  auto kind = ResolveArtifact(model_path);
+  if (!kind.ok()) return kind.status();
+  if (kind->manifest.has_value()) {
+    return Status::InvalidArgument(
+        StrCat("Create: ", model_path,
+               " is a delta artifact; a service must start from a base "
+               "(apply deltas with ApplyDelta)"));
+  }
   auto view = ModelView::Open(model_path);
   if (!view.ok()) return view.status();
-  return std::make_unique<DetectionService>(
-      view->shared_model(), std::move(options), findings_cache_bytes);
+  return std::unique_ptr<DetectionService>(new DetectionService(
+      view->shared_model(), model_path, kind->artifact_id, std::move(options),
+      findings_cache_bytes));
 }
 
 Status DetectionService::Reload(const std::string& path) {
+  return ReloadInternal(path, /*expected=*/-1);
+}
+
+Status DetectionService::ReloadIfGeneration(const std::string& path,
+                                            uint64_t expected) {
+  return ReloadInternal(path, static_cast<int64_t>(expected));
+}
+
+Status DetectionService::ReloadInternal(const std::string& path,
+                                        int64_t expected) {
   const auto start = std::chrono::steady_clock::now();
-  // Load and engine construction happen with no lock held: the current
-  // snapshot keeps serving while the replacement is prepared, and a
-  // failed load never disturbs it. ModelView's default deferred
-  // validation keeps a v2 open at O(index); the bulk payloads are never
-  // read until queries fault their pages in.
+  // Identity, load, and engine construction happen with no lock held:
+  // the current snapshot keeps serving while the replacement is
+  // prepared, and a failed load never disturbs it. ModelView's default
+  // deferred validation keeps a v2 open at O(index); the bulk payloads
+  // are never read until queries fault their pages in.
+  auto kind = ResolveArtifact(path);
+  if (kind.ok() && kind->manifest.has_value()) {
+    kind = Status::InvalidArgument(
+        StrCat("Reload: ", path,
+               " is a delta artifact and only means something stacked on "
+               "the chain it names; use ApplyDelta"));
+  }
+  if (!kind.ok()) {
+    MutexLock lock(&stats_mu_);
+    ++failed_reloads_;
+    return kind.status();
+  }
   auto view = ModelView::Open(path);
   if (!view.ok()) {
     MutexLock lock(&stats_mu_);
     ++failed_reloads_;
     return view.status();
   }
-  std::shared_ptr<const Engine> replacement;
+  auto stack = std::make_shared<const ModelStack>(
+      std::vector<std::shared_ptr<const Model>>{view->shared_model()});
+  size_t retired_deltas = 0;
   {
     MutexLock lock(&mu_);
-    replacement = std::make_shared<const Engine>(
-        view->shared_model(), options_, engine_->generation + 1);
+    if (expected >= 0 &&
+        engine_->generation != static_cast<uint64_t>(expected)) {
+      // Benign compare-and-swap failure: the chain moved (a delta landed
+      // or another reload won) between the caller's Layers() snapshot
+      // and now. Not a failed reload — the caller refreshes and retries.
+      return Status::AlreadyExists(
+          StrCat("Reload: generation moved to ", engine_->generation,
+                 " (expected ", expected, "); chain changed underfoot"));
+    }
+    retired_deltas = engine_->layer_ids.size() - 1;
     // The old engine is released here; it stays alive until the last
     // in-flight batch that pinned it drops its reference (for a mapped
     // model, that release is also the munmap).
-    engine_ = replacement;
+    engine_ = std::make_shared<const Engine>(
+        std::move(stack), std::vector<std::string>{path},
+        std::vector<uint64_t>{kind->artifact_id}, options_,
+        engine_->generation + 1);
   }
   {
     // Invalidate memoized findings: they belong to the retired
@@ -98,6 +177,81 @@ Status DetectionService::Reload(const std::string& path) {
                           .count();
   MutexLock lock(&stats_mu_);
   ++reloads_;
+  if (retired_deltas > 0) ++compactions_;
+  ++reload_latency_buckets_[LatencyBucket(micros)];
+  return Status::OK();
+}
+
+Status DetectionService::ApplyDelta(const std::string& path) {
+  const auto start = std::chrono::steady_clock::now();
+  // Identity + open run off-lock, same as Reload. The chain checks run
+  // under the swap lock against the engine actually being extended.
+  auto identity = ReadSnapshotIdentity(path);
+  if (identity.ok() && !identity->manifest.has_value()) {
+    identity = Status::InvalidArgument(
+        StrCat("ApplyDelta: ", path,
+               " carries no delta manifest — it is a base snapshot; use "
+               "Reload"));
+  }
+  if (!identity.ok()) return identity.status();
+  const DeltaManifest manifest = *identity->manifest;
+  auto view = ModelView::Open(path);
+  if (!view.ok()) return view.status();
+  std::shared_ptr<const Model> delta = view->shared_model();
+  {
+    MutexLock lock(&mu_);
+    const std::vector<uint64_t>& ids = engine_->layer_ids;
+    if (ids.front() == 0) {
+      return Status::InvalidArgument(
+          "ApplyDelta: the served base has no artifact id (in-memory or "
+          "legacy text model); deltas chain only onto UDSNAP bases");
+    }
+    if (manifest.base_id != ids.front()) {
+      return Status::InvalidArgument(
+          StrCat("ApplyDelta: delta chains to base ", manifest.base_id,
+                 " but the service is serving base ", ids.front()));
+    }
+    if (manifest.parent_id != ids.back()) {
+      return Status::InvalidArgument(
+          StrCat("ApplyDelta: delta expects parent ", manifest.parent_id,
+                 " but the top of the served chain is ", ids.back(),
+                 " (delta applied out of order, or already applied)"));
+    }
+    if (manifest.depth != ids.size()) {
+      return Status::InvalidArgument(
+          StrCat("ApplyDelta: delta is layer ", manifest.depth,
+                 " of its chain but the service is serving ", ids.size(),
+                 " layers"));
+    }
+    // Layers must agree on the learning options: LR arithmetic reads
+    // them from the base, so a delta trained under different knobs would
+    // silently change what its counts mean. Byte-compare the canonical
+    // options payload rather than chasing field-by-field drift.
+    if (snapshot_internal::EncodeOptionsPayload(delta->options()) !=
+        snapshot_internal::EncodeOptionsPayload(
+            engine_->stack->base().options())) {
+      return Status::InvalidArgument(
+          "ApplyDelta: delta was trained under different model options "
+          "than the served base");
+    }
+    auto stack = std::make_shared<const ModelStack>(
+        engine_->stack->WithDelta(std::move(delta)));
+    std::vector<std::string> paths = engine_->layer_paths;
+    std::vector<uint64_t> new_ids = ids;
+    paths.push_back(path);
+    new_ids.push_back(identity->artifact_id);
+    // No cache clear: keys embed the generation, so warm entries simply
+    // stop matching and age out — the swap stays O(1) beyond the delta
+    // open itself.
+    engine_ = std::make_shared<const Engine>(
+        std::move(stack), std::move(paths), std::move(new_ids), options_,
+        engine_->generation + 1);
+  }
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  MutexLock lock(&stats_mu_);
+  ++applied_deltas_;
   ++reload_latency_buckets_[LatencyBucket(micros)];
   return Status::OK();
 }
@@ -119,7 +273,7 @@ DetectionService::BatchResult DetectionService::DetectBatch(
   std::optional<UniDetect> scoped;
   const UniDetect* detector = &engine->detector;
   if (override_options != nullptr) {
-    scoped.emplace(engine->model.get(), SanitizeOverride(*override_options));
+    scoped.emplace(engine->stack, SanitizeOverride(*override_options));
     detector = &*scoped;
   }
 
@@ -196,13 +350,28 @@ uint64_t DetectionService::generation() const {
   return Snapshot()->generation;
 }
 
+DetectionService::LayerSet DetectionService::Layers() const {
+  const std::shared_ptr<const Engine> engine = Snapshot();
+  LayerSet layers;
+  layers.paths = engine->layer_paths;
+  layers.ids = engine->layer_ids;
+  layers.generation = engine->generation;
+  return layers;
+}
+
 ServiceStats DetectionService::Stats() const {
   ServiceStats stats;
   {
     const std::shared_ptr<const Engine> engine = Snapshot();
     stats.generation = engine->generation;
-    stats.model_resident_bytes = engine->model->ApproxResidentBytes();
-    stats.model_mapped_bytes = engine->model->mapped_bytes();
+    const ModelStack& stack = *engine->stack;
+    stats.model_resident_bytes = stack.base().ApproxResidentBytes();
+    stats.model_mapped_bytes = stack.base().mapped_bytes();
+    stats.delta_layers = stack.num_layers() - 1;
+    for (size_t i = 1; i < stack.num_layers(); ++i) {
+      stats.delta_resident_bytes +=
+          stack.layer(i).ApproxResidentBytes() + stack.layer(i).mapped_bytes();
+    }
   }
   {
     MutexLock lock(&cache_mu_);
@@ -219,6 +388,7 @@ ServiceStats DetectionService::Stats() const {
   }
   std::array<uint64_t, kLatencyBuckets> buckets;
   std::array<uint64_t, kLatencyBuckets> reload_buckets;
+  uint64_t reload_samples = 0;
   {
     MutexLock lock(&stats_mu_);
     stats.requests = requests_;
@@ -226,18 +396,21 @@ ServiceStats DetectionService::Stats() const {
     stats.findings = findings_;
     stats.reloads = reloads_;
     stats.failed_reloads = failed_reloads_;
+    stats.applied_deltas = applied_deltas_;
+    stats.compactions = compactions_;
     buckets = latency_buckets_;
     reload_buckets = reload_latency_buckets_;
+    reload_samples = reloads_ + applied_deltas_;
   }
   if (stats.requests > 0) {
     stats.latency_p50_us = HistogramPercentile(buckets, stats.requests, 0.50);
     stats.latency_p99_us = HistogramPercentile(buckets, stats.requests, 0.99);
   }
-  if (stats.reloads > 0) {
+  if (reload_samples > 0) {
     stats.reload_latency_p50_us =
-        HistogramPercentile(reload_buckets, stats.reloads, 0.50);
+        HistogramPercentile(reload_buckets, reload_samples, 0.50);
     stats.reload_latency_p99_us =
-        HistogramPercentile(reload_buckets, stats.reloads, 0.99);
+        HistogramPercentile(reload_buckets, reload_samples, 0.99);
   }
   return stats;
 }

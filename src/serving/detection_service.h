@@ -8,6 +8,16 @@
 // a half-swapped model, and a failed reload leaves the service exactly
 // as it was.
 //
+// The engine serves a layered ModelStack (DESIGN.md §15): an immutable
+// base snapshot plus zero or more delta layers, each a small UDSNAP
+// artifact trained over only the new corpus shards. ApplyDelta() swaps
+// in a new engine layering one more delta after verifying the delta's
+// manifest chains onto the currently served layers by content hash;
+// Reload() swaps full bases (and refuses deltas, as ApplyDelta refuses
+// bases). ReloadIfGeneration() is the compare-and-swap variant the
+// background compactor uses so a compacted base never clobbers layers
+// it did not fold.
+//
 // Detection results are deterministic: batches produce identical
 // findings at any thread count (same per-table-slot discipline as
 // UniDetect::DetectCorpus) and carry no wall-clock values. Latency is
@@ -26,6 +36,7 @@
 #include "detect/finding.h"
 #include "detect/unidetect.h"
 #include "learn/model.h"
+#include "learn/model_stack.h"
 #include "serving/findings_cache.h"
 #include "table/table.h"
 #include "util/mutex.h"
@@ -40,9 +51,22 @@ struct ServiceStats {
   uint64_t requests = 0;        ///< DetectBatch calls served.
   uint64_t tables = 0;          ///< Tables scanned across all batches.
   uint64_t findings = 0;        ///< Findings returned across all batches.
-  uint64_t reloads = 0;         ///< Successful model swaps.
+  uint64_t reloads = 0;         ///< Successful full-base swaps.
   uint64_t failed_reloads = 0;  ///< Reload attempts that changed nothing.
   uint64_t generation = 0;      ///< Generation of the currently served model.
+  /// Successful ApplyDelta swaps since construction (a counter — it does
+  /// not drop when a compaction folds the layers away).
+  uint64_t applied_deltas = 0;
+  /// Full-base swaps that retired at least one delta layer — i.e. the
+  /// chain was folded into a fresh base, whether by the background
+  /// compactor (ReloadIfGeneration) or an operator Reload.
+  uint64_t compactions = 0;
+  /// Delta layers currently stacked above the base (0 = just the base).
+  uint64_t delta_layers = 0;
+  /// Total bytes (private heap + file-backed mapping) held by the delta
+  /// layers; 0 when serving a bare base. The base's own storage stays in
+  /// model_resident_bytes / model_mapped_bytes.
+  uint64_t delta_resident_bytes = 0;
   /// Per-request latency percentile upper bounds, in microseconds, read
   /// off the power-of-two histogram (0 when no requests yet). Upper
   /// bounds, not interpolations: p50 = 256 means half the requests took
@@ -52,13 +76,15 @@ struct ServiceStats {
   /// Successful-Reload latency percentile upper bounds (load + swap), in
   /// microseconds, from their own power-of-two histogram. On the v2
   /// mmap path this stays flat as models grow — the whole point of the
-  /// zero-copy snapshot layout.
+  /// zero-copy snapshot layout. ApplyDelta swaps feed the same
+  /// histogram: both are engine replacements, and the delta open cost
+  /// is O(delta index), not O(base).
   double reload_latency_p50_us = 0.0;
   double reload_latency_p99_us = 0.0;
-  /// Storage gauges of the currently served model: private heap bytes vs
-  /// file-backed mapped bytes (page-cache shared across processes). An
-  /// owned model reports mapped = 0; a mapped v2 model keeps resident
-  /// near zero.
+  /// Storage gauges of the currently served *base* layer: private heap
+  /// bytes vs file-backed mapped bytes (page-cache shared across
+  /// processes). An owned model reports mapped = 0; a mapped v2 model
+  /// keeps resident near zero.
   uint64_t model_resident_bytes = 0;
   uint64_t model_mapped_bytes = 0;
   /// Findings-cache counters (all zero when the cache is disabled):
@@ -84,6 +110,17 @@ class DetectionService {
     uint64_t generation = 0;
   };
 
+  /// \brief The layer chain currently serving: `paths[i]` / `ids[i]` for
+  /// layer i (0 = base, ascending deltas above), plus the generation the
+  /// chain was captured at. A service constructed from an in-memory
+  /// model reports one layer with an empty path and id 0; such a chain
+  /// accepts no deltas and cannot be compacted from files.
+  struct LayerSet {
+    std::vector<std::string> paths;
+    std::vector<uint64_t> ids;
+    uint64_t generation = 0;
+  };
+
   /// Takes shared ownership of `model` (generation 1). `options` are the
   /// serving defaults applied to every request without an override.
   /// `findings_cache_bytes` bounds the fingerprint -> findings cache
@@ -95,6 +132,7 @@ class DetectionService {
 
   /// \brief Builds a service from a model file (any supported format,
   /// opened through ModelView — v2 snapshots are mapped zero-copy).
+  /// Refuses delta artifacts: a service must start from a base.
   static Result<std::unique_ptr<DetectionService>> Create(
       const std::string& model_path, UniDetectOptions options = {},
       uint64_t findings_cache_bytes = 0);
@@ -102,18 +140,41 @@ class DetectionService {
   DetectionService(const DetectionService&) = delete;
   DetectionService& operator=(const DetectionService&) = delete;
 
-  /// \brief Atomically replaces the served model with one loaded from
-  /// `path`. The load runs outside the swap lock — the current model
-  /// keeps serving throughout — and the swap happens only on success;
-  /// on failure the service is untouched and the error is returned.
-  /// In-flight batches finish on the snapshot they started with; a
-  /// retired mapped model unmaps its region when the last such batch
-  /// drops its engine reference.
+  /// \brief Atomically replaces the served layer chain with a single
+  /// fresh base loaded from `path`. The load runs outside the swap lock
+  /// — the current model keeps serving throughout — and the swap happens
+  /// only on success; on failure the service is untouched and the error
+  /// is returned. In-flight batches finish on the snapshot they started
+  /// with; a retired mapped model unmaps its region when the last such
+  /// batch drops its engine reference.
+  ///
+  /// Delta artifacts are refused (InvalidArgument): a delta only means
+  /// something stacked on the chain it names — use ApplyDelta.
   ///
   /// v2 snapshots open in deferred-validation mode (structure and
   /// metadata CRCs only), so reload cost is O(index), independent of
   /// observation count.
-  Status Reload(const std::string& path);
+  Status Reload(const std::string& path) EXCLUDES(mu_, stats_mu_);
+
+  /// \brief Reload() guarded by a generation check: the swap happens
+  /// only if the served generation still equals `expected` once the
+  /// replacement is ready. AlreadyExists when the generation moved —
+  /// the benign compare-and-swap failure the compactor retries after
+  /// refreshing its view of the chain (not counted as a failed reload).
+  Status ReloadIfGeneration(const std::string& path, uint64_t expected)
+      EXCLUDES(mu_, stats_mu_);
+
+  /// \brief Atomically stacks the delta artifact at `path` on top of the
+  /// served chain. The artifact must carry a delta manifest whose
+  /// base/parent/depth match the chain exactly (base_id == layer 0's id,
+  /// parent_id == the top layer's id, depth == current layer count) and
+  /// whose model options byte-match the base's — anything else is
+  /// refused with InvalidArgument and the service is untouched.
+  ///
+  /// On success the generation bumps, so findings-cache keys (which
+  /// embed the generation) self-invalidate: warm entries miss against
+  /// the new chain and age out of the LRU naturally.
+  Status ApplyDelta(const std::string& path) EXCLUDES(mu_, stats_mu_);
 
   /// \brief Scans `tables` and returns per-table ranked findings.
   /// `num_threads` 0 means hardware concurrency; the response is
@@ -126,8 +187,12 @@ class DetectionService {
       size_t num_threads = 1) const EXCLUDES(mu_, stats_mu_);
 
   /// \brief Generation of the model currently serving (starts at 1,
-  /// +1 per successful Reload).
+  /// +1 per successful Reload or ApplyDelta).
   uint64_t generation() const EXCLUDES(mu_);
+
+  /// \brief Snapshot of the served layer chain (paths, artifact ids,
+  /// generation), taken atomically against swaps.
+  LayerSet Layers() const EXCLUDES(mu_);
 
   ServiceStats Stats() const EXCLUDES(mu_, stats_mu_);
 
@@ -136,18 +201,35 @@ class DetectionService {
   static constexpr size_t kLatencyBuckets = 40;
 
  private:
-  // An immutable (model, engine) pair; requests pin one via shared_ptr.
+  // An immutable (layer chain, engine) snapshot; requests pin one via
+  // shared_ptr. layer_paths/layer_ids run bottom-up: index 0 is the
+  // base, the last entry is the newest delta.
   struct Engine {
-    Engine(std::shared_ptr<const Model> model_in,
+    Engine(std::shared_ptr<const ModelStack> stack_in,
+           std::vector<std::string> layer_paths_in,
+           std::vector<uint64_t> layer_ids_in,
            const UniDetectOptions& options, uint64_t generation_in)
-        : model(std::move(model_in)),
-          detector(model.get(), options),
+        : stack(std::move(stack_in)),
+          layer_paths(std::move(layer_paths_in)),
+          layer_ids(std::move(layer_ids_in)),
+          detector(stack, options),
           generation(generation_in) {}
 
-    std::shared_ptr<const Model> model;
+    std::shared_ptr<const ModelStack> stack;
+    std::vector<std::string> layer_paths;
+    std::vector<uint64_t> layer_ids;
     UniDetect detector;
     uint64_t generation;
   };
+
+  DetectionService(std::shared_ptr<const Model> base, std::string base_path,
+                   uint64_t base_id, UniDetectOptions options,
+                   uint64_t findings_cache_bytes);
+
+  // Shared body of Reload / ReloadIfGeneration; `expected` < 0 means
+  // unconditional.
+  Status ReloadInternal(const std::string& path, int64_t expected)
+      EXCLUDES(mu_, stats_mu_);
 
   std::shared_ptr<const Engine> Snapshot() const EXCLUDES(mu_);
 
@@ -168,6 +250,8 @@ class DetectionService {
   mutable uint64_t findings_ GUARDED_BY(stats_mu_) = 0;
   mutable uint64_t reloads_ GUARDED_BY(stats_mu_) = 0;
   mutable uint64_t failed_reloads_ GUARDED_BY(stats_mu_) = 0;
+  mutable uint64_t applied_deltas_ GUARDED_BY(stats_mu_) = 0;
+  mutable uint64_t compactions_ GUARDED_BY(stats_mu_) = 0;
   mutable std::array<uint64_t, kLatencyBuckets> latency_buckets_
       GUARDED_BY(stats_mu_) = {};
   mutable std::array<uint64_t, kLatencyBuckets> reload_latency_buckets_

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -61,6 +62,14 @@ class CondVar {
   void Wait(Mutex& mu) REQUIRES(mu) {
     NativeLockAdapter adapter{mu.mu_};
     cv_.wait(adapter);
+  }
+
+  /// Like Wait, but also returns (false) when `timeout` elapses without
+  /// a notification. Callers re-check their predicate either way — the
+  /// background-compactor poll loop is the intended user.
+  bool WaitFor(Mutex& mu, std::chrono::milliseconds timeout) REQUIRES(mu) {
+    NativeLockAdapter adapter{mu.mu_};
+    return cv_.wait_for(adapter, timeout) == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

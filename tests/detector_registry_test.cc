@@ -4,6 +4,7 @@
 
 #include "detect/outlier_detector.h"
 #include "detect/unidetect.h"
+#include "learn/model_stack.h"
 
 namespace unidetect {
 namespace {
@@ -43,7 +44,8 @@ TEST(DetectorRegistryTest, CreateProducesTheRegisteredClass) {
   Model model;
   model.Finalize();
   UniDetectOptions options;
-  const DetectorContext context{&model, nullptr, &options};
+  const ModelStack stack = ModelStack::Borrow(&model);
+  const DetectorContext context{&stack, nullptr, &options};
   for (ErrorClass cls : registry.Classes()) {
     const auto detector = registry.Create(cls, context);
     ASSERT_NE(detector, nullptr);

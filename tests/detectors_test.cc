@@ -28,6 +28,13 @@ const Model& SharedModel() {
   return *model;
 }
 
+// Single-layer stack over the shared model, for direct detector tests.
+const ModelStack& SharedStack() {
+  static const ModelStack* stack =
+      new ModelStack(ModelStack::Borrow(&SharedModel()));
+  return *stack;
+}
+
 Table PartsTable() {
   Table table("parts");
   auto add = [&](const char* name, std::vector<std::string> cells) {
@@ -46,7 +53,7 @@ Table PartsTable() {
 }
 
 TEST(OutlierDetectorTest, FlagsScaleError) {
-  OutlierDetector detector(&SharedModel());
+  OutlierDetector detector(&SharedStack());
   std::vector<Finding> findings;
   detector.Detect(PartsTable(), &findings);
   bool found = false;
@@ -68,7 +75,7 @@ TEST(OutlierDetectorTest, SilentOnCleanGaussian) {
     cells.push_back(FormatDouble(rng.Normal(100, 5), 2));
   }
   ASSERT_TRUE(table.AddColumn(Column("v", std::move(cells))).ok());
-  OutlierDetector detector(&SharedModel());
+  OutlierDetector detector(&SharedStack());
   std::vector<Finding> findings;
   detector.Detect(table, &findings);
   for (const auto& finding : findings) {
@@ -77,7 +84,7 @@ TEST(OutlierDetectorTest, SilentOnCleanGaussian) {
 }
 
 TEST(SpellingDetectorTest, FlagsTypoPair) {
-  SpellingDetector detector(&SharedModel());
+  SpellingDetector detector(&SharedStack());
   std::vector<Finding> findings;
   detector.Detect(PartsTable(), &findings);
   bool found = false;
@@ -106,8 +113,8 @@ TEST(SpellingDetectorTest, DictionarySuppressesKnownWordPairs) {
         "xenon", "krypton"}) {
     dict.AddWord(word);
   }
-  SpellingDetector with_dict(&SharedModel(), &dict);
-  SpellingDetector without_dict(&SharedModel());
+  SpellingDetector with_dict(&SharedStack(), &dict);
+  SpellingDetector without_dict(&SharedStack());
   std::vector<Finding> suppressed;
   std::vector<Finding> raw;
   with_dict.Detect(table, &suppressed);
@@ -119,7 +126,7 @@ TEST(SpellingDetectorTest, DictionarySuppressesKnownWordPairs) {
 }
 
 TEST(UniquenessDetectorTest, FlagsDuplicateId) {
-  UniquenessDetector detector(&SharedModel());
+  UniquenessDetector detector(&SharedStack());
   std::vector<Finding> findings;
   detector.Detect(PartsTable(), &findings);
   bool found = false;
@@ -147,7 +154,7 @@ TEST(UniquenessDetectorTest, TolerantOfChanceNameDuplicates) {
                                "Adams, Mr. Peter", "Hall, Ms. Jane",
                                "Young, Mr. Alan", "King, Mrs. Eve"}))
                   .ok());
-  UniquenessDetector detector(&SharedModel());
+  UniquenessDetector detector(&SharedStack());
   std::vector<Finding> findings;
   detector.Detect(table, &findings);
   // Either nothing is flagged, or the confidence is far weaker than an
@@ -168,7 +175,7 @@ TEST(FdDetectorTest, FlagsConflictingPair) {
   shields[7] = "703";  // duplicate shield, conflicting name: Figure 13
   ASSERT_TRUE(table.AddColumn(Column("Shield", shields)).ok());
   ASSERT_TRUE(table.AddColumn(Column("Name", names)).ok());
-  FdDetector detector(&SharedModel());
+  FdDetector detector(&SharedStack());
   std::vector<Finding> findings;
   detector.Detect(table, &findings);
   bool found = false;

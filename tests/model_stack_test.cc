@@ -1,0 +1,138 @@
+// ModelStack: the layered read path (learn/model_stack.h). The keystone
+// invariant of the base+delta design lives here: for every detector,
+// detection over a stack of K layers is byte-identical to detection over
+// the single Model::Merge fold of the same layers, at any K and thread
+// count. The tsan preset runs this suite (ModelStack is in the
+// CMakePresets.json tsan test filter).
+
+#include "learn/model_stack.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "detect/finding_json.h"
+#include "detect/unidetect.h"
+#include "learn/trainer.h"
+#include "util/logging.h"
+
+namespace unidetect {
+namespace {
+
+std::shared_ptr<const Model> TrainLayer(size_t tables, uint64_t seed) {
+  SetLogLevel(LogLevel::kWarning);
+  Trainer trainer;
+  return std::make_shared<const Model>(
+      trainer.Train(GenerateCorpus(WebCorpusSpec(tables, seed)).corpus));
+}
+
+// The write-side fold the stack is checked against: same Merge the
+// offline pipeline and the compactor use.
+Model FoldLayers(const std::vector<std::shared_ptr<const Model>>& layers) {
+  Model merged(layers.front()->options());
+  for (const auto& layer : layers) merged.Merge(*layer);
+  merged.Finalize();
+  return merged;
+}
+
+// Every detector on, loose alpha, dictionary derived from the token
+// prevalence — the widest read surface the stack must reproduce.
+UniDetectOptions AllDetectorOptions() {
+  UniDetectOptions options;
+  options.alpha = 1.0;
+  options.set_detect(ErrorClass::kPattern, true);
+  options.use_dictionary = true;
+  return options;
+}
+
+std::string DetectAllJson(const UniDetect& detector, const Corpus& corpus,
+                          size_t num_threads) {
+  std::string out;
+  for (const Finding& finding : detector.DetectCorpus(corpus, num_threads)) {
+    out += FindingToJson(finding);
+    out += '\n';
+  }
+  return out;
+}
+
+// Base + K small deltas, trained over disjoint synthetic corpora. The
+// first layer is the big one, as in production.
+std::vector<std::shared_ptr<const Model>> MakeLayers(size_t num_deltas) {
+  std::vector<std::shared_ptr<const Model>> layers;
+  layers.push_back(TrainLayer(400, 7001));
+  for (size_t i = 0; i < num_deltas; ++i) {
+    layers.push_back(TrainLayer(80, 7100 + i));
+  }
+  return layers;
+}
+
+TEST(ModelStackTest, SingleLayerMatchesFlatModel) {
+  const auto layers = MakeLayers(0);
+  const UniDetectOptions options = AllDetectorOptions();
+  const UniDetect flat(layers[0].get(), options);
+  const UniDetect stacked(std::make_shared<const ModelStack>(layers),
+                          options);
+  const AnnotatedCorpus test = GenerateCorpus(WebCorpusSpec(30, 7777));
+  EXPECT_EQ(DetectAllJson(flat, test.corpus, 1),
+            DetectAllJson(stacked, test.corpus, 1));
+}
+
+// The keystone property at every K the acceptance criteria name: the
+// layered stack answers byte-identically to the merged single-shot
+// model, serial and parallel.
+TEST(ModelStackTest, StackMatchesMergedFoldAtEveryDepth) {
+  const auto all_layers = MakeLayers(5);
+  const AnnotatedCorpus test = GenerateCorpus(WebCorpusSpec(30, 7778));
+  const UniDetectOptions options = AllDetectorOptions();
+  for (const size_t k : {size_t{0}, size_t{1}, size_t{2}, size_t{5}}) {
+    const std::vector<std::shared_ptr<const Model>> layers(
+        all_layers.begin(), all_layers.begin() + 1 + k);
+    const Model merged = FoldLayers(layers);
+    const UniDetect flat(&merged, options);
+    const UniDetect stacked(std::make_shared<const ModelStack>(layers),
+                            options);
+    const std::string expected = DetectAllJson(flat, test.corpus, 1);
+    EXPECT_EQ(expected, DetectAllJson(stacked, test.corpus, 1))
+        << "K=" << k << " serial";
+    EXPECT_EQ(expected, DetectAllJson(stacked, test.corpus, 4))
+        << "K=" << k << " parallel";
+    // The fold itself must be thread-count invariant too.
+    EXPECT_EQ(expected, DetectAllJson(flat, test.corpus, 4))
+        << "K=" << k << " flat parallel";
+  }
+}
+
+TEST(ModelStackTest, AggregatesSumAcrossLayers) {
+  const auto layers = MakeLayers(2);
+  const ModelStack stack(layers);
+  uint64_t observations = 0;
+  for (const auto& layer : layers) observations += layer->num_observations();
+  EXPECT_EQ(stack.num_observations(), observations);
+  EXPECT_EQ(stack.num_layers(), 3u);
+  // Support for any subset present in several layers is the summed size
+  // — spot-check against the fold, which concatenates observations.
+  const Model merged = FoldLayers(layers);
+  merged.ForEachSubsetSorted([&](FeatureKey key, const SubsetStats& stats) {
+    EXPECT_EQ(stack.SubsetSupport(key), stats.size());
+  });
+}
+
+TEST(ModelStackTest, BorrowAndWithDeltaLayer) {
+  const auto layers = MakeLayers(1);
+  // Borrow: non-owning single-layer stack over a caller-kept model.
+  const ModelStack borrowed = ModelStack::Borrow(layers[0].get());
+  EXPECT_EQ(borrowed.num_layers(), 1u);
+  EXPECT_EQ(borrowed.num_observations(), layers[0]->num_observations());
+  // WithDelta: functional extension, original stack untouched.
+  const ModelStack extended = borrowed.WithDelta(layers[1]);
+  EXPECT_EQ(borrowed.num_layers(), 1u);
+  EXPECT_EQ(extended.num_layers(), 2u);
+  EXPECT_EQ(extended.num_observations(),
+            layers[0]->num_observations() + layers[1]->num_observations());
+}
+
+}  // namespace
+}  // namespace unidetect

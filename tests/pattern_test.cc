@@ -79,7 +79,7 @@ TEST(PatternIndexTest, CountsAndPmi) {
 TEST(PmiDetectorTest, FlagsMinorityIncompatiblePattern) {
   PatternIndex index;
   index.AddCorpus(PatternCorpus());
-  PmiDetector detector(&index, /*pmi_threshold=*/-2.0);
+  PmiDetector detector(index, /*pmi_threshold=*/-2.0);
 
   Table table("mixed");
   ASSERT_TRUE(table.AddColumn(Column("d", {"2001-01-01", "2002-03-04",
@@ -99,7 +99,7 @@ TEST(PmiDetectorTest, FlagsMinorityIncompatiblePattern) {
 TEST(PmiDetectorTest, SilentOnUniformColumn) {
   PatternIndex index;
   index.AddCorpus(PatternCorpus());
-  PmiDetector detector(&index);
+  PmiDetector detector(index);
   Table table("uniform");
   ASSERT_TRUE(table.AddColumn(Column("d", {"2001-01-01", "2002-03-04",
                                            "2003-05-06", "2004-07-08",
@@ -114,7 +114,7 @@ TEST(PmiDetectorTest, SilentOnUniformColumn) {
 TEST(PmiDetectorTest, LargeMinorityNotFlagged) {
   PatternIndex index;
   index.AddCorpus(PatternCorpus());
-  PmiDetector detector(&index);
+  PmiDetector detector(index);
   // 50/50 mixture: neither side is a clear minority.
   Table table("half");
   ASSERT_TRUE(table.AddColumn(Column("d", {"2001-01-01", "2002-03-04",

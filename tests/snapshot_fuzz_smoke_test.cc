@@ -19,8 +19,10 @@
 
 #include "corpus/generator.h"
 #include "learn/model.h"
+#include "model_format/delta_snapshot.h"
 #include "model_format/model_snapshot.h"
 #include "model_format/snapshot_v2.h"
+#include "util/binary_io.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -129,6 +131,86 @@ std::string Mutate(const std::string& base, Rng& rng) {
   return bytes;
 }
 
+// The delta read surface on top of the plain decode contract: the
+// manifest finder and the artifact-id hash must also return a typed
+// error or a value — a hostile manifest must never size an allocation
+// or drive a chain walk.
+void ExpectDeltaReadersSurvive(const std::string& bytes) {
+  ExpectDecodesOrRejects(bytes);
+  auto manifest = FindDeltaManifest(bytes);
+  if (!manifest.ok()) {
+    EXPECT_TRUE(manifest.status().IsCorruption() ||
+                manifest.status().IsNotImplemented())
+        << "unexpected status class: " << manifest.status();
+  }
+  auto id = SnapshotArtifactId(bytes);
+  if (!id.ok()) {
+    EXPECT_TRUE(id.status().IsCorruption())
+        << "unexpected status class: " << id.status();
+  }
+}
+
+// Delta-targeted mutations on top of the generic menu: the manifest
+// payload rides in the last section of the container, so hostile chain
+// hashes and layer counts (depth) live in the file's tail. Half the
+// time we also forge the section CRC so the poisoned values survive the
+// integrity pass and reach the manifest decoder itself.
+std::string MutateDelta(const std::string& base, Rng& rng) {
+  if (rng.NextBounded(2) == 0) return Mutate(base, rng);
+  std::string bytes = base;
+  static constexpr uint64_t kHostile[] = {
+      0xFFFFFFFFFFFFFFFFull, 0x8000000000000000ull, 0x100000000ull,
+      0xDEADBEEFDEADBEEFull, 0ull, 1ull};
+  switch (rng.NextBounded(3)) {
+    case 0: {  // poison a u64 in the manifest payload (file tail)
+      const size_t tail = std::min(bytes.size(), size_t{64});
+      const size_t pos = bytes.size() - tail +
+                         static_cast<size_t>(rng.NextBounded(tail));
+      const uint64_t value = kHostile[rng.NextBounded(std::size(kHostile))];
+      if (pos + 8 <= bytes.size()) std::memcpy(&bytes[pos], &value, 8);
+      if (rng.NextBounded(2) == 0 && bytes.size() >= 16) {
+        // Re-seal the manifest section's CRC so the poisoned chain
+        // hashes / layer counts survive the integrity pass and reach
+        // the manifest decoder itself.
+        uint32_t count = 0;
+        std::memcpy(&count, &bytes[12], 4);
+        for (uint32_t e = 0;
+             e < count && 16 + (e + 1) * size_t{24} <= bytes.size(); ++e) {
+          const size_t entry = 16 + e * size_t{24};
+          uint32_t id = 0;
+          uint64_t offset = 0, length = 0;
+          std::memcpy(&id, &bytes[entry], 4);
+          std::memcpy(&offset, &bytes[entry + 8], 8);
+          std::memcpy(&length, &bytes[entry + 16], 8);
+          if (id != 13 || offset > bytes.size() ||
+              length > bytes.size() - offset) {
+            continue;
+          }
+          const uint32_t crc = Crc32(
+              std::string_view(bytes).substr(offset, length));
+          std::memcpy(&bytes[entry + 4], &crc, 4);
+        }
+      }
+      break;
+    }
+    case 1: {  // truncate inside the manifest section
+      const size_t cut = 1 + static_cast<size_t>(rng.NextBounded(
+                                 std::min(bytes.size(), size_t{48})));
+      bytes.resize(bytes.size() - cut);
+      break;
+    }
+    default: {  // rewrite a section-table id to or from the manifest id
+      if (bytes.size() < 16 + 24) break;
+      const uint64_t entry = rng.NextBounded((bytes.size() - 16) / 24);
+      const size_t pos = 16 + static_cast<size_t>(entry) * 24;
+      const uint32_t id = rng.NextBounded(2) ? 13u : rng.NextBounded(32);
+      if (pos + 4 <= bytes.size()) std::memcpy(&bytes[pos], &id, 4);
+      break;
+    }
+  }
+  return bytes;
+}
+
 void RunSmoke(const std::string& base, uint64_t seed, int rounds) {
   ASSERT_FALSE(base.empty());
   // Sanity: the unmutated snapshot decodes in both validation modes.
@@ -158,6 +240,27 @@ TEST(SnapshotFuzzSmokeTest, MutatedV1SnapshotsNeverCrash) {
            /*rounds=*/300);
 }
 
+// Delta artifacts widen the attack surface: the manifest's chain hashes
+// and depth (layer count) are operator-supplied bytes that gate layer
+// stacking. Every reader on the path — plain decode, manifest find,
+// artifact id — must survive the mutation menu.
+TEST(SnapshotFuzzSmokeTest, MutatedDeltaSnapshotsNeverCrash) {
+  DeltaManifest manifest;
+  manifest.base_id = 0x1234567890ABCDEFull;
+  manifest.parent_id = 0x1234567890ABCDEFull;
+  manifest.depth = 1;
+  const std::string base = EncodeModelSnapshotV2(
+      BuildModel(), ObservationEncoding::kF32, &manifest);
+  // Sanity: the unmutated delta round-trips through every reader.
+  ASSERT_TRUE(DecodeModelSnapshot(base, SnapshotValidation::kFull).ok());
+  ASSERT_TRUE(FindDeltaManifest(base)->has_value());
+  ASSERT_TRUE(SnapshotArtifactId(base).ok());
+  Rng rng(4004);
+  for (int i = 0; i < 300; ++i) {
+    ExpectDeltaReadersSurvive(MutateDelta(base, rng));
+  }
+}
+
 // Replays every frozen crasher. Each fixture is a full input file that
 // once took the decoder down (e.g. a 16-byte header whose section_count
 // of 2^32-1 drove a multi-GB reserve) and must now produce a typed
@@ -165,6 +268,7 @@ TEST(SnapshotFuzzSmokeTest, MutatedV1SnapshotsNeverCrash) {
 TEST(SnapshotFuzzSmokeTest, GoldenCrashersStayFixed) {
   const std::filesystem::path golden(UNIDETECT_GOLDEN_DIR);
   int replayed = 0;
+  int replayed_delta = 0;
   for (const auto& entry : std::filesystem::directory_iterator(golden)) {
     const std::string name = entry.path().filename().string();
     if (name.rfind("fuzz_", 0) != 0) continue;
@@ -174,6 +278,20 @@ TEST(SnapshotFuzzSmokeTest, GoldenCrashersStayFixed) {
     buffer << in.rdbuf();
     const std::string bytes = buffer.str();
     SCOPED_TRACE(name);
+    if (name.rfind("fuzz_delta_", 0) == 0) {
+      // Delta crashers attack the manifest, which the plain decoder
+      // skips (a CRC-valid hostile manifest decodes as an ordinary
+      // model). The frozen contract is therefore: the manifest reader
+      // rejects with a typed Corruption, and the plain decoders still
+      // never crash.
+      ExpectDeltaReadersSurvive(bytes);
+      auto manifest = FindDeltaManifest(bytes);
+      ASSERT_FALSE(manifest.ok()) << name << " manifest decoded";
+      EXPECT_TRUE(manifest.status().IsCorruption())
+          << name << ": " << manifest.status();
+      ++replayed_delta;
+      continue;
+    }
     for (SnapshotValidation validation :
          {SnapshotValidation::kFull, SnapshotValidation::kDeferPayload}) {
       auto decoded = DecodeModelSnapshot(bytes, validation);
@@ -185,6 +303,7 @@ TEST(SnapshotFuzzSmokeTest, GoldenCrashersStayFixed) {
   }
   // The suite must fail loudly if the fixtures go missing.
   EXPECT_GE(replayed, 3);
+  EXPECT_GE(replayed_delta, 3);
 }
 
 }  // namespace

@@ -7,12 +7,19 @@
 //   $ offline_build resume <build_dir> [--threads N]
 //   $ offline_build merge <build_dir> <model_out>
 //   $ offline_build verify <build_dir> [--check-inputs]
+//   $ offline_build delta <base.udsnap> <delta_out> [--parent <artifact>]
+//                         [--threads N] <input_dir> [...]
 //
 // `build` and `resume` are the same operation — RunOfflineBuild always
 // skips journal-verified shards — the two names exist so operator intent
 // ("start this" vs "pick this back up") reads correctly in shell history.
 // `--stop-after K` builds at most K shard-stages then exits 3, which is
 // how the crash-resume tests and docs simulate preemption.
+//
+// `delta` trains over only the listed input dirs and writes a delta
+// UDSNAP artifact chained to <base.udsnap> (src/offline/delta_build.h);
+// `--parent` names the previous delta when extending a chain past depth
+// 1. The output is what `DetectionService::ApplyDelta` consumes.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "learn/trainer.h"
+#include "offline/delta_build.h"
 #include "offline/offline_build.h"
 #include "util/logging.h"
 
@@ -37,7 +45,9 @@ int Usage() {
       "  offline_build build <build_dir> [--threads N] [--stop-after K]\n"
       "  offline_build resume <build_dir> [--threads N]\n"
       "  offline_build merge <build_dir> <model_out>\n"
-      "  offline_build verify <build_dir> [--check-inputs]\n");
+      "  offline_build verify <build_dir> [--check-inputs]\n"
+      "  offline_build delta <base.udsnap> <delta_out> "
+      "[--parent <artifact>] [--threads N] <input_dir> [...]\n");
   return 2;
 }
 
@@ -114,6 +124,37 @@ int Merge(int argc, char** argv) {
   return 0;
 }
 
+int Delta(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  DeltaBuildSpec spec;
+  spec.base_path = argv[2];
+  spec.out_path = argv[3];
+  for (int i = 4; i < argc;) {
+    if (std::strcmp(argv[i], "--parent") == 0 && i + 1 < argc) {
+      spec.parent_path = argv[i + 1];
+      i += 2;
+      continue;
+    }
+    if (ConsumeSizeFlag("--threads", argv, argc, &i, &spec.num_threads)) {
+      continue;
+    }
+    spec.input_dirs.push_back(argv[i++]);
+  }
+  if (spec.input_dirs.empty()) return Usage();
+  if (spec.num_threads == 0) spec.num_threads = 1;
+  const auto report = BuildDeltaSnapshot(spec);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("Delta %s: %zu table(s), %llu bytes, depth %llu "
+              "(base %016llx, parent %016llx, id %016llx)\n",
+              spec.out_path.c_str(), report->tables,
+              static_cast<unsigned long long>(report->encoded_bytes),
+              static_cast<unsigned long long>(report->manifest.depth),
+              static_cast<unsigned long long>(report->manifest.base_id),
+              static_cast<unsigned long long>(report->manifest.parent_id),
+              static_cast<unsigned long long>(report->artifact_id));
+  return 0;
+}
+
 int Verify(int argc, char** argv) {
   if (argc < 3) return Usage();
   const bool check_inputs =
@@ -142,5 +183,6 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(cmd, "merge") == 0) return Merge(argc, argv);
   if (std::strcmp(cmd, "verify") == 0) return Verify(argc, argv);
+  if (std::strcmp(cmd, "delta") == 0) return Delta(argc, argv);
   return Usage();
 }

@@ -2,6 +2,7 @@
 //
 //   $ snapshot_convert <model_in> [--to v1|v2] [--f16|--f32]
 //                      [--out <path>] [--check]
+//   $ snapshot_convert <compacted> --check --chain <base> [<delta>...]
 //
 // Reads any supported format (UDSNAP v1/v2 or the legacy text model)
 // with full validation, re-encodes it in the requested format (default:
@@ -14,12 +15,22 @@
 // re-decodes the written bytes and, for a v2 output, verifies that
 // encode(decode(bytes)) reproduces the bytes exactly (the canonical-
 // packing guarantee DESIGN.md section 12 promises).
+//
+// `--chain` switches to audit-only mode (nothing is written): the
+// remaining arguments name a base snapshot and its delta artifacts in
+// chain order. Each delta's manifest is verified against the artifacts
+// actually on disk (base id, parent id, ascending depth), the layers
+// are folded with Model::Merge, and the fold's canonical v2 encoding is
+// byte-compared against <model_in> — the compacted artifact. Exit 0
+// means the compaction faithfully folded exactly those layers.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "learn/model.h"
+#include "model_format/delta_snapshot.h"
 #include "model_format/model_snapshot.h"
 #include "model_format/snapshot_v2.h"
 #include "util/binary_io.h"
@@ -32,7 +43,9 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: snapshot_convert <model_in> [--to v1|v2] "
-               "[--f16|--f32] [--out <path>] [--check]\n");
+               "[--f16|--f32] [--out <path>] [--check]\n"
+               "       snapshot_convert <compacted> --check --chain "
+               "<base> [<delta>...]\n");
   return 2;
 }
 
@@ -53,6 +66,64 @@ const char* FormatName(std::string_view bytes) {
   }
 }
 
+/// \brief Audit-only mode: verifies that `compacted_path` is exactly the
+/// Model::Merge fold of `layers` (base first, deltas in chain order).
+int AuditChain(const std::string& compacted_path,
+               const std::vector<std::string>& layers) {
+  // The manifests must chain the on-disk artifacts by content hash —
+  // the same checks ApplyDelta runs before stacking a layer.
+  auto base_identity = ReadSnapshotIdentity(layers[0]);
+  if (!base_identity.ok()) return Fail(base_identity.status());
+  if (base_identity->manifest.has_value()) {
+    return Fail(Status::InvalidArgument(
+        "chain audit: first layer " + layers[0] +
+        " is a delta artifact; the chain must start at its base"));
+  }
+  uint64_t parent_id = base_identity->artifact_id;
+  for (size_t i = 1; i < layers.size(); ++i) {
+    auto identity = ReadSnapshotIdentity(layers[i]);
+    if (!identity.ok()) return Fail(identity.status());
+    if (!identity->manifest.has_value()) {
+      return Fail(Status::InvalidArgument(
+          "chain audit: " + layers[i] + " carries no delta manifest"));
+    }
+    const DeltaManifest& manifest = *identity->manifest;
+    if (manifest.base_id != base_identity->artifact_id ||
+        manifest.parent_id != parent_id || manifest.depth != i) {
+      return Fail(Status::InvalidArgument(
+          "chain audit: " + layers[i] +
+          " does not chain onto the preceding layers (wrong base, "
+          "parent, or depth)"));
+    }
+    parent_id = identity->artifact_id;
+  }
+
+  // Fold with full validation and byte-compare the canonical encoding
+  // against the compacted artifact.
+  auto base = LoadModelFromFile(layers[0], SnapshotValidation::kFull);
+  if (!base.ok()) return Fail(base.status());
+  Model merged(base->options());
+  merged.Merge(*base);
+  for (size_t i = 1; i < layers.size(); ++i) {
+    auto delta = LoadModelFromFile(layers[i], SnapshotValidation::kFull);
+    if (!delta.ok()) return Fail(delta.status());
+    merged.Merge(*delta);
+  }
+  merged.Finalize();
+  const std::string encoded = EncodeModelSnapshotV2(merged);
+  auto compacted = ReadFileToString(compacted_path);
+  if (!compacted.ok()) return Fail(compacted.status());
+  if (encoded != *compacted) {
+    return Fail(Status::Corruption(
+        "chain audit: " + compacted_path +
+        " is not bit-identical to the Model::Merge fold of the " +
+        std::to_string(layers.size()) + " layer(s)"));
+  }
+  std::printf("%s == fold of %zu layer(s) (%zu bytes) [chain verified]\n",
+              compacted_path.c_str(), layers.size(), encoded.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,8 +133,14 @@ int main(int argc, char** argv) {
   std::string out_path = in_path;
   uint32_t to_version = 2;
   bool check = false;
+  std::vector<std::string> chain;
   ObservationEncoding encoding = ObservationEncoding::kPreserve;
   for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chain") == 0) {
+      // Everything after --chain is a layer path, base first.
+      for (++i; i < argc; ++i) chain.push_back(argv[i]);
+      break;
+    }
     if (std::strcmp(argv[i], "--to") == 0 && i + 1 < argc) {
       const std::string v = argv[++i];
       if (v == "v1" || v == "1") {
@@ -85,6 +162,7 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
+  if (!chain.empty()) return AuditChain(in_path, chain);
   if (to_version == 1 && encoding == ObservationEncoding::kF16) {
     std::fprintf(stderr,
                  "snapshot_convert: --f16 requires the v2 layout "
