@@ -1,0 +1,285 @@
+// Open-loop load generator for the network front end (DESIGN.md §16),
+// backing BENCH_PR9.json: a real DetectionServer on a loopback port,
+// N connections each pacing UDWIRE detect requests at a fixed arrival
+// rate with send and receive decoupled (send times are scheduled up
+// front and never wait on responses, so queueing delay is measured
+// rather than hidden — no coordinated omission). Reports achieved QPS
+// and exact p50/p99/p999 latency per scenario:
+//
+//   coalesce_on          batching enabled (the serving default)
+//   coalesce_off         every request is its own DetectBatch call
+//   coalesce_on_reload   batching enabled while a churn thread swaps
+//                        the model via Reload/ApplyDelta continuously
+//
+// Not a google-benchmark binary: open-loop pacing needs its own clock
+// discipline, so this defines its own main and prints one JSON document
+// (scripts/bench_server.sh redirects it to BENCH_PR9.json).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpus_io.h"
+#include "corpus/generator.h"
+#include "learn/trainer.h"
+#include "offline/delta_build.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "serving/detection_service.h"
+#include "util/logging.h"
+#include "util/mutex.h"
+
+namespace unidetect {
+namespace {
+
+struct Scenario {
+  std::string name;
+  bool coalesce = true;
+  bool reload_churn = false;
+};
+
+struct ScenarioResult {
+  std::string name;
+  double offered_qps = 0;
+  double achieved_qps = 0;
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t transport_errors = 0;
+  double p50_us = 0, p99_us = 0, p999_us = 0;
+  uint64_t batches = 0;
+  uint64_t coalesced_requests = 0;
+  uint64_t reload_cycles = 0;
+};
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t rank = std::min(
+      sorted.size() - 1, static_cast<size_t>(q * (sorted.size() - 1) + 0.5));
+  return sorted[rank];
+}
+
+struct Paths {
+  std::string base;
+  std::string delta;
+};
+
+Paths BuildArtifacts() {
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() + "/bench_server";
+  std::filesystem::create_directories(dir);
+  Paths paths{dir + "/base.udsnap", dir + "/delta.udsnap"};
+  Trainer trainer;
+  const Model base =
+      trainer.Train(GenerateCorpus(WebCorpusSpec(300, 1131)).corpus);
+  UNIDETECT_CHECK(base.Save(paths.base).ok());
+  const std::string shard = dir + "/shard";
+  UNIDETECT_CHECK(
+      SaveCorpusToDirectory(GenerateCorpus(WebCorpusSpec(40, 1132)).corpus,
+                            shard)
+          .ok());
+  DeltaBuildSpec spec;
+  spec.base_path = paths.base;
+  spec.input_dirs = {shard};
+  spec.out_path = paths.delta;
+  UNIDETECT_CHECK(BuildDeltaSnapshot(spec).ok());
+  return paths;
+}
+
+ScenarioResult RunScenario(const Scenario& scenario, const Paths& paths,
+                           int connections, double rate_per_connection,
+                           std::chrono::seconds duration) {
+  auto service_or = DetectionService::Create(paths.base);
+  UNIDETECT_CHECK(service_or.ok());
+  auto service = std::move(service_or).ValueOrDie();
+
+  ServerOptions options;
+  options.coalescer.coalesce = scenario.coalesce;
+  options.coalescer.queue_capacity = 4096;
+  options.coalescer.max_batch_delay = std::chrono::microseconds(200);
+  DetectionServer server(service.get(), options);
+  UNIDETECT_CHECK(server.Start().ok());
+
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / rate_per_connection));
+  const size_t per_connection = static_cast<size_t>(
+      rate_per_connection * static_cast<double>(duration.count()));
+
+  std::atomic<bool> churn_stop{false};
+  std::atomic<uint64_t> reload_cycles{0};
+  std::thread churn;
+  if (scenario.reload_churn) {
+    churn = std::thread([&] {
+      // Alternate stacking the delta and folding back to the base; each
+      // swap is a full engine replacement under live traffic.
+      for (uint64_t cycle = 0; !churn_stop.load(); ++cycle) {
+        const Status status = cycle % 2 == 0
+                                  ? service->ApplyDelta(paths.delta)
+                                  : service->Reload(paths.base);
+        UNIDETECT_CHECK(status.ok());
+        reload_cycles.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+
+  ScenarioResult result;
+  result.name = scenario.name;
+  result.offered_qps = rate_per_connection * connections;
+  result.requests = per_connection * connections;
+
+  std::atomic<uint64_t> ok{0}, shed{0}, transport_errors{0};
+  Mutex latencies_mu;
+  std::vector<double> latencies;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      auto client = UdwireClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        transport_errors.fetch_add(per_connection);
+        return;
+      }
+      const std::vector<Table> tables =
+          GenerateCorpus(WebCorpusSpec(1, 1200 + c)).corpus.tables;
+      std::vector<std::string> frames(per_connection);
+      for (size_t i = 0; i < per_connection; ++i) {
+        wire::DetectRequest request;
+        request.request_id = i;
+        request.tables = tables;
+        frames[i] = wire::EncodeDetectRequest(request);
+      }
+      std::vector<std::chrono::steady_clock::time_point> sent(per_connection);
+      std::vector<double> local;
+      local.reserve(per_connection);
+
+      // Receiver drains responses while the sender paces the open loop.
+      std::thread receiver([&] {
+        for (size_t i = 0; i < per_connection; ++i) {
+          auto response = client->ReadResponse();
+          if (!response.ok()) {
+            transport_errors.fetch_add(per_connection - i);
+            return;
+          }
+          const auto now = std::chrono::steady_clock::now();
+          if (response->code == wire::WireCode::kOk) {
+            ok.fetch_add(1);
+            local.push_back(
+                std::chrono::duration<double, std::micro>(
+                    now - sent[response->request_id])
+                    .count());
+          } else {
+            shed.fetch_add(1);
+          }
+        }
+      });
+
+      for (size_t i = 0; i < per_connection; ++i) {
+        // Open loop: the schedule is fixed at start; a late sender
+        // catches up instead of stretching the interval.
+        std::this_thread::sleep_until(start + interval * (i + 1));
+        sent[i] = std::chrono::steady_clock::now();
+        if (!client->SendRaw(frames[i]).ok()) {
+          transport_errors.fetch_add(1);
+          sent[i] = {};
+        }
+      }
+      receiver.join();
+      MutexLock lock(&latencies_mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  churn_stop.store(true);
+  if (churn.joinable()) churn.join();
+
+  result.ok = ok.load();
+  result.shed = shed.load();
+  result.transport_errors = transport_errors.load();
+  result.achieved_qps = elapsed > 0 ? result.ok / elapsed : 0;
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_us = Percentile(latencies, 0.50);
+  result.p99_us = Percentile(latencies, 0.99);
+  result.p999_us = Percentile(latencies, 0.999);
+  result.batches = server.metrics().Count(ServerMetric::kBatches);
+  result.coalesced_requests =
+      server.metrics().Count(ServerMetric::kCoalescedRequests);
+  result.reload_cycles = reload_cycles.load();
+  server.Stop();
+  return result;
+}
+
+void AppendScenarioJson(const ScenarioResult& r, std::string* out) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"name\":\"%s\",\"offered_qps\":%.1f,\"achieved_qps\":%.1f,"
+      "\"requests\":%llu,\"ok\":%llu,\"shed\":%llu,"
+      "\"transport_errors\":%llu,\"p50_us\":%.1f,\"p99_us\":%.1f,"
+      "\"p999_us\":%.1f,\"batches\":%llu,\"coalesced_requests\":%llu,"
+      "\"reload_cycles\":%llu}",
+      r.name.c_str(), r.offered_qps, r.achieved_qps,
+      static_cast<unsigned long long>(r.requests),
+      static_cast<unsigned long long>(r.ok),
+      static_cast<unsigned long long>(r.shed),
+      static_cast<unsigned long long>(r.transport_errors), r.p50_us, r.p99_us,
+      r.p999_us, static_cast<unsigned long long>(r.batches),
+      static_cast<unsigned long long>(r.coalesced_requests),
+      static_cast<unsigned long long>(r.reload_cycles));
+  out->append(buf);
+}
+
+int Main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  int connections = 2;
+  double rate = 100.0;  // per connection
+  int seconds = 3;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag == "--connections") connections = std::atoi(argv[i + 1]);
+    if (flag == "--rate") rate = std::atof(argv[i + 1]);
+    if (flag == "--seconds") seconds = std::atoi(argv[i + 1]);
+  }
+
+  const Paths paths = BuildArtifacts();
+  const std::vector<Scenario> scenarios = {
+      {"coalesce_on", /*coalesce=*/true, /*reload_churn=*/false},
+      {"coalesce_off", /*coalesce=*/false, /*reload_churn=*/false},
+      {"coalesce_on_reload_churn", /*coalesce=*/true, /*reload_churn=*/true},
+  };
+
+  std::string out = "{\n  \"bench\": \"bench_server\",\n";
+  out += "  \"config\": {\"connections\": " + std::to_string(connections) +
+         ", \"rate_per_connection\": " + std::to_string(rate) +
+         ", \"seconds\": " + std::to_string(seconds) + "},\n";
+  out += "  \"scenarios\": [\n";
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    std::fprintf(stderr, "running scenario %s...\n",
+                 scenarios[i].name.c_str());
+    const ScenarioResult result =
+        RunScenario(scenarios[i], paths, connections, rate,
+                    std::chrono::seconds(seconds));
+    AppendScenarioJson(result, &out);
+    out += i + 1 < scenarios.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace unidetect
+
+int main(int argc, char** argv) { return unidetect::Main(argc, argv); }

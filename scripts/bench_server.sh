@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the network-front-end load generator (bench/bench_server.cc) and
+# records BENCH_PR9.json at the repo root: achieved QPS and exact
+# p50/p99/p999 request latency for three scenarios — coalescing on
+# (the serving default), coalescing off (every request its own
+# DetectBatch call), and coalescing on under continuous Reload /
+# ApplyDelta churn. The server integration tests guard the semantics
+# the numbers rest on (byte-identity, typed shedding, zero torn
+# responses across swaps), so they run first.
+#
+# Usage: scripts/bench_server.sh [--connections N] [--rate R] [--seconds S]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ ! -x build/bench/bench_server ]]; then
+  cmake -B build -S .
+  cmake --build build -j --target bench_server unidetect_tests
+fi
+
+ctest --test-dir build -R 'ServerIntegrationTest' --output-on-failure
+
+build/bench/bench_server "$@" > BENCH_PR9.json
+
+echo "Wrote $(pwd)/BENCH_PR9.json"
+cat BENCH_PR9.json

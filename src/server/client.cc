@@ -1,0 +1,163 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace unidetect {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(StrCat(what, ": ", strerror(errno)));
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument(
+        StrCat("not an IPv4 literal: '", host, "'"));
+  }
+  // sockaddr_in -> sockaddr is the BSD socket ABI contract, a trusted
+  // in-memory cast, not wire decoding. NOLINTNEXTLINE(unsafe-bytes)
+  if (connect(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    const Status status = Errno("connect");
+    close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Status WriteAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("write");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<UdwireClient> UdwireClient::Connect(const std::string& host,
+                                           uint16_t port) {
+  UNIDETECT_ASSIGN_OR_RETURN(const int fd, ConnectTcp(host, port));
+  return UdwireClient(fd);
+}
+
+UdwireClient::UdwireClient(UdwireClient&& other) noexcept
+    : fd_(other.fd_), rx_(std::move(other.rx_)) {
+  other.fd_ = -1;
+}
+
+UdwireClient& UdwireClient::operator=(UdwireClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = other.fd_;
+    rx_ = std::move(other.rx_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+UdwireClient::~UdwireClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status UdwireClient::SendRaw(std::string_view bytes) {
+  return WriteAll(fd_, bytes);
+}
+
+Result<wire::DetectResponse> UdwireClient::ReadResponse() {
+  char buf[64 << 10];
+  for (;;) {
+    Result<std::optional<wire::FrameView>> parsed =
+        wire::TryParseFrame(rx_, wire::kAbsoluteMaxPayload);
+    UNIDETECT_RETURN_NOT_OK(parsed.status());
+    if (parsed->has_value()) {
+      const wire::FrameView frame = **parsed;
+      if (frame.type != wire::FrameType::kDetectResponse) {
+        return Status::Corruption("UDWIRE client: unexpected frame type");
+      }
+      Result<wire::DetectResponse> response =
+          wire::DecodeDetectResponsePayload(frame.payload);
+      rx_.erase(0, frame.frame_bytes);
+      return response;
+    }
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      rx_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("UDWIRE client: server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    return Errno("read");
+  }
+}
+
+Result<wire::DetectResponse> UdwireClient::Detect(
+    const wire::DetectRequest& request) {
+  UNIDETECT_RETURN_NOT_OK(SendRaw(wire::EncodeDetectRequest(request)));
+  return ReadResponse();
+}
+
+Result<std::string> HttpFetch(const std::string& host, uint16_t port,
+                              std::string_view method, std::string_view target,
+                              std::string_view body) {
+  UNIDETECT_ASSIGN_OR_RETURN(const int fd, ConnectTcp(host, port));
+  std::string request = StrCat(method, " ", target,
+                               " HTTP/1.1\r\nHost: ", host,
+                               "\r\nConnection: close\r\n");
+  if (!body.empty()) {
+    StrAppend(&request, "Content-Length: ", body.size(), "\r\n");
+  }
+  request.append("\r\n");
+  request.append(body);
+  const Status sent = WriteAll(fd, request);
+  if (!sent.ok()) {
+    close(fd);
+    return sent;
+  }
+  // Connection: close — the response is simply everything until EOF.
+  std::string response;
+  char buf[64 << 10];
+  for (;;) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      response.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      const Status status = Errno("read");
+      close(fd);
+      return status;
+    }
+    break;
+  }
+  close(fd);
+  return response;
+}
+
+}  // namespace unidetect

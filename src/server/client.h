@@ -1,0 +1,63 @@
+// Blocking UDWIRE client: the counterpart of DetectionServer used by
+// tools/udclient, the loopback tests and bench/bench_server. One
+// connection, synchronous request/response (request ids still travel,
+// so an async client could multiplex — this one just doesn't need to).
+// SendRaw/ReadResponse are split out so robustness tests can push
+// hand-corrupted bytes at a live server, and a tiny HTTP helper covers
+// the /healthz-style probes without pulling in a real HTTP client.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/wire.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace unidetect {
+
+class UdwireClient {
+ public:
+  /// \brief Connects (blocking) to `host`:`port`; host is a dotted-quad
+  /// IPv4 literal such as "127.0.0.1".
+  static Result<UdwireClient> Connect(const std::string& host, uint16_t port);
+
+  UdwireClient(UdwireClient&& other) noexcept;
+  UdwireClient& operator=(UdwireClient&& other) noexcept;
+  UdwireClient(const UdwireClient&) = delete;
+  UdwireClient& operator=(const UdwireClient&) = delete;
+  ~UdwireClient();
+
+  /// \brief One synchronous round trip: encodes and sends `request`,
+  /// blocks for the matching response frame. A typed server response
+  /// (Overloaded, DeadlineExceeded, ...) is a *successful* return whose
+  /// code says what happened; an error Status means the transport or
+  /// framing itself failed.
+  Result<wire::DetectResponse> Detect(const wire::DetectRequest& request);
+
+  /// \brief Writes arbitrary bytes down the connection (robustness
+  /// tests feed corrupted frames through this).
+  Status SendRaw(std::string_view bytes);
+
+  /// \brief Blocks until one complete response frame arrives.
+  Result<wire::DetectResponse> ReadResponse();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit UdwireClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string rx_;  // bytes past the last decoded frame
+};
+
+/// \brief One blocking HTTP/1.1 request against a local server; returns
+/// the raw response (status line + headers + body). `body` non-empty
+/// implies a Content-Length header.
+Result<std::string> HttpFetch(const std::string& host, uint16_t port,
+                              std::string_view method, std::string_view target,
+                              std::string_view body = {});
+
+}  // namespace unidetect

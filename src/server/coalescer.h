@@ -1,0 +1,133 @@
+// RequestCoalescer: the admission-control and batching stage between
+// the network front end and DetectionService (DESIGN.md §16).
+//
+// Connections Submit() decoded detect requests into a bounded FIFO.
+// Admission is all-or-nothing at the queue: when the queue is at
+// capacity the request is refused immediately with kOverloaded (a typed
+// response the client sees, never a silent drop), and once Stop() has
+// begun draining new requests are refused with kDraining. A single
+// worker thread dequeues, enforces each request's relative deadline at
+// dequeue time (a request that waited past its budget gets
+// kDeadlineExceeded without burning a detector slot), and cuts batches:
+// contiguous queued requests with the same option-override key are
+// merged into one DetectBatch call until the batch holds
+// max_batch_tables tables or max_batch_delay has elapsed since the
+// first request was picked up. Merging only contiguous same-key runs
+// keeps completion FIFO per connection and makes batching invisible to
+// clients — per-request responses are sliced back out of the batch in
+// request order, byte-identical to a direct DetectBatch call
+// (tests/server_integration_test.cc pins this).
+//
+// Reload/ApplyDelta need no coordination here: DetectBatch pins the
+// engine snapshot it starts with, so an in-flight batch finishes on the
+// model it began on while the swap proceeds. Stop(drain=true) serves
+// everything already admitted before returning; Stop(drain=false)
+// fails queued requests fast with kUnavailable.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <thread>
+
+#include "server/metrics.h"
+#include "server/wire.h"
+#include "serving/detection_service.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace unidetect {
+
+struct CoalescerOptions {
+  /// Admission queue bound, in requests. Submissions beyond this are
+  /// refused with kOverloaded.
+  size_t queue_capacity = 256;
+  /// A batch is cut once it holds this many tables (requests are never
+  /// split, so one oversized request still forms its own batch).
+  size_t max_batch_tables = 64;
+  /// How long the worker lingers for more same-key requests after
+  /// picking up the first one. 0 — or coalesce=false — disables the
+  /// wait entirely.
+  std::chrono::microseconds max_batch_delay{500};
+  /// Threads handed to DetectBatch (0 = hardware concurrency).
+  size_t detect_threads = 1;
+  /// Master switch: false serves every request as its own batch
+  /// (the bench's comparison baseline).
+  bool coalesce = true;
+  /// The serving defaults that per-request overrides are applied over
+  /// (mirror the options the DetectionService was built with so an
+  /// override changes only the fields it names).
+  UniDetectOptions base_options{};
+};
+
+class RequestCoalescer {
+ public:
+  /// \brief How Submit() disposed of a request.
+  enum class Admission {
+    kAdmitted,    ///< queued; the callback will fire exactly once
+    kOverloaded,  ///< refused, queue full — callback already fired
+    kDraining,    ///< refused, Stop() has begun — callback already fired
+  };
+
+  /// Invoked exactly once per submitted request, from the worker thread
+  /// (or inline from Submit() on refusal). May be called concurrently
+  /// with other callbacks' completions; must not block.
+  using ResponseCallback = std::function<void(wire::DetectResponse)>;
+
+  /// `service` and `metrics` must outlive the coalescer.
+  RequestCoalescer(DetectionService* service, MetricsRegistry* metrics,
+                   CoalescerOptions options);
+  ~RequestCoalescer();
+
+  RequestCoalescer(const RequestCoalescer&) = delete;
+  RequestCoalescer& operator=(const RequestCoalescer&) = delete;
+
+  /// \brief Starts the worker thread. Call once before Submit().
+  void Start();
+
+  /// \brief Admits `request` or refuses it with a typed response.
+  /// On refusal the callback fires inline (with kOverloaded /
+  /// kUnavailable) before Submit returns.
+  Admission Submit(wire::DetectRequest request, ResponseCallback done)
+      EXCLUDES(mu_);
+
+  /// \brief Stops the worker. With drain=true every already-admitted
+  /// request is served first; with drain=false queued requests fail
+  /// fast with kUnavailable. Idempotent; Submit() after Stop() refuses
+  /// with kDraining.
+  void Stop(bool drain) EXCLUDES(mu_);
+
+  size_t queue_depth() const EXCLUDES(mu_);
+
+ private:
+  struct Pending {
+    wire::DetectRequest request;
+    ResponseCallback done;
+    std::string options_key;
+    std::chrono::steady_clock::time_point admitted_at;
+    /// admitted_at + deadline_ms; time_point::max() when no deadline.
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void WorkerLoop() EXCLUDES(mu_);
+  /// Serves `group` (same options key, in admission order) as one
+  /// DetectBatch call and completes every member.
+  void ServeGroup(std::vector<Pending> group);
+
+  DetectionService* const service_;
+  MetricsRegistry* const metrics_;
+  const CoalescerOptions options_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Pending> queue_ GUARDED_BY(mu_);
+  bool draining_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool drain_on_stop_ GUARDED_BY(mu_) = true;
+
+  std::thread worker_;
+};
+
+}  // namespace unidetect

@@ -1,0 +1,140 @@
+#include "server/http.h"
+
+#include <charconv>
+
+#include "util/checked.h"
+#include "util/string_util.h"
+
+namespace unidetect {
+namespace http {
+
+namespace {
+
+bool EqualsIgnoreAsciiCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z'
+                        ? static_cast<char>(a[i] - 'A' + 'a')
+                        : a[i];
+    const char cb = b[i] >= 'A' && b[i] <= 'Z'
+                        ? static_cast<char>(b[i] - 'A' + 'a')
+                        : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::optional<Request>> TryParseRequest(std::string_view buffer,
+                                               const Limits& limits) {
+  const size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (buffer.size() > limits.max_head_bytes) {
+      return Status::Corruption(
+          StrCat("HTTP: header exceeds ", limits.max_head_bytes, " bytes"));
+    }
+    return std::optional<Request>();
+  }
+  if (head_end > limits.max_head_bytes) {
+    return Status::Corruption(
+        StrCat("HTTP: header exceeds ", limits.max_head_bytes, " bytes"));
+  }
+  const std::string_view head = buffer.substr(0, head_end);
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const size_t method_end = request_line.find(' ');
+  if (method_end == std::string_view::npos || method_end == 0) {
+    return Status::Corruption("HTTP: malformed request line (no method)");
+  }
+  const size_t target_end = request_line.find(' ', method_end + 1);
+  if (target_end == std::string_view::npos || target_end == method_end + 1) {
+    return Status::Corruption("HTTP: malformed request line (no target)");
+  }
+  const std::string_view version = request_line.substr(target_end + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Status::Corruption(
+        StrCat("HTTP: unsupported version '", std::string(version), "'"));
+  }
+
+  Request request;
+  request.method = request_line.substr(0, method_end);
+  request.target =
+      request_line.substr(method_end + 1, target_end - method_end - 1);
+  request.keep_alive = version == "HTTP/1.1";
+
+  // Headers: one `Name: value` per line; only Content-Length,
+  // Connection and Transfer-Encoding change behavior.
+  uint64_t content_length = 0;
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view()
+                                         : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    const size_t eol = rest.find("\r\n");
+    const std::string_view line =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view()
+                                         : rest.substr(eol + 2);
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::Corruption("HTTP: malformed header line");
+    }
+    const std::string_view name = Trim(line.substr(0, colon));
+    const std::string_view value = Trim(line.substr(colon + 1));
+    if (EqualsIgnoreAsciiCase(name, "content-length")) {
+      uint64_t parsed = 0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), parsed);
+      if (ec != std::errc() || ptr != value.data() + value.size()) {
+        return Status::Corruption(
+            StrCat("HTTP: unparseable Content-Length '", std::string(value),
+                   "'"));
+      }
+      content_length = parsed;
+    } else if (EqualsIgnoreAsciiCase(name, "connection")) {
+      if (EqualsIgnoreAsciiCase(value, "close")) request.keep_alive = false;
+      if (EqualsIgnoreAsciiCase(value, "keep-alive")) {
+        request.keep_alive = true;
+      }
+    } else if (EqualsIgnoreAsciiCase(name, "transfer-encoding")) {
+      return Status::Corruption(
+          "HTTP: Transfer-Encoding is not supported; send Content-Length");
+    }
+  }
+
+  if (content_length > limits.max_body_bytes) {
+    return Status::Corruption(StrCat("HTTP: body of ", content_length,
+                                     " bytes exceeds the limit of ",
+                                     limits.max_body_bytes));
+  }
+  const uint64_t head_bytes = static_cast<uint64_t>(head_end) + 4;
+  UNIDETECT_ASSIGN_OR_RETURN(
+      const uint64_t total,
+      CheckedAdd<uint64_t>(head_bytes, content_length, "HTTP request size"));
+  if (buffer.size() < total) return std::optional<Request>();
+  request.body = buffer.substr(static_cast<size_t>(head_bytes),
+                               static_cast<size_t>(content_length));
+  request.consumed = static_cast<size_t>(total);
+  return std::optional<Request>(request);
+}
+
+std::string EncodeResponse(int status, std::string_view reason,
+                           std::string_view content_type,
+                           std::string_view body, bool keep_alive) {
+  std::string out = StrCat("HTTP/1.1 ", status, " ");
+  out.append(reason);
+  out.append("\r\nContent-Type: ");
+  out.append(content_type);
+  out.append(StrCat("\r\nContent-Length: ", body.size()));
+  out.append(keep_alive ? "\r\nConnection: keep-alive"
+                        : "\r\nConnection: close");
+  out.append("\r\n\r\n");
+  out.append(body);
+  return out;
+}
+
+}  // namespace http
+}  // namespace unidetect

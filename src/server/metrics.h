@@ -1,0 +1,177 @@
+// The serving front end's metrics surface: a fixed, enum-indexed
+// counter array plus power-of-two latency histograms, exported as the
+// /statz JSON document and by tools/udserve.
+//
+// The counter set follows the vcpkg metrics idiom: one enum whose last
+// entry is COUNT, one constexpr entry array in exactly enum order, and
+// a validation test (tests/server_metrics_test.cc) that fails the build
+// when an entry is added to one side but not the other, duplicated, or
+// reordered. Adding a counter is therefore a two-line change that the
+// test suite cross-checks — no stringly-typed registry, no hashing on
+// the hot path: a counter bump is one relaxed atomic add.
+//
+// Latency histograms share util/latency_histogram.h with
+// DetectionService, so /statz percentiles (p50/p99/p999) mean the same
+// thing at every layer: upper bounds read off power-of-two bucket
+// edges. QPS is derived from a 16-slot one-second ring so the exported
+// rate reflects the recent window rather than the lifetime average.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/latency_histogram.h"
+
+namespace unidetect {
+
+/// \brief Every counter the network front end maintains. COUNT must stay
+/// the last entry (the entry-array size and the registry storage are
+/// sized from it).
+enum class ServerMetric : size_t {
+  kConnectionsAccepted = 0,  ///< accept() successes.
+  kConnectionsRejected,      ///< accepts shed by the connection cap.
+  kConnectionsClosed,        ///< closes, both peer-initiated and ours.
+  kBytesRead,                ///< bytes read off sockets.
+  kBytesWritten,             ///< bytes flushed to sockets.
+  kRequests,                 ///< well-formed detect requests (both protocols).
+  kHttpRequests,             ///< well-formed HTTP requests (all routes).
+  kProtocolErrors,           ///< malformed frames / HTTP -> typed error.
+  kAdmitted,                 ///< requests accepted into the batch queue.
+  kShedOverload,             ///< requests refused with Overloaded (queue full).
+  kExpiredDeadline,          ///< requests whose deadline passed at dequeue.
+  kShedDraining,             ///< requests refused because the server is draining.
+  kBatches,                  ///< DetectBatch calls issued by the coalescer.
+  kBatchedTables,            ///< tables scanned across all batches.
+  kCoalescedRequests,        ///< requests that shared a batch with another.
+  kResponsesOk,              ///< responses carrying findings.
+  kResponsesError,           ///< responses carrying a typed error.
+  COUNT,
+};
+
+/// \brief One row of the metric table: the enum value and its wire name
+/// (the /statz JSON key).
+struct ServerMetricEntry {
+  ServerMetric metric;
+  std::string_view name;
+};
+
+/// Entry table in exactly enum order; tests/server_metrics_test.cc
+/// enforces order, completeness and name uniqueness (snippet-2 idiom).
+inline constexpr std::array<ServerMetricEntry,
+                            static_cast<size_t>(ServerMetric::COUNT)>
+    kServerMetricEntries = {{
+        {ServerMetric::kConnectionsAccepted, "connections_accepted"},
+        {ServerMetric::kConnectionsRejected, "connections_rejected"},
+        {ServerMetric::kConnectionsClosed, "connections_closed"},
+        {ServerMetric::kBytesRead, "bytes_read"},
+        {ServerMetric::kBytesWritten, "bytes_written"},
+        {ServerMetric::kRequests, "requests"},
+        {ServerMetric::kHttpRequests, "http_requests"},
+        {ServerMetric::kProtocolErrors, "protocol_errors"},
+        {ServerMetric::kAdmitted, "admitted"},
+        {ServerMetric::kShedOverload, "shed_overload"},
+        {ServerMetric::kExpiredDeadline, "expired_deadline"},
+        {ServerMetric::kShedDraining, "shed_draining"},
+        {ServerMetric::kBatches, "batches"},
+        {ServerMetric::kBatchedTables, "batched_tables"},
+        {ServerMetric::kCoalescedRequests, "coalesced_requests"},
+        {ServerMetric::kResponsesOk, "responses_ok"},
+        {ServerMetric::kResponsesError, "responses_error"},
+    }};
+
+/// \brief Name of one metric (the /statz key).
+std::string_view ServerMetricName(ServerMetric metric);
+
+/// \brief Lock-free concurrent latency histogram (power-of-two buckets,
+/// relaxed atomics — counters, not synchronization).
+class LatencyHistogram {
+ public:
+  void Observe(int64_t micros) {
+    buckets_[LatencyBucketIndex(micros)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// \brief Plain-array copy for percentile math and export.
+  LatencyBuckets Snapshot() const {
+    LatencyBuckets out;
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kLatencyHistogramBuckets> buckets_ = {};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// \brief The registry: enum-indexed counters, request/batch latency
+/// histograms, a queue-depth gauge, and a one-second ring for recent
+/// QPS. Every member is wait-free on the write path; readers take
+/// relaxed snapshots (exact totals, approximate cross-counter skew —
+/// the /statz contract is per-counter monotonicity, not a global cut).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  void Add(ServerMetric metric, uint64_t delta = 1) {
+    counters_[static_cast<size_t>(metric)].fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  uint64_t Count(ServerMetric metric) const {
+    return counters_[static_cast<size_t>(metric)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// End-to-end request latency (admission -> response encoded).
+  LatencyHistogram& request_latency() { return request_latency_; }
+  const LatencyHistogram& request_latency() const { return request_latency_; }
+  /// Time a request spent queued before its batch was cut.
+  LatencyHistogram& queue_latency() { return queue_latency_; }
+  const LatencyHistogram& queue_latency() const { return queue_latency_; }
+
+  void set_queue_depth(uint64_t depth) {
+    queue_depth_.store(depth, std::memory_order_relaxed);
+  }
+  uint64_t queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Marks one served request at `now` for the QPS window.
+  void MarkRequest(std::chrono::steady_clock::time_point now);
+
+  /// \brief Requests per second over the trailing window (~15s),
+  /// excluding the in-progress second.
+  double RecentQps(std::chrono::steady_clock::time_point now) const;
+
+  double uptime_seconds(std::chrono::steady_clock::time_point now) const {
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  static constexpr size_t kQpsSlots = 16;
+
+  std::array<std::atomic<uint64_t>, static_cast<size_t>(ServerMetric::COUNT)>
+      counters_ = {};
+  LatencyHistogram request_latency_;
+  LatencyHistogram queue_latency_;
+  std::atomic<uint64_t> queue_depth_{0};
+
+  // One slot per wall second (slot = second % kQpsSlots). A writer that
+  // moves the ring into a new second publishes the second in slot_sec_
+  // and zeroes the slot count; readers discard slots whose stamped
+  // second is outside the window.
+  std::chrono::steady_clock::time_point start_;
+  mutable std::array<std::atomic<uint64_t>, kQpsSlots> qps_counts_ = {};
+  mutable std::array<std::atomic<uint64_t>, kQpsSlots> qps_seconds_ = {};
+};
+
+}  // namespace unidetect

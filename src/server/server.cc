@@ -1,0 +1,514 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "detect/finding_json.h"
+#include "table/table.h"
+#include "util/csv.h"
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace unidetect {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(StrCat(what, ": ", strerror(errno)));
+}
+
+// Maps a wire code onto the closest HTTP status for the /detect route.
+int HttpStatusFor(wire::WireCode code) {
+  switch (code) {
+    case wire::WireCode::kOk:
+      return 200;
+    case wire::WireCode::kInvalidArgument:
+    case wire::WireCode::kMalformed:
+      return 400;
+    case wire::WireCode::kOverloaded:
+    case wire::WireCode::kUnavailable:
+      return 503;
+    case wire::WireCode::kDeadlineExceeded:
+      return 504;
+    case wire::WireCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+void AppendHistogramJson(const LatencyHistogram& histogram, std::string* out) {
+  const LatencyBuckets buckets = histogram.Snapshot();
+  const uint64_t count = histogram.count();
+  if (count == 0) {
+    out->append("{\"count\":0,\"p50_us\":0,\"p99_us\":0,\"p999_us\":0}");
+    return;
+  }
+  StrAppend(out, "{\"count\":", count, ",\"p50_us\":",
+            LatencyPercentileUpperBound(buckets, count, 0.50),
+            ",\"p99_us\":", LatencyPercentileUpperBound(buckets, count, 0.99),
+            ",\"p999_us\":",
+            LatencyPercentileUpperBound(buckets, count, 0.999), "}");
+}
+
+}  // namespace
+
+DetectionServer::DetectionServer(DetectionService* service,
+                                 ServerOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      coalescer_(service, &metrics_, options_.coalescer) {}
+
+DetectionServer::~DetectionServer() { Stop(); }
+
+Status DetectionServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  if (!loop_.ok()) return loop_.status();
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int enable = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  addr.sin_addr.s_addr =
+      htonl(options_.loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  // sockaddr_in -> sockaddr is the BSD socket ABI contract, a trusted
+  // in-memory cast, not wire decoding. NOLINTNEXTLINE(unsafe-bytes)
+  if (bind(listen_fd_, reinterpret_cast<const struct sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (listen(listen_fd_, SOMAXCONN) != 0) return Errno("listen");
+
+  struct sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  // NOLINTNEXTLINE(unsafe-bytes) — same trusted sockaddr ABI cast.
+  if (getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    return Errno("getsockname");
+  }
+  bound_port_ = ntohs(bound.sin_port);
+
+  UNIDETECT_RETURN_NOT_OK(loop_.Add(
+      listen_fd_, EPOLLIN, [this](uint32_t events) { OnListenReady(events); }));
+
+  coalescer_.Start();
+  io_thread_ = std::thread([this] { loop_.Run(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void DetectionServer::Stop() {
+  if (!started_ || stopped_) {
+    if (!started_ && listen_fd_ >= 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  stopped_ = true;
+
+  // 1. Stop accepting: new connections see ECONNREFUSED, existing ones
+  //    keep flowing.
+  loop_.Post([this] {
+    if (listen_fd_ >= 0) {
+      loop_.Remove(listen_fd_);
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  });
+
+  // 2. Drain: every admitted request completes and posts its response
+  //    to the loop (this blocks until the worker has finished).
+  coalescer_.Stop(/*drain=*/true);
+
+  // 3. The final post runs after every completion post (FIFO), so all
+  //    responses are in tx buffers before the flush-and-stop.
+  loop_.Post([this] { FinalFlushAndStop(); });
+  if (io_thread_.joinable()) io_thread_.join();
+}
+
+void DetectionServer::OnListenReady(uint32_t /*events*/) {
+  for (;;) {
+    const int fd =
+        accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (connections_.size() >= options_.max_connections) {
+      metrics_.Add(ServerMetric::kConnectionsRejected);
+      close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_connection_id_++;
+    conn->fd = fd;
+    const uint64_t id = conn->id;
+    fd_to_id_[fd] = id;
+    connections_[id] = std::move(conn);
+    metrics_.Add(ServerMetric::kConnectionsAccepted);
+    const Status added = loop_.Add(
+        fd, EPOLLIN, [this, id](uint32_t events) {
+          OnConnectionReady(id, events);
+        });
+    if (!added.ok()) CloseConnection(id);
+  }
+}
+
+void DetectionServer::OnConnectionReady(uint64_t id, uint32_t events) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    CloseConnection(id);
+    return;
+  }
+
+  if (events & EPOLLIN) {
+    char buf[64 << 10];
+    for (;;) {
+      const ssize_t n = read(conn->fd, buf, sizeof(buf));
+      if (n > 0) {
+        metrics_.Add(ServerMetric::kBytesRead, static_cast<uint64_t>(n));
+        conn->rx.append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {  // peer closed its half; nothing more will decode
+        CloseConnection(id);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConnection(id);
+      return;
+    }
+    if (!ConsumeRx(conn)) {
+      if (conn->tx.empty()) {
+        CloseConnection(id);
+        return;
+      }
+      conn->close_after_flush = true;
+    }
+    // ConsumeRx may have closed the connection (synchronous HTTP
+    // Connection: close response); re-resolve before the write phase.
+    const auto again = connections_.find(id);
+    if (again == connections_.end()) return;
+    conn = again->second.get();
+  }
+
+  if (events & EPOLLOUT) {
+    FlushTx(conn);
+    // FlushTx may close; re-check before touching conn again.
+    if (connections_.find(id) == connections_.end()) return;
+  }
+}
+
+bool DetectionServer::ConsumeRx(Connection* conn) {
+  if (conn->protocol == Connection::Protocol::kUnknown) {
+    const size_t probe = std::min(conn->rx.size(), wire::kMagic.size());
+    if (conn->rx.compare(0, probe, wire::kMagic.substr(0, probe)) == 0) {
+      if (conn->rx.size() < wire::kMagic.size()) return true;  // need more
+      conn->protocol = Connection::Protocol::kUdwire;
+    } else {
+      conn->protocol = Connection::Protocol::kHttp;
+    }
+  }
+  return conn->protocol == Connection::Protocol::kUdwire ? ConsumeUdwire(conn)
+                                                         : ConsumeHttp(conn);
+}
+
+bool DetectionServer::ConsumeUdwire(Connection* conn) {
+  for (;;) {
+    Result<std::optional<wire::FrameView>> parsed =
+        wire::TryParseFrame(conn->rx, options_.max_frame_payload);
+    if (!parsed.ok()) {
+      // Framing is gone; after a bad header there is no resync point.
+      metrics_.Add(ServerMetric::kProtocolErrors);
+      metrics_.Add(ServerMetric::kResponsesError);
+      QueueWrite(conn,
+                 wire::EncodeErrorResponseFrame(
+                     0, wire::WireCode::kMalformed,
+                     parsed.status().message()));
+      return false;
+    }
+    if (!parsed->has_value()) return true;  // partial frame
+    const wire::FrameView frame = **parsed;
+
+    // QueueWrite may free conn on a write error; ids are never reused,
+    // so re-resolving by id detects that before the loop touches rx.
+    const uint64_t id = conn->id;
+
+    if (frame.type != wire::FrameType::kDetectRequest) {
+      metrics_.Add(ServerMetric::kProtocolErrors);
+      metrics_.Add(ServerMetric::kResponsesError);
+      conn->rx.erase(0, frame.frame_bytes);
+      QueueWrite(conn, wire::EncodeErrorResponseFrame(
+                           0, wire::WireCode::kInvalidArgument,
+                           "unexpected frame type (want detect request)"));
+      if (connections_.find(id) == connections_.end()) return true;
+      continue;
+    }
+
+    Result<wire::DetectRequest> request =
+        wire::DecodeDetectRequestPayload(frame.payload);
+    conn->rx.erase(0, frame.frame_bytes);
+    if (!request.ok()) {
+      // The frame boundary held, so the stream can continue; only this
+      // request is rejected.
+      metrics_.Add(ServerMetric::kProtocolErrors);
+      metrics_.Add(ServerMetric::kResponsesError);
+      QueueWrite(conn, wire::EncodeErrorResponseFrame(
+                           0, wire::WireCode::kMalformed,
+                           request.status().message()));
+      if (connections_.find(id) == connections_.end()) return true;
+      continue;
+    }
+    metrics_.Add(ServerMetric::kRequests);
+    SubmitDetect(conn, std::move(request).ValueOrDie());
+  }
+}
+
+void DetectionServer::SubmitDetect(Connection* conn,
+                                   wire::DetectRequest request) {
+  const uint64_t id = conn->id;
+  coalescer_.Submit(
+      std::move(request), [this, id](wire::DetectResponse response) {
+        std::string frame =
+            response.code == wire::WireCode::kOk
+                ? wire::EncodeOkResponseFrame(response.request_id,
+                                              response.generation,
+                                              response.per_table)
+                : wire::EncodeErrorResponseFrame(
+                      response.request_id, response.code, response.error);
+        metrics_.MarkRequest(std::chrono::steady_clock::now());
+        loop_.Post([this, id, frame = std::move(frame)] {
+          const auto it = connections_.find(id);
+          if (it == connections_.end()) return;  // connection went away
+          QueueWrite(it->second.get(), frame);
+        });
+      });
+}
+
+bool DetectionServer::ConsumeHttp(Connection* conn) {
+  for (;;) {
+    Result<std::optional<http::Request>> parsed =
+        http::TryParseRequest(conn->rx, options_.http_limits);
+    if (!parsed.ok()) {
+      metrics_.Add(ServerMetric::kProtocolErrors);
+      QueueWrite(conn, http::EncodeResponse(
+                           400, "Bad Request", "text/plain",
+                           StrCat(parsed.status().message(), "\n"),
+                           /*keep_alive=*/false));
+      return false;
+    }
+    if (!parsed->has_value()) return true;  // partial request
+    // `request` borrows views into conn->rx — rx must stay intact
+    // until the handler returns.
+    const http::Request request = **parsed;
+    metrics_.Add(ServerMetric::kHttpRequests);
+    const uint64_t id = conn->id;
+    const size_t consumed = request.consumed;
+    const bool keep_alive = request.keep_alive;
+    // Connection: close — mark it before handling, so a synchronous
+    // response closes the socket as its last byte drains.
+    if (!keep_alive) conn->close_after_flush = true;
+    HandleHttpRequest(conn, request);
+    // The handler may have freed conn (close-after-flush drained, or a
+    // write error); ids are never reused, so re-resolve before rx.
+    if (connections_.find(id) == connections_.end()) return true;
+    if (!keep_alive) return true;  // no pipelining past a final request
+    conn->rx.erase(0, consumed);
+  }
+}
+
+void DetectionServer::HandleHttpRequest(Connection* conn,
+                                        const http::Request& request) {
+  if (request.method == "GET" && request.target == "/healthz") {
+    QueueWrite(conn, http::EncodeResponse(200, "OK", "text/plain", "ok\n",
+                                          request.keep_alive));
+    return;
+  }
+  if (request.method == "GET" && request.target == "/statz") {
+    QueueWrite(conn, http::EncodeResponse(200, "OK", "application/json",
+                                          StatzJson(), request.keep_alive));
+    return;
+  }
+  if (request.method == "POST" && request.target == "/detect") {
+    Result<CsvData> csv = ParseCsv(request.body);
+    if (!csv.ok()) {
+      QueueWrite(conn, http::EncodeResponse(
+                           400, "Bad Request", "text/plain",
+                           StrCat(csv.status().message(), "\n"),
+                           request.keep_alive));
+      return;
+    }
+    Result<Table> table = Table::FromCsv(*csv, "http");
+    if (!table.ok()) {
+      QueueWrite(conn, http::EncodeResponse(
+                           400, "Bad Request", "text/plain",
+                           StrCat(table.status().message(), "\n"),
+                           request.keep_alive));
+      return;
+    }
+    wire::DetectRequest detect;
+    detect.tables.push_back(std::move(table).ValueOrDie());
+    metrics_.Add(ServerMetric::kRequests);
+    const uint64_t id = conn->id;
+    const bool keep_alive = request.keep_alive;
+    coalescer_.Submit(
+        std::move(detect),
+        [this, id, keep_alive](wire::DetectResponse response) {
+          std::string http_response;
+          if (response.code == wire::WireCode::kOk) {
+            std::string body =
+                StrCat("{\"generation\":", response.generation,
+                       ",\"findings\":");
+            body.append(response.per_table.empty()
+                            ? "[]"
+                            : FindingsToJson(response.per_table[0]));
+            body.append("}\n");
+            http_response = http::EncodeResponse(
+                200, "OK", "application/json", body, keep_alive);
+          } else {
+            http_response = http::EncodeResponse(
+                HttpStatusFor(response.code),
+                wire::WireCodeName(response.code), "text/plain",
+                StrCat(response.error, "\n"), keep_alive);
+          }
+          metrics_.MarkRequest(std::chrono::steady_clock::now());
+          loop_.Post([this, id, http_response = std::move(http_response)] {
+            const auto it = connections_.find(id);
+            if (it == connections_.end()) return;
+            QueueWrite(it->second.get(), http_response);
+          });
+        });
+    return;
+  }
+  QueueWrite(conn, http::EncodeResponse(404, "Not Found", "text/plain",
+                                        "no such route\n", request.keep_alive));
+}
+
+void DetectionServer::QueueWrite(Connection* conn, std::string_view bytes) {
+  conn->tx.append(bytes);
+  FlushTx(conn);
+}
+
+void DetectionServer::FlushTx(Connection* conn) {
+  while (!conn->tx.empty()) {
+    const ssize_t n =
+        send(conn->fd, conn->tx.data(), conn->tx.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      metrics_.Add(ServerMetric::kBytesWritten, static_cast<uint64_t>(n));
+      conn->tx.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        loop_.Modify(conn->fd, EPOLLIN | EPOLLOUT);
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn->id);  // peer reset mid-write
+    return;
+  }
+  if (conn->want_write) {
+    conn->want_write = false;
+    loop_.Modify(conn->fd, EPOLLIN);
+  }
+  if (conn->close_after_flush) CloseConnection(conn->id);
+}
+
+void DetectionServer::CloseConnection(uint64_t id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+  loop_.Remove(conn->fd);
+  fd_to_id_.erase(conn->fd);
+  close(conn->fd);
+  connections_.erase(it);
+  metrics_.Add(ServerMetric::kConnectionsClosed);
+}
+
+void DetectionServer::FinalFlushAndStop() {
+  // Every response the drain produced is already in a tx buffer (posts
+  // are FIFO). Flush with bounded patience: a peer that stopped reading
+  // cannot hold shutdown hostage.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  for (auto& [id, conn] : connections_) {
+    while (!conn->tx.empty() && std::chrono::steady_clock::now() < give_up) {
+      const ssize_t n =
+        send(conn->fd, conn->tx.data(), conn->tx.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        metrics_.Add(ServerMetric::kBytesWritten, static_cast<uint64_t>(n));
+        conn->tx.erase(0, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      break;  // peer gone
+    }
+  }
+  while (!connections_.empty()) {
+    CloseConnection(connections_.begin()->first);
+  }
+  loop_.Stop();
+}
+
+std::string DetectionServer::StatzJson() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::string out = "{";
+  StrAppend(&out, "\"uptime_seconds\":", metrics_.uptime_seconds(now),
+            ",\"qps_recent\":", metrics_.RecentQps(now),
+            ",\"queue_depth\":", metrics_.queue_depth(), ",\"counters\":{");
+  for (size_t i = 0; i < kServerMetricEntries.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    AppendJsonString(kServerMetricEntries[i].name, &out);
+    StrAppend(&out, ":", metrics_.Count(kServerMetricEntries[i].metric));
+  }
+  out.append("},\"request_latency\":");
+  AppendHistogramJson(metrics_.request_latency(), &out);
+  out.append(",\"queue_latency\":");
+  AppendHistogramJson(metrics_.queue_latency(), &out);
+
+  const ServiceStats service = service_->Stats();
+  StrAppend(&out, ",\"service\":{\"requests\":", service.requests,
+            ",\"tables\":", service.tables,
+            ",\"findings\":", service.findings,
+            ",\"generation\":", service.generation,
+            ",\"reloads\":", service.reloads,
+            ",\"failed_reloads\":", service.failed_reloads,
+            ",\"applied_deltas\":", service.applied_deltas,
+            ",\"compactions\":", service.compactions,
+            ",\"delta_layers\":", service.delta_layers,
+            ",\"latency_p50_us\":", service.latency_p50_us,
+            ",\"latency_p99_us\":", service.latency_p99_us,
+            ",\"latency_p999_us\":", service.latency_p999_us,
+            ",\"model_resident_bytes\":", service.model_resident_bytes,
+            ",\"model_mapped_bytes\":", service.model_mapped_bytes,
+            ",\"cache_hits\":", service.cache_hits,
+            ",\"cache_misses\":", service.cache_misses,
+            ",\"cache_hit_rate\":", service.cache_hit_rate, "}}");
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace unidetect

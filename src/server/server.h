@@ -1,0 +1,137 @@
+// DetectionServer: the network front end over DetectionService
+// (DESIGN.md §16). One epoll IO thread owns every socket; decoded
+// requests flow through the RequestCoalescer's bounded admission queue
+// to the detector, and completed responses come back to the IO thread
+// via EventLoop::Post, keyed by a monotonically increasing connection
+// id so a completion for a connection that has since closed is dropped
+// harmlessly (fds get reused; ids never do).
+//
+// Both protocols share the listen port and are distinguished by the
+// first bytes of the stream: a prefix of "UDW1" selects the UDWIRE
+// binary protocol (server/wire.h), anything else the minimal HTTP/1.1
+// adapter (server/http.h) serving GET /healthz, GET /statz and
+// POST /detect (CSV body in, findings JSON out).
+//
+// Overload behavior is typed end to end: connections beyond
+// max_connections are accepted and immediately closed after counting
+// kConnectionsRejected; requests beyond the admission queue get a
+// kOverloaded response (or HTTP 503); requests whose deadline lapses in
+// the queue get kDeadlineExceeded. Stop() is graceful — the listener
+// closes first, the coalescer drains everything already admitted, and
+// already-queued responses are flushed before the loop exits.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "server/coalescer.h"
+#include "server/event_loop.h"
+#include "server/http.h"
+#include "server/metrics.h"
+#include "server/wire.h"
+#include "serving/detection_service.h"
+#include "util/status.h"
+
+namespace unidetect {
+
+struct ServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back
+  /// with port() after Start()).
+  uint16_t port = 0;
+  /// Listen only on 127.0.0.1 (the default) or on all interfaces.
+  bool loopback_only = true;
+  /// Concurrent-connection cap; accepts beyond it are closed at once.
+  size_t max_connections = 1024;
+  /// Per-frame payload bound for UDWIRE requests.
+  uint32_t max_frame_payload = 64u << 20;
+  http::Limits http_limits;
+  CoalescerOptions coalescer;
+};
+
+class DetectionServer {
+ public:
+  /// `service` must outlive the server.
+  DetectionServer(DetectionService* service, ServerOptions options);
+  ~DetectionServer();
+
+  DetectionServer(const DetectionServer&) = delete;
+  DetectionServer& operator=(const DetectionServer&) = delete;
+
+  /// \brief Binds, listens, starts the coalescer and the IO thread.
+  Status Start();
+
+  /// \brief Graceful shutdown: stop accepting, drain admitted requests,
+  /// flush pending responses, join the IO thread. Idempotent.
+  void Stop();
+
+  /// \brief The bound port (resolves ephemeral port 0); valid after a
+  /// successful Start().
+  uint16_t port() const { return bound_port_; }
+
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// \brief The /statz document: server counters, latency percentiles,
+  /// recent QPS, and the underlying ServiceStats, as one JSON object.
+  std::string StatzJson() const;
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    std::string rx;
+    std::string tx;
+    enum class Protocol { kUnknown, kUdwire, kHttp } protocol =
+        Protocol::kUnknown;
+    /// Close once tx drains (HTTP Connection: close, or fatal protocol
+    /// error after the error response).
+    bool close_after_flush = false;
+    /// EPOLLOUT currently armed.
+    bool want_write = false;
+  };
+
+  void OnListenReady(uint32_t events);
+  void OnConnectionReady(uint64_t id, uint32_t events);
+  /// Parses as many complete requests as rx holds; returns false when
+  /// the connection must close now (peer error / unrecoverable bytes).
+  bool ConsumeRx(Connection* conn);
+  bool ConsumeUdwire(Connection* conn);
+  bool ConsumeHttp(Connection* conn);
+  /// Hands one decoded UDWIRE request to the coalescer; the completion
+  /// posts the encoded response back to this connection.
+  void SubmitDetect(Connection* conn, wire::DetectRequest request);
+  void HandleHttpRequest(Connection* conn, const http::Request& request);
+  /// Appends bytes to tx and flushes opportunistically.
+  void QueueWrite(Connection* conn, std::string_view bytes);
+  /// Writes as much tx as the socket takes; arms/disarms EPOLLOUT.
+  void FlushTx(Connection* conn);
+  void CloseConnection(uint64_t id);
+  /// Runs on the loop thread after the coalescer has drained: flushes
+  /// every remaining tx buffer (bounded), closes all fds, stops the loop.
+  void FinalFlushAndStop();
+
+  DetectionService* const service_;
+  const ServerOptions options_;
+
+  MetricsRegistry metrics_;
+  RequestCoalescer coalescer_;
+  EventLoop loop_;
+
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  // IO-thread state: connections keyed by id (ids are never reused, so
+  // a stale completion post cannot hit a recycled connection).
+  uint64_t next_connection_id_ = 1;
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  std::map<int, uint64_t> fd_to_id_;
+
+  std::thread io_thread_;
+};
+
+}  // namespace unidetect

@@ -24,28 +24,6 @@ UniDetectOptions SanitizeOverride(const UniDetectOptions& options) {
   return sanitized;
 }
 
-size_t LatencyBucket(int64_t micros) {
-  return std::min<size_t>(
-      std::bit_width(static_cast<uint64_t>(micros < 0 ? 0 : micros)),
-      DetectionService::kLatencyBuckets - 1);
-}
-
-// Percentile upper bound read off a power-of-two histogram holding
-// `count` samples.
-double HistogramPercentile(
-    const std::array<uint64_t, DetectionService::kLatencyBuckets>& buckets,
-    uint64_t count, double q) {
-  const uint64_t rank =
-      static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
-  uint64_t seen = 0;
-  for (size_t i = 0; i < buckets.size(); ++i) {
-    seen += buckets[i];
-    if (seen >= rank) return static_cast<double>(uint64_t{1} << i);
-  }
-  return static_cast<double>(uint64_t{1}
-                             << (DetectionService::kLatencyBuckets - 1));
-}
-
 // Resolves what the artifact at `path` is before loading it. Legacy text
 // models are not UDSNAP containers — they have no identity and load as
 // id-less bases (Corruption here is therefore not an error; a truly
@@ -178,7 +156,7 @@ Status DetectionService::ReloadInternal(const std::string& path,
   MutexLock lock(&stats_mu_);
   ++reloads_;
   if (retired_deltas > 0) ++compactions_;
-  ++reload_latency_buckets_[LatencyBucket(micros)];
+  ++reload_latency_buckets_[LatencyBucketIndex(micros)];
   return Status::OK();
 }
 
@@ -252,7 +230,7 @@ Status DetectionService::ApplyDelta(const std::string& path) {
                           .count();
   MutexLock lock(&stats_mu_);
   ++applied_deltas_;
-  ++reload_latency_buckets_[LatencyBucket(micros)];
+  ++reload_latency_buckets_[LatencyBucketIndex(micros)];
   return Status::OK();
 }
 
@@ -341,7 +319,7 @@ DetectionService::BatchResult DetectionService::DetectBatch(
     ++requests_;
     tables_ += tables.size();
     findings_ += found;
-    ++latency_buckets_[LatencyBucket(micros)];
+    ++latency_buckets_[LatencyBucketIndex(micros)];
   }
   return result;
 }
@@ -361,10 +339,24 @@ DetectionService::LayerSet DetectionService::Layers() const {
 
 ServiceStats DetectionService::Stats() const {
   ServiceStats stats;
+  LatencyBuckets buckets;
+  LatencyBuckets reload_buckets;
+  uint64_t reload_samples = 0;
   {
-    const std::shared_ptr<const Engine> engine = Snapshot();
-    stats.generation = engine->generation;
-    const ModelStack& stack = *engine->stack;
+    // One coherent cut: all three locks are held together for the
+    // copy-out, so the engine gauges, cache counters and histograms
+    // describe the same instant (a reload landing mid-Stats can no
+    // longer show the new generation next to the old reload count).
+    // Fixed acquisition order mu_ -> cache_mu_ -> stats_mu_; no other
+    // code path holds any two of these at once, so the nesting cannot
+    // deadlock. All three critical sections are short copies — the
+    // percentile math runs after release.
+    MutexLock engine_lock(&mu_);
+    MutexLock cache_lock(&cache_mu_);
+    MutexLock stats_lock(&stats_mu_);
+
+    stats.generation = engine_->generation;
+    const ModelStack& stack = *engine_->stack;
     stats.model_resident_bytes = stack.base().ApproxResidentBytes();
     stats.model_mapped_bytes = stack.base().mapped_bytes();
     stats.delta_layers = stack.num_layers() - 1;
@@ -372,9 +364,7 @@ ServiceStats DetectionService::Stats() const {
       stats.delta_resident_bytes +=
           stack.layer(i).ApproxResidentBytes() + stack.layer(i).mapped_bytes();
     }
-  }
-  {
-    MutexLock lock(&cache_mu_);
+
     const FindingsCache::Stats cache = cache_.stats();
     stats.cache_hits = cache.hits;
     stats.cache_misses = cache.misses;
@@ -385,12 +375,7 @@ ServiceStats DetectionService::Stats() const {
       stats.cache_hit_rate = static_cast<double>(cache.hits) /
                              static_cast<double>(cache.hits + cache.misses);
     }
-  }
-  std::array<uint64_t, kLatencyBuckets> buckets;
-  std::array<uint64_t, kLatencyBuckets> reload_buckets;
-  uint64_t reload_samples = 0;
-  {
-    MutexLock lock(&stats_mu_);
+
     stats.requests = requests_;
     stats.tables = tables_;
     stats.findings = findings_;
@@ -403,14 +388,18 @@ ServiceStats DetectionService::Stats() const {
     reload_samples = reloads_ + applied_deltas_;
   }
   if (stats.requests > 0) {
-    stats.latency_p50_us = HistogramPercentile(buckets, stats.requests, 0.50);
-    stats.latency_p99_us = HistogramPercentile(buckets, stats.requests, 0.99);
+    stats.latency_p50_us =
+        LatencyPercentileUpperBound(buckets, stats.requests, 0.50);
+    stats.latency_p99_us =
+        LatencyPercentileUpperBound(buckets, stats.requests, 0.99);
+    stats.latency_p999_us =
+        LatencyPercentileUpperBound(buckets, stats.requests, 0.999);
   }
   if (reload_samples > 0) {
     stats.reload_latency_p50_us =
-        HistogramPercentile(reload_buckets, reload_samples, 0.50);
+        LatencyPercentileUpperBound(reload_buckets, reload_samples, 0.50);
     stats.reload_latency_p99_us =
-        HistogramPercentile(reload_buckets, reload_samples, 0.99);
+        LatencyPercentileUpperBound(reload_buckets, reload_samples, 0.99);
   }
   return stats;
 }

@@ -39,6 +39,7 @@
 #include "learn/model_stack.h"
 #include "serving/findings_cache.h"
 #include "table/table.h"
+#include "util/latency_histogram.h"
 #include "util/mutex.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -73,6 +74,7 @@ struct ServiceStats {
   /// under 256us.
   double latency_p50_us = 0.0;
   double latency_p99_us = 0.0;
+  double latency_p999_us = 0.0;
   /// Successful-Reload latency percentile upper bounds (load + swap), in
   /// microseconds, from their own power-of-two histogram. On the v2
   /// mmap path this stays flat as models grow — the whole point of the
@@ -194,11 +196,16 @@ class DetectionService {
   /// generation), taken atomically against swaps.
   LayerSet Layers() const EXCLUDES(mu_);
 
+  /// \brief A coherent point-in-time snapshot: every counter, gauge and
+  /// percentile describes the same instant (all three internal locks
+  /// are held together for the copy-out — see the fixed acquisition
+  /// order documented at the implementation).
   ServiceStats Stats() const EXCLUDES(mu_, stats_mu_);
 
-  /// Number of power-of-two latency buckets; bucket i counts requests
-  /// with latency in [2^(i-1), 2^i) microseconds (bucket 0: < 1us).
-  static constexpr size_t kLatencyBuckets = 40;
+  /// Number of power-of-two latency buckets (util/latency_histogram.h);
+  /// bucket i counts requests with latency in [2^(i-1), 2^i)
+  /// microseconds (bucket 0: < 1us).
+  static constexpr size_t kLatencyBuckets = kLatencyHistogramBuckets;
 
  private:
   // An immutable (layer chain, engine) snapshot; requests pin one via
@@ -252,10 +259,8 @@ class DetectionService {
   mutable uint64_t failed_reloads_ GUARDED_BY(stats_mu_) = 0;
   mutable uint64_t applied_deltas_ GUARDED_BY(stats_mu_) = 0;
   mutable uint64_t compactions_ GUARDED_BY(stats_mu_) = 0;
-  mutable std::array<uint64_t, kLatencyBuckets> latency_buckets_
-      GUARDED_BY(stats_mu_) = {};
-  mutable std::array<uint64_t, kLatencyBuckets> reload_latency_buckets_
-      GUARDED_BY(stats_mu_) = {};
+  mutable LatencyBuckets latency_buckets_ GUARDED_BY(stats_mu_) = {};
+  mutable LatencyBuckets reload_latency_buckets_ GUARDED_BY(stats_mu_) = {};
 };
 
 }  // namespace unidetect

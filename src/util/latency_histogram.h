@@ -1,0 +1,50 @@
+// Power-of-two latency histograms, shared by the serving tier
+// (DetectionService request/reload timings) and the network front end
+// (server/metrics.h). Bucket i counts samples with value in
+// [2^(i-1), 2^i) microseconds (bucket 0: < 1us), so a histogram is a
+// fixed 40-entry array with no allocation on the observe path and
+// percentiles are upper bounds read off the bucket edges — p50 = 256
+// means half the samples took under 256us. Upper bounds, not
+// interpolations: the histogram never invents a latency that was not
+// observed.
+
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace unidetect {
+
+/// Number of power-of-two buckets; 2^39 us ≈ 6.4 days caps the top.
+inline constexpr size_t kLatencyHistogramBuckets = 40;
+
+using LatencyBuckets = std::array<uint64_t, kLatencyHistogramBuckets>;
+
+/// \brief Bucket index for a sample of `micros` microseconds. Negative
+/// samples (a clock went backwards) clamp to bucket 0.
+inline size_t LatencyBucketIndex(int64_t micros) {
+  const uint64_t clamped = static_cast<uint64_t>(micros < 0 ? 0 : micros);
+  const size_t width = static_cast<size_t>(std::bit_width(clamped));
+  return width < kLatencyHistogramBuckets ? width
+                                          : kLatencyHistogramBuckets - 1;
+}
+
+/// \brief Percentile upper bound read off a power-of-two histogram
+/// holding `count` samples. `q` in [0, 1]; callers guard count > 0
+/// (with no samples there is no percentile to report).
+inline double LatencyPercentileUpperBound(std::span<const uint64_t> buckets,
+                                          uint64_t count, double q) {
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return static_cast<double>(uint64_t{1} << i);
+  }
+  return static_cast<double>(uint64_t{1} << (buckets.size() - 1));
+}
+
+}  // namespace unidetect

@@ -1,0 +1,55 @@
+// Lint fixture: decoding a socket receive buffer by struct overlay —
+// the shape the network front end must never take (expected:
+// 2 wire-reinterpret, 1 wire-pointer-arith, 1 wire-memcpy, and one
+// suppressed wire-reinterpret for the justified sockaddr ABI cast).
+// Frame decoding belongs behind util/binary_io.h's bounded cursor, as
+// in src/server/wire.cc. Not part of the build; scanned textually by
+// lint_passes_test.
+
+#include <cstdint>
+#include <cstring>
+
+struct sockaddr;
+struct sockaddr_in {
+  unsigned short sin_family;
+};
+int bind(int fd, const sockaddr* addr, unsigned len);
+
+namespace fixture {
+
+struct FrameHeader {
+  char magic[4];
+  uint8_t type;
+  uint8_t reserved[3];
+  uint32_t payload_len;
+};
+
+// Overlaying a received buffer with the header struct trusts the peer's
+// bytes for alignment, endianness and length all at once.
+uint32_t PayloadLen(const char* rx_buffer) {
+  const FrameHeader* header = reinterpret_cast<const FrameHeader*>(rx_buffer);
+  return header->payload_len;
+}
+
+// Walking the payload via a reinterpreted pointer: same problem plus
+// unbounded pointer arithmetic.
+uint8_t PayloadByte(const char* rx_buffer, size_t i) {
+  const uint8_t* payload = reinterpret_cast<const uint8_t*>(rx_buffer);
+  return *(payload + i);
+}
+
+// memcpy out of the wire buffer without a bounds-checked cursor.
+uint64_t RequestId(const char* rx_buffer) {
+  uint64_t id = 0;
+  std::memcpy(&id, rx_buffer, sizeof(id));
+  return id;
+}
+
+// The one justified escape: sockaddr_in -> sockaddr is the BSD socket
+// ABI contract, a trusted in-memory cast, not wire decoding.
+int BindLoopback(int fd, sockaddr_in* addr) {
+  // NOLINTNEXTLINE(unsafe-bytes)
+  return bind(fd, reinterpret_cast<const sockaddr*>(addr), sizeof(*addr));
+}
+
+}  // namespace fixture

@@ -160,6 +160,23 @@ TEST(UnsafeBytesPassTest, WireReinterpretFixtureFlagged) {
   }
 }
 
+TEST(UnsafeBytesPassTest, SocketBufferReinterpretFixtureFlagged) {
+  // The network front end's failure mode: overlaying a socket receive
+  // buffer with a header struct instead of decoding through the bounded
+  // cursor. Every raw shape is flagged; the one justified sockaddr ABI
+  // cast is suppressed by its NOLINT and counted as such.
+  LintResult result = LintFixture("bad_socket_reinterpret.cc");
+  auto counts = CountByCheck(result);
+  EXPECT_EQ(counts["wire-reinterpret"], 2);
+  EXPECT_EQ(counts["wire-pointer-arith"], 1);
+  EXPECT_EQ(counts["wire-memcpy"], 1);
+  EXPECT_EQ(result.findings.size(), 4u);
+  EXPECT_EQ(result.suppressed, 1);
+  for (const auto& finding : result.findings) {
+    EXPECT_EQ(finding.pass, "unsafe-bytes");
+  }
+}
+
 TEST(UnsafeBytesPassTest, SafeCursorModulesAreAllowlisted) {
   // The same hostile shapes are legal inside the audited safe-cursor
   // modules — that is where they are supposed to live.

@@ -1,0 +1,144 @@
+// udclient: command-line UDWIRE client against a running udserve.
+//
+//   $ udclient --port 8080 detect table.csv [more.csv ...]
+//       [--deadline-ms N] [--alpha X] [--host 127.0.0.1]
+//   $ udclient --port 8080 statz     # GET /statz over the HTTP adapter
+//   $ udclient --port 8080 health    # GET /healthz
+//
+// `detect` sends every CSV as one table in a single request and prints
+// per-table findings as JSON. Typed server outcomes (Overloaded,
+// DeadlineExceeded, ...) print as errors with their wire-code name and
+// exit nonzero — distinguishable from transport failures by message.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "detect/finding_json.h"
+#include "server/client.h"
+#include "table/table.h"
+#include "util/csv.h"
+
+using namespace unidetect;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port N [--host IP] detect CSV... "
+               "[--deadline-ms N] [--alpha X]\n"
+               "       %s --port N [--host IP] statz|health\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string command;
+  std::vector<std::string> csv_paths;
+  uint32_t deadline_ms = 0;
+  double alpha = -1.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      deadline_ms = static_cast<uint32_t>(std::atoll(v));
+    } else if (arg == "--alpha") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      alpha = std::atof(v);
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      csv_paths.push_back(arg);
+    }
+  }
+  if (port == 0 || command.empty()) return Usage(argv[0]);
+
+  if (command == "statz" || command == "health") {
+    const auto response = HttpFetch(
+        host, port, "GET", command == "statz" ? "/statz" : "/healthz");
+    if (!response.ok()) {
+      std::fprintf(stderr, "udclient: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    // Print just the body (everything past the blank line).
+    const size_t split = response->find("\r\n\r\n");
+    std::fputs(split == std::string::npos ? response->c_str()
+                                          : response->c_str() + split + 4,
+               stdout);
+    return 0;
+  }
+
+  if (command != "detect" || csv_paths.empty()) return Usage(argv[0]);
+
+  wire::DetectRequest request;
+  request.request_id = 1;
+  request.deadline_ms = deadline_ms;
+  if (alpha >= 0) {
+    request.options.has_override = true;
+    request.options.alpha = alpha;
+    // Leave every class enabled; the override narrows only alpha.
+    request.options.detect_mask = 0x1F;
+  }
+  for (const std::string& path : csv_paths) {
+    auto csv = ReadCsvFile(path);
+    if (!csv.ok()) {
+      std::fprintf(stderr, "udclient: %s: %s\n", path.c_str(),
+                   csv.status().ToString().c_str());
+      return 1;
+    }
+    auto table = Table::FromCsv(*csv, path);
+    if (!table.ok()) {
+      std::fprintf(stderr, "udclient: %s: %s\n", path.c_str(),
+                   table.status().ToString().c_str());
+      return 1;
+    }
+    request.tables.push_back(std::move(table).ValueOrDie());
+  }
+
+  auto client = UdwireClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "udclient: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  auto response = client->Detect(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "udclient: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  if (response->code != wire::WireCode::kOk) {
+    std::fprintf(stderr, "udclient: server says %s: %s\n",
+                 wire::WireCodeName(response->code), response->error.c_str());
+    return 1;
+  }
+  std::printf("{\"generation\":%llu,\"tables\":[\n",
+              static_cast<unsigned long long>(response->generation));
+  for (size_t i = 0; i < response->per_table.size(); ++i) {
+    std::printf("{\"table\":\"%s\",\"findings\":%s}%s\n",
+                csv_paths[i].c_str(),
+                FindingsToJson(response->per_table[i]).c_str(),
+                i + 1 < response->per_table.size() ? "," : "");
+  }
+  std::printf("]}\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// udserve: stand up a DetectionServer over a model snapshot.
+//
+//   $ udserve --model m.udsnap [--port 8080] [--cache-bytes 8388608]
+//             [--queue 256] [--batch-tables 64] [--batch-delay-us 500]
+//             [--detect-threads 1] [--no-coalesce] [--train-if-missing]
+//
+// Serves both protocols on one port: UDWIRE (udclient, bench_server)
+// and HTTP (curl /healthz, /statz, POST /detect with a CSV body).
+// --train-if-missing trains a small demo model when --model does not
+// load, so the tool is self-contained for smoke tests. SIGINT/SIGTERM
+// shut down gracefully: the listener closes, admitted requests finish,
+// pending responses flush.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "corpus/generator.h"
+#include "learn/trainer.h"
+#include "server/server.h"
+#include "serving/detection_service.h"
+#include "util/logging.h"
+
+using namespace unidetect;
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int /*sig*/) { g_shutdown.store(true); }
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --model PATH [--port N] [--cache-bytes N] [--queue N]\n"
+      "          [--batch-tables N] [--batch-delay-us N] [--detect-threads N]\n"
+      "          [--no-coalesce] [--train-if-missing]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kInfo);
+  std::string model_path;
+  uint64_t cache_bytes = 8u << 20;
+  bool train_if_missing = false;
+  ServerOptions options;
+  options.port = 8080;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--model") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      model_path = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--cache-bytes") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      cache_bytes = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--queue") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      options.coalescer.queue_capacity = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--batch-tables") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      options.coalescer.max_batch_tables = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--batch-delay-us") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      options.coalescer.max_batch_delay =
+          std::chrono::microseconds(std::atoll(v));
+    } else if (arg == "--detect-threads") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      options.coalescer.detect_threads = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--no-coalesce") {
+      options.coalescer.coalesce = false;
+    } else if (arg == "--train-if-missing") {
+      train_if_missing = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (model_path.empty()) return Usage(argv[0]);
+
+  if (!Model::Load(model_path).ok()) {
+    if (!train_if_missing) {
+      std::fprintf(stderr, "udserve: no loadable model at %s "
+                   "(pass --train-if-missing to train a demo model)\n",
+                   model_path.c_str());
+      return 1;
+    }
+    std::printf("udserve: training a demo model into %s...\n",
+                model_path.c_str());
+    Trainer trainer;
+    const Model model =
+        trainer.Train(GenerateCorpus(WebCorpusSpec(2000, 7)).corpus);
+    const Status saved = model.Save(model_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "udserve: save failed: %s\n",
+                   saved.ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto service = DetectionService::Create(model_path, UniDetectOptions{},
+                                          cache_bytes);
+  if (!service.ok()) {
+    std::fprintf(stderr, "udserve: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+
+  DetectionServer server(service->get(), options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "udserve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("udserve: serving %s on port %u "
+              "(UDWIRE + HTTP /healthz /statz /detect)\n",
+              model_path.c_str(), server.port());
+
+  struct sigaction action = {};
+  action.sa_handler = HandleSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  while (!g_shutdown.load()) pause();
+
+  std::printf("udserve: draining...\n");
+  server.Stop();
+  std::fputs(server.StatzJson().c_str(), stdout);
+  return 0;
+}
