@@ -42,22 +42,31 @@ RequestCoalescer::Admission RequestCoalescer::Submit(
   pending.request = std::move(request);
   pending.done = std::move(done);
 
+  Admission admission = Admission::kAdmitted;
   {
     MutexLock lock(&mu_);
     if (draining_) {
       metrics_->Add(ServerMetric::kShedDraining);
-      pending.done(MakeError(request_id, wire::WireCode::kUnavailable,
-                             "server is draining"));
-      return Admission::kDraining;
-    }
-    if (queue_.size() >= options_.queue_capacity) {
+      admission = Admission::kDraining;
+    } else if (queue_.size() >= options_.queue_capacity) {
       metrics_->Add(ServerMetric::kShedOverload);
-      pending.done(MakeError(request_id, wire::WireCode::kOverloaded,
-                             "admission queue full"));
-      return Admission::kOverloaded;
+      admission = Admission::kOverloaded;
+    } else {
+      queue_.push_back(std::move(pending));
+      metrics_->set_queue_depth(queue_.size());
     }
-    queue_.push_back(std::move(pending));
-    metrics_->set_queue_depth(queue_.size());
+  }
+  // Refusal callbacks fire after mu_ is released so a callback that
+  // re-enters the coalescer (Submit, queue_depth) cannot self-deadlock.
+  if (admission == Admission::kDraining) {
+    pending.done(MakeError(request_id, wire::WireCode::kUnavailable,
+                           "server is draining"));
+    return admission;
+  }
+  if (admission == Admission::kOverloaded) {
+    pending.done(MakeError(request_id, wire::WireCode::kOverloaded,
+                           "admission queue full"));
+    return admission;
   }
   metrics_->Add(ServerMetric::kAdmitted);
   cv_.NotifyOne();

@@ -72,8 +72,10 @@ class RequestCoalescer {
   };
 
   /// Invoked exactly once per submitted request, from the worker thread
-  /// (or inline from Submit() on refusal). May be called concurrently
-  /// with other callbacks' completions; must not block.
+  /// (or inline from Submit() on refusal). Always fires with the
+  /// coalescer's internal lock released, so re-entering the coalescer
+  /// is safe. May be called concurrently with other callbacks'
+  /// completions; must not block.
   using ResponseCallback = std::function<void(wire::DetectResponse)>;
 
   /// `service` and `metrics` must outlive the coalescer.

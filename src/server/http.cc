@@ -69,6 +69,7 @@ Result<std::optional<Request>> TryParseRequest(std::string_view buffer,
   // Headers: one `Name: value` per line; only Content-Length,
   // Connection and Transfer-Encoding change behavior.
   uint64_t content_length = 0;
+  bool saw_content_length = false;
   std::string_view rest =
       line_end == std::string_view::npos ? std::string_view()
                                          : head.substr(line_end + 2);
@@ -85,6 +86,12 @@ Result<std::optional<Request>> TryParseRequest(std::string_view buffer,
     const std::string_view name = Trim(line.substr(0, colon));
     const std::string_view value = Trim(line.substr(colon + 1));
     if (EqualsIgnoreAsciiCase(name, "content-length")) {
+      // RFC 9112 §6.3: conflicting Content-Length values make framing
+      // ambiguous (CL/CL smuggling behind a proxy); reject any repeat.
+      if (saw_content_length) {
+        return Status::Corruption("HTTP: duplicate Content-Length header");
+      }
+      saw_content_length = true;
       uint64_t parsed = 0;
       const auto [ptr, ec] =
           std::from_chars(value.data(), value.data() + value.size(), parsed);

@@ -47,7 +47,11 @@ int HttpStatusFor(wire::WireCode code) {
 
 void AppendHistogramJson(const LatencyHistogram& histogram, std::string* out) {
   const LatencyBuckets buckets = histogram.Snapshot();
-  const uint64_t count = histogram.count();
+  // Derive the count from the snapshot itself: reading the counter
+  // separately can race ahead of the buckets under concurrent
+  // Observe(), skewing the percentile toward the top bucket.
+  uint64_t count = 0;
+  for (const uint64_t bucket : buckets) count += bucket;
   if (count == 0) {
     out->append("{\"count\":0,\"p50_us\":0,\"p99_us\":0,\"p999_us\":0}");
     return;
@@ -196,18 +200,22 @@ void DetectionServer::OnConnectionReady(uint64_t id, uint32_t events) {
       CloseConnection(id);
       return;
     }
-    if (!ConsumeRx(conn)) {
+    const bool stream_ok = ConsumeRx(conn);
+    // ConsumeRx may have freed conn — a synchronous HTTP
+    // Connection: close response that drained, or a hard send() failure
+    // inside QueueWrite on an error-path response (peer RST after a
+    // malformed frame). Re-resolve by id before touching conn again on
+    // EITHER return value; ids are never reused.
+    const auto again = connections_.find(id);
+    if (again == connections_.end()) return;
+    conn = again->second.get();
+    if (!stream_ok) {
       if (conn->tx.empty()) {
         CloseConnection(id);
         return;
       }
       conn->close_after_flush = true;
     }
-    // ConsumeRx may have closed the connection (synchronous HTTP
-    // Connection: close response); re-resolve before the write phase.
-    const auto again = connections_.find(id);
-    if (again == connections_.end()) return;
-    conn = again->second.get();
   }
 
   if (events & EPOLLOUT) {

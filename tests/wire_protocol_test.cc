@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "server/http.h"
 #include "table/table.h"
+#include "util/string_util.h"
 
 namespace unidetect {
 namespace wire {
@@ -255,6 +257,31 @@ TEST(WireProtocolTest, GarbagePayloadNeverCrashes) {
     }
     (void)DecodeDetectRequestPayload(payload);
     (void)DecodeDetectResponsePayload(payload);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP adapter framing
+
+TEST(HttpAdapterTest, SingleContentLengthFramesTheBody) {
+  auto parsed = http::TryParseRequest(
+      "POST /detect HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody",
+      http::Limits{});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->has_value());
+  EXPECT_EQ((*parsed)->body, "body");
+}
+
+TEST(HttpAdapterTest, DuplicateContentLengthIsRejected) {
+  // RFC 9112 §6.3: repeated Content-Length makes framing ambiguous
+  // (CL/CL smuggling behind a proxy that picks the other value), so any
+  // second occurrence — even an identical one — is a typed error.
+  for (const char* second : {"Content-Length: 9\r\n", "Content-Length: 4\r\n"}) {
+    const std::string raw = StrCat(
+        "POST /detect HTTP/1.1\r\nContent-Length: 4\r\n", second, "\r\nbody");
+    auto parsed = http::TryParseRequest(raw, http::Limits{});
+    EXPECT_FALSE(parsed.ok()) << raw;
+    EXPECT_TRUE(parsed.status().IsCorruption());
   }
 }
 
