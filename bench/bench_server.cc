@@ -1,19 +1,22 @@
-// Open-loop load generator for the network front end (DESIGN.md §16),
-// backing BENCH_PR9.json: a real DetectionServer on a loopback port,
-// N connections each pacing UDWIRE detect requests at a fixed arrival
-// rate with send and receive decoupled (send times are scheduled up
-// front and never wait on responses, so queueing delay is measured
-// rather than hidden — no coordinated omission). Reports achieved QPS
-// and exact p50/p99/p999 latency per scenario:
+// Open-loop saturation generator for the sharded network front end
+// (DESIGN.md §16.7), backing BENCH_PR10.json: a real DetectionServer on
+// a loopback port, driven through the pipelined AsyncUdwireClient — N
+// connections each pacing UDWIRE detect requests at a fixed arrival
+// rate with send times scheduled up front (queueing delay is measured,
+// never hidden — no coordinated omission).
 //
-//   coalesce_on          batching enabled (the serving default)
-//   coalesce_off         every request is its own DetectBatch call
-//   coalesce_on_reload   batching enabled while a churn thread swaps
-//                        the model via Reload/ApplyDelta continuously
+// For every io_threads ∈ {1,2,4,8} × coalesce {on,off} the offered
+// rate climbs a ladder (doubling per step) until achieved throughput
+// falls measurably below offered — the saturation point — recording
+// throughput, exact p50/p99/p999 latency and shed counts at every
+// rung. The `host.hardware_concurrency` field qualifies the scaling
+// numbers: on a single-core host the shards serialize and the curve is
+// flat by construction; the ≥2x-at-4-shards expectation applies to
+// hosts with ≥4 cores.
 //
 // Not a google-benchmark binary: open-loop pacing needs its own clock
 // discipline, so this defines its own main and prints one JSON document
-// (scripts/bench_server.sh redirects it to BENCH_PR9.json).
+// (scripts/bench_server.sh redirects it to BENCH_PR10.json).
 
 #include <algorithm>
 #include <atomic>
@@ -21,14 +24,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "corpus/corpus_io.h"
 #include "corpus/generator.h"
 #include "learn/trainer.h"
-#include "offline/delta_build.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "serving/detection_service.h"
@@ -38,14 +40,9 @@
 namespace unidetect {
 namespace {
 
-struct Scenario {
-  std::string name;
+struct RunPoint {
+  size_t io_threads = 1;
   bool coalesce = true;
-  bool reload_churn = false;
-};
-
-struct ScenarioResult {
-  std::string name;
   double offered_qps = 0;
   double achieved_qps = 0;
   uint64_t requests = 0;
@@ -55,7 +52,7 @@ struct ScenarioResult {
   double p50_us = 0, p99_us = 0, p999_us = 0;
   uint64_t batches = 0;
   uint64_t coalesced_requests = 0;
-  uint64_t reload_cycles = 0;
+  bool saturated = false;
 };
 
 double Percentile(std::vector<double>& sorted, double q) {
@@ -65,75 +62,44 @@ double Percentile(std::vector<double>& sorted, double q) {
   return sorted[rank];
 }
 
-struct Paths {
-  std::string base;
-  std::string delta;
-};
-
-Paths BuildArtifacts() {
+std::string BuildArtifacts() {
   const std::string dir =
       std::filesystem::temp_directory_path().string() + "/bench_server";
   std::filesystem::create_directories(dir);
-  Paths paths{dir + "/base.udsnap", dir + "/delta.udsnap"};
+  const std::string base_path = dir + "/base.udsnap";
   Trainer trainer;
   const Model base =
       trainer.Train(GenerateCorpus(WebCorpusSpec(300, 1131)).corpus);
-  UNIDETECT_CHECK(base.Save(paths.base).ok());
-  const std::string shard = dir + "/shard";
-  UNIDETECT_CHECK(
-      SaveCorpusToDirectory(GenerateCorpus(WebCorpusSpec(40, 1132)).corpus,
-                            shard)
-          .ok());
-  DeltaBuildSpec spec;
-  spec.base_path = paths.base;
-  spec.input_dirs = {shard};
-  spec.out_path = paths.delta;
-  UNIDETECT_CHECK(BuildDeltaSnapshot(spec).ok());
-  return paths;
+  UNIDETECT_CHECK(base.Save(base_path).ok());
+  return base_path;
 }
 
-ScenarioResult RunScenario(const Scenario& scenario, const Paths& paths,
-                           int connections, double rate_per_connection,
-                           std::chrono::seconds duration) {
-  auto service_or = DetectionService::Create(paths.base);
+RunPoint RunOnce(size_t io_threads, bool coalesce, const std::string& base,
+                 int connections, double rate_per_connection,
+                 std::chrono::seconds duration) {
+  auto service_or = DetectionService::Create(base);
   UNIDETECT_CHECK(service_or.ok());
   auto service = std::move(service_or).ValueOrDie();
 
   ServerOptions options;
-  options.coalescer.coalesce = scenario.coalesce;
+  options.io_threads = io_threads;
+  options.coalescer.coalesce = coalesce;
   options.coalescer.queue_capacity = 4096;
   options.coalescer.max_batch_delay = std::chrono::microseconds(200);
   DetectionServer server(service.get(), options);
   UNIDETECT_CHECK(server.Start().ok());
 
-  const auto interval = std::chrono::duration_cast<
-      std::chrono::steady_clock::duration>(
-      std::chrono::duration<double>(1.0 / rate_per_connection));
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(1.0 / rate_per_connection));
   const size_t per_connection = static_cast<size_t>(
       rate_per_connection * static_cast<double>(duration.count()));
 
-  std::atomic<bool> churn_stop{false};
-  std::atomic<uint64_t> reload_cycles{0};
-  std::thread churn;
-  if (scenario.reload_churn) {
-    churn = std::thread([&] {
-      // Alternate stacking the delta and folding back to the base; each
-      // swap is a full engine replacement under live traffic.
-      for (uint64_t cycle = 0; !churn_stop.load(); ++cycle) {
-        const Status status = cycle % 2 == 0
-                                  ? service->ApplyDelta(paths.delta)
-                                  : service->Reload(paths.base);
-        UNIDETECT_CHECK(status.ok());
-        reload_cycles.fetch_add(1);
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      }
-    });
-  }
-
-  ScenarioResult result;
-  result.name = scenario.name;
-  result.offered_qps = rate_per_connection * connections;
-  result.requests = per_connection * connections;
+  RunPoint point;
+  point.io_threads = io_threads;
+  point.coalesce = coalesce;
+  point.offered_qps = rate_per_connection * connections;
+  point.requests = per_connection * connections;
 
   std::atomic<uint64_t> ok{0}, shed{0}, transport_errors{0};
   Mutex latencies_mu;
@@ -143,58 +109,64 @@ ScenarioResult RunScenario(const Scenario& scenario, const Paths& paths,
   std::vector<std::thread> workers;
   for (int c = 0; c < connections; ++c) {
     workers.emplace_back([&, c] {
-      auto client = UdwireClient::Connect("127.0.0.1", server.port());
-      if (!client.ok()) {
+      auto client_or = AsyncUdwireClient::Connect("127.0.0.1", server.port());
+      if (!client_or.ok()) {
         transport_errors.fetch_add(per_connection);
         return;
       }
+      auto client = std::move(client_or).ValueOrDie();
       const std::vector<Table> tables =
           GenerateCorpus(WebCorpusSpec(1, 1200 + c)).corpus.tables;
-      std::vector<std::string> frames(per_connection);
-      for (size_t i = 0; i < per_connection; ++i) {
-        wire::DetectRequest request;
-        request.request_id = i;
-        request.tables = tables;
-        frames[i] = wire::EncodeDetectRequest(request);
-      }
-      std::vector<std::chrono::steady_clock::time_point> sent(per_connection);
-      std::vector<double> local;
-      local.reserve(per_connection);
 
-      // Receiver drains responses while the sender paces the open loop.
-      std::thread receiver([&] {
-        for (size_t i = 0; i < per_connection; ++i) {
-          auto response = client->ReadResponse();
-          if (!response.ok()) {
-            transport_errors.fetch_add(per_connection - i);
-            return;
-          }
-          const auto now = std::chrono::steady_clock::now();
-          if (response->code == wire::WireCode::kOk) {
-            ok.fetch_add(1);
-            local.push_back(
-                std::chrono::duration<double, std::micro>(
-                    now - sent[response->request_id])
-                    .count());
-          } else {
-            shed.fetch_add(1);
-          }
-        }
-      });
+      // Completions land on the client's receiver thread; the sender
+      // never blocks on them (the connection pipeline absorbs the
+      // in-flight window).
+      struct Done {
+        Mutex mu;
+        CondVar cv;
+        size_t remaining;
+        std::vector<double> latencies;
+      } done;
+      done.remaining = per_connection;
+      done.latencies.reserve(per_connection);
 
       for (size_t i = 0; i < per_connection; ++i) {
         // Open loop: the schedule is fixed at start; a late sender
         // catches up instead of stretching the interval.
         std::this_thread::sleep_until(start + interval * (i + 1));
-        sent[i] = std::chrono::steady_clock::now();
-        if (!client->SendRaw(frames[i]).ok()) {
-          transport_errors.fetch_add(1);
-          sent[i] = {};
-        }
+        const auto sent = std::chrono::steady_clock::now();
+        wire::DetectRequest request;
+        request.tables = tables;
+        client->Detect(
+            std::move(request),
+            [&ok, &shed, &transport_errors, &done,
+             sent](wire::DetectResponse response) {
+              const auto now = std::chrono::steady_clock::now();
+              if (response.code == wire::WireCode::kOk) {
+                ok.fetch_add(1);
+                MutexLock lock(&done.mu);
+                done.latencies.push_back(
+                    std::chrono::duration<double, std::micro>(now - sent)
+                        .count());
+                if (--done.remaining == 0) done.cv.NotifyAll();
+                return;
+              }
+              if (response.code == wire::WireCode::kUnavailable) {
+                transport_errors.fetch_add(1);
+              } else {
+                shed.fetch_add(1);
+              }
+              MutexLock lock(&done.mu);
+              if (--done.remaining == 0) done.cv.NotifyAll();
+            });
       }
-      receiver.join();
+      {
+        MutexLock lock(&done.mu);
+        while (done.remaining != 0) done.cv.Wait(done.mu);
+      }
       MutexLock lock(&latencies_mu);
-      latencies.insert(latencies.end(), local.begin(), local.end());
+      latencies.insert(latencies.end(), done.latencies.begin(),
+                       done.latencies.end());
     });
   }
   for (std::thread& worker : workers) worker.join();
@@ -202,79 +174,91 @@ ScenarioResult RunScenario(const Scenario& scenario, const Paths& paths,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  churn_stop.store(true);
-  if (churn.joinable()) churn.join();
-
-  result.ok = ok.load();
-  result.shed = shed.load();
-  result.transport_errors = transport_errors.load();
-  result.achieved_qps = elapsed > 0 ? result.ok / elapsed : 0;
+  point.ok = ok.load();
+  point.shed = shed.load();
+  point.transport_errors = transport_errors.load();
+  point.achieved_qps = elapsed > 0 ? point.ok / elapsed : 0;
   std::sort(latencies.begin(), latencies.end());
-  result.p50_us = Percentile(latencies, 0.50);
-  result.p99_us = Percentile(latencies, 0.99);
-  result.p999_us = Percentile(latencies, 0.999);
-  result.batches = server.metrics().Count(ServerMetric::kBatches);
-  result.coalesced_requests =
+  point.p50_us = Percentile(latencies, 0.50);
+  point.p99_us = Percentile(latencies, 0.99);
+  point.p999_us = Percentile(latencies, 0.999);
+  point.batches = server.metrics().Count(ServerMetric::kBatches);
+  point.coalesced_requests =
       server.metrics().Count(ServerMetric::kCoalescedRequests);
-  result.reload_cycles = reload_cycles.load();
   server.Stop();
-  return result;
+  return point;
 }
 
-void AppendScenarioJson(const ScenarioResult& r, std::string* out) {
+void AppendPointJson(const RunPoint& p, std::string* out) {
   char buf[640];
   std::snprintf(
       buf, sizeof(buf),
-      "    {\"name\":\"%s\",\"offered_qps\":%.1f,\"achieved_qps\":%.1f,"
-      "\"requests\":%llu,\"ok\":%llu,\"shed\":%llu,"
+      "    {\"io_threads\":%zu,\"coalesce\":%s,\"offered_qps\":%.1f,"
+      "\"achieved_qps\":%.1f,\"requests\":%llu,\"ok\":%llu,\"shed\":%llu,"
       "\"transport_errors\":%llu,\"p50_us\":%.1f,\"p99_us\":%.1f,"
       "\"p999_us\":%.1f,\"batches\":%llu,\"coalesced_requests\":%llu,"
-      "\"reload_cycles\":%llu}",
-      r.name.c_str(), r.offered_qps, r.achieved_qps,
-      static_cast<unsigned long long>(r.requests),
-      static_cast<unsigned long long>(r.ok),
-      static_cast<unsigned long long>(r.shed),
-      static_cast<unsigned long long>(r.transport_errors), r.p50_us, r.p99_us,
-      r.p999_us, static_cast<unsigned long long>(r.batches),
-      static_cast<unsigned long long>(r.coalesced_requests),
-      static_cast<unsigned long long>(r.reload_cycles));
+      "\"saturated\":%s}",
+      p.io_threads, p.coalesce ? "true" : "false", p.offered_qps,
+      p.achieved_qps, static_cast<unsigned long long>(p.requests),
+      static_cast<unsigned long long>(p.ok),
+      static_cast<unsigned long long>(p.shed),
+      static_cast<unsigned long long>(p.transport_errors), p.p50_us, p.p99_us,
+      p.p999_us, static_cast<unsigned long long>(p.batches),
+      static_cast<unsigned long long>(p.coalesced_requests),
+      p.saturated ? "true" : "false");
   out->append(buf);
 }
 
 int Main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
-  int connections = 2;
-  double rate = 100.0;  // per connection
-  int seconds = 3;
+  int connections = 4;
+  double base_rate = 100.0;  // per connection, first ladder rung
+  int seconds = 2;
+  int max_steps = 3;
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
     if (flag == "--connections") connections = std::atoi(argv[i + 1]);
-    if (flag == "--rate") rate = std::atof(argv[i + 1]);
+    if (flag == "--rate") base_rate = std::atof(argv[i + 1]);
     if (flag == "--seconds") seconds = std::atoi(argv[i + 1]);
+    if (flag == "--steps") max_steps = std::atoi(argv[i + 1]);
   }
 
-  const Paths paths = BuildArtifacts();
-  const std::vector<Scenario> scenarios = {
-      {"coalesce_on", /*coalesce=*/true, /*reload_churn=*/false},
-      {"coalesce_off", /*coalesce=*/false, /*reload_churn=*/false},
-      {"coalesce_on_reload_churn", /*coalesce=*/true, /*reload_churn=*/true},
-  };
+  const std::string base = BuildArtifacts();
+  const std::vector<size_t> shard_counts = {1, 2, 4, 8};
 
-  std::string out = "{\n  \"bench\": \"bench_server\",\n";
+  std::string out = "{\n  \"bench\": \"bench_server_saturation\",\n";
+  out += "  \"host\": {\"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency()) + "},\n";
   out += "  \"config\": {\"connections\": " + std::to_string(connections) +
-         ", \"rate_per_connection\": " + std::to_string(rate) +
-         ", \"seconds\": " + std::to_string(seconds) + "},\n";
-  out += "  \"scenarios\": [\n";
-  for (size_t i = 0; i < scenarios.size(); ++i) {
-    std::fprintf(stderr, "running scenario %s...\n",
-                 scenarios[i].name.c_str());
-    const ScenarioResult result =
-        RunScenario(scenarios[i], paths, connections, rate,
-                    std::chrono::seconds(seconds));
-    AppendScenarioJson(result, &out);
-    out += i + 1 < scenarios.size() ? ",\n" : "\n";
+         ", \"base_rate_per_connection\": " + std::to_string(base_rate) +
+         ", \"seconds\": " + std::to_string(seconds) +
+         ", \"max_steps\": " + std::to_string(max_steps) + "},\n";
+  out += "  \"points\": [\n";
+
+  bool first = true;
+  for (const size_t io_threads : shard_counts) {
+    for (const bool coalesce : {true, false}) {
+      double rate = base_rate;
+      for (int step = 0; step < max_steps; ++step) {
+        std::fprintf(stderr,
+                     "io_threads=%zu coalesce=%s rate=%.0f/conn x%d...\n",
+                     io_threads, coalesce ? "on" : "off", rate, connections);
+        RunPoint point = RunOnce(io_threads, coalesce, base, connections,
+                                 rate, std::chrono::seconds(seconds));
+        // Saturated once achieved throughput falls measurably short of
+        // offered (the open-loop backlog is absorbing the difference),
+        // or once anything was shed.
+        point.saturated = point.achieved_qps < 0.85 * point.offered_qps ||
+                          point.shed > 0;
+        if (!first) out += ",\n";
+        first = false;
+        AppendPointJson(point, &out);
+        if (point.saturated) break;
+        rate *= 2;
+      }
+    }
   }
-  out += "  ]\n}\n";
+  out += "\n  ]\n}\n";
   std::fputs(out.c_str(), stdout);
   return 0;
 }

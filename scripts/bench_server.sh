@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Runs the network-front-end load generator (bench/bench_server.cc) and
-# records BENCH_PR9.json at the repo root: achieved QPS and exact
-# p50/p99/p999 request latency for three scenarios — coalescing on
-# (the serving default), coalescing off (every request its own
-# DetectBatch call), and coalescing on under continuous Reload /
-# ApplyDelta churn. The server integration tests guard the semantics
-# the numbers rest on (byte-identity, typed shedding, zero torn
-# responses across swaps), so they run first.
+# Runs the sharded-front-end saturation generator (bench/bench_server.cc)
+# and records BENCH_PR10.json at the repo root: for every io_threads ∈
+# {1,2,4,8} × coalesce {on,off}, the offered rate climbs a ladder until
+# the server saturates, recording achieved throughput, exact
+# p50/p99/p999 latency, and shed counts at every rung. The
+# host.hardware_concurrency field in the output qualifies the scaling
+# numbers (a 1-core host serializes the shards by construction). The
+# sharded-server and async-client tests guard the semantics the numbers
+# rest on (byte-identity across shards, typed shedding, graceful
+# drain), so they run first.
 #
-# Usage: scripts/bench_server.sh [--connections N] [--rate R] [--seconds S]
+# Usage: scripts/bench_server.sh [--connections N] [--rate R]
+#                                [--seconds S] [--steps K]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,9 +20,10 @@ if [[ ! -x build/bench/bench_server ]]; then
   cmake --build build -j --target bench_server unidetect_tests
 fi
 
-ctest --test-dir build -R 'ServerIntegrationTest' --output-on-failure
+ctest --test-dir build -R 'ServerIntegrationTest|ShardedServerTest|AsyncClientTest' \
+  --output-on-failure
 
-build/bench/bench_server "$@" > BENCH_PR9.json
+build/bench/bench_server "$@" > BENCH_PR10.json
 
-echo "Wrote $(pwd)/BENCH_PR9.json"
-cat BENCH_PR9.json
+echo "Wrote $(pwd)/BENCH_PR10.json"
+cat BENCH_PR10.json

@@ -38,11 +38,12 @@ ctest --preset offline
 ctest --preset fuzz
 ctest --test-dir build-release --output-on-failure \
   -R 'ModelStack|DeltaSnapshot|ApplyDelta|Compactor'
-# Network front end gate: loopback byte-identity, typed overload /
-# deadline shedding, zero torn responses across reload churn, wire
-# robustness, and the metric-table validation.
+# Network front end gate: loopback byte-identity (single- and
+# multi-shard), typed overload / deadline / per-connection-cap
+# shedding, zero torn responses across reload churn, wire robustness,
+# the async multiplexing client, and the metric-table validation.
 ctest --test-dir build-release --output-on-failure \
-  -R 'ServerIntegration|ServerMetric|MetricsRegistry|WireProtocol'
+  -R 'ServerIntegration|ServerMetric|MetricsRegistry|WireProtocol|ShardedServer|AsyncClient'
 ctest --preset release
 # Scalar-fallback leg: UNIDETECT_DISABLE_SIMD forces every vector
 # kernel onto its scalar path; re-run the suites that exercise them so

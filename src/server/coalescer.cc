@@ -122,7 +122,9 @@ void RequestCoalescer::WorkerLoop() {
       group.push_back(std::move(queue_.front()));
       queue_.pop_front();
       size_t batch_tables = group.front().request.tables.size();
-      const std::string& key = group.front().options_key;
+      // Copy, not reference: group.push_back below can reallocate the
+      // vector and move its front, which would dangle a reference here.
+      const std::string key = group.front().options_key;
       const bool coalesce =
           options_.coalesce && options_.max_batch_delay.count() > 0;
       auto cutoff =

@@ -36,6 +36,7 @@ enum class ServerMetric : size_t {
   kConnectionsAccepted = 0,  ///< accept() successes.
   kConnectionsRejected,      ///< accepts shed by the connection cap.
   kConnectionsClosed,        ///< closes, both peer-initiated and ours.
+  kAcceptHandoffs,           ///< accepted fds posted to a non-accepting shard.
   kBytesRead,                ///< bytes read off sockets.
   kBytesWritten,             ///< bytes flushed to sockets.
   kRequests,                 ///< well-formed detect requests (both protocols).
@@ -43,6 +44,7 @@ enum class ServerMetric : size_t {
   kProtocolErrors,           ///< malformed frames / HTTP -> typed error.
   kAdmitted,                 ///< requests accepted into the batch queue.
   kShedOverload,             ///< requests refused with Overloaded (queue full).
+  kShedConnectionCap,        ///< requests over the per-connection in-flight cap.
   kExpiredDeadline,          ///< requests whose deadline passed at dequeue.
   kShedDraining,             ///< requests refused because the server is draining.
   kBatches,                  ///< DetectBatch calls issued by the coalescer.
@@ -68,6 +70,7 @@ inline constexpr std::array<ServerMetricEntry,
         {ServerMetric::kConnectionsAccepted, "connections_accepted"},
         {ServerMetric::kConnectionsRejected, "connections_rejected"},
         {ServerMetric::kConnectionsClosed, "connections_closed"},
+        {ServerMetric::kAcceptHandoffs, "accept_handoffs"},
         {ServerMetric::kBytesRead, "bytes_read"},
         {ServerMetric::kBytesWritten, "bytes_written"},
         {ServerMetric::kRequests, "requests"},
@@ -75,6 +78,7 @@ inline constexpr std::array<ServerMetricEntry,
         {ServerMetric::kProtocolErrors, "protocol_errors"},
         {ServerMetric::kAdmitted, "admitted"},
         {ServerMetric::kShedOverload, "shed_overload"},
+        {ServerMetric::kShedConnectionCap, "shed_connection_cap"},
         {ServerMetric::kExpiredDeadline, "expired_deadline"},
         {ServerMetric::kShedDraining, "shed_draining"},
         {ServerMetric::kBatches, "batches"},
@@ -95,9 +99,15 @@ class LatencyHistogram {
     buckets_[LatencyBucketIndex(micros)].fetch_add(
         1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(static_cast<uint64_t>(micros < 0 ? 0 : micros),
+                      std::memory_order_relaxed);
   }
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Total of all observed samples in microseconds (the Prometheus
+  /// `_sum` series; /statz keeps reporting bucket percentiles only).
+  uint64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
 
   /// \brief Plain-array copy for percentile math and export.
   LatencyBuckets Snapshot() const {
@@ -111,6 +121,7 @@ class LatencyHistogram {
  private:
   std::array<std::atomic<uint64_t>, kLatencyHistogramBuckets> buckets_ = {};
   std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
 };
 
 /// \brief The registry: enum-indexed counters, request/batch latency
@@ -173,5 +184,18 @@ class MetricsRegistry {
   mutable std::array<std::atomic<uint64_t>, kQpsSlots> qps_counts_ = {};
   mutable std::array<std::atomic<uint64_t>, kQpsSlots> qps_seconds_ = {};
 };
+
+/// \brief Appends one Prometheus text-format metric line:
+/// `name{labels} value\n` (labels may be empty: `name value\n`).
+void AppendPrometheusLine(std::string_view name, std::string_view labels,
+                          uint64_t value, std::string* out);
+
+/// \brief Appends a full Prometheus histogram exposition for `histogram`
+/// under `name`: a `# TYPE name histogram` header, cumulative
+/// `name_bucket{le="..."}` lines over the power-of-two edges (collapsed
+/// to the occupied prefix plus `+Inf`), and `name_sum` / `name_count`.
+void AppendPrometheusHistogram(std::string_view name,
+                               const LatencyHistogram& histogram,
+                               std::string* out);
 
 }  // namespace unidetect

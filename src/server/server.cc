@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -73,112 +74,246 @@ DetectionServer::DetectionServer(DetectionService* service,
 
 DetectionServer::~DetectionServer() { Stop(); }
 
-Status DetectionServer::Start() {
-  if (started_) return Status::InvalidArgument("server already started");
-  if (!loop_.ok()) return loop_.status();
-
-  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) return Errno("socket");
+Result<int> DetectionServer::OpenListener(uint16_t port, bool reuse_port,
+                                          uint16_t* bound_port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
   const int enable = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  if (reuse_port &&
+      setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &enable, sizeof(enable)) != 0) {
+    const Status status = Errno("setsockopt(SO_REUSEPORT)");
+    close(fd);
+    return status;
+  }
 
   struct sockaddr_in addr = {};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
+  addr.sin_port = htons(port);
   addr.sin_addr.s_addr =
       htonl(options_.loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
   // sockaddr_in -> sockaddr is the BSD socket ABI contract, a trusted
   // in-memory cast, not wire decoding. NOLINTNEXTLINE(unsafe-bytes)
-  if (bind(listen_fd_, reinterpret_cast<const struct sockaddr*>(&addr),
+  if (bind(fd, reinterpret_cast<const struct sockaddr*>(&addr),
            sizeof(addr)) != 0) {
-    return Errno("bind");
+    const Status status = Errno("bind");
+    close(fd);
+    return status;
   }
-  if (listen(listen_fd_, SOMAXCONN) != 0) return Errno("listen");
+  if (listen(fd, SOMAXCONN) != 0) {
+    const Status status = Errno("listen");
+    close(fd);
+    return status;
+  }
 
   struct sockaddr_in bound = {};
   socklen_t bound_len = sizeof(bound);
   // NOLINTNEXTLINE(unsafe-bytes) — same trusted sockaddr ABI cast.
-  if (getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
                   &bound_len) != 0) {
-    return Errno("getsockname");
+    const Status status = Errno("getsockname");
+    close(fd);
+    return status;
   }
-  bound_port_ = ntohs(bound.sin_port);
+  *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
 
-  UNIDETECT_RETURN_NOT_OK(loop_.Add(
-      listen_fd_, EPOLLIN, [this](uint32_t events) { OnListenReady(events); }));
+Status DetectionServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+
+  const size_t shard_count = std::max<size_t>(1, options_.io_threads);
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    if (!shard->loop.ok()) {
+      const Status status = shard->loop.status();
+      shards_.clear();
+      return status;
+    }
+    shards_.push_back(std::move(shard));
+  }
+
+  auto abort_start = [this](Status status) {
+    for (auto& shard : shards_) {
+      if (shard->listen_fd >= 0) {
+        close(shard->listen_fd);
+        shard->listen_fd = -1;
+      }
+    }
+    shards_.clear();
+    return status;
+  };
+
+  accept_handoff_ =
+      shard_count > 1 &&
+      options_.accept_mode == ServerOptions::AcceptMode::kHandoff;
+  bool want_reuse_port = shard_count > 1 && !accept_handoff_;
+
+  // Shard 0's listener always exists and resolves the (possibly
+  // ephemeral) port the remaining shards bind.
+  Result<int> first = OpenListener(options_.port, want_reuse_port,
+                                   &bound_port_);
+  if (!first.ok() && want_reuse_port &&
+      options_.accept_mode == ServerOptions::AcceptMode::kAuto) {
+    // A kernel without SO_REUSEPORT: fall back to the handoff path.
+    want_reuse_port = false;
+    accept_handoff_ = true;
+    first = OpenListener(options_.port, /*reuse_port=*/false, &bound_port_);
+  }
+  if (!first.ok()) return abort_start(first.status());
+  shards_[0]->listen_fd = *first;
+
+  if (want_reuse_port) {
+    for (size_t i = 1; i < shard_count; ++i) {
+      uint16_t ignored = 0;
+      Result<int> fd = OpenListener(bound_port_, /*reuse_port=*/true,
+                                    &ignored);
+      if (!fd.ok()) {
+        if (options_.accept_mode == ServerOptions::AcceptMode::kReusePort) {
+          return abort_start(fd.status());
+        }
+        // kAuto: release the extra listeners and hand off from shard 0
+        // instead. Shard 0's listener keeps working either way.
+        for (size_t j = 1; j < i; ++j) {
+          close(shards_[j]->listen_fd);
+          shards_[j]->listen_fd = -1;
+        }
+        accept_handoff_ = true;
+        break;
+      }
+      shards_[i]->listen_fd = *fd;
+    }
+  }
+
+  for (auto& shard : shards_) {
+    if (shard->listen_fd < 0) continue;
+    Shard* raw = shard.get();
+    const Status added = raw->loop.Add(
+        raw->listen_fd, EPOLLIN,
+        [this, raw](uint32_t /*events*/) { OnListenReady(raw); });
+    if (!added.ok()) return abort_start(added);
+  }
 
   coalescer_.Start();
-  io_thread_ = std::thread([this] { loop_.Run(); });
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->thread = std::thread([raw] { raw->loop.Run(); });
+  }
   started_ = true;
   return Status::OK();
 }
 
 void DetectionServer::Stop() {
-  if (!started_ || stopped_) {
-    if (!started_ && listen_fd_ >= 0) {
-      close(listen_fd_);
-      listen_fd_ = -1;
-    }
-    return;
-  }
-  stopped_ = true;
+  if (!started_ || stopped_.load(std::memory_order_acquire)) return;
+  stopped_.store(true, std::memory_order_release);
 
-  // 1. Stop accepting: new connections see ECONNREFUSED, existing ones
-  //    keep flowing.
-  loop_.Post([this] {
-    if (listen_fd_ >= 0) {
-      loop_.Remove(listen_fd_);
-      close(listen_fd_);
-      listen_fd_ = -1;
-    }
-  });
+  // 1. Stop accepting on every shard: new connections see ECONNREFUSED,
+  //    existing ones keep flowing.
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    if (raw->listen_fd < 0) continue;
+    raw->loop.Post([raw] {
+      if (raw->listen_fd >= 0) {
+        raw->loop.Remove(raw->listen_fd);
+        close(raw->listen_fd);
+        raw->listen_fd = -1;
+      }
+    });
+  }
 
   // 2. Drain: every admitted request completes and posts its response
-  //    to the loop (this blocks until the worker has finished).
+  //    to its owning shard's loop (this blocks until the worker has
+  //    finished).
   coalescer_.Stop(/*drain=*/true);
 
-  // 3. The final post runs after every completion post (FIFO), so all
-  //    responses are in tx buffers before the flush-and-stop.
-  loop_.Post([this] { FinalFlushAndStop(); });
-  if (io_thread_.joinable()) io_thread_.join();
+  // 3. Per shard, the final post runs after every completion post on
+  //    that loop (FIFO), so all responses are in tx buffers before the
+  //    flush-and-stop.
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->loop.Post([this, raw] { FinalFlushAndStop(raw); });
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+
+  // 4. Sweep any straggler a late accept-handoff post registered after
+  //    that shard's FinalFlushAndStop ran (the loops are joined, so the
+  //    maps are safe to touch here).
+  for (auto& shard : shards_) {
+    for (auto& [id, conn] : shard->connections) close(conn->fd);
+    shard->connections.clear();
+    shard->fd_to_id.clear();
+  }
 }
 
-void DetectionServer::OnListenReady(uint32_t /*events*/) {
+void DetectionServer::OnListenReady(Shard* shard) {
   for (;;) {
-    const int fd =
-        accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd = accept4(shard->listen_fd, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
       return;
     }
-    if (connections_.size() >= options_.max_connections) {
+    // Claim a connection slot up front so the cap is one global bound
+    // even when several shards accept concurrently.
+    if (total_connections_.fetch_add(1, std::memory_order_relaxed) >=
+        options_.max_connections) {
+      total_connections_.fetch_sub(1, std::memory_order_relaxed);
       metrics_.Add(ServerMetric::kConnectionsRejected);
       close(fd);
       continue;
     }
-    auto conn = std::make_unique<Connection>();
-    conn->id = next_connection_id_++;
-    conn->fd = fd;
-    const uint64_t id = conn->id;
-    fd_to_id_[fd] = id;
-    connections_[id] = std::move(conn);
-    metrics_.Add(ServerMetric::kConnectionsAccepted);
-    const Status added = loop_.Add(
-        fd, EPOLLIN, [this, id](uint32_t events) {
-          OnConnectionReady(id, events);
-        });
-    if (!added.ok()) CloseConnection(id);
+    Shard* target = shard;
+    if (accept_handoff_ && shards_.size() > 1) {
+      target = shards_[shard->rr_next % shards_.size()].get();
+      ++shard->rr_next;
+    }
+    if (target == shard) {
+      RegisterConnection(shard, fd);
+    } else {
+      metrics_.Add(ServerMetric::kAcceptHandoffs);
+      target->loop.Post(
+          [this, target, fd] { RegisterConnection(target, fd); });
+    }
   }
 }
 
-void DetectionServer::OnConnectionReady(uint64_t id, uint32_t events) {
-  const auto it = connections_.find(id);
-  if (it == connections_.end()) return;
+void DetectionServer::RegisterConnection(Shard* shard, int fd) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    // A handed-off fd can land after shutdown began; Stop()'s final
+    // sweep catches the narrow remaining race.
+    total_connections_.fetch_sub(1, std::memory_order_relaxed);
+    close(fd);
+    return;
+  }
+  auto conn = std::make_unique<Connection>();
+  conn->id = next_connection_id_.fetch_add(1, std::memory_order_relaxed);
+  conn->fd = fd;
+  const uint64_t id = conn->id;
+  shard->fd_to_id[fd] = id;
+  shard->connections[id] = std::move(conn);
+  shard->accepted.fetch_add(1, std::memory_order_relaxed);
+  shard->open_connections.fetch_add(1, std::memory_order_relaxed);
+  metrics_.Add(ServerMetric::kConnectionsAccepted);
+  const Status added = shard->loop.Add(
+      fd, EPOLLIN, [this, shard, id](uint32_t events) {
+        OnConnectionReady(shard, id, events);
+      });
+  if (!added.ok()) CloseConnection(shard, id);
+}
+
+void DetectionServer::OnConnectionReady(Shard* shard, uint64_t id,
+                                        uint32_t events) {
+  const auto it = shard->connections.find(id);
+  if (it == shard->connections.end()) return;
   Connection* conn = it->second.get();
 
   if (events & (EPOLLHUP | EPOLLERR)) {
-    CloseConnection(id);
+    CloseConnection(shard, id);
     return;
   }
 
@@ -192,26 +327,26 @@ void DetectionServer::OnConnectionReady(uint64_t id, uint32_t events) {
         continue;
       }
       if (n == 0) {  // peer closed its half; nothing more will decode
-        CloseConnection(id);
+        CloseConnection(shard, id);
         return;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
-      CloseConnection(id);
+      CloseConnection(shard, id);
       return;
     }
-    const bool stream_ok = ConsumeRx(conn);
+    const bool stream_ok = ConsumeRx(shard, conn);
     // ConsumeRx may have freed conn — a synchronous HTTP
     // Connection: close response that drained, or a hard send() failure
     // inside QueueWrite on an error-path response (peer RST after a
     // malformed frame). Re-resolve by id before touching conn again on
     // EITHER return value; ids are never reused.
-    const auto again = connections_.find(id);
-    if (again == connections_.end()) return;
+    const auto again = shard->connections.find(id);
+    if (again == shard->connections.end()) return;
     conn = again->second.get();
     if (!stream_ok) {
       if (conn->tx.empty()) {
-        CloseConnection(id);
+        CloseConnection(shard, id);
         return;
       }
       conn->close_after_flush = true;
@@ -219,13 +354,13 @@ void DetectionServer::OnConnectionReady(uint64_t id, uint32_t events) {
   }
 
   if (events & EPOLLOUT) {
-    FlushTx(conn);
+    FlushTx(shard, conn);
     // FlushTx may close; re-check before touching conn again.
-    if (connections_.find(id) == connections_.end()) return;
+    if (shard->connections.find(id) == shard->connections.end()) return;
   }
 }
 
-bool DetectionServer::ConsumeRx(Connection* conn) {
+bool DetectionServer::ConsumeRx(Shard* shard, Connection* conn) {
   if (conn->protocol == Connection::Protocol::kUnknown) {
     const size_t probe = std::min(conn->rx.size(), wire::kMagic.size());
     if (conn->rx.compare(0, probe, wire::kMagic.substr(0, probe)) == 0) {
@@ -235,11 +370,12 @@ bool DetectionServer::ConsumeRx(Connection* conn) {
       conn->protocol = Connection::Protocol::kHttp;
     }
   }
-  return conn->protocol == Connection::Protocol::kUdwire ? ConsumeUdwire(conn)
-                                                         : ConsumeHttp(conn);
+  return conn->protocol == Connection::Protocol::kUdwire
+             ? ConsumeUdwire(shard, conn)
+             : ConsumeHttp(shard, conn);
 }
 
-bool DetectionServer::ConsumeUdwire(Connection* conn) {
+bool DetectionServer::ConsumeUdwire(Shard* shard, Connection* conn) {
   for (;;) {
     Result<std::optional<wire::FrameView>> parsed =
         wire::TryParseFrame(conn->rx, options_.max_frame_payload);
@@ -247,7 +383,7 @@ bool DetectionServer::ConsumeUdwire(Connection* conn) {
       // Framing is gone; after a bad header there is no resync point.
       metrics_.Add(ServerMetric::kProtocolErrors);
       metrics_.Add(ServerMetric::kResponsesError);
-      QueueWrite(conn,
+      QueueWrite(shard, conn,
                  wire::EncodeErrorResponseFrame(
                      0, wire::WireCode::kMalformed,
                      parsed.status().message()));
@@ -264,10 +400,10 @@ bool DetectionServer::ConsumeUdwire(Connection* conn) {
       metrics_.Add(ServerMetric::kProtocolErrors);
       metrics_.Add(ServerMetric::kResponsesError);
       conn->rx.erase(0, frame.frame_bytes);
-      QueueWrite(conn, wire::EncodeErrorResponseFrame(
-                           0, wire::WireCode::kInvalidArgument,
-                           "unexpected frame type (want detect request)"));
-      if (connections_.find(id) == connections_.end()) return true;
+      QueueWrite(shard, conn, wire::EncodeErrorResponseFrame(
+                                  0, wire::WireCode::kInvalidArgument,
+                                  "unexpected frame type (want detect request)"));
+      if (shard->connections.find(id) == shard->connections.end()) return true;
       continue;
     }
 
@@ -279,22 +415,40 @@ bool DetectionServer::ConsumeUdwire(Connection* conn) {
       // request is rejected.
       metrics_.Add(ServerMetric::kProtocolErrors);
       metrics_.Add(ServerMetric::kResponsesError);
-      QueueWrite(conn, wire::EncodeErrorResponseFrame(
-                           0, wire::WireCode::kMalformed,
-                           request.status().message()));
-      if (connections_.find(id) == connections_.end()) return true;
+      QueueWrite(shard, conn, wire::EncodeErrorResponseFrame(
+                                  0, wire::WireCode::kMalformed,
+                                  request.status().message()));
+      if (shard->connections.find(id) == shard->connections.end()) return true;
       continue;
     }
     metrics_.Add(ServerMetric::kRequests);
-    SubmitDetect(conn, std::move(request).ValueOrDie());
+    SubmitDetect(shard, conn, std::move(request).ValueOrDie());
+    // SubmitDetect writes inline on an over-cap refusal, and that write
+    // can close the connection; re-resolve before the loop touches rx.
+    const auto alive = shard->connections.find(id);
+    if (alive == shard->connections.end()) return true;
+    conn = alive->second.get();
   }
 }
 
-void DetectionServer::SubmitDetect(Connection* conn,
+void DetectionServer::SubmitDetect(Shard* shard, Connection* conn,
                                    wire::DetectRequest request) {
+  if (options_.max_in_flight_per_connection != 0 &&
+      conn->in_flight >= options_.max_in_flight_per_connection) {
+    // This pipelining connection already owns its fair share of the
+    // admission queue; refuse this request, keep the stream alive.
+    metrics_.Add(ServerMetric::kShedConnectionCap);
+    metrics_.Add(ServerMetric::kResponsesError);
+    QueueWrite(shard, conn,
+               wire::EncodeErrorResponseFrame(
+                   request.request_id, wire::WireCode::kOverloaded,
+                   "per-connection in-flight cap reached"));
+    return;
+  }
+  conn->in_flight++;
   const uint64_t id = conn->id;
   coalescer_.Submit(
-      std::move(request), [this, id](wire::DetectResponse response) {
+      std::move(request), [this, shard, id](wire::DetectResponse response) {
         std::string frame =
             response.code == wire::WireCode::kOk
                 ? wire::EncodeOkResponseFrame(response.request_id,
@@ -303,24 +457,26 @@ void DetectionServer::SubmitDetect(Connection* conn,
                 : wire::EncodeErrorResponseFrame(
                       response.request_id, response.code, response.error);
         metrics_.MarkRequest(std::chrono::steady_clock::now());
-        loop_.Post([this, id, frame = std::move(frame)] {
-          const auto it = connections_.find(id);
-          if (it == connections_.end()) return;  // connection went away
-          QueueWrite(it->second.get(), frame);
+        shard->loop.Post([this, shard, id, frame = std::move(frame)] {
+          const auto it = shard->connections.find(id);
+          if (it == shard->connections.end()) return;  // connection went away
+          Connection* conn = it->second.get();
+          if (conn->in_flight > 0) --conn->in_flight;
+          QueueWrite(shard, conn, frame);
         });
       });
 }
 
-bool DetectionServer::ConsumeHttp(Connection* conn) {
+bool DetectionServer::ConsumeHttp(Shard* shard, Connection* conn) {
   for (;;) {
     Result<std::optional<http::Request>> parsed =
         http::TryParseRequest(conn->rx, options_.http_limits);
     if (!parsed.ok()) {
       metrics_.Add(ServerMetric::kProtocolErrors);
-      QueueWrite(conn, http::EncodeResponse(
-                           400, "Bad Request", "text/plain",
-                           StrCat(parsed.status().message(), "\n"),
-                           /*keep_alive=*/false));
+      QueueWrite(shard, conn, http::EncodeResponse(
+                                  400, "Bad Request", "text/plain",
+                                  StrCat(parsed.status().message(), "\n"),
+                                  /*keep_alive=*/false));
       return false;
     }
     if (!parsed->has_value()) return true;  // partial request
@@ -334,52 +490,70 @@ bool DetectionServer::ConsumeHttp(Connection* conn) {
     // Connection: close — mark it before handling, so a synchronous
     // response closes the socket as its last byte drains.
     if (!keep_alive) conn->close_after_flush = true;
-    HandleHttpRequest(conn, request);
+    HandleHttpRequest(shard, conn, request);
     // The handler may have freed conn (close-after-flush drained, or a
     // write error); ids are never reused, so re-resolve before rx.
-    if (connections_.find(id) == connections_.end()) return true;
+    if (shard->connections.find(id) == shard->connections.end()) return true;
     if (!keep_alive) return true;  // no pipelining past a final request
     conn->rx.erase(0, consumed);
   }
 }
 
-void DetectionServer::HandleHttpRequest(Connection* conn,
+void DetectionServer::HandleHttpRequest(Shard* shard, Connection* conn,
                                         const http::Request& request) {
   if (request.method == "GET" && request.target == "/healthz") {
-    QueueWrite(conn, http::EncodeResponse(200, "OK", "text/plain", "ok\n",
-                                          request.keep_alive));
+    QueueWrite(shard, conn, http::EncodeResponse(200, "OK", "text/plain",
+                                                 "ok\n", request.keep_alive));
     return;
   }
   if (request.method == "GET" && request.target == "/statz") {
-    QueueWrite(conn, http::EncodeResponse(200, "OK", "application/json",
-                                          StatzJson(), request.keep_alive));
+    QueueWrite(shard, conn,
+               http::EncodeResponse(200, "OK", "application/json", StatzJson(),
+                                    request.keep_alive));
+    return;
+  }
+  if (request.method == "GET" && request.target == "/metrics") {
+    QueueWrite(shard, conn,
+               http::EncodeResponse(200, "OK", "text/plain; version=0.0.4",
+                                    MetricsText(), request.keep_alive));
     return;
   }
   if (request.method == "POST" && request.target == "/detect") {
     Result<CsvData> csv = ParseCsv(request.body);
     if (!csv.ok()) {
-      QueueWrite(conn, http::EncodeResponse(
-                           400, "Bad Request", "text/plain",
-                           StrCat(csv.status().message(), "\n"),
-                           request.keep_alive));
+      QueueWrite(shard, conn, http::EncodeResponse(
+                                  400, "Bad Request", "text/plain",
+                                  StrCat(csv.status().message(), "\n"),
+                                  request.keep_alive));
       return;
     }
     Result<Table> table = Table::FromCsv(*csv, "http");
     if (!table.ok()) {
-      QueueWrite(conn, http::EncodeResponse(
-                           400, "Bad Request", "text/plain",
-                           StrCat(table.status().message(), "\n"),
-                           request.keep_alive));
+      QueueWrite(shard, conn, http::EncodeResponse(
+                                  400, "Bad Request", "text/plain",
+                                  StrCat(table.status().message(), "\n"),
+                                  request.keep_alive));
+      return;
+    }
+    if (options_.max_in_flight_per_connection != 0 &&
+        conn->in_flight >= options_.max_in_flight_per_connection) {
+      metrics_.Add(ServerMetric::kShedConnectionCap);
+      QueueWrite(shard, conn,
+                 http::EncodeResponse(
+                     503, "Overloaded", "text/plain",
+                     "per-connection in-flight cap reached\n",
+                     request.keep_alive));
       return;
     }
     wire::DetectRequest detect;
     detect.tables.push_back(std::move(table).ValueOrDie());
     metrics_.Add(ServerMetric::kRequests);
+    conn->in_flight++;
     const uint64_t id = conn->id;
     const bool keep_alive = request.keep_alive;
     coalescer_.Submit(
         std::move(detect),
-        [this, id, keep_alive](wire::DetectResponse response) {
+        [this, shard, id, keep_alive](wire::DetectResponse response) {
           std::string http_response;
           if (response.code == wire::WireCode::kOk) {
             std::string body =
@@ -398,24 +572,29 @@ void DetectionServer::HandleHttpRequest(Connection* conn,
                 StrCat(response.error, "\n"), keep_alive);
           }
           metrics_.MarkRequest(std::chrono::steady_clock::now());
-          loop_.Post([this, id, http_response = std::move(http_response)] {
-            const auto it = connections_.find(id);
-            if (it == connections_.end()) return;
-            QueueWrite(it->second.get(), http_response);
-          });
+          shard->loop.Post(
+              [this, shard, id, http_response = std::move(http_response)] {
+                const auto it = shard->connections.find(id);
+                if (it == shard->connections.end()) return;
+                Connection* conn = it->second.get();
+                if (conn->in_flight > 0) --conn->in_flight;
+                QueueWrite(shard, conn, http_response);
+              });
         });
     return;
   }
-  QueueWrite(conn, http::EncodeResponse(404, "Not Found", "text/plain",
-                                        "no such route\n", request.keep_alive));
+  QueueWrite(shard, conn,
+             http::EncodeResponse(404, "Not Found", "text/plain",
+                                  "no such route\n", request.keep_alive));
 }
 
-void DetectionServer::QueueWrite(Connection* conn, std::string_view bytes) {
+void DetectionServer::QueueWrite(Shard* shard, Connection* conn,
+                                 std::string_view bytes) {
   conn->tx.append(bytes);
-  FlushTx(conn);
+  FlushTx(shard, conn);
 }
 
-void DetectionServer::FlushTx(Connection* conn) {
+void DetectionServer::FlushTx(Shard* shard, Connection* conn) {
   while (!conn->tx.empty()) {
     const ssize_t n =
         send(conn->fd, conn->tx.data(), conn->tx.size(), MSG_NOSIGNAL);
@@ -427,42 +606,44 @@ void DetectionServer::FlushTx(Connection* conn) {
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       if (!conn->want_write) {
         conn->want_write = true;
-        loop_.Modify(conn->fd, EPOLLIN | EPOLLOUT);
+        shard->loop.Modify(conn->fd, EPOLLIN | EPOLLOUT);
       }
       return;
     }
     if (n < 0 && errno == EINTR) continue;
-    CloseConnection(conn->id);  // peer reset mid-write
+    CloseConnection(shard, conn->id);  // peer reset mid-write
     return;
   }
   if (conn->want_write) {
     conn->want_write = false;
-    loop_.Modify(conn->fd, EPOLLIN);
+    shard->loop.Modify(conn->fd, EPOLLIN);
   }
-  if (conn->close_after_flush) CloseConnection(conn->id);
+  if (conn->close_after_flush) CloseConnection(shard, conn->id);
 }
 
-void DetectionServer::CloseConnection(uint64_t id) {
-  const auto it = connections_.find(id);
-  if (it == connections_.end()) return;
+void DetectionServer::CloseConnection(Shard* shard, uint64_t id) {
+  const auto it = shard->connections.find(id);
+  if (it == shard->connections.end()) return;
   Connection* conn = it->second.get();
-  loop_.Remove(conn->fd);
-  fd_to_id_.erase(conn->fd);
+  shard->loop.Remove(conn->fd);
+  shard->fd_to_id.erase(conn->fd);
   close(conn->fd);
-  connections_.erase(it);
+  shard->connections.erase(it);
+  shard->open_connections.fetch_sub(1, std::memory_order_relaxed);
+  total_connections_.fetch_sub(1, std::memory_order_relaxed);
   metrics_.Add(ServerMetric::kConnectionsClosed);
 }
 
-void DetectionServer::FinalFlushAndStop() {
+void DetectionServer::FinalFlushAndStop(Shard* shard) {
   // Every response the drain produced is already in a tx buffer (posts
-  // are FIFO). Flush with bounded patience: a peer that stopped reading
-  // cannot hold shutdown hostage.
+  // are FIFO per loop). Flush with bounded patience: a peer that
+  // stopped reading cannot hold shutdown hostage.
   const auto give_up =
       std::chrono::steady_clock::now() + std::chrono::seconds(2);
-  for (auto& [id, conn] : connections_) {
+  for (auto& [id, conn] : shard->connections) {
     while (!conn->tx.empty() && std::chrono::steady_clock::now() < give_up) {
       const ssize_t n =
-        send(conn->fd, conn->tx.data(), conn->tx.size(), MSG_NOSIGNAL);
+          send(conn->fd, conn->tx.data(), conn->tx.size(), MSG_NOSIGNAL);
       if (n > 0) {
         metrics_.Add(ServerMetric::kBytesWritten, static_cast<uint64_t>(n));
         conn->tx.erase(0, static_cast<size_t>(n));
@@ -475,10 +656,10 @@ void DetectionServer::FinalFlushAndStop() {
       break;  // peer gone
     }
   }
-  while (!connections_.empty()) {
-    CloseConnection(connections_.begin()->first);
+  while (!shard->connections.empty()) {
+    CloseConnection(shard, shard->connections.begin()->first);
   }
-  loop_.Stop();
+  shard->loop.Stop();
 }
 
 std::string DetectionServer::StatzJson() const {
@@ -486,7 +667,20 @@ std::string DetectionServer::StatzJson() const {
   std::string out = "{";
   StrAppend(&out, "\"uptime_seconds\":", metrics_.uptime_seconds(now),
             ",\"qps_recent\":", metrics_.RecentQps(now),
-            ",\"queue_depth\":", metrics_.queue_depth(), ",\"counters\":{");
+            ",\"queue_depth\":", metrics_.queue_depth(),
+            ",\"io_threads\":", shards_.size(), ",\"accept_mode\":\"",
+            shards_.size() <= 1 ? "single"
+                                : (accept_handoff_ ? "handoff" : "reuse_port"),
+            "\",\"io_shards\":[");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    StrAppend(&out, "{\"accepted\":",
+              shards_[i]->accepted.load(std::memory_order_relaxed),
+              ",\"open_connections\":",
+              shards_[i]->open_connections.load(std::memory_order_relaxed),
+              "}");
+  }
+  out.append("],\"counters\":{");
   for (size_t i = 0; i < kServerMetricEntries.size(); ++i) {
     if (i != 0) out.push_back(',');
     AppendJsonString(kServerMetricEntries[i].name, &out);
@@ -516,6 +710,81 @@ std::string DetectionServer::StatzJson() const {
             ",\"cache_misses\":", service.cache_misses,
             ",\"cache_hit_rate\":", service.cache_hit_rate, "}}");
   out.push_back('\n');
+  return out;
+}
+
+std::string DetectionServer::MetricsText() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::string out;
+  out.reserve(4096);
+
+  // Front-end counters, one Prometheus counter per ServerMetric entry.
+  for (const ServerMetricEntry& entry : kServerMetricEntries) {
+    const std::string name = StrCat("unidetect_", entry.name, "_total");
+    StrAppend(&out, "# TYPE ", name, " counter\n");
+    AppendPrometheusLine(name, "", metrics_.Count(entry.metric), &out);
+  }
+
+  // Gauges.
+  out.append("# TYPE unidetect_queue_depth gauge\n");
+  AppendPrometheusLine("unidetect_queue_depth", "", metrics_.queue_depth(),
+                       &out);
+  out.append("# TYPE unidetect_io_threads gauge\n");
+  AppendPrometheusLine("unidetect_io_threads", "", shards_.size(), &out);
+  StrAppend(&out, "# TYPE unidetect_qps_recent gauge\nunidetect_qps_recent ",
+            metrics_.RecentQps(now), "\n");
+
+  // Per-shard accept counters and open-connection gauges, labelled by
+  // shard index so dashboards can see kernel (or round-robin) spread.
+  out.append("# TYPE unidetect_shard_accepted_total counter\n");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    AppendPrometheusLine("unidetect_shard_accepted_total",
+                         StrCat("shard=\"", i, "\""),
+                         shards_[i]->accepted.load(std::memory_order_relaxed),
+                         &out);
+  }
+  out.append("# TYPE unidetect_shard_open_connections gauge\n");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    AppendPrometheusLine(
+        "unidetect_shard_open_connections", StrCat("shard=\"", i, "\""),
+        shards_[i]->open_connections.load(std::memory_order_relaxed), &out);
+  }
+
+  AppendPrometheusHistogram("unidetect_request_latency_microseconds",
+                            metrics_.request_latency(), &out);
+  AppendPrometheusHistogram("unidetect_queue_latency_microseconds",
+                            metrics_.queue_latency(), &out);
+
+  // The serving tier underneath, so one scrape covers the stack.
+  const ServiceStats service = service_->Stats();
+  const struct {
+    const char* name;
+    const char* type;
+    uint64_t value;
+  } service_rows[] = {
+      {"unidetect_service_requests_total", "counter", service.requests},
+      {"unidetect_service_tables_total", "counter", service.tables},
+      {"unidetect_service_findings_total", "counter", service.findings},
+      {"unidetect_service_reloads_total", "counter", service.reloads},
+      {"unidetect_service_failed_reloads_total", "counter",
+       service.failed_reloads},
+      {"unidetect_service_applied_deltas_total", "counter",
+       service.applied_deltas},
+      {"unidetect_service_compactions_total", "counter", service.compactions},
+      {"unidetect_service_cache_hits_total", "counter", service.cache_hits},
+      {"unidetect_service_cache_misses_total", "counter",
+       service.cache_misses},
+      {"unidetect_service_generation", "gauge", service.generation},
+      {"unidetect_service_delta_layers", "gauge", service.delta_layers},
+      {"unidetect_service_model_resident_bytes", "gauge",
+       service.model_resident_bytes},
+      {"unidetect_service_model_mapped_bytes", "gauge",
+       service.model_mapped_bytes},
+  };
+  for (const auto& row : service_rows) {
+    StrAppend(&out, "# TYPE ", row.name, " ", row.type, "\n");
+    AppendPrometheusLine(row.name, "", row.value, &out);
+  }
   return out;
 }
 

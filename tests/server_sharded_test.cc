@@ -1,0 +1,396 @@
+// Multi-reactor loopback tests (DESIGN.md §16.7): a DetectionServer
+// with io_threads > 1 on an ephemeral 127.0.0.1 port. Pins the sharding
+// contracts:
+//
+//   * responses served through an N-shard server are byte-identical to
+//     direct in-process DetectBatch calls — sharding changes who reads
+//     the socket, never the bytes;
+//   * both accept paths work: SO_REUSEPORT per-shard listeners and the
+//     round-robin accept handoff (which spreads connections exactly and
+//     counts kAcceptHandoffs);
+//   * Stop() drains every admitted request across all shards — no
+//     response is lost because its connection lived on a shard other
+//     than the accepting one;
+//   * metrics aggregate coherently: per-shard accept counters sum to
+//     the global counter, /statz reports the shard table, and
+//     GET /metrics speaks well-formed Prometheus text exposition;
+//   * the per-connection in-flight cap refuses the overflow request
+//     (typed kOverloaded) while the connection and its admitted
+//     requests proceed.
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "detect/finding_json.h"
+#include "learn/trainer.h"
+#include "server/client.h"
+#include "server/wire.h"
+#include "serving/detection_service.h"
+#include "util/logging.h"
+#include "util/mutex.h"
+
+namespace unidetect {
+namespace {
+
+// Per-process base snapshot (ctest runs cases as concurrent processes).
+const std::string& BasePath() {
+  static const std::string* path = [] {
+    SetLogLevel(LogLevel::kWarning);
+    const std::string dir = testing::TempDir() + "/server_sharded." +
+                            std::to_string(::getpid());
+    std::filesystem::create_directories(dir);
+    auto* out = new std::string(dir + "/base.udsnap");
+    Trainer trainer;
+    const Model base =
+        trainer.Train(GenerateCorpus(WebCorpusSpec(200, 7101)).corpus);
+    UNIDETECT_CHECK(base.Save(*out).ok());
+    return out;
+  }();
+  return *path;
+}
+
+UniDetectOptions LooseOptions() {
+  UniDetectOptions options;
+  options.alpha = 1.0;
+  return options;
+}
+
+std::unique_ptr<DetectionService> MakeService() {
+  auto service = DetectionService::Create(BasePath(), LooseOptions());
+  UNIDETECT_CHECK(service.ok());
+  return std::move(service).ValueOrDie();
+}
+
+std::vector<Table> RequestTables(size_t n, uint64_t seed) {
+  return GenerateCorpus(WebCorpusSpec(n, seed)).corpus.tables;
+}
+
+std::string PerTableJson(const std::vector<std::vector<Finding>>& per_table) {
+  std::string out;
+  for (const auto& findings : per_table) {
+    out += FindingsToJson(findings);
+    out += '\n';
+  }
+  return out;
+}
+
+bool WaitFor(const std::function<bool()>& done) {
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!done()) {
+    if (std::chrono::steady_clock::now() > give_up) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+ServerOptions ShardedOptions(size_t io_threads) {
+  ServerOptions options;
+  options.io_threads = io_threads;
+  options.coalescer.base_options = LooseOptions();
+  return options;
+}
+
+TEST(ShardedServerTest, FourShardResponsesMatchDirectBatch) {
+  auto service = MakeService();
+  DetectionServer server(service.get(), ShardedOptions(4));
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.io_threads(), 4u);
+
+  // Several connections so the kernel (or round-robin) actually spreads
+  // them across shards; each runs its own request sequence.
+  constexpr size_t kConnections = 6;
+  for (size_t c = 0; c < kConnections; ++c) {
+    auto client = UdwireClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    for (uint64_t i = 0; i < 2; ++i) {
+      wire::DetectRequest request;
+      request.request_id = c * 100 + i;
+      request.tables = RequestTables(2, 7200 + c * 10 + i);
+      auto response = client->Detect(request);
+      ASSERT_TRUE(response.ok()) << response.status();
+      EXPECT_EQ(response->request_id, request.request_id);
+      ASSERT_EQ(response->code, wire::WireCode::kOk) << response->error;
+      const auto direct = service->DetectBatch(request.tables);
+      EXPECT_EQ(PerTableJson(response->per_table),
+                PerTableJson(direct.per_table))
+          << "sharded response must be byte-identical to the direct call";
+    }
+  }
+  server.Stop();
+  EXPECT_EQ(server.metrics().Count(ServerMetric::kRequests),
+            kConnections * 2);
+  EXPECT_EQ(server.metrics().Count(ServerMetric::kResponsesOk),
+            kConnections * 2);
+  EXPECT_EQ(server.metrics().Count(ServerMetric::kResponsesError), 0u);
+}
+
+TEST(ShardedServerTest, ReusePortModeStartsWithPerShardListeners) {
+  auto service = MakeService();
+  ServerOptions options = ShardedOptions(3);
+  options.accept_mode = ServerOptions::AcceptMode::kReusePort;
+  DetectionServer server(service.get(), options);
+  // Linux has had SO_REUSEPORT since 3.9; pinning kReusePort must not
+  // fall back silently.
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.accept_handoff());
+  EXPECT_EQ(server.io_threads(), 3u);
+
+  auto client = UdwireClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  wire::DetectRequest request;
+  request.request_id = 5;
+  request.tables = RequestTables(1, 7301);
+  auto response = client->Detect(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->code, wire::WireCode::kOk) << response->error;
+  server.Stop();
+}
+
+TEST(ShardedServerTest, HandoffSpreadsConnectionsRoundRobin) {
+  auto service = MakeService();
+  ServerOptions options = ShardedOptions(3);
+  options.accept_mode = ServerOptions::AcceptMode::kHandoff;
+  DetectionServer server(service.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.accept_handoff());
+
+  // Six sequential connections across three shards land exactly two per
+  // shard; four of the six leave shard 0 (rr cursor starts at 0).
+  std::vector<UdwireClient> clients;
+  for (size_t c = 0; c < 6; ++c) {
+    auto client = UdwireClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    clients.push_back(std::move(client).ValueOrDie());
+  }
+  ASSERT_TRUE(WaitFor([&] {
+    return server.metrics().Count(ServerMetric::kConnectionsAccepted) == 6;
+  }));
+  EXPECT_EQ(server.metrics().Count(ServerMetric::kAcceptHandoffs), 4u);
+
+  // A handed-off connection must still serve requests (its state lives
+  // on the target shard's loop thread).
+  for (UdwireClient& client : clients) {
+    wire::DetectRequest request;
+    request.request_id = 7;
+    request.tables = RequestTables(1, 7401);
+    auto response = client.Detect(request);
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->code, wire::WireCode::kOk) << response->error;
+  }
+  server.Stop();
+}
+
+TEST(ShardedServerTest, StopDrainsAdmittedRequestsOnEveryShard) {
+  auto service = MakeService();
+  ServerOptions options = ShardedOptions(4);
+  // A long linger so the batch is still pending when Stop() begins: the
+  // drain (not luck) must complete these.
+  options.coalescer.max_batch_delay = std::chrono::milliseconds(300);
+  DetectionServer server(service.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 5;
+  struct Gather {
+    Mutex mu;
+    std::vector<wire::DetectResponse> responses;
+  } gather;
+  std::vector<std::unique_ptr<AsyncUdwireClient>> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    auto client = AsyncUdwireClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    clients.push_back(std::move(client).ValueOrDie());
+    for (size_t i = 0; i < kPerClient; ++i) {
+      wire::DetectRequest request;
+      request.tables = RequestTables(1, 7500 + c * 10 + i);
+      clients.back()->Detect(std::move(request),
+                             [&gather](wire::DetectResponse response) {
+                               MutexLock lock(&gather.mu);
+                               gather.responses.push_back(std::move(response));
+                             });
+    }
+  }
+  // Every request decoded and submitted before the shutdown starts.
+  ASSERT_TRUE(WaitFor([&] {
+    return server.metrics().Count(ServerMetric::kRequests) ==
+           kClients * kPerClient;
+  }));
+  server.Stop();
+
+  ASSERT_TRUE(WaitFor([&] {
+    MutexLock lock(&gather.mu);
+    return gather.responses.size() == kClients * kPerClient;
+  }));
+  MutexLock lock(&gather.mu);
+  for (const wire::DetectResponse& response : gather.responses) {
+    EXPECT_EQ(response.code, wire::WireCode::kOk)
+        << "drain must complete every admitted request: " << response.error;
+  }
+}
+
+TEST(ShardedServerTest, MetricsAggregateAcrossShards) {
+  auto service = MakeService();
+  ServerOptions options = ShardedOptions(3);
+  options.accept_mode = ServerOptions::AcceptMode::kHandoff;  // deterministic
+  DetectionServer server(service.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<UdwireClient> clients;
+  for (size_t c = 0; c < 6; ++c) {
+    auto client = UdwireClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    clients.push_back(std::move(client).ValueOrDie());
+    wire::DetectRequest request;
+    request.request_id = c;
+    request.tables = RequestTables(1, 7600 + c);
+    auto response = clients.back().Detect(request);
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_EQ(response->code, wire::WireCode::kOk) << response->error;
+  }
+
+  const std::string statz = server.StatzJson();
+  EXPECT_NE(statz.find("\"io_threads\":3"), std::string::npos) << statz;
+  EXPECT_NE(statz.find("\"accept_mode\":\"handoff\""), std::string::npos);
+  // Handoff round-robin: exactly two accepts per shard, and the shard
+  // table must sum to the global counter.
+  EXPECT_NE(statz.find("\"io_shards\":[{\"accepted\":2,\"open_connections\":2"
+                       "},{\"accepted\":2,\"open_connections\":2},"
+                       "{\"accepted\":2,\"open_connections\":2}]"),
+            std::string::npos)
+      << statz;
+  EXPECT_EQ(server.metrics().Count(ServerMetric::kConnectionsAccepted), 6u);
+  server.Stop();
+}
+
+TEST(ShardedServerTest, PrometheusMetricsEndpointSpeaksTextExposition) {
+  auto service = MakeService();
+  DetectionServer server(service.get(), ShardedOptions(2));
+  ASSERT_TRUE(server.Start().ok());
+
+  // One served request so the latency histogram has a sample.
+  auto client = UdwireClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  wire::DetectRequest request;
+  request.request_id = 1;
+  request.tables = RequestTables(1, 7701);
+  auto response = client->Detect(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->code, wire::WireCode::kOk) << response->error;
+
+  auto fetched = HttpFetch("127.0.0.1", server.port(), "GET", "/metrics");
+  ASSERT_TRUE(fetched.ok()) << fetched.status();
+  EXPECT_NE(fetched->find("200 OK"), std::string::npos);
+  EXPECT_NE(fetched->find("text/plain"), std::string::npos);
+  // Counters follow the _total convention with TYPE headers.
+  EXPECT_NE(fetched->find("# TYPE unidetect_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(fetched->find("unidetect_requests_total 1"), std::string::npos);
+  EXPECT_NE(fetched->find("unidetect_responses_ok_total 1"),
+            std::string::npos);
+  // Histogram: TYPE header, cumulative buckets, +Inf, _sum and _count.
+  EXPECT_NE(
+      fetched->find("# TYPE unidetect_request_latency_microseconds histogram"),
+      std::string::npos);
+  EXPECT_NE(fetched->find("unidetect_request_latency_microseconds_bucket{le="),
+            std::string::npos);
+  EXPECT_NE(fetched->find(
+                "unidetect_request_latency_microseconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(fetched->find("unidetect_request_latency_microseconds_count 1"),
+            std::string::npos);
+  EXPECT_NE(fetched->find("unidetect_request_latency_microseconds_sum "),
+            std::string::npos);
+  // Per-shard series carry shard labels; both shards are present.
+  EXPECT_NE(fetched->find("unidetect_shard_accepted_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(fetched->find("unidetect_shard_accepted_total{shard=\"1\"}"),
+            std::string::npos);
+  // The serving tier is on the same page.
+  EXPECT_NE(fetched->find("unidetect_service_requests_total 1"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(ShardedServerTest, PerConnectionInFlightCapShedsTypedOverload) {
+  auto service = MakeService();
+  ServerOptions options = ShardedOptions(1);
+  options.max_in_flight_per_connection = 1;
+  // Linger long enough that request 1 is still in flight while the
+  // pipelined 2..8 arrive: they must shed deterministically.
+  options.coalescer.max_batch_delay = std::chrono::milliseconds(200);
+  DetectionServer server(service.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = UdwireClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  constexpr uint64_t kBurst = 8;
+  std::string burst;
+  for (uint64_t i = 1; i <= kBurst; ++i) {
+    wire::DetectRequest request;
+    request.request_id = i;
+    request.tables = RequestTables(1, 7800);
+    burst += wire::EncodeDetectRequest(request);
+  }
+  ASSERT_TRUE(client->SendRaw(burst).ok());
+
+  std::map<uint64_t, wire::WireCode> outcomes;
+  for (uint64_t i = 0; i < kBurst; ++i) {
+    auto response = client->ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status();
+    outcomes[response->request_id] = response->code;
+  }
+  ASSERT_EQ(outcomes.size(), kBurst);
+  size_t ok = 0, shed = 0;
+  for (const auto& [id, code] : outcomes) {
+    if (code == wire::WireCode::kOk) {
+      ++ok;
+      EXPECT_EQ(id, 1u) << "the first request owns the in-flight slot";
+    } else {
+      ++shed;
+      EXPECT_EQ(code, wire::WireCode::kOverloaded);
+    }
+  }
+  EXPECT_EQ(ok, 1u);
+  EXPECT_EQ(shed, kBurst - 1);
+  EXPECT_EQ(server.metrics().Count(ServerMetric::kShedConnectionCap),
+            kBurst - 1);
+
+  // The connection survived the shedding: a follow-up request succeeds.
+  wire::DetectRequest after;
+  after.request_id = 99;
+  after.tables = RequestTables(1, 7801);
+  auto response = client->Detect(after);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->code, wire::WireCode::kOk) << response->error;
+  server.Stop();
+}
+
+TEST(ShardedServerTest, SingleShardReportsSingleAcceptMode) {
+  auto service = MakeService();
+  DetectionServer server(service.get(), ShardedOptions(1));
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.io_threads(), 1u);
+  EXPECT_FALSE(server.accept_handoff());
+  const std::string statz = server.StatzJson();
+  EXPECT_NE(statz.find("\"io_threads\":1"), std::string::npos);
+  EXPECT_NE(statz.find("\"accept_mode\":\"single\""), std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace unidetect

@@ -1,14 +1,20 @@
 // udclient: command-line UDWIRE client against a running udserve.
 //
 //   $ udclient --port 8080 detect table.csv [more.csv ...]
-//       [--deadline-ms N] [--alpha X] [--host 127.0.0.1]
+//       [--deadline-ms N] [--timeout-ms N] [--alpha X] [--pipeline]
+//       [--host 127.0.0.1]
 //   $ udclient --port 8080 statz     # GET /statz over the HTTP adapter
 //   $ udclient --port 8080 health    # GET /healthz
+//   $ udclient --port 8080 metrics   # GET /metrics (Prometheus text)
 //
-// `detect` sends every CSV as one table in a single request and prints
-// per-table findings as JSON. Typed server outcomes (Overloaded,
-// DeadlineExceeded, ...) print as errors with their wire-code name and
-// exit nonzero — distinguishable from transport failures by message.
+// `detect` rides the pipelined AsyncUdwireClient. By default every CSV
+// travels as one table in a single request; --pipeline sends one
+// request per CSV down the same connection concurrently (completions
+// arrive in any order, output stays in input order). --deadline-ms is
+// the server-side queue deadline; --timeout-ms bounds the wait
+// client-side. Typed server outcomes (Overloaded, DeadlineExceeded,
+// ...) print as errors with their wire-code name and exit nonzero —
+// distinguishable from transport failures by message.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,8 +33,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --port N [--host IP] detect CSV... "
-               "[--deadline-ms N] [--alpha X]\n"
-               "       %s --port N [--host IP] statz|health\n",
+               "[--deadline-ms N] [--timeout-ms N] [--alpha X] [--pipeline]\n"
+               "       %s --port N [--host IP] statz|health|metrics\n",
                argv0, argv0);
   return 2;
 }
@@ -41,7 +47,9 @@ int main(int argc, char** argv) {
   std::string command;
   std::vector<std::string> csv_paths;
   uint32_t deadline_ms = 0;
+  int64_t timeout_ms = 0;
   double alpha = -1.0;
+  bool pipeline = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -60,10 +68,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       deadline_ms = static_cast<uint32_t>(std::atoll(v));
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      timeout_ms = std::atoll(v);
     } else if (arg == "--alpha") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       alpha = std::atof(v);
+    } else if (arg == "--pipeline") {
+      pipeline = true;
     } else if (command.empty()) {
       command = arg;
     } else {
@@ -72,9 +86,11 @@ int main(int argc, char** argv) {
   }
   if (port == 0 || command.empty()) return Usage(argv[0]);
 
-  if (command == "statz" || command == "health") {
-    const auto response = HttpFetch(
-        host, port, "GET", command == "statz" ? "/statz" : "/healthz");
+  if (command == "statz" || command == "health" || command == "metrics") {
+    const char* target = command == "statz"
+                             ? "/statz"
+                             : (command == "health" ? "/healthz" : "/metrics");
+    const auto response = HttpFetch(host, port, "GET", target);
     if (!response.ok()) {
       std::fprintf(stderr, "udclient: %s\n",
                    response.status().ToString().c_str());
@@ -90,15 +106,15 @@ int main(int argc, char** argv) {
 
   if (command != "detect" || csv_paths.empty()) return Usage(argv[0]);
 
-  wire::DetectRequest request;
-  request.request_id = 1;
-  request.deadline_ms = deadline_ms;
+  wire::RequestOptions options;
   if (alpha >= 0) {
-    request.options.has_override = true;
-    request.options.alpha = alpha;
+    options.has_override = true;
+    options.alpha = alpha;
     // Leave every class enabled; the override narrows only alpha.
-    request.options.detect_mask = 0x1F;
+    options.detect_mask = 0x1F;
   }
+
+  std::vector<Table> tables;
   for (const std::string& path : csv_paths) {
     auto csv = ReadCsvFile(path);
     if (!csv.ok()) {
@@ -112,32 +128,74 @@ int main(int argc, char** argv) {
                    table.status().ToString().c_str());
       return 1;
     }
-    request.tables.push_back(std::move(table).ValueOrDie());
+    tables.push_back(std::move(table).ValueOrDie());
   }
 
-  auto client = UdwireClient::Connect(host, port);
+  auto client = AsyncUdwireClient::Connect(host, port);
   if (!client.ok()) {
     std::fprintf(stderr, "udclient: %s\n", client.status().ToString().c_str());
     return 1;
   }
-  auto response = client->Detect(request);
-  if (!response.ok()) {
-    std::fprintf(stderr, "udclient: %s\n",
-                 response.status().ToString().c_str());
-    return 1;
+
+  // Gather one response per request; in pipeline mode each CSV is its
+  // own request, otherwise all tables share request 0.
+  std::vector<wire::DetectResponse> responses;
+  if (pipeline) {
+    responses.resize(tables.size());
+    std::vector<uint64_t> ids;
+    // DetectSync would serialize; submit everything first, then the
+    // blocking waits below ride completions already in flight.
+    struct Waiter {
+      Mutex mu;
+      CondVar cv;
+      size_t remaining;
+    } waiter;
+    waiter.remaining = tables.size();
+    for (size_t i = 0; i < tables.size(); ++i) {
+      wire::DetectRequest request;
+      request.deadline_ms = deadline_ms;
+      request.options = options;
+      request.tables.push_back(std::move(tables[i]));
+      (*client)->Detect(
+          std::move(request),
+          [&responses, &waiter, i](wire::DetectResponse response) {
+            MutexLock lock(&waiter.mu);
+            responses[i] = std::move(response);
+            --waiter.remaining;
+            waiter.cv.NotifyAll();
+          },
+          timeout_ms);
+    }
+    MutexLock lock(&waiter.mu);
+    while (waiter.remaining != 0) waiter.cv.Wait(waiter.mu);
+  } else {
+    wire::DetectRequest request;
+    request.deadline_ms = deadline_ms;
+    request.options = options;
+    request.tables = std::move(tables);
+    responses.push_back((*client)->DetectSync(std::move(request), timeout_ms));
   }
-  if (response->code != wire::WireCode::kOk) {
-    std::fprintf(stderr, "udclient: server says %s: %s\n",
-                 wire::WireCodeName(response->code), response->error.c_str());
-    return 1;
+
+  for (const wire::DetectResponse& response : responses) {
+    if (response.code != wire::WireCode::kOk) {
+      std::fprintf(stderr, "udclient: server says %s: %s\n",
+                   wire::WireCodeName(response.code), response.error.c_str());
+      return 1;
+    }
   }
+
   std::printf("{\"generation\":%llu,\"tables\":[\n",
-              static_cast<unsigned long long>(response->generation));
-  for (size_t i = 0; i < response->per_table.size(); ++i) {
-    std::printf("{\"table\":\"%s\",\"findings\":%s}%s\n",
-                csv_paths[i].c_str(),
-                FindingsToJson(response->per_table[i]).c_str(),
-                i + 1 < response->per_table.size() ? "," : "");
+              static_cast<unsigned long long>(responses[0].generation));
+  size_t printed = 0;
+  const size_t total = pipeline ? responses.size() : responses[0].per_table.size();
+  for (size_t r = 0; r < responses.size(); ++r) {
+    for (size_t t = 0; t < responses[r].per_table.size(); ++t) {
+      const size_t path_index = pipeline ? r : t;
+      std::printf("{\"table\":\"%s\",\"findings\":%s}%s\n",
+                  csv_paths[path_index].c_str(),
+                  FindingsToJson(responses[r].per_table[t]).c_str(),
+                  ++printed < total ? "," : "");
+    }
   }
   std::printf("]}\n");
   return 0;

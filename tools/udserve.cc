@@ -2,10 +2,15 @@
 //
 //   $ udserve --model m.udsnap [--port 8080] [--cache-bytes 8388608]
 //             [--queue 256] [--batch-tables 64] [--batch-delay-us 500]
-//             [--detect-threads 1] [--no-coalesce] [--train-if-missing]
+//             [--detect-threads 1] [--io-threads 1] [--max-in-flight 256]
+//             [--accept-mode auto|reuseport|handoff] [--no-coalesce]
+//             [--train-if-missing]
 //
 // Serves both protocols on one port: UDWIRE (udclient, bench_server)
-// and HTTP (curl /healthz, /statz, POST /detect with a CSV body).
+// and HTTP (curl /healthz, /statz, /metrics in Prometheus text format,
+// POST /detect with a CSV body). --io-threads > 1 shards the reactor
+// across SO_REUSEPORT listeners (or a round-robin accept handoff);
+// --max-in-flight caps pipelined requests per connection.
 // --train-if-missing trains a small demo model when --model does not
 // load, so the tool is self-contained for smoke tests. SIGINT/SIGTERM
 // shut down gracefully: the listener closes, admitted requests finish,
@@ -39,6 +44,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s --model PATH [--port N] [--cache-bytes N] [--queue N]\n"
       "          [--batch-tables N] [--batch-delay-us N] [--detect-threads N]\n"
+      "          [--io-threads N] [--max-in-flight N]\n"
+      "          [--accept-mode auto|reuseport|handoff]\n"
       "          [--no-coalesce] [--train-if-missing]\n",
       argv0);
   return 2;
@@ -88,6 +95,27 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       options.coalescer.detect_threads = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--io-threads") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      options.io_threads = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--max-in-flight") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      options.max_in_flight_per_connection =
+          static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--accept-mode") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      if (std::strcmp(v, "auto") == 0) {
+        options.accept_mode = ServerOptions::AcceptMode::kAuto;
+      } else if (std::strcmp(v, "reuseport") == 0) {
+        options.accept_mode = ServerOptions::AcceptMode::kReusePort;
+      } else if (std::strcmp(v, "handoff") == 0) {
+        options.accept_mode = ServerOptions::AcceptMode::kHandoff;
+      } else {
+        return Usage(argv[0]);
+      }
     } else if (arg == "--no-coalesce") {
       options.coalescer.coalesce = false;
     } else if (arg == "--train-if-missing") {
@@ -131,9 +159,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "udserve: %s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("udserve: serving %s on port %u "
-              "(UDWIRE + HTTP /healthz /statz /detect)\n",
-              model_path.c_str(), server.port());
+  std::printf("udserve: serving %s on port %u with %zu IO shard%s%s "
+              "(UDWIRE + HTTP /healthz /statz /metrics /detect)\n",
+              model_path.c_str(), server.port(), server.io_threads(),
+              server.io_threads() == 1 ? "" : "s",
+              server.io_threads() > 1
+                  ? (server.accept_handoff() ? " [accept handoff]"
+                                             : " [SO_REUSEPORT]")
+                  : "");
 
   struct sigaction action = {};
   action.sa_handler = HandleSignal;
